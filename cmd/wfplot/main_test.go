@@ -1,0 +1,78 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestFiguresCoverEveryPaperElement(t *testing.T) {
+	figs, err := Figures()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantFiles := map[string]string{
+		"example.svg":         "Fig 1",
+		"WRF_Fig_2a.svg":      "Fig 2a",
+		"WRF_Fig_2b.svg":      "Fig 2b",
+		"WRF_Fig_2c.svg":      "Fig 2c",
+		"WRF_Fig_3a.svg":      "Fig 3a",
+		"WRF_Fig_3b.svg":      "Fig 3b",
+		"WRF_LCLS_HSW.svg":    "Fig 5a",
+		"WRF_LCLS_HSW_bd.svg": "Fig 5b",
+		"WRF_LCLS_PM.svg":     "Fig 6",
+		"WRF_BGW_64.svg":      "Fig 7a",
+		"WRF_BGW_1024.svg":    "Fig 7b",
+		"WRF_BGW_task.svg":    "Fig 7c",
+		"WRF_BGW_gantt.svg":   "Fig 7d",
+		"WRF_COSMO_PM.svg":    "Fig 8",
+		"WRF_GPTUNE_PM.svg":   "Fig 10a",
+		"WRF_GPTUNE_bd.svg":   "Fig 10b",
+	}
+	got := map[string]string{}
+	for _, f := range figs {
+		got[f.File] = f.Paper
+		if !strings.HasPrefix(f.SVG, "<svg") {
+			t.Errorf("%s: output does not start with <svg", f.File)
+		}
+		if len(f.SVG) < 500 {
+			t.Errorf("%s: suspiciously small SVG (%d bytes)", f.File, len(f.SVG))
+		}
+	}
+	for file, paper := range wantFiles {
+		if got[file] != paper {
+			t.Errorf("figure %s: got paper ref %q, want %q", file, got[file], paper)
+		}
+	}
+	if len(figs) != len(wantFiles) {
+		t.Errorf("figures = %d, want %d", len(figs), len(wantFiles))
+	}
+}
+
+func TestRunWritesFiles(t *testing.T) {
+	dir := t.TempDir()
+	if err := run([]string{"-out", dir}); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 16 {
+		t.Errorf("wrote %d files, want 16", len(entries))
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "example.svg"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "Workflow Roofline example") {
+		t.Error("example.svg missing title")
+	}
+}
+
+func TestRunBadDir(t *testing.T) {
+	if err := run([]string{"-out", "/proc/definitely/not/writable"}); err == nil {
+		t.Error("unwritable output dir should fail")
+	}
+}

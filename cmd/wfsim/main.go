@@ -1,0 +1,185 @@
+// Command wfsim runs the discrete-event workflow simulator on a built-in
+// case study and reports the makespan, throughput, per-phase time breakdown,
+// and a Gantt chart.
+//
+// Usage:
+//
+//	wfsim -case lcls-cori
+//	wfsim -case bgw-64 -gantt -gantt-svg bgw.svg
+//	wfsim -case gptune-rci -breakdown
+//	wfsim -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+
+	"wroofline/internal/gantt"
+	"wroofline/internal/machine"
+	"wroofline/internal/plot"
+	"wroofline/internal/sim"
+	"wroofline/internal/wdl"
+	"wroofline/internal/workloads"
+)
+
+// caseBuilders maps CLI names to case-study constructors (the wroofline and
+// wfsim name sets match).
+var caseBuilders = map[string]func() (*workloads.CaseStudy, error){
+	"lcls-cori":         workloads.LCLSCori,
+	"lcls-cori-bad":     workloads.LCLSCoriBadDay,
+	"lcls-pm":           workloads.LCLSPerlmutter,
+	"lcls-pm-contended": workloads.LCLSPerlmutterContended,
+	"bgw-64":            func() (*workloads.CaseStudy, error) { return workloads.BGW(64) },
+	"bgw-1024":          func() (*workloads.CaseStudy, error) { return workloads.BGW(1024) },
+	"cosmoflow":         func() (*workloads.CaseStudy, error) { return workloads.CosmoFlow(12) },
+	"gptune-rci":        func() (*workloads.CaseStudy, error) { return workloads.GPTune(workloads.GPTuneRCI) },
+	"gptune-spawn":      func() (*workloads.CaseStudy, error) { return workloads.GPTune(workloads.GPTuneSpawn) },
+}
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "wfsim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("wfsim", flag.ContinueOnError)
+	var (
+		caseName  = fs.String("case", "", "built-in case study name (see -list)")
+		wdlPath   = fs.String("wdl", "", "simulate a workflow description file instead of a case study")
+		machineNm = fs.String("machine", "perlmutter", "machine for -wdl runs: perlmutter or cori")
+		list      = fs.Bool("list", false, "list built-in case studies")
+		showGantt = fs.Bool("gantt", false, "print a text Gantt chart")
+		ganttSVG  = fs.String("gantt-svg", "", "write the Gantt chart to this SVG file")
+		showBreak = fs.Bool("breakdown", false, "print the per-phase time breakdown")
+		chromeOut = fs.String("chrome-trace", "", "write spans as Chrome Trace Event JSON to this file")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *list {
+		names := make([]string, 0, len(caseBuilders))
+		for n := range caseBuilders {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		fmt.Fprintln(out, "built-in case studies:")
+		for _, n := range names {
+			fmt.Fprintln(out, " ", n)
+		}
+		return nil
+	}
+	var cs *workloads.CaseStudy
+	if *wdlPath != "" {
+		var err error
+		cs, err = caseFromWDL(*wdlPath, *machineNm)
+		if err != nil {
+			return err
+		}
+	} else {
+		build, ok := caseBuilders[*caseName]
+		if !ok {
+			return fmt.Errorf("unknown case %q (try -list)", *caseName)
+		}
+		var err error
+		cs, err = build()
+		if err != nil {
+			return err
+		}
+	}
+	res, err := cs.Simulate()
+	if err != nil {
+		return err
+	}
+
+	fmt.Fprintf(out, "case: %s (%s)\n", cs.Name, cs.Figure)
+	fmt.Fprintf(out, "makespan: %.2f s\n", res.Makespan)
+	fmt.Fprintf(out, "throughput: %.6g tasks/s\n", res.Throughput)
+	fmt.Fprintf(out, "peak nodes in use: %d\n", res.PeakNodesInUse)
+
+	if *showBreak {
+		bd := res.Breakdown()
+		phases := make([]string, 0, len(bd))
+		for p := range bd {
+			phases = append(phases, p)
+		}
+		sort.Strings(phases)
+		fmt.Fprintln(out, "time breakdown (summed across tasks):")
+		for _, p := range phases {
+			fmt.Fprintf(out, "  %-18s %10.2f s\n", p, bd[p])
+		}
+	}
+
+	if *chromeOut != "" {
+		f, err := os.Create(*chromeOut)
+		if err != nil {
+			return err
+		}
+		if err := res.Recorder.WriteChromeTrace(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "wrote %s\n", *chromeOut)
+	}
+
+	if *showGantt || *ganttSVG != "" {
+		path, _, err := cs.Workflow.CriticalPathMeasured()
+		if err != nil {
+			return err
+		}
+		ch, err := gantt.FromRecorder(cs.Name, res.Recorder, path)
+		if err != nil {
+			return err
+		}
+		if *showGantt {
+			fmt.Fprint(out, ch.Render(64))
+		}
+		if *ganttSVG != "" {
+			svg, err := plot.GanttSVG(ch, 0, 0)
+			if err != nil {
+				return err
+			}
+			if err := os.WriteFile(*ganttSVG, []byte(svg), 0o644); err != nil {
+				return err
+			}
+			fmt.Fprintf(out, "wrote %s\n", *ganttSVG)
+		}
+	}
+	return nil
+}
+
+// caseFromWDL wraps a workflow description into an ad-hoc case study using
+// the default per-task programs derived from the characterized work.
+func caseFromWDL(path, machineName string) (*workloads.CaseStudy, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	w, err := wdl.Parse(string(data))
+	if err != nil {
+		return nil, err
+	}
+	var m *machine.Machine
+	switch machineName {
+	case "perlmutter", "pm":
+		m = machine.Perlmutter()
+	case "cori", "cori-hsw":
+		m = machine.CoriHaswell()
+	default:
+		return nil, fmt.Errorf("unknown machine %q (want perlmutter or cori)", machineName)
+	}
+	return &workloads.CaseStudy{
+		Name:      w.Name,
+		Figure:    "custom",
+		Machine:   m,
+		Workflow:  w,
+		SimConfig: sim.Config{Machine: m},
+	}, nil
+}

@@ -1,0 +1,132 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunList(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-list"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"lcls-cori-bad", "bgw-1024", "gptune-spawn"} {
+		if !strings.Contains(sb.String(), want) {
+			t.Errorf("list missing %q:\n%s", want, sb.String())
+		}
+	}
+}
+
+func TestRunCaseWithEverything(t *testing.T) {
+	svgPath := filepath.Join(t.TempDir(), "gantt.svg")
+	var sb strings.Builder
+	if err := run([]string{"-case", "bgw-64", "-gantt", "-breakdown", "-gantt-svg", svgPath}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"case: BerkeleyGW/64-nodes (Fig 7a)",
+		"makespan: 4184.86 s",
+		"time breakdown",
+		"compute",
+		"epsilon",
+		"sigma",
+		"wrote " + svgPath,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	data, err := os.ReadFile(svgPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "<svg") {
+		t.Error("gantt file is not SVG")
+	}
+}
+
+func TestRunAllCases(t *testing.T) {
+	for name := range caseBuilders {
+		var sb strings.Builder
+		if err := run([]string{"-case", name}, &sb); err != nil {
+			t.Errorf("case %s: %v", name, err)
+		}
+		if !strings.Contains(sb.String(), "makespan:") {
+			t.Errorf("case %s: no makespan in output", name)
+		}
+	}
+}
+
+func TestRunUnknownCase(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-case", "nope"}, &sb); err == nil {
+		t.Error("unknown case should fail")
+	}
+	if err := run(nil, &sb); err == nil {
+		t.Error("no case should fail")
+	}
+}
+
+func TestRunWDL(t *testing.T) {
+	src := `workflow custom on gpu
+task a nodes=2 fs=5.6 TB
+task b nodes=1 flops=38.8 TFLOP
+a -> b
+`
+	path := filepath.Join(t.TempDir(), "c.wdl")
+	if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := run([]string{"-wdl", path, "-breakdown"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	// 5.6 TB @ 5.6 TB/s + 38.8 TFLOP @ 38.8 TFLOPS = 2 s.
+	if !strings.Contains(out, "makespan: 2.00 s") {
+		t.Errorf("WDL sim output:\n%s", out)
+	}
+	if !strings.Contains(out, "case: custom (custom)") {
+		t.Errorf("missing case line:\n%s", out)
+	}
+	if err := run([]string{"-wdl", "/nonexistent"}, &sb); err == nil {
+		t.Error("missing WDL should fail")
+	}
+	if err := run([]string{"-wdl", path, "-machine", "frontier"}, &sb); err == nil {
+		t.Error("unknown machine should fail")
+	}
+	// Cori machine selection works.
+	src2 := "workflow c2 on haswell\ntask t nodes=1 mem=129 GB\n"
+	path2 := filepath.Join(t.TempDir(), "c2.wdl")
+	if err := os.WriteFile(path2, []byte(src2), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	sb.Reset()
+	if err := run([]string{"-wdl", path2, "-machine", "cori"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "makespan: 1.00 s") {
+		t.Errorf("cori WDL sim:\n%s", sb.String())
+	}
+}
+
+func TestChromeTraceOutput(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "trace.json")
+	var sb strings.Builder
+	if err := run([]string{"-case", "bgw-64", "-chrome-trace", path}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), `"traceEvents"`) {
+		t.Error("chrome trace missing traceEvents")
+	}
+	if err := run([]string{"-case", "bgw-64", "-chrome-trace", "/proc/cant/write"}, &sb); err == nil {
+		t.Error("unwritable trace path should fail")
+	}
+}

@@ -1,0 +1,285 @@
+// Command wroofline analyzes a workflow against the Workflow Roofline
+// model: it prints the model, the bound classification, and optimization
+// advice for empirical points, and can emit SVG or ASCII charts.
+//
+// Usage:
+//
+//	wroofline -case lcls-cori                 # built-in case study
+//	wroofline -list                           # list built-in case studies
+//	wroofline -machine perlmutter -workflow wf.json -svg out.svg
+//	wroofline -case bgw-64 -ascii
+//
+// A JSON workflow (see internal/workflow) is analyzed with core.Build; a
+// built-in case study ships the paper's exact ceilings and points.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"wroofline/internal/core"
+	"wroofline/internal/iolog"
+	"wroofline/internal/machine"
+	"wroofline/internal/pipeline"
+	"wroofline/internal/plot"
+	"wroofline/internal/sbatch"
+	"wroofline/internal/units"
+	"wroofline/internal/wdl"
+	"wroofline/internal/whatif"
+	"wroofline/internal/workflow"
+	"wroofline/internal/workloads"
+)
+
+// caseBuilders maps CLI names to case-study constructors.
+var caseBuilders = map[string]func() (*workloads.CaseStudy, error){
+	"lcls-cori":         workloads.LCLSCori,
+	"lcls-cori-bad":     workloads.LCLSCoriBadDay,
+	"lcls-pm":           workloads.LCLSPerlmutter,
+	"lcls-pm-contended": workloads.LCLSPerlmutterContended,
+	"bgw-64":            func() (*workloads.CaseStudy, error) { return workloads.BGW(64) },
+	"bgw-1024":          func() (*workloads.CaseStudy, error) { return workloads.BGW(1024) },
+	"cosmoflow":         func() (*workloads.CaseStudy, error) { return workloads.CosmoFlow(12) },
+	"gptune-rci":        func() (*workloads.CaseStudy, error) { return workloads.GPTune(workloads.GPTuneRCI) },
+	"gptune-spawn":      func() (*workloads.CaseStudy, error) { return workloads.GPTune(workloads.GPTuneSpawn) },
+}
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "wroofline:", err)
+		os.Exit(1)
+	}
+}
+
+// run is the testable entry point.
+func run(args []string, out *os.File) error {
+	fs := flag.NewFlagSet("wroofline", flag.ContinueOnError)
+	var (
+		caseName     = fs.String("case", "", "built-in case study name (see -list)")
+		list         = fs.Bool("list", false, "list built-in case studies")
+		machineName  = fs.String("machine", "perlmutter", "machine: perlmutter, cori, or a JSON file path")
+		workflowPath = fs.String("workflow", "", "workflow JSON file to analyze")
+		wdlPath      = fs.String("wdl", "", "workflow description (WDL-like text) file to analyze")
+		sbatchGlob   = fs.String("sbatch", "", "glob of Slurm batch scripts to assemble into a workflow")
+		iologPath    = fs.String("iolog", "", "I/O trace file that characterizes the workflow's work vectors")
+		externalBW   = fs.String("external-bw", "", "override external bandwidth, e.g. '5 GB/s'")
+		svgPath      = fs.String("svg", "", "write the roofline chart to this SVG file")
+		ascii        = fs.Bool("ascii", false, "print an ASCII roofline")
+		zones        = fs.Bool("zones", true, "shade target zones when targets are set")
+		showWhatIf   = fs.Bool("whatif", false, "evaluate what-if scenarios (faster resources, bigger machine)")
+		showPipeline = fs.Bool("pipeline", false, "print the per-level pipeline analysis")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	if *list {
+		names := make([]string, 0, len(caseBuilders))
+		for n := range caseBuilders {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		fmt.Fprintln(out, "built-in case studies:")
+		for _, n := range names {
+			fmt.Fprintln(out, " ", n)
+		}
+		return nil
+	}
+
+	var (
+		model  *core.Model
+		points []core.Point
+		mch    *machine.Machine
+		wf     *workflow.Workflow
+	)
+	switch {
+	case *caseName != "":
+		build, ok := caseBuilders[*caseName]
+		if !ok {
+			return fmt.Errorf("unknown case %q (try -list)", *caseName)
+		}
+		cs, err := build()
+		if err != nil {
+			return err
+		}
+		model, points, mch, wf = cs.Model, cs.Points, cs.Machine, cs.Workflow
+	case *workflowPath != "" || *wdlPath != "" || *sbatchGlob != "":
+		m, err := loadMachine(*machineName)
+		if err != nil {
+			return err
+		}
+		var w *workflow.Workflow
+		switch {
+		case *wdlPath != "":
+			w, err = loadWDL(*wdlPath)
+		case *sbatchGlob != "":
+			w, err = loadSbatch(*sbatchGlob)
+		default:
+			w, err = loadWorkflow(*workflowPath)
+		}
+		if err != nil {
+			return err
+		}
+		if *iologPath != "" {
+			if err := applyIOLog(w, *iologPath); err != nil {
+				return err
+			}
+		}
+		opts := core.BuildOptions{}
+		if *externalBW != "" {
+			bw, err := units.ParseByteRate(*externalBW)
+			if err != nil {
+				return err
+			}
+			opts.ExternalBW = bw
+		}
+		model, err = core.Build(m, w, opts)
+		if err != nil {
+			return err
+		}
+		mch, wf = m, w
+	default:
+		return fmt.Errorf("need -case, -workflow, -wdl, or -sbatch (try -list)")
+	}
+
+	fmt.Fprint(out, model.Report(points))
+
+	if *showPipeline {
+		a, err := pipeline.Analyze(mch, wf, 0)
+		if err != nil {
+			return err
+		}
+		txt, err := a.Table("pipeline analysis (per DAG level)")
+		if err != nil {
+			return err
+		}
+		fmt.Fprint(out, txt)
+		if eff := a.PipelineEfficiency(); eff > 0 {
+			fmt.Fprintf(out, "pipeline efficiency: %.1f%% (bound %.4gs / measured %.4gs)\n",
+				100*eff, a.BoundMakespan, a.MeasuredMakespan)
+		}
+	}
+
+	if *showWhatIf {
+		p := float64(1)
+		if pt, err := wf.ParallelTasks(); err == nil {
+			p = float64(pt)
+		}
+		var perts []whatif.Perturbation
+		for _, res := range []core.Resource{core.ResCompute, core.ResMemory, core.ResExternal, core.ResFileSystem, core.ResNetwork} {
+			pert := whatif.ScaleResource(res, 10)
+			if _, err := pert.Apply(model); err == nil {
+				perts = append(perts, pert)
+			}
+		}
+		perts = append(perts, whatif.ScaleWall(2), whatif.IntraTask(2, 1))
+		outcomes, err := whatif.Evaluate(model, p, perts)
+		if err != nil {
+			return err
+		}
+		txt, err := whatif.Table("what-if scenarios", outcomes)
+		if err != nil {
+			return err
+		}
+		fmt.Fprint(out, txt)
+	}
+
+	if *ascii {
+		s, err := plot.RooflineASCII(model, points, 72, 20)
+		if err != nil {
+			return err
+		}
+		fmt.Fprint(out, s)
+	}
+	if *svgPath != "" {
+		svg, err := plot.RooflineSVG(model, points, plot.Options{ShowZones: *zones})
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*svgPath, []byte(svg), 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "wrote %s\n", *svgPath)
+	}
+	return nil
+}
+
+// loadMachine resolves a machine by name or JSON path.
+func loadMachine(name string) (*machine.Machine, error) {
+	switch strings.ToLower(name) {
+	case "perlmutter", "pm":
+		return machine.Perlmutter(), nil
+	case "cori", "cori-hsw":
+		return machine.CoriHaswell(), nil
+	}
+	data, err := os.ReadFile(name)
+	if err != nil {
+		return nil, fmt.Errorf("machine %q is not built in and not readable: %w", name, err)
+	}
+	var m machine.Machine
+	if err := json.Unmarshal(data, &m); err != nil {
+		return nil, err
+	}
+	return &m, nil
+}
+
+// applyIOLog characterizes the workflow from a trace file.
+func applyIOLog(w *workflow.Workflow, path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	recs, err := iolog.Parse(f)
+	if err != nil {
+		return err
+	}
+	return iolog.ApplyToWorkflow(w, iolog.Aggregate(recs))
+}
+
+// loadSbatch assembles a workflow from Slurm batch scripts matching glob.
+func loadSbatch(glob string) (*workflow.Workflow, error) {
+	paths, err := filepath.Glob(glob)
+	if err != nil {
+		return nil, fmt.Errorf("bad sbatch glob %q: %w", glob, err)
+	}
+	if len(paths) == 0 {
+		return nil, fmt.Errorf("no scripts match %q", glob)
+	}
+	sort.Strings(paths)
+	sources := make([]string, 0, len(paths))
+	for _, p := range paths {
+		data, err := os.ReadFile(p)
+		if err != nil {
+			return nil, err
+		}
+		sources = append(sources, string(data))
+	}
+	return sbatch.ParseAll("sbatch-workflow", sources)
+}
+
+// loadWDL reads a workflow description file in the wdl text format.
+func loadWDL(path string) (*workflow.Workflow, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return wdl.Parse(string(data))
+}
+
+// loadWorkflow reads a workflow JSON file.
+func loadWorkflow(path string) (*workflow.Workflow, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var w workflow.Workflow
+	if err := json.Unmarshal(data, &w); err != nil {
+		return nil, err
+	}
+	return &w, nil
+}

@@ -1,0 +1,282 @@
+package main
+
+import (
+	"encoding/json"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"wroofline/internal/machine"
+	"wroofline/internal/units"
+	"wroofline/internal/workflow"
+)
+
+// capture runs run() with output redirected to a pipe and returns what was
+// written.
+func capture(t *testing.T, args []string) (string, error) {
+	t.Helper()
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan []byte, 1)
+	go func() {
+		data, _ := io.ReadAll(r)
+		done <- data
+	}()
+	runErr := run(args, w)
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	out := <-done
+	return string(out), runErr
+}
+
+func TestList(t *testing.T) {
+	out, err := capture(t, []string{"-list"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"lcls-cori", "bgw-64", "cosmoflow", "gptune-rci"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("list missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestCaseAnalysis(t *testing.T) {
+	out, err := capture(t, []string{"-case", "bgw-64"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"BerkeleyGW", "parallelism wall: 28", "GPU FLOPS"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("analysis missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestCaseWithASCIIAndSVG(t *testing.T) {
+	svgPath := filepath.Join(t.TempDir(), "out.svg")
+	out, err := capture(t, []string{"-case", "lcls-cori", "-ascii", "-svg", svgPath})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "wrote "+svgPath) {
+		t.Errorf("missing write confirmation:\n%s", out)
+	}
+	data, err := os.ReadFile(svgPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "<svg") {
+		t.Error("output is not SVG")
+	}
+}
+
+func TestUnknownCase(t *testing.T) {
+	if _, err := capture(t, []string{"-case", "nope"}); err == nil {
+		t.Error("unknown case should fail")
+	}
+}
+
+func TestNoArgs(t *testing.T) {
+	if _, err := capture(t, nil); err == nil {
+		t.Error("missing -case/-workflow should fail")
+	}
+}
+
+func TestWorkflowFromJSON(t *testing.T) {
+	dir := t.TempDir()
+	w := workflow.New("json-wf", machine.PartGPU)
+	if err := w.AddTask(&workflow.Task{
+		ID: "t", Nodes: 64,
+		Work: workflow.Work{Flops: 100 * units.TFLOP, FSBytes: 1 * units.TB},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := json.Marshal(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wfPath := filepath.Join(dir, "wf.json")
+	if err := os.WriteFile(wfPath, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out, err := capture(t, []string{"-workflow", wfPath})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "json-wf") || !strings.Contains(out, "wall: 28") {
+		t.Errorf("JSON workflow analysis wrong:\n%s", out)
+	}
+	// With an external-bandwidth override on an external-staging workflow.
+	w2 := workflow.New("staged", machine.PartCPU)
+	if err := w2.AddTask(&workflow.Task{
+		ID: "t", Nodes: 1, Work: workflow.Work{ExternalBytes: 1 * units.TB},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	data2, err := json.Marshal(w2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wf2 := filepath.Join(dir, "wf2.json")
+	if err := os.WriteFile(wf2, data2, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out, err = capture(t, []string{"-workflow", wf2, "-external-bw", "5 GB/s"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "External") {
+		t.Errorf("external ceiling missing:\n%s", out)
+	}
+	if _, err := capture(t, []string{"-workflow", wf2, "-external-bw", "junk"}); err == nil {
+		t.Error("bad bandwidth override should fail")
+	}
+}
+
+func TestLoadMachine(t *testing.T) {
+	if _, err := loadMachine("perlmutter"); err != nil {
+		t.Error(err)
+	}
+	if _, err := loadMachine("cori"); err != nil {
+		t.Error(err)
+	}
+	if _, err := loadMachine("/nonexistent.json"); err == nil {
+		t.Error("missing machine file should fail")
+	}
+	// Custom machine from JSON.
+	dir := t.TempDir()
+	data, err := json.Marshal(machine.CoriHaswell())
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, "m.json")
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	m, err := loadMachine(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Name != "Cori" {
+		t.Errorf("loaded machine = %q", m.Name)
+	}
+	// Invalid JSON.
+	bad := filepath.Join(dir, "bad.json")
+	if err := os.WriteFile(bad, []byte("{"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := loadMachine(bad); err == nil {
+		t.Error("bad machine JSON should fail")
+	}
+}
+
+func TestLoadWorkflowErrors(t *testing.T) {
+	if _, err := loadWorkflow("/nonexistent.json"); err == nil {
+		t.Error("missing file should fail")
+	}
+	bad := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(bad, []byte(`{"name":""}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := loadWorkflow(bad); err == nil {
+		t.Error("invalid workflow should fail")
+	}
+}
+
+func TestWDLInput(t *testing.T) {
+	src := `workflow demo on gpu
+task a nodes=64 flops=100 GFLOP fs=1 TB
+task b nodes=1 fs=10 GB
+a -> b
+`
+	path := filepath.Join(t.TempDir(), "demo.wdl")
+	if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out, err := capture(t, []string{"-wdl", path, "-pipeline"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"demo", "wall: 28", "pipeline analysis", "bottleneck task"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("WDL analysis missing %q:\n%s", want, out)
+		}
+	}
+	if _, err := capture(t, []string{"-wdl", "/nonexistent.wdl"}); err == nil {
+		t.Error("missing WDL file should fail")
+	}
+	bad := filepath.Join(t.TempDir(), "bad.wdl")
+	if err := os.WriteFile(bad, []byte("not a workflow"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := capture(t, []string{"-wdl", bad}); err == nil {
+		t.Error("invalid WDL should fail")
+	}
+}
+
+func TestWhatIfFlag(t *testing.T) {
+	out, err := capture(t, []string{"-case", "lcls-cori", "-whatif"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"what-if scenarios", "base", "10x memory", "2x nodes", "2x intra-task"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("what-if missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestPipelineFlagOnCase(t *testing.T) {
+	out, err := capture(t, []string{"-case", "bgw-64", "-pipeline"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"pipeline analysis", "sigma", "pipeline efficiency"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("pipeline output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestSbatchInput(t *testing.T) {
+	dir := t.TempDir()
+	scripts := map[string]string{
+		"a.sbatch": "#SBATCH --job-name=a\n#SBATCH --nodes=64\n#SBATCH --partition=gpu\n",
+		"b.sbatch": "#SBATCH --job-name=b\n#SBATCH --nodes=64\n#SBATCH --partition=gpu\n#SBATCH --dependency=afterok:a\n",
+	}
+	for name, src := range scripts {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	trace := filepath.Join(dir, "run.iolog")
+	traceSrc := "0 a read 1e12\n0 b read 1e12\n10 a dur 100\n10 b dur 100\n"
+	if err := os.WriteFile(trace, []byte(traceSrc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out, err := capture(t, []string{"-sbatch", filepath.Join(dir, "*.sbatch"), "-iolog", trace, "-pipeline"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"sbatch-workflow", "wall: 28", "pipeline analysis"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("sbatch analysis missing %q:\n%s", want, out)
+		}
+	}
+	if _, err := capture(t, []string{"-sbatch", filepath.Join(dir, "*.nope")}); err == nil {
+		t.Error("empty glob should fail")
+	}
+	// Structure-only scripts (no work, no trace) cannot build a model.
+	if _, err := capture(t, []string{"-sbatch", filepath.Join(dir, "*.sbatch")}); err == nil {
+		t.Error("sbatch without characterization should fail to build a model")
+	}
+	if _, err := capture(t, []string{"-sbatch", filepath.Join(dir, "*.sbatch"), "-iolog", "/nonexistent"}); err == nil {
+		t.Error("missing iolog should fail")
+	}
+}

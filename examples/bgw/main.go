@@ -1,0 +1,93 @@
+// BerkeleyGW example: the traditional HPC workflow of Fig 7. Shows the
+// urgency-vs-throughput tradeoff between 64 and 1024 nodes per task, the
+// per-task view, and the Gantt chart whose critical path is scale-invariant.
+//
+// Run with: go run ./examples/bgw
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"wroofline/internal/gantt"
+	"wroofline/internal/plot"
+	"wroofline/internal/report"
+	"wroofline/internal/workloads"
+)
+
+func main() {
+	// Fig 7a/7b: the workflow roofline at both scales.
+	tbl := report.NewTable("BerkeleyGW at two scales (Fig 7a/7b)",
+		"nodes/task", "wall", "ceiling (s)", "measured (s)", "% of node peak")
+	for _, scale := range []int{64, 1024} {
+		cs, err := workloads.BGW(scale)
+		if err != nil {
+			log.Fatal(err)
+		}
+		eff, err := workloads.BGWEfficiency(scale)
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := cs.Simulate()
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := tbl.AddRowf(scale, cs.Model.Wall,
+			workloads.BGWNodeCeilingSeconds(scale), res.Makespan, 100*eff); err != nil {
+			log.Fatal(err)
+		}
+	}
+	fmt.Print(tbl.Text())
+	fmt.Println()
+
+	// The Section IV-C2 interpretation.
+	cs64, err := workloads.BGW(64)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cs1024, err := workloads.BGW(1024)
+	if err != nil {
+		log.Fatal(err)
+	}
+	at64, _ := cs64.Model.BoundAtWall()
+	at1024, _ := cs1024.Model.BoundAtWall()
+	fmt.Printf("urgent single result:  1024 nodes, %.0f s\n", workloads.BGWMeasured1024)
+	fmt.Printf("batch throughput:      64-node instances allow %.4g tasks/s at the wall (vs %.4g at 1024)\n\n",
+		at64, at1024)
+
+	// Fig 7c: the task view — Sigma is the lowest dot at both scales.
+	tv, points, err := workloads.BGWTaskView()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(tv.Report(points))
+	fmt.Println()
+
+	// Fig 7d: the Gantt chart from a simulated run.
+	for _, scale := range []int{64, 1024} {
+		cs, err := workloads.BGW(scale)
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := cs.Simulate()
+		if err != nil {
+			log.Fatal(err)
+		}
+		path, _, err := cs.Workflow.CriticalPathMeasured()
+		if err != nil {
+			log.Fatal(err)
+		}
+		ch, err := gantt.FromRecorder(fmt.Sprintf("BGW Gantt, %d nodes (Fig 7d)", scale), res.Recorder, path)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Print(ch.Render(56))
+		fmt.Println()
+	}
+
+	ascii, err := plot.RooflineASCII(cs64.Model, cs64.Points, 72, 18)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(ascii)
+}

@@ -1,0 +1,129 @@
+// Characterize example: the full measurement-to-model loop (the paper's
+// contribution C4, "workflow execution characterization methodology").
+// Builds the workflow structure from sbatch scripts, characterizes the work
+// from an I/O trace, calibrates the effective external bandwidth, and
+// produces the roofline analysis — no hand-written numbers.
+//
+// Run with: go run ./examples/characterize
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"wroofline/internal/calibrate"
+	"wroofline/internal/core"
+	"wroofline/internal/iolog"
+	"wroofline/internal/machine"
+	"wroofline/internal/sbatch"
+)
+
+// Six batch scripts: five parallel analyses and a merge (the LCLS shape),
+// as a workflow operator would actually submit them.
+var scripts = []string{
+	script("a0"), script("a1"), script("a2"), script("a3"), script("a4"),
+	`#SBATCH --job-name=merge
+#SBATCH --nodes=1
+#SBATCH --partition=haswell
+#SBATCH --dependency=afterok:a0:a1:a2:a3:a4
+`,
+}
+
+func script(name string) string {
+	return "#SBATCH --job-name=" + name + "\n" +
+		"#SBATCH --nodes=32\n#SBATCH --ntasks=1024\n#SBATCH --partition=haswell\n"
+}
+
+// ioTrace is what a lightweight profiler (the Darshan-style path of
+// Table I) would emit for one run: per-task staged bytes, FS reads, and
+// durations.
+const ioTrace = `
+0 a0 ext_read 1e12
+0 a1 ext_read 1e12
+0 a2 ext_read 1e12
+0 a3 ext_read 1e12
+0 a4 ext_read 1e12
+10 a0 read 1e12
+10 a1 read 1e12
+10 a2 read 1e12
+10 a3 read 1e12
+10 a4 read 1e12
+1020 a0 dur 1018
+1020 a1 dur 1022
+1020 a2 dur 1019
+1020 a3 dur 1025
+1020 a4 dur 1021
+1021 merge read 5e9
+1021 merge dur 1
+`
+
+func main() {
+	// 1. Structure from the batch scripts.
+	w, err := sbatch.ParseAll("LCLS", scripts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	p, err := w.ParallelTasks()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("from sbatch: %d tasks, %d parallel, partition %q\n",
+		w.TotalTasks(), p, w.Partition)
+
+	// 2. Work vectors from the I/O trace.
+	recs, err := iolog.Parse(strings.NewReader(ioTrace))
+	if err != nil {
+		log.Fatal(err)
+	}
+	profiles := iolog.Aggregate(recs)
+	if err := iolog.ApplyToWorkflow(w, profiles); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("from trace:  %d records across %d tasks\n", len(recs), len(profiles))
+
+	// 3. Calibrate the effective external bandwidth from the same trace.
+	obs, err := iolog.BandwidthObservations(profiles, "external")
+	if err != nil {
+		log.Fatal(err)
+	}
+	rate, err := calibrate.FitBandwidth(obs)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("calibrated:  external path ~%.2f GB/s per stream\n\n", float64(rate)/1e9)
+
+	// 4. Model and analysis. The characterized external path is per-stream
+	// limited, so we install it as the external bandwidth for the model.
+	cori := machine.CoriHaswell().WithExternalBW(rate)
+	model, err := core.Build(cori, w, core.BuildOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	// The external ceiling is per-stream on Cori: mark it node-scoped as
+	// the LCLS case study does.
+	for i := range model.Ceilings {
+		if model.Ceilings[i].Resource == core.ResExternal {
+			model.Ceilings[i].Scope = core.ScopeNode
+		}
+	}
+
+	// 5. Place the measured point (makespan = slowest level-0 task plus the
+	// merge) and read the verdict.
+	makespan := 0.0
+	for _, task := range w.Tasks() {
+		if _, end, _ := taskWindow(task.MeasuredSeconds); end > makespan {
+			makespan = end
+		}
+	}
+	pt, err := core.NewPoint("traced run", w.TotalTasks(), p, makespan+1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(model.Report([]core.Point{pt}))
+}
+
+// taskWindow is a tiny helper making the measured-seconds flow explicit.
+func taskWindow(measured float64) (start, end float64, ok bool) {
+	return 0, measured, measured > 0
+}

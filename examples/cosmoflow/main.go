@@ -1,0 +1,49 @@
+// CosmoFlow example: the AI throughput workflow of Fig 8. Sweeps 1..12
+// concurrent 128-node training instances, shows the near-linear throughput
+// scaling, and the HBM ceiling that ultimately limits it.
+//
+// Run with: go run ./examples/cosmoflow
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"wroofline/internal/plot"
+	"wroofline/internal/report"
+	"wroofline/internal/workloads"
+)
+
+func main() {
+	cs, err := workloads.CosmoFlow(12)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("PCIe makespan ceiling: %.2f s/epoch (paper: 0.8 s)\n", workloads.CosmoPCIeSecondsPerEpoch())
+	fmt.Printf("HBM makespan ceiling:  %.2f s/epoch (paper: 4.2 s)\n", workloads.CosmoHBMSecondsPerEpoch())
+	fmt.Printf("parallelism wall:      %d instances (1536 nodes / 128)\n\n", cs.Model.Wall)
+
+	sweep, err := workloads.CosmoFlowSweep(12)
+	if err != nil {
+		log.Fatal(err)
+	}
+	tbl := report.NewTable("CosmoFlow throughput sweep (Fig 8)",
+		"instances", "epochs/s", "x of single instance", "% of model bound")
+	for i, p := range sweep {
+		bound, _ := cs.Model.Bound(p.ParallelTasks)
+		if err := tbl.AddRowf(i+1, p.TPS, p.TPS/sweep[0].TPS, 100*p.TPS/bound); err != nil {
+			log.Fatal(err)
+		}
+	}
+	fmt.Print(tbl.Text())
+	fmt.Printf("\nworst deviation from linear scaling: %.1f%%\n",
+		100*workloads.CosmoLinearityError(sweep))
+	_, limit := cs.Model.Bound(12)
+	fmt.Printf("binding ceiling at 12 instances: %s\n\n", limit.Name)
+
+	ascii, err := plot.RooflineASCII(cs.Model, sweep, 72, 18)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(ascii)
+}

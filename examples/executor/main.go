@@ -1,0 +1,100 @@
+// Executor example: the workflow execution characterization path. Runs a
+// real workflow of Go functions under a parallelism wall, profiles it with
+// wall-clock spans, and places the measured point on a Workflow Roofline —
+// the end-to-end loop the paper's methodology describes, on live code
+// instead of reported numbers.
+//
+// Run with: go run ./examples/executor
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"math"
+	"time"
+
+	"wroofline/internal/core"
+	"wroofline/internal/dag"
+	"wroofline/internal/exec"
+	"wroofline/internal/gantt"
+	"wroofline/internal/plot"
+)
+
+// analyze burns CPU for roughly d, standing in for a real analysis kernel.
+func analyze(d time.Duration) exec.Fn {
+	return func(ctx context.Context) error {
+		deadline := time.Now().Add(d)
+		x := 1.0001
+		for time.Now().Before(deadline) {
+			select {
+			case <-ctx.Done():
+				return ctx.Err()
+			default:
+			}
+			for i := 0; i < 10_000; i++ {
+				x = math.Sqrt(x * 1.0001)
+			}
+		}
+		_ = x
+		return nil
+	}
+}
+
+func main() {
+	// An LCLS-shaped workflow: 5 parallel analyses feeding a merge.
+	g := dag.New()
+	fns := map[string]exec.Fn{}
+	for _, id := range []string{"A", "B", "C", "D", "E"} {
+		if err := g.AddEdge(id, "merge"); err != nil {
+			log.Fatal(err)
+		}
+		fns[id] = analyze(120 * time.Millisecond)
+	}
+	fns["merge"] = analyze(20 * time.Millisecond)
+
+	// Execute under a wall of 3 concurrent tasks (a small "machine").
+	const wall = 3
+	res, err := exec.Run(context.Background(), g, fns, exec.Options{MaxParallel: wall})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := res.Err(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("makespan:   %v\n", res.Makespan.Round(time.Millisecond))
+	fmt.Printf("throughput: %.2f tasks/s\n\n", res.Throughput)
+
+	// The Gantt chart of the real run.
+	path, _, err := g.CriticalPath(map[string]float64{
+		"A": 0.12, "B": 0.12, "C": 0.12, "D": 0.12, "E": 0.12, "merge": 0.02,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	ch, err := gantt.FromRecorder("live execution", res.Recorder, path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(ch.Render(56))
+	fmt.Println()
+
+	// Place the measured point on a roofline: the per-task ceiling is the
+	// pure kernel time (120 ms), the wall is the executor's concurrency cap.
+	m := &core.Model{Title: "live workflow on this host", Wall: wall}
+	m.AddCeiling(core.Ceiling{
+		Name: "analysis kernel 120ms", Resource: core.ResCompute,
+		Scope: core.ScopeNode, TimePerTask: 0.120,
+	})
+	pt, err := core.NewPoint("measured", g.Len(), wall, res.Makespan.Seconds())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(m.Report([]core.Point{pt}))
+	fmt.Println()
+	ascii, err := plot.RooflineASCII(m, []core.Point{pt}, 72, 14)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(ascii)
+}

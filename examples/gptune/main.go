@@ -1,0 +1,95 @@
+// GPTune example: the control-flow-bound autotuner of Fig 9-10. Shows the
+// two control flows (RCI vs Spawn), simulates both, regenerates the Fig 10b
+// breakdown, and prints the 2.4x / 12x headroom chain.
+//
+// Run with: go run ./examples/gptune
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"wroofline/internal/breakdown"
+	"wroofline/internal/dag"
+	"wroofline/internal/plot"
+	"wroofline/internal/workloads"
+)
+
+func main() {
+	// Fig 9: the two control-flow skeletons, sketched as DAGs.
+	rciFlow, err := dag.Chain("load metadata", "python proposes", "srun app", "store")
+	if err != nil {
+		log.Fatal(err)
+	}
+	spawnFlow, err := dag.Chain("metadata in memory", "spawn app", "store")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("RCI control flow per iteration (Fig 9a):")
+	rciASCII, err := rciFlow.ASCII()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(rciASCII)
+	fmt.Println("Spawn control flow per iteration (Fig 9b):")
+	spawnASCII, err := spawnFlow.ASCII()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(spawnASCII)
+	fmt.Println()
+
+	// Fig 10b: breakdown from the published stacks plus simulated totals.
+	bd := breakdown.New("GPTune time breakdown (Fig 10b)",
+		"python", "load data", "bash", "application", "model and search")
+	for _, mode := range []workloads.GPTuneMode{workloads.GPTuneRCI, workloads.GPTuneSpawn, workloads.GPTuneProjected} {
+		stack, err := workloads.GPTuneStack(mode)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := bd.Add(mode.String(), stack); err != nil {
+			log.Fatal(err)
+		}
+		if mode == workloads.GPTuneProjected {
+			continue // the projection is analytical, not simulated
+		}
+		cs, err := workloads.GPTune(mode)
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := cs.Simulate()
+		if err != nil {
+			log.Fatal(err)
+		}
+		total, err := workloads.GPTuneTotalSeconds(mode)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-6s simulated %6.1f s (paper reports %.0f s)\n", mode, res.Makespan, total)
+	}
+	fmt.Println()
+	fmt.Print(bd.Render(56))
+
+	s1, err := bd.Speedup("RCI", "Spawn")
+	if err != nil {
+		log.Fatal(err)
+	}
+	s2, err := bd.Speedup("Spawn", "Projected")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("Spawn over RCI: %.1fx (paper: 2.4x); projected over Spawn: %.1fx (paper: 12x)\n\n", s1, s2)
+
+	// Fig 10a: the roofline with the three dots.
+	cs, err := workloads.GPTune(workloads.GPTuneRCI)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(cs.Model.Report(cs.Points))
+	fmt.Println()
+	ascii, err := plot.RooflineASCII(cs.Model, cs.Points, 72, 18)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(ascii)
+}

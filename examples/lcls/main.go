@@ -1,0 +1,101 @@
+// LCLS example: the time-sensitive cross-facility workflow of Fig 4-6.
+// Reproduces the Fig 5a/6 rooflines, simulates good and bad days on Cori and
+// the Perlmutter what-if, and prints the Fig 5b time breakdown.
+//
+// Run with: go run ./examples/lcls
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"wroofline/internal/breakdown"
+	"wroofline/internal/plot"
+	"wroofline/internal/workloads"
+)
+
+func main() {
+	// The Fig 4 skeleton.
+	cori, err := workloads.LCLSCori()
+	if err != nil {
+		log.Fatal(err)
+	}
+	skeleton, err := cori.Workflow.Graph().ASCII()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("LCLS workflow skeleton (Fig 4):")
+	fmt.Print(skeleton)
+	fmt.Println()
+
+	// Fig 5a: the roofline with the paper's reported dots.
+	fmt.Print(cori.Model.Report(cori.Points))
+	fmt.Println()
+
+	// Fig 5b: simulate both days and compare.
+	bd := breakdown.New("LCLS time breakdown (Fig 5b)", "loading", "analysis", "merge")
+	for _, scenario := range []struct {
+		label string
+		build func() (*workloads.CaseStudy, error)
+	}{
+		{"Good days", workloads.LCLSCori},
+		{"Bad days", workloads.LCLSCoriBadDay},
+	} {
+		cs, err := scenario.build()
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := cs.Simulate()
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-9s simulated makespan: %7.1f s (paper reports %s)\n",
+			scenario.label, res.Makespan,
+			map[string]string{"Good days": "17 min", "Bad days": "85 min"}[scenario.label])
+		if err := bd.Add(scenario.label, res.Breakdown()); err != nil {
+			log.Fatal(err)
+		}
+	}
+	fmt.Println()
+	fmt.Print(bd.Render(56))
+	ratio, err := bd.Speedup("Bad days", "Good days")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("contention factor: %.1fx (paper observes 5x)\n\n", ratio)
+
+	// Fig 6: the Perlmutter what-if.
+	pmCS, err := workloads.LCLSPerlmutter()
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, scenario := range []struct {
+		label string
+		build func() (*workloads.CaseStudy, error)
+	}{
+		{"PM-CPU ideal DTN (25 GB/s)", workloads.LCLSPerlmutter},
+		{"PM-CPU 5x contention (5 GB/s)", workloads.LCLSPerlmutterContended},
+	} {
+		cs, err := scenario.build()
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := cs.Simulate()
+		if err != nil {
+			log.Fatal(err)
+		}
+		verdict := "meets"
+		if res.Makespan > workloads.LCLSTarget2024Seconds {
+			verdict = "misses"
+		}
+		fmt.Printf("%-30s makespan %6.1f s -> %s the 300 s target\n",
+			scenario.label, res.Makespan, verdict)
+	}
+	fmt.Println()
+
+	ascii, err := plot.RooflineASCII(pmCS.Model, nil, 72, 18)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(ascii)
+}

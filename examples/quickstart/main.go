@@ -1,0 +1,79 @@
+// Quickstart: characterize a small workflow, build its Workflow Roofline on
+// Perlmutter, place a measured point, and print the analysis with an ASCII
+// chart.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"wroofline/internal/core"
+	"wroofline/internal/machine"
+	"wroofline/internal/plot"
+	"wroofline/internal/units"
+	"wroofline/internal/workflow"
+)
+
+func main() {
+	// 1. Pick a machine. Built-in specs carry the paper's peaks; custom
+	// machines load from JSON.
+	pm := machine.Perlmutter()
+
+	// 2. Characterize the workflow: a fan-out of eight 4-node render tasks
+	// feeding a 1-node composite step. Node-scoped work (flops, memory,
+	// PCIe, network bytes) is per node; system-scoped work (file system,
+	// external bytes) is per task.
+	w := workflow.New("render-farm", machine.PartGPU)
+	w.Targets = workflow.Targets{MakespanSeconds: 120, ThroughputTPS: 0.05}
+	for i := 0; i < 8; i++ {
+		id := fmt.Sprintf("render%d", i)
+		if err := w.AddTask(&workflow.Task{
+			ID:    id,
+			Nodes: 4,
+			Work: workflow.Work{
+				Flops:     40 * units.TFLOP, // per node
+				PCIeBytes: 60 * units.GB,    // per node
+				FSBytes:   600 * units.GB,   // per task, shared FS
+			},
+		}); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if err := w.AddTask(&workflow.Task{
+		ID: "composite", Nodes: 1,
+		Work: workflow.Work{FSBytes: 100 * units.GB},
+	}); err != nil {
+		log.Fatal(err)
+	}
+	for i := 0; i < 8; i++ {
+		if err := w.AddDep(fmt.Sprintf("render%d", i), "composite"); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	// 3. Build the roofline model: ceilings from machine peaks and the
+	// characterized work, the parallelism wall from node counts.
+	model, err := core.Build(pm, w, core.BuildOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 4. Place a measured run: 9 tasks finished in 150 s with 8 running in
+	// parallel.
+	pt, err := core.NewPoint("measured run", w.TotalTasks(), 8, 150)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 5. Read the analysis: bound class, target zone, and advice.
+	fmt.Print(model.Report([]core.Point{pt}))
+
+	ascii, err := plot.RooflineASCII(model, []core.Point{pt}, 72, 18)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println()
+	fmt.Print(ascii)
+}

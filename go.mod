@@ -1,0 +1,3 @@
+module wroofline
+
+go 1.22

@@ -1,0 +1,218 @@
+// Package archetype generates synthetic workflows of the common structural
+// shapes catalogued by the NERSC-10 workflow archetypes white paper the
+// paper cites: bags of independent tasks, linear pipelines, fork-join
+// ensembles, map-reduce stages, and scatter-gather trees. The generators
+// produce fully characterized workflow.Workflow values, parameterized by
+// width, depth, and per-task work, so the model, simulator, and scheduler
+// can be exercised on shapes beyond the four case studies.
+package archetype
+
+import (
+	"fmt"
+
+	"wroofline/internal/workflow"
+)
+
+// Params sizes a generated workflow.
+type Params struct {
+	// Name and Partition label the workflow (both required).
+	Name, Partition string
+	// Width is the parallel breadth (tasks per level); Depth the number of
+	// serial stages. Generators interpret them per shape.
+	Width, Depth int
+	// NodesPerTask sizes every generated task.
+	NodesPerTask int
+	// Work is the per-task work vector applied to every task.
+	Work workflow.Work
+}
+
+// validate applies defaults and checks the parameters.
+func (p *Params) validate(needDepth bool) error {
+	if p.Name == "" || p.Partition == "" {
+		return fmt.Errorf("archetype: name and partition are required")
+	}
+	if p.Width <= 0 {
+		return fmt.Errorf("archetype: width must be positive, got %d", p.Width)
+	}
+	if needDepth && p.Depth <= 0 {
+		return fmt.Errorf("archetype: depth must be positive, got %d", p.Depth)
+	}
+	if p.NodesPerTask <= 0 {
+		p.NodesPerTask = 1
+	}
+	return nil
+}
+
+// task creates one characterized task.
+func task(p Params, id string) *workflow.Task {
+	return &workflow.Task{ID: id, Nodes: p.NodesPerTask, Work: p.Work}
+}
+
+// BagOfTasks generates Width independent tasks — the throughput-oriented
+// archetype (CosmoFlow's instance sweep has this shape).
+func BagOfTasks(p Params) (*workflow.Workflow, error) {
+	if err := p.validate(false); err != nil {
+		return nil, err
+	}
+	w := workflow.New(p.Name, p.Partition)
+	for i := 0; i < p.Width; i++ {
+		if err := w.AddTask(task(p, fmt.Sprintf("task%03d", i))); err != nil {
+			return nil, err
+		}
+	}
+	return w, nil
+}
+
+// Pipeline generates a Depth-stage chain — the time-sensitive streaming
+// archetype (BGW's Epsilon -> Sigma is a two-stage pipeline).
+func Pipeline(p Params) (*workflow.Workflow, error) {
+	p.Width = 1
+	if err := p.validate(true); err != nil {
+		return nil, err
+	}
+	w := workflow.New(p.Name, p.Partition)
+	prev := ""
+	for i := 0; i < p.Depth; i++ {
+		id := fmt.Sprintf("stage%03d", i)
+		if err := w.AddTask(task(p, id)); err != nil {
+			return nil, err
+		}
+		if prev != "" {
+			if err := w.AddDep(prev, id); err != nil {
+				return nil, err
+			}
+		}
+		prev = id
+	}
+	return w, nil
+}
+
+// ForkJoin generates a source, Width parallel workers, and a sink — the
+// analysis archetype (LCLS is a fork-join without the explicit source).
+func ForkJoin(p Params) (*workflow.Workflow, error) {
+	if err := p.validate(false); err != nil {
+		return nil, err
+	}
+	w := workflow.New(p.Name, p.Partition)
+	if err := w.AddTask(task(p, "fork")); err != nil {
+		return nil, err
+	}
+	if err := w.AddTask(task(p, "join")); err != nil {
+		return nil, err
+	}
+	for i := 0; i < p.Width; i++ {
+		id := fmt.Sprintf("worker%03d", i)
+		if err := w.AddTask(task(p, id)); err != nil {
+			return nil, err
+		}
+		if err := w.AddDep("fork", id); err != nil {
+			return nil, err
+		}
+		if err := w.AddDep(id, "join"); err != nil {
+			return nil, err
+		}
+	}
+	return w, nil
+}
+
+// MapReduce generates Depth rounds of Width mappers feeding one reducer
+// per round, each round's reducer gating the next round's mappers — the
+// iterative-chain archetype.
+func MapReduce(p Params) (*workflow.Workflow, error) {
+	if err := p.validate(true); err != nil {
+		return nil, err
+	}
+	w := workflow.New(p.Name, p.Partition)
+	prevReduce := ""
+	for r := 0; r < p.Depth; r++ {
+		reduceID := fmt.Sprintf("reduce%02d", r)
+		if err := w.AddTask(task(p, reduceID)); err != nil {
+			return nil, err
+		}
+		for i := 0; i < p.Width; i++ {
+			mapID := fmt.Sprintf("map%02d_%03d", r, i)
+			if err := w.AddTask(task(p, mapID)); err != nil {
+				return nil, err
+			}
+			if prevReduce != "" {
+				if err := w.AddDep(prevReduce, mapID); err != nil {
+					return nil, err
+				}
+			}
+			if err := w.AddDep(mapID, reduceID); err != nil {
+				return nil, err
+			}
+		}
+		prevReduce = reduceID
+	}
+	return w, nil
+}
+
+// ScatterGather generates a binary scatter tree of the given Depth feeding
+// leaf workers, then the mirror-image gather tree — the hierarchical
+// reduction archetype. Width is derived as 2^Depth leaves.
+func ScatterGather(p Params) (*workflow.Workflow, error) {
+	p.Width = 1 << uint(p.Depth)
+	if err := p.validate(true); err != nil {
+		return nil, err
+	}
+	if p.Depth > 10 {
+		return nil, fmt.Errorf("archetype: scatter-gather depth %d would create %d leaves", p.Depth, p.Width)
+	}
+	w := workflow.New(p.Name, p.Partition)
+	// Scatter tree: s<level>_<index>.
+	for lvl := 0; lvl <= p.Depth; lvl++ {
+		for i := 0; i < 1<<uint(lvl); i++ {
+			id := fmt.Sprintf("s%d_%d", lvl, i)
+			if err := w.AddTask(task(p, id)); err != nil {
+				return nil, err
+			}
+			if lvl > 0 {
+				parent := fmt.Sprintf("s%d_%d", lvl-1, i/2)
+				if err := w.AddDep(parent, id); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	// Gather tree: g<level>_<index>, leaves shared with the scatter tree's
+	// last level.
+	for lvl := p.Depth - 1; lvl >= 0; lvl-- {
+		for i := 0; i < 1<<uint(lvl); i++ {
+			id := fmt.Sprintf("g%d_%d", lvl, i)
+			if err := w.AddTask(task(p, id)); err != nil {
+				return nil, err
+			}
+			for c := 0; c < 2; c++ {
+				var child string
+				if lvl == p.Depth-1 {
+					child = fmt.Sprintf("s%d_%d", p.Depth, i*2+c)
+				} else {
+					child = fmt.Sprintf("g%d_%d", lvl+1, i*2+c)
+				}
+				if err := w.AddDep(child, id); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	return w, nil
+}
+
+// Shape names a generator for the catalog.
+type Shape struct {
+	// Name identifies the archetype; Generate builds it.
+	Name     string
+	Generate func(Params) (*workflow.Workflow, error)
+}
+
+// Catalog returns all archetype generators.
+func Catalog() []Shape {
+	return []Shape{
+		{Name: "bag-of-tasks", Generate: BagOfTasks},
+		{Name: "pipeline", Generate: Pipeline},
+		{Name: "fork-join", Generate: ForkJoin},
+		{Name: "map-reduce", Generate: MapReduce},
+		{Name: "scatter-gather", Generate: ScatterGather},
+	}
+}

@@ -1,0 +1,236 @@
+package archetype
+
+import (
+	"testing"
+	"testing/quick"
+
+	"wroofline/internal/machine"
+	"wroofline/internal/sim"
+	"wroofline/internal/units"
+	"wroofline/internal/workflow"
+)
+
+func params(width, depth int) Params {
+	return Params{
+		Name: "gen", Partition: machine.PartCPU,
+		Width: width, Depth: depth, NodesPerTask: 1,
+		Work: workflow.Work{Flops: 5 * units.TFLOP}, // 1 s at the PM-CPU peak
+	}
+}
+
+func TestBagOfTasks(t *testing.T) {
+	w, err := BagOfTasks(params(8, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.TotalTasks() != 8 {
+		t.Errorf("tasks = %d", w.TotalTasks())
+	}
+	p, err := w.ParallelTasks()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p != 8 {
+		t.Errorf("width = %d, want 8", p)
+	}
+	cpl, _ := w.Graph().CriticalPathLength()
+	if cpl != 1 {
+		t.Errorf("critical path length = %d, want 1", cpl)
+	}
+}
+
+func TestPipeline(t *testing.T) {
+	w, err := Pipeline(params(0, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.TotalTasks() != 5 {
+		t.Errorf("tasks = %d", w.TotalTasks())
+	}
+	p, _ := w.ParallelTasks()
+	if p != 1 {
+		t.Errorf("width = %d, want 1", p)
+	}
+	cpl, _ := w.Graph().CriticalPathLength()
+	if cpl != 5 {
+		t.Errorf("critical path length = %d, want 5", cpl)
+	}
+}
+
+func TestForkJoin(t *testing.T) {
+	w, err := ForkJoin(params(6, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.TotalTasks() != 8 {
+		t.Errorf("tasks = %d, want 8 (fork + 6 + join)", w.TotalTasks())
+	}
+	p, _ := w.ParallelTasks()
+	if p != 6 {
+		t.Errorf("width = %d, want 6", p)
+	}
+	cpl, _ := w.Graph().CriticalPathLength()
+	if cpl != 3 {
+		t.Errorf("critical path length = %d, want 3", cpl)
+	}
+}
+
+func TestMapReduce(t *testing.T) {
+	w, err := MapReduce(params(4, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.TotalTasks() != 3*(4+1) {
+		t.Errorf("tasks = %d, want 15", w.TotalTasks())
+	}
+	p, _ := w.ParallelTasks()
+	if p != 4 {
+		t.Errorf("width = %d, want 4", p)
+	}
+	// Three rounds: map, reduce, map, reduce, map, reduce -> CP length 6.
+	cpl, _ := w.Graph().CriticalPathLength()
+	if cpl != 6 {
+		t.Errorf("critical path length = %d, want 6", cpl)
+	}
+}
+
+func TestScatterGather(t *testing.T) {
+	w, err := ScatterGather(params(0, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Scatter: 1+2+4+8 = 15; gather: 4+2+1 = 7.
+	if w.TotalTasks() != 22 {
+		t.Errorf("tasks = %d, want 22", w.TotalTasks())
+	}
+	p, _ := w.ParallelTasks()
+	if p != 8 {
+		t.Errorf("width = %d, want 8 leaves", p)
+	}
+	// Depth levels down plus depth levels up: CP length 2*3+1 = 7.
+	cpl, _ := w.Graph().CriticalPathLength()
+	if cpl != 7 {
+		t.Errorf("critical path length = %d, want 7", cpl)
+	}
+	if _, err := ScatterGather(params(0, 11)); err == nil {
+		t.Error("excessive depth should fail")
+	}
+}
+
+func TestValidation(t *testing.T) {
+	bad := Params{Name: "", Partition: "p", Width: 1}
+	if _, err := BagOfTasks(bad); err == nil {
+		t.Error("missing name should fail")
+	}
+	if _, err := BagOfTasks(Params{Name: "x", Partition: "p", Width: 0}); err == nil {
+		t.Error("zero width should fail")
+	}
+	if _, err := Pipeline(Params{Name: "x", Partition: "p", Depth: 0}); err == nil {
+		t.Error("zero depth should fail")
+	}
+	if _, err := MapReduce(Params{Name: "x", Partition: "p", Width: 2, Depth: 0}); err == nil {
+		t.Error("zero depth map-reduce should fail")
+	}
+	// NodesPerTask defaults to 1.
+	w, err := BagOfTasks(Params{Name: "x", Partition: "p", Width: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.MaxTaskNodes() != 1 {
+		t.Errorf("default nodes = %d", w.MaxTaskNodes())
+	}
+}
+
+// Every catalog shape validates, simulates, and has the simulated makespan
+// consistent with its structure (pipeline = depth seconds, bag = 1 second
+// at full parallelism).
+func TestCatalogSimulates(t *testing.T) {
+	pm := machine.Perlmutter()
+	for _, shape := range Catalog() {
+		w, err := shape.Generate(params(4, 3))
+		if err != nil {
+			t.Fatalf("%s: %v", shape.Name, err)
+		}
+		if err := w.Validate(); err != nil {
+			t.Errorf("%s: %v", shape.Name, err)
+			continue
+		}
+		res, err := sim.Run(w, nil, sim.Config{Machine: pm})
+		if err != nil {
+			t.Errorf("%s: %v", shape.Name, err)
+			continue
+		}
+		cpl, err := w.Graph().CriticalPathLength()
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Each task is 1 s of compute; with enough nodes the makespan is
+		// exactly the critical-path length.
+		if want := float64(cpl); res.Makespan < want-1e-9 || res.Makespan > want+1e-9 {
+			t.Errorf("%s: makespan %v, want %v (critical path)", shape.Name, res.Makespan, want)
+		}
+	}
+}
+
+// Property: generated workflows are always acyclic with the promised width,
+// for any parameters in range.
+func TestQuickShapesWellFormed(t *testing.T) {
+	f := func(wRaw, dRaw uint8, shapeIdx uint8) bool {
+		width := int(wRaw%6) + 1
+		depth := int(dRaw%4) + 1
+		shapes := Catalog()
+		shape := shapes[int(shapeIdx)%len(shapes)]
+		w, err := shape.Generate(Params{
+			Name: "q", Partition: "p", Width: width, Depth: depth,
+			Work: workflow.Work{Flops: 1},
+		})
+		if err != nil {
+			return false
+		}
+		if err := w.Validate(); err != nil {
+			return false
+		}
+		p, err := w.ParallelTasks()
+		if err != nil {
+			return false
+		}
+		switch shape.Name {
+		case "bag-of-tasks", "fork-join", "map-reduce":
+			return p == width
+		case "pipeline":
+			return p == 1
+		case "scatter-gather":
+			return p == 1<<uint(depth)
+		}
+		return false
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Sanity across a size sweep: the fork-join model bound at the wall grows
+// linearly with width until the node pool clips it.
+func TestForkJoinWidthSweep(t *testing.T) {
+	for _, width := range []int{1, 2, 4, 8, 16} {
+		w, err := ForkJoin(params(width, 0))
+		if err != nil {
+			t.Fatal(err)
+		}
+		p, err := w.ParallelTasks()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p != width {
+			t.Fatalf("width %d: parallel tasks = %d", width, p)
+		}
+	}
+	// And names are unique even at scale.
+	w, err := MapReduce(params(50, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.TotalTasks() != 4*51 {
+		t.Errorf("tasks = %d", w.TotalTasks())
+	}
+}

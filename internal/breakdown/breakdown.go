@@ -1,0 +1,183 @@
+// Package breakdown builds stacked time-breakdown models (the paper's
+// Fig 5b and Fig 10b): for each scenario (a bar), how much time went to each
+// category (a stack segment).
+package breakdown
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Bar is one scenario's stacked times, e.g. "Good days" with
+// {"Loading data": 1000, "Analysis": 20}.
+type Bar struct {
+	// Label names the scenario.
+	Label string
+	// Segments maps category to seconds.
+	Segments map[string]float64
+}
+
+// Total returns the stack height.
+func (b Bar) Total() float64 {
+	t := 0.0
+	for _, v := range b.Segments {
+		t += v
+	}
+	return t
+}
+
+// Chart is an ordered set of bars sharing a category legend.
+type Chart struct {
+	// Title labels the chart.
+	Title string
+	// Categories fixes segment order; categories absent from a bar count as
+	// zero. When empty, the union of bar categories (sorted) is used.
+	Categories []string
+	bars       []Bar
+}
+
+// New creates a chart with an optional fixed category order.
+func New(title string, categories ...string) *Chart {
+	return &Chart{Title: title, Categories: categories}
+}
+
+// Add appends a scenario bar. Negative segment values are rejected.
+func (c *Chart) Add(label string, segments map[string]float64) error {
+	if label == "" {
+		return fmt.Errorf("breakdown: empty bar label")
+	}
+	cp := make(map[string]float64, len(segments))
+	for k, v := range segments {
+		if v < 0 || math.IsNaN(v) || math.IsInf(v, 0) {
+			return fmt.Errorf("breakdown: bar %q segment %q has invalid value %v", label, k, v)
+		}
+		cp[k] = v
+	}
+	c.bars = append(c.bars, Bar{Label: label, Segments: cp})
+	return nil
+}
+
+// Bars returns the bars in insertion order.
+func (c *Chart) Bars() []Bar {
+	out := make([]Bar, len(c.bars))
+	copy(out, c.bars)
+	return out
+}
+
+// CategoryOrder returns the effective category order.
+func (c *Chart) CategoryOrder() []string {
+	if len(c.Categories) > 0 {
+		out := make([]string, len(c.Categories))
+		copy(out, c.Categories)
+		return out
+	}
+	seen := map[string]bool{}
+	for _, b := range c.bars {
+		for k := range b.Segments {
+			seen[k] = true
+		}
+	}
+	out := make([]string, 0, len(seen))
+	for k := range seen {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// MaxTotal returns the tallest stack.
+func (c *Chart) MaxTotal() float64 {
+	m := 0.0
+	for _, b := range c.bars {
+		if t := b.Total(); t > m {
+			m = t
+		}
+	}
+	return m
+}
+
+// Render draws the chart as text with one line per bar and a shared scale:
+//
+//	Good days |LLLLLLLLLLLLLLLLLLLa              | 1020.0s
+//	Bad days  |LLLLLLLLLLL...                    | 5100.0s
+//
+// Each category is drawn with the first letter of its name; width is the
+// number of cells for the longest bar.
+func (c *Chart) Render(width int) string {
+	if width < 10 {
+		width = 10
+	}
+	if len(c.bars) == 0 {
+		return ""
+	}
+	maxTotal := c.MaxTotal()
+	if maxTotal <= 0 {
+		maxTotal = 1
+	}
+	cats := c.CategoryOrder()
+	labelWidth := 0
+	for _, b := range c.bars {
+		if len(b.Label) > labelWidth {
+			labelWidth = len(b.Label)
+		}
+	}
+	var sb strings.Builder
+	if c.Title != "" {
+		fmt.Fprintf(&sb, "%s\n", c.Title)
+	}
+	for _, b := range c.bars {
+		row := make([]byte, 0, width)
+		for _, cat := range cats {
+			cells := int(math.Round(b.Segments[cat] / maxTotal * float64(width)))
+			mark := byte('?')
+			if len(cat) > 0 {
+				mark = cat[0]
+			}
+			for i := 0; i < cells; i++ {
+				row = append(row, mark)
+			}
+		}
+		if len(row) > width {
+			row = row[:width]
+		}
+		for len(row) < width {
+			row = append(row, ' ')
+		}
+		fmt.Fprintf(&sb, "%-*s |%s| %.1fs\n", labelWidth, b.Label, row, b.Total())
+	}
+	// Legend.
+	sb.WriteString("legend:")
+	for _, cat := range cats {
+		mark := "?"
+		if len(cat) > 0 {
+			mark = string(cat[0])
+		}
+		fmt.Fprintf(&sb, " %s=%s", mark, cat)
+	}
+	sb.WriteString("\n")
+	return sb.String()
+}
+
+// Speedup returns bar a's total divided by bar b's total (how much faster b
+// is), erroring on unknown labels or zero denominators.
+func (c *Chart) Speedup(a, b string) (float64, error) {
+	var ta, tb float64
+	var fa, fb bool
+	for _, bar := range c.bars {
+		switch bar.Label {
+		case a:
+			ta, fa = bar.Total(), true
+		case b:
+			tb, fb = bar.Total(), true
+		}
+	}
+	if !fa || !fb {
+		return 0, fmt.Errorf("breakdown: unknown bars %q/%q", a, b)
+	}
+	if tb == 0 {
+		return 0, fmt.Errorf("breakdown: bar %q has zero total", b)
+	}
+	return ta / tb, nil
+}

@@ -1,0 +1,146 @@
+package breakdown
+
+import (
+	"math"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func lclsChart(t *testing.T) *Chart {
+	t.Helper()
+	c := New("LCLS time breakdown", "Loading data", "Analysis")
+	if err := c.Add("Good days", map[string]float64{"Loading data": 1000, "Analysis": 20}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Add("Bad days", map[string]float64{"Loading data": 5000, "Analysis": 100}); err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestTotalsAndSpeedup(t *testing.T) {
+	c := lclsChart(t)
+	bars := c.Bars()
+	if len(bars) != 2 {
+		t.Fatalf("bars = %d", len(bars))
+	}
+	if bars[0].Total() != 1020 {
+		t.Errorf("good total = %v", bars[0].Total())
+	}
+	if bars[1].Total() != 5100 {
+		t.Errorf("bad total = %v", bars[1].Total())
+	}
+	s, err := c.Speedup("Bad days", "Good days")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s; math.Abs(got-5.0) > 0.01 {
+		t.Errorf("bad/good = %v, want 5 (the paper's contention factor)", got)
+	}
+	if _, err := c.Speedup("nope", "Good days"); err == nil {
+		t.Error("unknown bar should fail")
+	}
+}
+
+func TestSpeedupZeroDenominator(t *testing.T) {
+	c := New("x")
+	if err := c.Add("a", map[string]float64{"s": 10}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Add("b", nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Speedup("a", "b"); err == nil {
+		t.Error("zero denominator should fail")
+	}
+}
+
+func TestAddValidation(t *testing.T) {
+	c := New("x")
+	if err := c.Add("", map[string]float64{"s": 1}); err == nil {
+		t.Error("empty label should fail")
+	}
+	for _, v := range []float64{-1, math.NaN(), math.Inf(1)} {
+		if err := c.Add("bar", map[string]float64{"s": v}); err == nil {
+			t.Errorf("segment value %v should fail", v)
+		}
+	}
+}
+
+func TestAddCopiesSegments(t *testing.T) {
+	c := New("x")
+	seg := map[string]float64{"s": 1}
+	if err := c.Add("a", seg); err != nil {
+		t.Fatal(err)
+	}
+	seg["s"] = 99
+	if c.Bars()[0].Segments["s"] != 1 {
+		t.Error("Add must copy the segment map")
+	}
+}
+
+func TestCategoryOrder(t *testing.T) {
+	c := lclsChart(t)
+	if got := c.CategoryOrder(); !reflect.DeepEqual(got, []string{"Loading data", "Analysis"}) {
+		t.Errorf("fixed order = %v", got)
+	}
+	auto := New("auto")
+	if err := auto.Add("a", map[string]float64{"zeta": 1, "alpha": 2}); err != nil {
+		t.Fatal(err)
+	}
+	if got := auto.CategoryOrder(); !reflect.DeepEqual(got, []string{"alpha", "zeta"}) {
+		t.Errorf("auto order = %v", got)
+	}
+}
+
+func TestMaxTotal(t *testing.T) {
+	c := lclsChart(t)
+	if c.MaxTotal() != 5100 {
+		t.Errorf("max total = %v", c.MaxTotal())
+	}
+	if New("empty").MaxTotal() != 0 {
+		t.Error("empty chart max total should be 0")
+	}
+}
+
+func TestRender(t *testing.T) {
+	c := lclsChart(t)
+	out := c.Render(50)
+	if !strings.Contains(out, "LCLS time breakdown") {
+		t.Errorf("missing title:\n%s", out)
+	}
+	if !strings.Contains(out, "legend: L=Loading data A=Analysis") {
+		t.Errorf("missing legend:\n%s", out)
+	}
+	if !strings.Contains(out, "1020.0s") || !strings.Contains(out, "5100.0s") {
+		t.Errorf("missing totals:\n%s", out)
+	}
+	// Bad-days bar should have roughly 5x the L cells of good days.
+	var goodL, badL int
+	for _, line := range strings.Split(out, "\n") {
+		if strings.HasPrefix(line, "Good days") {
+			goodL = strings.Count(line, "L")
+		}
+		if strings.HasPrefix(line, "Bad days") {
+			badL = strings.Count(line, "L")
+		}
+	}
+	if goodL == 0 || badL < 4*goodL {
+		t.Errorf("bar proportions wrong: good L=%d, bad L=%d\n%s", goodL, badL, out)
+	}
+	if New("e").Render(30) != "" {
+		t.Error("empty chart should render empty")
+	}
+}
+
+func TestRenderAllZeroSegments(t *testing.T) {
+	c := New("z")
+	if err := c.Add("a", map[string]float64{"s": 0}); err != nil {
+		t.Fatal(err)
+	}
+	out := c.Render(20)
+	if !strings.Contains(out, "0.0s") {
+		t.Errorf("zero chart render:\n%s", out)
+	}
+}

@@ -1,0 +1,180 @@
+// Package calibrate fits workflow-characterization parameters from
+// measurements: effective bandwidths from (bytes, seconds) observations,
+// node-phase efficiencies from ceiling-vs-measured times, and Amdahl
+// strong-scaling curves from (nodes, seconds) samples. The paper's Table I
+// mixes reported, measured, and analytical characterizations; this package
+// closes the loop from measurements back to model inputs.
+package calibrate
+
+import (
+	"fmt"
+	"math"
+
+	"wroofline/internal/units"
+)
+
+// BandwidthObs is one transfer observation.
+type BandwidthObs struct {
+	// Bytes moved and Seconds elapsed.
+	Bytes   units.Bytes
+	Seconds float64
+}
+
+// FitBandwidth estimates the effective bandwidth from transfer observations
+// by least squares on t = bytes/rate (minimizing sum (t_i - b_i/r)^2, which
+// is linear in 1/r): rate = sum(b^2) / sum(b*t).
+func FitBandwidth(obs []BandwidthObs) (units.ByteRate, error) {
+	if len(obs) == 0 {
+		return 0, fmt.Errorf("calibrate: no observations")
+	}
+	var sumB2, sumBT float64
+	for i, o := range obs {
+		b, t := float64(o.Bytes), o.Seconds
+		if b <= 0 || t <= 0 || math.IsNaN(b) || math.IsNaN(t) || math.IsInf(b, 0) || math.IsInf(t, 0) {
+			return 0, fmt.Errorf("calibrate: observation %d has non-positive or non-finite values (%v bytes, %v s)", i, b, t)
+		}
+		sumB2 += b * b
+		sumBT += b * t
+	}
+	return units.ByteRate(sumB2 / sumBT), nil
+}
+
+// FitEfficiency returns achieved fraction of peak: timeAtPeak / measured.
+// It errors when the measurement is faster than the peak allows (which
+// indicates a mischaracterized peak, not a >100% efficiency).
+func FitEfficiency(timeAtPeak, measured float64) (float64, error) {
+	if timeAtPeak <= 0 || measured <= 0 || math.IsNaN(timeAtPeak) || math.IsNaN(measured) {
+		return 0, fmt.Errorf("calibrate: times must be positive, got peak=%v measured=%v", timeAtPeak, measured)
+	}
+	if measured < timeAtPeak {
+		return 0, fmt.Errorf("calibrate: measured %vs beats the peak-rate time %vs; check the characterized peak", measured, timeAtPeak)
+	}
+	return timeAtPeak / measured, nil
+}
+
+// ScaleObs is one strong-scaling sample.
+type ScaleObs struct {
+	// Nodes used and Seconds measured.
+	Nodes   int
+	Seconds float64
+}
+
+// AmdahlFit is the fitted strong-scaling law t(n) = t1*(s + (1-s)/n),
+// internally parameterized as t(n) = A + B/n with A = t1*s (serial time)
+// and B = t1*(1-s) (perfectly-parallel time).
+type AmdahlFit struct {
+	// A is the serial seconds; B the parallelizable seconds at n=1.
+	A, B float64
+}
+
+// FitScaling fits Amdahl's law to strong-scaling observations by linear
+// least squares on the regressor 1/n. At least two distinct node counts are
+// required.
+func FitScaling(obs []ScaleObs) (*AmdahlFit, error) {
+	if len(obs) < 2 {
+		return nil, fmt.Errorf("calibrate: need at least two observations, got %d", len(obs))
+	}
+	var sumX, sumY, sumXX, sumXY float64
+	nodesSeen := map[int]bool{}
+	for i, o := range obs {
+		if o.Nodes <= 0 || o.Seconds <= 0 || math.IsNaN(o.Seconds) || math.IsInf(o.Seconds, 0) {
+			return nil, fmt.Errorf("calibrate: observation %d invalid (%d nodes, %v s)", i, o.Nodes, o.Seconds)
+		}
+		nodesSeen[o.Nodes] = true
+		x := 1 / float64(o.Nodes)
+		y := o.Seconds
+		sumX += x
+		sumY += y
+		sumXX += x * x
+		sumXY += x * y
+	}
+	if len(nodesSeen) < 2 {
+		return nil, fmt.Errorf("calibrate: need at least two distinct node counts")
+	}
+	n := float64(len(obs))
+	den := n*sumXX - sumX*sumX
+	if den == 0 {
+		return nil, fmt.Errorf("calibrate: degenerate regressors")
+	}
+	b := (n*sumXY - sumX*sumY) / den
+	a := (sumY - b*sumX) / n
+	if b < 0 {
+		return nil, fmt.Errorf("calibrate: fitted negative parallel time (B=%v); runtime grows with nodes — not Amdahl-shaped", b)
+	}
+	if a < 0 {
+		// Superlinear data: clamp the serial term to zero and refit B
+		// through the origin of the (1/n, t) space.
+		a = 0
+		b = sumXY / sumXX
+	}
+	return &AmdahlFit{A: a, B: b}, nil
+}
+
+// Predict returns the modeled seconds at n nodes.
+func (f *AmdahlFit) Predict(n int) (float64, error) {
+	if n <= 0 {
+		return 0, fmt.Errorf("calibrate: node count must be positive, got %d", n)
+	}
+	return f.A + f.B/float64(n), nil
+}
+
+// SingleNodeSeconds returns t(1) = A + B.
+func (f *AmdahlFit) SingleNodeSeconds() float64 { return f.A + f.B }
+
+// SerialFraction returns Amdahl's s = A/(A+B); 0 when the fit is entirely
+// parallel.
+func (f *AmdahlFit) SerialFraction() float64 {
+	t1 := f.SingleNodeSeconds()
+	if t1 == 0 {
+		return 0
+	}
+	return f.A / t1
+}
+
+// Speedup returns t(1)/t(n).
+func (f *AmdahlFit) Speedup(n int) (float64, error) {
+	tn, err := f.Predict(n)
+	if err != nil {
+		return 0, err
+	}
+	if tn == 0 {
+		return math.Inf(1), nil
+	}
+	return f.SingleNodeSeconds() / tn, nil
+}
+
+// MaxSpeedup returns the Amdahl asymptote 1/s (+Inf when s = 0).
+func (f *AmdahlFit) MaxSpeedup() float64 {
+	s := f.SerialFraction()
+	if s == 0 {
+		return math.Inf(1)
+	}
+	return 1 / s
+}
+
+// ParallelEfficiency returns t(1) / (n * t(n)) — 1.0 means perfect strong
+// scaling at n nodes.
+func (f *AmdahlFit) ParallelEfficiency(n int) (float64, error) {
+	sp, err := f.Speedup(n)
+	if err != nil {
+		return 0, err
+	}
+	return sp / float64(n), nil
+}
+
+// Residual returns the RMS error of the fit over the observations.
+func (f *AmdahlFit) Residual(obs []ScaleObs) float64 {
+	if len(obs) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, o := range obs {
+		pred, err := f.Predict(o.Nodes)
+		if err != nil {
+			return math.Inf(1)
+		}
+		d := pred - o.Seconds
+		sum += d * d
+	}
+	return math.Sqrt(sum / float64(len(obs)))
+}

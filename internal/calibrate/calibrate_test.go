@@ -1,0 +1,274 @@
+package calibrate
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"wroofline/internal/units"
+	"wroofline/internal/workloads"
+)
+
+func almost(a, b, relTol float64) bool {
+	if a == b {
+		return true
+	}
+	return math.Abs(a-b) <= relTol*math.Max(math.Abs(a), math.Abs(b))
+}
+
+func TestFitBandwidthExact(t *testing.T) {
+	// Noise-free observations at exactly 1 GB/s.
+	obs := []BandwidthObs{
+		{Bytes: 1 * units.GB, Seconds: 1},
+		{Bytes: 10 * units.GB, Seconds: 10},
+		{Bytes: 500 * units.MB, Seconds: 0.5},
+	}
+	rate, err := FitBandwidth(obs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almost(float64(rate), 1e9, 1e-9) {
+		t.Errorf("rate = %v, want 1e9", float64(rate))
+	}
+}
+
+func TestFitBandwidthNoisy(t *testing.T) {
+	// +-10% timing noise around 0.2 GB/s (the LCLS bad-day stream rate).
+	obs := []BandwidthObs{
+		{Bytes: 1 * units.TB, Seconds: 5000 * 1.1},
+		{Bytes: 1 * units.TB, Seconds: 5000 * 0.9},
+		{Bytes: 2 * units.TB, Seconds: 10000 * 1.05},
+		{Bytes: 0.5 * units.TB, Seconds: 2500 * 0.95},
+	}
+	rate, err := FitBandwidth(obs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almost(float64(rate), 0.2e9, 0.1) {
+		t.Errorf("rate = %v, want ~0.2e9", float64(rate))
+	}
+}
+
+func TestFitBandwidthErrors(t *testing.T) {
+	if _, err := FitBandwidth(nil); err == nil {
+		t.Error("empty observations should fail")
+	}
+	bad := [][]BandwidthObs{
+		{{Bytes: 0, Seconds: 1}},
+		{{Bytes: 1, Seconds: 0}},
+		{{Bytes: -1, Seconds: 1}},
+		{{Bytes: units.Bytes(math.NaN()), Seconds: 1}},
+		{{Bytes: 1, Seconds: math.Inf(1)}},
+	}
+	for i, obs := range bad {
+		if _, err := FitBandwidth(obs); err == nil {
+			t.Errorf("case %d should fail", i)
+		}
+	}
+}
+
+func TestFitEfficiency(t *testing.T) {
+	eff, err := FitEfficiency(1768, 4184.86)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almost(eff, 0.4225, 0.01) {
+		t.Errorf("BGW efficiency = %v, want ~0.4225", eff)
+	}
+	if _, err := FitEfficiency(0, 1); err == nil {
+		t.Error("zero peak time should fail")
+	}
+	if _, err := FitEfficiency(1, 0); err == nil {
+		t.Error("zero measured should fail")
+	}
+	if _, err := FitEfficiency(10, 5); err == nil {
+		t.Error("measured faster than peak should fail")
+	}
+}
+
+// Amdahl fit on the BGW measured points: two observations pin the law
+// exactly, and the fitted serial fraction is tiny (BGW scales well).
+func TestFitScalingBGW(t *testing.T) {
+	obs := []ScaleObs{
+		{Nodes: 64, Seconds: workloads.BGWMeasured64},
+		{Nodes: 1024, Seconds: workloads.BGWMeasured1024},
+	}
+	fit, err := FitScaling(obs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The fit reproduces both points exactly.
+	for _, o := range obs {
+		pred, err := fit.Predict(o.Nodes)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !almost(pred, o.Seconds, 1e-9) {
+			t.Errorf("predict(%d) = %v, want %v", o.Nodes, pred, o.Seconds)
+		}
+	}
+	if fit.Residual(obs) > 1e-6 {
+		t.Errorf("residual = %v", fit.Residual(obs))
+	}
+	s := fit.SerialFraction()
+	if s <= 0 || s > 0.001 {
+		t.Errorf("serial fraction = %v, want tiny but positive", s)
+	}
+	// Parallel efficiency decays with scale.
+	e64, err := fit.ParallelEfficiency(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e1024, err := fit.ParallelEfficiency(1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e1024 >= e64 {
+		t.Errorf("efficiency should decay: %v at 64 vs %v at 1024", e64, e1024)
+	}
+	// The asymptote bounds every speedup.
+	sp, err := fit.Speedup(1 << 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sp > fit.MaxSpeedup() {
+		t.Errorf("speedup %v exceeds asymptote %v", sp, fit.MaxSpeedup())
+	}
+}
+
+func TestFitScalingPerfectlyParallel(t *testing.T) {
+	obs := []ScaleObs{
+		{Nodes: 1, Seconds: 100},
+		{Nodes: 2, Seconds: 50},
+		{Nodes: 4, Seconds: 25},
+		{Nodes: 10, Seconds: 10},
+	}
+	fit, err := FitScaling(obs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almost(fit.SerialFraction(), 0, 1) && fit.SerialFraction() > 1e-9 {
+		t.Errorf("serial fraction = %v, want ~0", fit.SerialFraction())
+	}
+	if !math.IsInf(fit.MaxSpeedup(), 1) && fit.MaxSpeedup() < 1e6 {
+		t.Errorf("max speedup = %v, want huge", fit.MaxSpeedup())
+	}
+	sp, err := fit.Speedup(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almost(sp, 10, 1e-6) {
+		t.Errorf("speedup(10) = %v", sp)
+	}
+}
+
+func TestFitScalingPureSerial(t *testing.T) {
+	obs := []ScaleObs{
+		{Nodes: 1, Seconds: 100},
+		{Nodes: 8, Seconds: 100},
+		{Nodes: 64, Seconds: 100},
+	}
+	fit, err := FitScaling(obs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almost(fit.SerialFraction(), 1, 0.05) {
+		t.Errorf("serial fraction = %v, want ~1", fit.SerialFraction())
+	}
+	if !almost(fit.MaxSpeedup(), 1, 0.05) {
+		t.Errorf("max speedup = %v, want ~1", fit.MaxSpeedup())
+	}
+}
+
+func TestFitScalingSuperlinearClamps(t *testing.T) {
+	// Runtime shrinking faster than 1/n gives a negative serial term; the
+	// fit clamps it to zero rather than predicting negative times.
+	obs := []ScaleObs{
+		{Nodes: 1, Seconds: 100},
+		{Nodes: 2, Seconds: 40},
+	}
+	fit, err := FitScaling(obs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fit.A != 0 {
+		t.Errorf("serial term = %v, want clamped to 0", fit.A)
+	}
+	pred, err := fit.Predict(1 << 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pred < 0 {
+		t.Errorf("prediction went negative: %v", pred)
+	}
+}
+
+func TestFitScalingErrors(t *testing.T) {
+	if _, err := FitScaling(nil); err == nil {
+		t.Error("no observations should fail")
+	}
+	if _, err := FitScaling([]ScaleObs{{Nodes: 4, Seconds: 10}}); err == nil {
+		t.Error("single observation should fail")
+	}
+	if _, err := FitScaling([]ScaleObs{{Nodes: 4, Seconds: 10}, {Nodes: 4, Seconds: 12}}); err == nil {
+		t.Error("single distinct node count should fail")
+	}
+	if _, err := FitScaling([]ScaleObs{{Nodes: 0, Seconds: 10}, {Nodes: 4, Seconds: 12}}); err == nil {
+		t.Error("zero nodes should fail")
+	}
+	if _, err := FitScaling([]ScaleObs{{Nodes: 1, Seconds: -1}, {Nodes: 4, Seconds: 12}}); err == nil {
+		t.Error("negative seconds should fail")
+	}
+	// Anti-scaling (time grows with nodes) is rejected.
+	if _, err := FitScaling([]ScaleObs{{Nodes: 1, Seconds: 10}, {Nodes: 64, Seconds: 100}}); err == nil {
+		t.Error("anti-scaling data should fail")
+	}
+	fit := &AmdahlFit{A: 1, B: 2}
+	if _, err := fit.Predict(0); err == nil {
+		t.Error("predict(0) should fail")
+	}
+	if _, err := fit.Speedup(-1); err == nil {
+		t.Error("speedup(-1) should fail")
+	}
+}
+
+// Property: data generated from a known Amdahl law is recovered exactly
+// (noise-free least squares), and predictions are monotone non-increasing
+// in n.
+func TestQuickAmdahlRecovery(t *testing.T) {
+	f := func(serialRaw, parallelRaw uint16) bool {
+		a := float64(serialRaw%1000) / 10
+		b := float64(parallelRaw%10000)/10 + 1
+		truth := &AmdahlFit{A: a, B: b}
+		var obs []ScaleObs
+		for _, n := range []int{1, 2, 8, 32, 128} {
+			pred, err := truth.Predict(n)
+			if err != nil {
+				return false
+			}
+			obs = append(obs, ScaleObs{Nodes: n, Seconds: pred})
+		}
+		fit, err := FitScaling(obs)
+		if err != nil {
+			return false
+		}
+		if !almost(fit.A, a, 1e-6) && math.Abs(fit.A-a) > 1e-6 {
+			return false
+		}
+		if !almost(fit.B, b, 1e-6) {
+			return false
+		}
+		prev := math.Inf(1)
+		for _, n := range []int{1, 4, 16, 64, 256} {
+			p, err := fit.Predict(n)
+			if err != nil || p > prev+1e-9 {
+				return false
+			}
+			prev = p
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,26 @@
+package calibrate_test
+
+import (
+	"fmt"
+
+	"wroofline/internal/calibrate"
+)
+
+// Example fits Amdahl's law to the paper's two BerkeleyGW measurements and
+// predicts an unmeasured scale.
+func Example() {
+	fit, err := calibrate.FitScaling([]calibrate.ScaleObs{
+		{Nodes: 64, Seconds: 4184.86},
+		{Nodes: 1024, Seconds: 404.74},
+	})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	at256, _ := fit.Predict(256)
+	fmt.Printf("serial fraction: %.5f\n", fit.SerialFraction())
+	fmt.Printf("predicted at 256 nodes: %.0f s\n", at256)
+	// Output:
+	// serial fraction: 0.00059
+	// predicted at 256 nodes: 1161 s
+}

@@ -1,0 +1,225 @@
+// Package contention models stochastic bandwidth degradation. The paper's
+// LCLS study observed the shared external path swing 5x between "good days"
+// and "bad days"; this package turns that anecdote into a distribution:
+// deterministic pseudo-random day sampling (two-state and lognormal
+// models), Monte Carlo makespan estimation over any run function, and
+// percentile summaries — the quantitative basis for end-to-end QOS
+// arguments.
+package contention
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"wroofline/internal/units"
+)
+
+// RNG is a deterministic xorshift64* generator. The simulator and tests
+// need reproducible streams, so the package does not use math/rand's global
+// state.
+type RNG struct {
+	state uint64
+}
+
+// NewRNG seeds a generator; a zero seed is replaced by a fixed constant
+// (xorshift cannot leave state zero).
+func NewRNG(seed uint64) *RNG {
+	if seed == 0 {
+		seed = 0x9E3779B97F4A7C15
+	}
+	return &RNG{state: seed}
+}
+
+// Uint64 advances the generator.
+func (r *RNG) Uint64() uint64 {
+	x := r.state
+	x ^= x >> 12
+	x ^= x << 25
+	x ^= x >> 27
+	r.state = x
+	return x * 0x2545F4914F6CDD1D
+}
+
+// Float64 returns a uniform sample in [0, 1).
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) / float64(1<<53)
+}
+
+// Normal returns a standard-normal sample (Box-Muller).
+func (r *RNG) Normal() float64 {
+	u1 := r.Float64()
+	for u1 == 0 {
+		u1 = r.Float64()
+	}
+	u2 := r.Float64()
+	return math.Sqrt(-2*math.Log(u1)) * math.Cos(2*math.Pi*u2)
+}
+
+// Sampler draws an effective bandwidth for one "day".
+type Sampler interface {
+	// Sample returns the day's effective rate.
+	Sample(r *RNG) units.ByteRate
+}
+
+// TwoState is the paper's good-day/bad-day model: with probability PBad the
+// rate is Degraded, otherwise Base.
+type TwoState struct {
+	// Base and Degraded are the two observed rates.
+	Base, Degraded units.ByteRate
+	// PBad is the probability of a degraded day, in [0, 1].
+	PBad float64
+}
+
+// Validate checks the model parameters.
+func (t TwoState) Validate() error {
+	if t.Base <= 0 || t.Degraded <= 0 {
+		return fmt.Errorf("contention: rates must be positive, got base=%v degraded=%v",
+			float64(t.Base), float64(t.Degraded))
+	}
+	if t.PBad < 0 || t.PBad > 1 || math.IsNaN(t.PBad) {
+		return fmt.Errorf("contention: PBad must be in [0,1], got %v", t.PBad)
+	}
+	return nil
+}
+
+// Sample draws a day.
+func (t TwoState) Sample(r *RNG) units.ByteRate {
+	if r.Float64() < t.PBad {
+		return t.Degraded
+	}
+	return t.Base
+}
+
+// Lognormal degrades a base rate by a lognormal contention factor >= 1:
+// rate = Base / exp(Sigma * N(0,1) + Mu) clamped so the factor never drops
+// below 1 (contention never makes a shared link faster than its quiet
+// rate).
+type Lognormal struct {
+	// Base is the uncontended rate.
+	Base units.ByteRate
+	// Mu and Sigma parameterize the log of the slowdown factor.
+	Mu, Sigma float64
+}
+
+// Validate checks the model parameters.
+func (l Lognormal) Validate() error {
+	if l.Base <= 0 {
+		return fmt.Errorf("contention: base rate must be positive, got %v", float64(l.Base))
+	}
+	if l.Sigma < 0 || math.IsNaN(l.Sigma) || math.IsNaN(l.Mu) {
+		return fmt.Errorf("contention: bad lognormal parameters mu=%v sigma=%v", l.Mu, l.Sigma)
+	}
+	return nil
+}
+
+// Sample draws a day.
+func (l Lognormal) Sample(r *RNG) units.ByteRate {
+	factor := math.Exp(l.Mu + l.Sigma*r.Normal())
+	if factor < 1 {
+		factor = 1
+	}
+	return units.ByteRate(float64(l.Base) / factor)
+}
+
+// Distribution summarizes Monte Carlo samples.
+type Distribution struct {
+	sorted []float64
+}
+
+// NewDistribution copies and sorts the samples.
+func NewDistribution(samples []float64) (*Distribution, error) {
+	if len(samples) == 0 {
+		return nil, fmt.Errorf("contention: empty sample set")
+	}
+	s := make([]float64, len(samples))
+	copy(s, samples)
+	for _, v := range s {
+		if math.IsNaN(v) {
+			return nil, fmt.Errorf("contention: NaN sample")
+		}
+	}
+	sort.Float64s(s)
+	return &Distribution{sorted: s}, nil
+}
+
+// N returns the sample count.
+func (d *Distribution) N() int { return len(d.sorted) }
+
+// Min and Max return the extreme samples.
+func (d *Distribution) Min() float64 { return d.sorted[0] }
+
+// Max returns the largest sample.
+func (d *Distribution) Max() float64 { return d.sorted[len(d.sorted)-1] }
+
+// Mean returns the sample mean.
+func (d *Distribution) Mean() float64 {
+	sum := 0.0
+	for _, v := range d.sorted {
+		sum += v
+	}
+	return sum / float64(len(d.sorted))
+}
+
+// Percentile returns the p-quantile (0 <= p <= 100) by nearest-rank with
+// linear interpolation.
+func (d *Distribution) Percentile(p float64) (float64, error) {
+	if p < 0 || p > 100 || math.IsNaN(p) {
+		return 0, fmt.Errorf("contention: percentile must be in [0,100], got %v", p)
+	}
+	if len(d.sorted) == 1 {
+		return d.sorted[0], nil
+	}
+	pos := p / 100 * float64(len(d.sorted)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return d.sorted[lo], nil
+	}
+	frac := pos - float64(lo)
+	return d.sorted[lo]*(1-frac) + d.sorted[hi]*frac, nil
+}
+
+// TailRatio returns P99/P50 — the "tail at scale" figure of merit for the
+// workflow's service responsiveness.
+func (d *Distribution) TailRatio() (float64, error) {
+	p50, err := d.Percentile(50)
+	if err != nil {
+		return 0, err
+	}
+	p99, err := d.Percentile(99)
+	if err != nil {
+		return 0, err
+	}
+	if p50 == 0 {
+		return 0, fmt.Errorf("contention: zero median")
+	}
+	return p99 / p50, nil
+}
+
+// MonteCarlo draws n days from the sampler and evaluates run(rate) — e.g.
+// a simulator invocation returning the day's makespan — collecting the
+// results into a distribution. The RNG stream is owned by this call, so the
+// same seed always produces the same distribution.
+func MonteCarlo(n int, seed uint64, s Sampler, run func(units.ByteRate) (float64, error)) (*Distribution, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("contention: need a positive sample count, got %d", n)
+	}
+	if s == nil || run == nil {
+		return nil, fmt.Errorf("contention: nil sampler or run function")
+	}
+	rng := NewRNG(seed)
+	samples := make([]float64, 0, n)
+	for i := 0; i < n; i++ {
+		rate := s.Sample(rng)
+		if rate <= 0 {
+			return nil, fmt.Errorf("contention: sampler produced non-positive rate %v", float64(rate))
+		}
+		v, err := run(rate)
+		if err != nil {
+			return nil, fmt.Errorf("contention: day %d: %w", i, err)
+		}
+		samples = append(samples, v)
+	}
+	return NewDistribution(samples)
+}

@@ -1,0 +1,297 @@
+package contention
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"wroofline/internal/units"
+	"wroofline/internal/workloads"
+)
+
+func TestRNGDeterminism(t *testing.T) {
+	a, b := NewRNG(42), NewRNG(42)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same seed must give the same stream")
+		}
+	}
+	c := NewRNG(43)
+	same := 0
+	a2 := NewRNG(42)
+	for i := 0; i < 100; i++ {
+		if a2.Uint64() == c.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Errorf("different seeds collide too often: %d/100", same)
+	}
+	// Zero seed must still work.
+	z := NewRNG(0)
+	if z.Uint64() == 0 && z.Uint64() == 0 {
+		t.Error("zero seed produced a stuck stream")
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := NewRNG(7)
+	sum := 0.0
+	const n = 10000
+	for i := 0; i < n; i++ {
+		v := r.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64 out of range: %v", v)
+		}
+		sum += v
+	}
+	if mean := sum / n; math.Abs(mean-0.5) > 0.02 {
+		t.Errorf("uniform mean = %v, want ~0.5", mean)
+	}
+}
+
+func TestNormalMoments(t *testing.T) {
+	r := NewRNG(11)
+	const n = 20000
+	var sum, sumSq float64
+	for i := 0; i < n; i++ {
+		v := r.Normal()
+		sum += v
+		sumSq += v * v
+	}
+	mean := sum / n
+	variance := sumSq/n - mean*mean
+	if math.Abs(mean) > 0.03 {
+		t.Errorf("normal mean = %v, want ~0", mean)
+	}
+	if math.Abs(variance-1) > 0.05 {
+		t.Errorf("normal variance = %v, want ~1", variance)
+	}
+}
+
+func TestTwoStateSampler(t *testing.T) {
+	m := TwoState{Base: 1 * units.GBPS, Degraded: 0.2 * units.GBPS, PBad: 0.3}
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	r := NewRNG(5)
+	bad := 0
+	const n = 10000
+	for i := 0; i < n; i++ {
+		rate := m.Sample(r)
+		switch rate {
+		case m.Base:
+		case m.Degraded:
+			bad++
+		default:
+			t.Fatalf("two-state sampler produced %v", float64(rate))
+		}
+	}
+	frac := float64(bad) / n
+	if math.Abs(frac-0.3) > 0.02 {
+		t.Errorf("bad-day fraction = %v, want ~0.3", frac)
+	}
+	for _, bad := range []TwoState{
+		{Base: 0, Degraded: 1, PBad: 0.5},
+		{Base: 1, Degraded: 0, PBad: 0.5},
+		{Base: 1, Degraded: 1, PBad: -0.1},
+		{Base: 1, Degraded: 1, PBad: 1.1},
+	} {
+		if err := bad.Validate(); err == nil {
+			t.Errorf("TwoState %+v should fail validation", bad)
+		}
+	}
+}
+
+func TestLognormalSampler(t *testing.T) {
+	m := Lognormal{Base: 1 * units.GBPS, Mu: 0.5, Sigma: 0.8}
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	r := NewRNG(9)
+	for i := 0; i < 5000; i++ {
+		rate := m.Sample(r)
+		if rate <= 0 || rate > m.Base {
+			t.Fatalf("lognormal contention produced %v (base %v); the factor must be >= 1",
+				float64(rate), float64(m.Base))
+		}
+	}
+	if err := (Lognormal{Base: 0}).Validate(); err == nil {
+		t.Error("zero base should fail")
+	}
+	if err := (Lognormal{Base: 1, Sigma: -1}).Validate(); err == nil {
+		t.Error("negative sigma should fail")
+	}
+}
+
+func TestDistribution(t *testing.T) {
+	d, err := NewDistribution([]float64{5, 1, 3, 2, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.N() != 5 || d.Min() != 1 || d.Max() != 5 {
+		t.Errorf("summary: n=%d min=%v max=%v", d.N(), d.Min(), d.Max())
+	}
+	if d.Mean() != 3 {
+		t.Errorf("mean = %v", d.Mean())
+	}
+	p50, err := d.Percentile(50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p50 != 3 {
+		t.Errorf("p50 = %v", p50)
+	}
+	p0, _ := d.Percentile(0)
+	p100, _ := d.Percentile(100)
+	if p0 != 1 || p100 != 5 {
+		t.Errorf("p0=%v p100=%v", p0, p100)
+	}
+	// Interpolation between ranks.
+	p25, _ := d.Percentile(25)
+	if p25 != 2 {
+		t.Errorf("p25 = %v", p25)
+	}
+	p10, _ := d.Percentile(10)
+	if math.Abs(p10-1.4) > 1e-9 {
+		t.Errorf("p10 = %v, want 1.4", p10)
+	}
+	if _, err := d.Percentile(-1); err == nil {
+		t.Error("negative percentile should fail")
+	}
+	if _, err := d.Percentile(101); err == nil {
+		t.Error("percentile > 100 should fail")
+	}
+	if _, err := NewDistribution(nil); err == nil {
+		t.Error("empty distribution should fail")
+	}
+	if _, err := NewDistribution([]float64{math.NaN()}); err == nil {
+		t.Error("NaN sample should fail")
+	}
+	single, err := NewDistribution([]float64{7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := single.Percentile(73)
+	if err != nil || v != 7 {
+		t.Errorf("single-sample percentile = %v, %v", v, err)
+	}
+}
+
+func TestNewDistributionCopies(t *testing.T) {
+	src := []float64{3, 1, 2}
+	d, err := NewDistribution(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src[0] = 99
+	if d.Max() == 99 {
+		t.Error("NewDistribution must copy its input")
+	}
+}
+
+// Monte Carlo over the LCLS simulation: two-state days reproduce the paper's
+// bimodal makespan (17 min / 85 min), and the tail ratio captures the 5x
+// swing.
+func TestMonteCarloLCLS(t *testing.T) {
+	model := TwoState{
+		Base:     units.ByteRate(workloads.LCLSGoodDayRate),
+		Degraded: units.ByteRate(workloads.LCLSBadDayRate),
+		PBad:     0.4,
+	}
+	run := func(rate units.ByteRate) (float64, error) {
+		cs, err := workloads.LCLSCori()
+		if err != nil {
+			return 0, err
+		}
+		cs.SimConfig.ExternalBW = 5 * rate
+		cs.SimConfig.ExternalPerFlowCap = rate
+		res, err := cs.Simulate()
+		if err != nil {
+			return 0, err
+		}
+		return res.Makespan, nil
+	}
+	d, err := MonteCarlo(50, 123, model, run)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The distribution is bimodal at ~1021 and ~5021 (analysis constant in
+	// this setup; only loading swings).
+	if d.Min() < 1000 || d.Min() > 1100 {
+		t.Errorf("min = %v, want ~1021 (good day)", d.Min())
+	}
+	if d.Max() < 4900 || d.Max() > 5200 {
+		t.Errorf("max = %v, want ~5021 (bad day)", d.Max())
+	}
+	ratio, err := d.TailRatio()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ratio < 1.5 {
+		t.Errorf("tail ratio = %v, want a heavy tail from contention", ratio)
+	}
+	// Determinism: same seed, same distribution.
+	d2, err := MonteCarlo(50, 123, model, run)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Mean() != d2.Mean() || d.Max() != d2.Max() {
+		t.Error("Monte Carlo is not deterministic for a fixed seed")
+	}
+}
+
+func TestMonteCarloErrors(t *testing.T) {
+	ok := func(units.ByteRate) (float64, error) { return 1, nil }
+	sampler := TwoState{Base: 1, Degraded: 1, PBad: 0}
+	if _, err := MonteCarlo(0, 1, sampler, ok); err == nil {
+		t.Error("zero samples should fail")
+	}
+	if _, err := MonteCarlo(1, 1, nil, ok); err == nil {
+		t.Error("nil sampler should fail")
+	}
+	if _, err := MonteCarlo(1, 1, sampler, nil); err == nil {
+		t.Error("nil run should fail")
+	}
+	boom := func(units.ByteRate) (float64, error) { return 0, errFake }
+	if _, err := MonteCarlo(3, 1, sampler, boom); err == nil {
+		t.Error("run error should propagate")
+	}
+}
+
+var errFake = &fakeErr{}
+
+type fakeErr struct{}
+
+func (*fakeErr) Error() string { return "boom" }
+
+// Property: percentiles are monotone in p and bounded by min/max.
+func TestQuickPercentileMonotone(t *testing.T) {
+	f := func(raw []uint16, aRaw, bRaw uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		samples := make([]float64, len(raw))
+		for i, v := range raw {
+			samples[i] = float64(v)
+		}
+		d, err := NewDistribution(samples)
+		if err != nil {
+			return false
+		}
+		a := float64(aRaw) / 255 * 100
+		b := float64(bRaw) / 255 * 100
+		if a > b {
+			a, b = b, a
+		}
+		pa, err1 := d.Percentile(a)
+		pb, err2 := d.Percentile(b)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return pa <= pb+1e-9 && pa >= d.Min()-1e-9 && pb <= d.Max()+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

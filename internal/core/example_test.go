@@ -1,0 +1,68 @@
+package core_test
+
+import (
+	"fmt"
+
+	"wroofline/internal/core"
+	"wroofline/internal/machine"
+	"wroofline/internal/units"
+	"wroofline/internal/workflow"
+)
+
+// Example builds a Workflow Roofline for a small workflow on Perlmutter and
+// classifies a measured run.
+func Example() {
+	pm := machine.Perlmutter()
+	w := workflow.New("demo", machine.PartGPU)
+	if err := w.AddTask(&workflow.Task{
+		ID: "solve", Nodes: 64,
+		Work: workflow.Work{
+			Flops:   388 * units.TFLOP, // 10 s per task at the node peak
+			FSBytes: 5.6 * units.TB,    // 1 s through the shared file system
+		},
+	}); err != nil {
+		fmt.Println(err)
+		return
+	}
+	model, err := core.Build(pm, w, core.BuildOptions{})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Println("wall:", model.Wall)
+	bound, limit := model.Bound(1)
+	fmt.Printf("bound at p=1: %.2f TPS (%s)\n", bound, limit.Resource)
+	bound, limit = model.BoundAtWall()
+	fmt.Printf("bound at the wall: %.2f TPS (%s)\n", bound, limit.Resource)
+	// Output:
+	// wall: 28
+	// bound at p=1: 0.10 TPS (compute)
+	// bound at the wall: 1.00 TPS (filesystem)
+}
+
+// ExampleModel_ClassifyZone places a measured point in the Fig 2a zones.
+func ExampleModel_ClassifyZone() {
+	m := &core.Model{Title: "t", Wall: 10}
+	m.AddCeiling(core.Ceiling{Name: "node", Resource: core.ResCompute, Scope: core.ScopeNode, TimePerTask: 1})
+	m.SetTargets(workflow.Targets{MakespanSeconds: 100, ThroughputTPS: 2}, 100)
+	pt, _ := core.NewPoint("run", 100, 4, 50) // 2 TPS, 50 s
+	fmt.Println(m.ClassifyZone(pt))
+	late, _ := core.NewPoint("late", 100, 4, 500)
+	fmt.Println(m.ClassifyZone(late))
+	// Output:
+	// good makespan, good throughput (green)
+	// poor makespan, poor throughput (red)
+}
+
+// ExampleModel_ScaleIntraTask shows the Fig 2c tradeoff: doubling nodes per
+// task halves the wall.
+func ExampleModel_ScaleIntraTask() {
+	m := &core.Model{Title: "t", Wall: 28}
+	m.AddCeiling(core.Ceiling{Name: "node", Resource: core.ResCompute, Scope: core.ScopeNode, TimePerTask: 10})
+	scaled, _ := m.ScaleIntraTask(2, 1.0)
+	fmt.Println("wall:", m.Wall, "->", scaled.Wall)
+	fmt.Println("per-task seconds:", m.Ceilings[0].TimePerTask, "->", scaled.Ceilings[0].TimePerTask)
+	// Output:
+	// wall: 28 -> 14
+	// per-task seconds: 10 -> 5
+}

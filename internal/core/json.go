@@ -1,0 +1,84 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// jsonCeiling is the serialized ceiling form with symbolic enums.
+type jsonCeiling struct {
+	Name        string  `json:"name"`
+	Resource    string  `json:"resource"`
+	Scope       string  `json:"scope"`
+	TimePerTask float64 `json:"time_per_task_s"`
+	Scenario    bool    `json:"scenario,omitempty"`
+}
+
+// jsonModel is the serialized model form.
+type jsonModel struct {
+	Title    string        `json:"title"`
+	Wall     int           `json:"wall"`
+	Ceilings []jsonCeiling `json:"ceilings"`
+	Targets  *TargetLines  `json:"targets,omitempty"`
+}
+
+// resourceNames maps enums to stable strings (String() output).
+var resourceByName = func() map[string]Resource {
+	out := make(map[string]Resource)
+	for r := ResCompute; r <= ResOverhead; r++ {
+		out[r.String()] = r
+	}
+	return out
+}()
+
+// MarshalJSON serializes the model with symbolic resource and scope names,
+// so external tooling (or a future non-Go plotter) can consume it.
+func (m *Model) MarshalJSON() ([]byte, error) {
+	jm := jsonModel{Title: m.Title, Wall: m.Wall, Targets: m.Targets}
+	for _, c := range m.Ceilings {
+		jm.Ceilings = append(jm.Ceilings, jsonCeiling{
+			Name:        c.Name,
+			Resource:    c.Resource.String(),
+			Scope:       c.Scope.String(),
+			TimePerTask: c.TimePerTask,
+			Scenario:    c.Scenario,
+		})
+	}
+	return json.Marshal(jm)
+}
+
+// UnmarshalJSON parses and validates a serialized model.
+func (m *Model) UnmarshalJSON(data []byte) error {
+	var jm jsonModel
+	if err := json.Unmarshal(data, &jm); err != nil {
+		return fmt.Errorf("core: decode model: %w", err)
+	}
+	nm := Model{Title: jm.Title, Wall: jm.Wall, Targets: jm.Targets}
+	for _, jc := range jm.Ceilings {
+		res, ok := resourceByName[jc.Resource]
+		if !ok {
+			return fmt.Errorf("core: unknown resource %q in model %q", jc.Resource, jm.Title)
+		}
+		var scope Scope
+		switch jc.Scope {
+		case "node":
+			scope = ScopeNode
+		case "system":
+			scope = ScopeSystem
+		default:
+			return fmt.Errorf("core: unknown scope %q in model %q", jc.Scope, jm.Title)
+		}
+		nm.Ceilings = append(nm.Ceilings, Ceiling{
+			Name:        jc.Name,
+			Resource:    res,
+			Scope:       scope,
+			TimePerTask: jc.TimePerTask,
+			Scenario:    jc.Scenario,
+		})
+	}
+	if err := nm.Validate(); err != nil {
+		return err
+	}
+	*m = nm
+	return nil
+}

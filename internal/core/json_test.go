@@ -1,0 +1,83 @@
+package core
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"wroofline/internal/workflow"
+)
+
+func TestModelJSONRoundTrip(t *testing.T) {
+	m := fig1Model(t)
+	m.SetTargets(workflow.Targets{MakespanSeconds: 600, ThroughputTPS: 0.01}, 6)
+	m.Ceilings[1].Scenario = true
+	data, err := json.Marshal(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`"resource":"filesystem"`, `"scope":"system"`, `"scenario":true`, `"wall":28`} {
+		if !strings.Contains(string(data), want) {
+			t.Errorf("JSON missing %s:\n%s", want, data)
+		}
+	}
+	var back Model
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Title != m.Title || back.Wall != m.Wall {
+		t.Errorf("identity lost: %q/%d", back.Title, back.Wall)
+	}
+	if len(back.Ceilings) != len(m.Ceilings) {
+		t.Fatalf("ceilings = %d, want %d", len(back.Ceilings), len(m.Ceilings))
+	}
+	for i := range m.Ceilings {
+		if back.Ceilings[i] != m.Ceilings[i] {
+			t.Errorf("ceiling %d: %+v vs %+v", i, back.Ceilings[i], m.Ceilings[i])
+		}
+	}
+	if back.Targets == nil || back.Targets.MakespanSeconds != 600 {
+		t.Errorf("targets lost: %+v", back.Targets)
+	}
+	// Bounds survive the round trip bit-for-bit.
+	b1, _ := m.Bound(5)
+	b2, _ := back.Bound(5)
+	if b1 != b2 {
+		t.Errorf("bound changed: %v vs %v", b1, b2)
+	}
+}
+
+func TestModelJSONRejectsBad(t *testing.T) {
+	cases := []string{
+		`not json`,
+		`{"title":"x","wall":1,"ceilings":[{"name":"c","resource":"frobnicator","scope":"node","time_per_task_s":1}]}`,
+		`{"title":"x","wall":1,"ceilings":[{"name":"c","resource":"compute","scope":"diagonal","time_per_task_s":1}]}`,
+		`{"title":"x","wall":0,"ceilings":[{"name":"c","resource":"compute","scope":"node","time_per_task_s":1}]}`,
+		`{"title":"x","wall":1,"ceilings":[]}`,
+		`{"title":"x","wall":1,"ceilings":[{"name":"c","resource":"compute","scope":"node","time_per_task_s":-1}]}`,
+	}
+	for _, c := range cases {
+		var m Model
+		if err := json.Unmarshal([]byte(c), &m); err == nil {
+			t.Errorf("decode should fail: %s", c)
+		}
+	}
+}
+
+func TestAllResourcesSerializable(t *testing.T) {
+	for r := ResCompute; r <= ResOverhead; r++ {
+		m := &Model{Title: "t", Wall: 1}
+		m.AddCeiling(Ceiling{Name: "c", Resource: r, Scope: ScopeNode, TimePerTask: 1})
+		data, err := json.Marshal(m)
+		if err != nil {
+			t.Fatalf("%v: %v", r, err)
+		}
+		var back Model
+		if err := json.Unmarshal(data, &back); err != nil {
+			t.Fatalf("%v: %v", r, err)
+		}
+		if back.Ceilings[0].Resource != r {
+			t.Errorf("resource %v did not round-trip", r)
+		}
+	}
+}

@@ -1,0 +1,178 @@
+// Package engine is a minimal discrete-event simulation kernel: a virtual
+// clock and a priority queue of scheduled callbacks. Resources (shared
+// bandwidth links, node pools) and the workflow simulator are built on top
+// of it in internal/resources and internal/sim.
+//
+// The engine is single-threaded by design: discrete-event simulation needs a
+// total order over events, and callback execution is the ordering point.
+// Determinism is guaranteed by breaking time ties with a monotonically
+// increasing sequence number.
+package engine
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+)
+
+// Event is a scheduled callback. It can be cancelled until it fires.
+type Event struct {
+	time     float64
+	seq      uint64
+	index    int // heap index, -1 once removed
+	fn       func()
+	canceled bool
+}
+
+// Time returns the virtual time at which the event fires.
+func (e *Event) Time() float64 { return e.time }
+
+// Cancel prevents the event from firing. Cancelling an already-fired or
+// already-cancelled event is a no-op.
+func (e *Event) Cancel() { e.canceled = true }
+
+// Canceled reports whether Cancel was called.
+func (e *Event) Canceled() bool { return e.canceled }
+
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].time != h[j].time {
+		return h[i].time < h[j].time
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *eventHeap) Push(x any) {
+	e := x.(*Event)
+	e.index = len(*h)
+	*h = append(*h, e)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*h = old[:n-1]
+	return e
+}
+
+// Engine is the simulation kernel. The zero value is not usable; create
+// engines with New.
+type Engine struct {
+	now    float64
+	seq    uint64
+	events eventHeap
+	// processed counts fired events, a cheap runaway-simulation guard.
+	processed uint64
+	// MaxEvents aborts Run after this many fired events (0 = no limit).
+	MaxEvents uint64
+}
+
+// New returns an engine with the clock at zero.
+func New() *Engine {
+	return &Engine{}
+}
+
+// Now returns the current virtual time in seconds.
+func (e *Engine) Now() float64 { return e.now }
+
+// Processed returns the number of events fired so far.
+func (e *Engine) Processed() uint64 { return e.processed }
+
+// Pending returns the number of events still queued (including cancelled
+// ones not yet drained).
+func (e *Engine) Pending() int { return len(e.events) }
+
+// At schedules fn to run at absolute virtual time t. Scheduling in the past
+// is an error.
+func (e *Engine) At(t float64, fn func()) (*Event, error) {
+	if math.IsNaN(t) {
+		return nil, fmt.Errorf("engine: schedule at NaN")
+	}
+	if t < e.now {
+		return nil, fmt.Errorf("engine: schedule at %v before now %v", t, e.now)
+	}
+	if fn == nil {
+		return nil, fmt.Errorf("engine: nil callback")
+	}
+	ev := &Event{time: t, seq: e.seq, fn: fn}
+	e.seq++
+	heap.Push(&e.events, ev)
+	return ev, nil
+}
+
+// Schedule schedules fn to run delay seconds from now. Negative delays are
+// errors; +Inf delays are accepted and never fire (useful for "no next
+// completion" placeholders that will be cancelled).
+func (e *Engine) Schedule(delay float64, fn func()) (*Event, error) {
+	if delay < 0 || math.IsNaN(delay) {
+		return nil, fmt.Errorf("engine: negative or NaN delay %v", delay)
+	}
+	return e.At(e.now+delay, fn)
+}
+
+// Step fires the earliest pending non-cancelled event and returns true, or
+// returns false when the queue is empty. Events scheduled at +Inf are never
+// fired; they terminate the run as if the queue were empty.
+func (e *Engine) Step() bool {
+	for len(e.events) > 0 {
+		ev := heap.Pop(&e.events).(*Event)
+		if ev.canceled {
+			continue
+		}
+		if math.IsInf(ev.time, 1) {
+			// Nothing real left to simulate.
+			return false
+		}
+		e.now = ev.time
+		e.processed++
+		ev.fn()
+		return true
+	}
+	return false
+}
+
+// Run fires events until the queue is empty (or only +Inf/cancelled events
+// remain). It returns an error if MaxEvents is exceeded, which almost
+// always indicates a scheduling loop in the model.
+func (e *Engine) Run() error {
+	for e.Step() {
+		if e.MaxEvents > 0 && e.processed > e.MaxEvents {
+			return fmt.Errorf("engine: exceeded %d events at t=%v; likely a scheduling loop", e.MaxEvents, e.now)
+		}
+	}
+	return nil
+}
+
+// RunUntil fires events with time <= t, then advances the clock to t if it
+// is ahead of the last event. Events after t remain queued.
+func (e *Engine) RunUntil(t float64) error {
+	for len(e.events) > 0 {
+		// Peek.
+		next := e.events[0]
+		if next.canceled {
+			heap.Pop(&e.events)
+			continue
+		}
+		if next.time > t {
+			break
+		}
+		if !e.Step() {
+			break
+		}
+		if e.MaxEvents > 0 && e.processed > e.MaxEvents {
+			return fmt.Errorf("engine: exceeded %d events at t=%v; likely a scheduling loop", e.MaxEvents, e.now)
+		}
+	}
+	if t > e.now && !math.IsInf(t, 1) {
+		e.now = t
+	}
+	return nil
+}

@@ -1,0 +1,196 @@
+// Package exec runs workflows of real Go functions with dependency ordering
+// and a bounded number of concurrently executing tasks (the system
+// parallelism wall), recording wall-clock spans for each task. It is the
+// toolkit's "workflow execution characterization" path: run the workflow,
+// collect the makespan and throughput, and place the resulting point on a
+// Workflow Roofline.
+package exec
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"wroofline/internal/dag"
+	"wroofline/internal/trace"
+)
+
+// Fn is a task body. It receives the run context (cancelled on failure when
+// FailFast is set) and returns an error to mark the task failed.
+type Fn func(ctx context.Context) error
+
+// Options tunes an execution.
+type Options struct {
+	// MaxParallel bounds concurrently running tasks; 0 or negative means
+	// unbounded.
+	MaxParallel int
+	// FailFast cancels the run context after the first task failure;
+	// already-running tasks see the cancellation, and not-yet-started tasks
+	// are skipped.
+	FailFast bool
+	// Recorder receives task spans; a fresh one is created when nil.
+	Recorder *trace.Recorder
+}
+
+// ErrSkipped marks tasks not run because a dependency failed (or FailFast
+// cancelled the run before they started).
+var ErrSkipped = fmt.Errorf("exec: skipped")
+
+// Result is a completed (or aborted) execution.
+type Result struct {
+	// Makespan is the wall-clock duration of the whole run.
+	Makespan time.Duration
+	// Completed counts tasks that ran and returned nil.
+	Completed int
+	// Throughput is Completed / Makespan in tasks per second.
+	Throughput float64
+	// Errors maps failed or skipped task ids to their error.
+	Errors map[string]error
+	// Recorder holds per-task spans with times in seconds from run start.
+	Recorder *trace.Recorder
+}
+
+// Err returns nil when every task completed, or an error summarizing the
+// failure count.
+func (r *Result) Err() error {
+	if len(r.Errors) == 0 {
+		return nil
+	}
+	return fmt.Errorf("exec: %d of %d tasks failed or were skipped",
+		len(r.Errors), r.Completed+len(r.Errors))
+}
+
+// Run executes the graph. Every graph vertex must have a function in fns.
+// Tasks start as soon as their dependencies complete and a slot is free.
+func Run(ctx context.Context, g *dag.Graph, fns map[string]Fn, opts Options) (*Result, error) {
+	if g == nil || g.Len() == 0 {
+		return nil, fmt.Errorf("exec: empty graph")
+	}
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	for _, id := range g.Nodes() {
+		if fns[id] == nil {
+			return nil, fmt.Errorf("exec: no function for task %q", id)
+		}
+	}
+	for id := range fns {
+		if !g.Has(id) {
+			return nil, fmt.Errorf("exec: function for unknown task %q", id)
+		}
+	}
+
+	rec := opts.Recorder
+	if rec == nil {
+		rec = trace.NewRecorder()
+	}
+
+	runCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	var sem chan struct{}
+	if opts.MaxParallel > 0 {
+		sem = make(chan struct{}, opts.MaxParallel)
+	}
+
+	var (
+		mu        sync.Mutex
+		errs      = make(map[string]error)
+		remaining = make(map[string]int, g.Len())
+		failedDep = make(map[string]bool)
+		wg        sync.WaitGroup
+	)
+	start := time.Now()
+
+	var launch func(id string)
+	finish := func(id string, err error) {
+		mu.Lock()
+		if err != nil {
+			errs[id] = err
+			if opts.FailFast {
+				cancel()
+			}
+		}
+		var ready []string
+		for _, succ := range g.Succs(id) {
+			if err != nil {
+				failedDep[succ] = true
+			}
+			remaining[succ]--
+			if remaining[succ] == 0 {
+				ready = append(ready, succ)
+			}
+		}
+		mu.Unlock()
+		for _, succ := range ready {
+			launch(succ)
+		}
+	}
+
+	launch = func(id string) {
+		mu.Lock()
+		skip := failedDep[id]
+		if !skip && opts.FailFast && runCtx.Err() != nil {
+			skip = true
+		}
+		mu.Unlock()
+		if skip {
+			finish(id, fmt.Errorf("%w: dependency failed or run cancelled", ErrSkipped))
+			return
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if sem != nil {
+				select {
+				case sem <- struct{}{}:
+					defer func() { <-sem }()
+				case <-runCtx.Done():
+					finish(id, fmt.Errorf("%w: %v", ErrSkipped, runCtx.Err()))
+					return
+				}
+			}
+			t0 := time.Since(start).Seconds()
+			err := fns[id](runCtx)
+			t1 := time.Since(start).Seconds()
+			if recErr := rec.Record(trace.Span{Task: id, Phase: "run", Start: t0, End: t1}); recErr != nil && err == nil {
+				err = recErr
+			}
+			finish(id, err)
+		}()
+	}
+
+	// Seed sources.
+	var sources []string
+	for _, id := range g.Nodes() {
+		remaining[id] = len(g.Preds(id))
+		if remaining[id] == 0 {
+			sources = append(sources, id)
+		}
+	}
+	for _, id := range sources {
+		launch(id)
+	}
+
+	// Wait for the whole graph: every task eventually reaches finish exactly
+	// once (run, failed, or skipped), and wg tracks the running ones.
+	done := make(chan struct{})
+	go func() {
+		wg.Wait()
+		close(done)
+	}()
+	<-done
+
+	elapsed := time.Since(start)
+	res := &Result{
+		Makespan: elapsed,
+		Errors:   errs,
+		Recorder: rec,
+	}
+	res.Completed = g.Len() - len(errs)
+	if secs := elapsed.Seconds(); secs > 0 {
+		res.Throughput = float64(res.Completed) / secs
+	}
+	return res, nil
+}

@@ -1,0 +1,353 @@
+package exec
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"wroofline/internal/dag"
+	"wroofline/internal/trace"
+)
+
+func mustGraph(t *testing.T, build func(g *dag.Graph) error) *dag.Graph {
+	t.Helper()
+	g := dag.New()
+	if err := build(g); err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestRunSimpleChain(t *testing.T) {
+	g := mustGraph(t, func(g *dag.Graph) error {
+		return errorsJoin(g.AddEdge("a", "b"), g.AddEdge("b", "c"))
+	})
+	var order []string
+	var mu sync.Mutex
+	fn := func(id string) Fn {
+		return func(ctx context.Context) error {
+			mu.Lock()
+			order = append(order, id)
+			mu.Unlock()
+			return nil
+		}
+	}
+	res, err := Run(context.Background(), g, map[string]Fn{"a": fn("a"), "b": fn("b"), "c": fn("c")}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Err() != nil {
+		t.Fatal(res.Err())
+	}
+	if res.Completed != 3 {
+		t.Errorf("completed = %d", res.Completed)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(order) != 3 || order[0] != "a" || order[1] != "b" || order[2] != "c" {
+		t.Errorf("order = %v", order)
+	}
+	if res.Recorder.Len() != 3 {
+		t.Errorf("spans = %d", res.Recorder.Len())
+	}
+}
+
+func errorsJoin(errs ...error) error {
+	for _, e := range errs {
+		if e != nil {
+			return e
+		}
+	}
+	return nil
+}
+
+func TestParallelismWallEnforced(t *testing.T) {
+	g := dag.New()
+	const n = 12
+	fns := map[string]Fn{}
+	var cur, peak int64
+	for i := 0; i < n; i++ {
+		id := fmt.Sprintf("t%02d", i)
+		if err := g.AddNode(id); err != nil {
+			t.Fatal(err)
+		}
+		fns[id] = func(ctx context.Context) error {
+			c := atomic.AddInt64(&cur, 1)
+			for {
+				p := atomic.LoadInt64(&peak)
+				if c <= p || atomic.CompareAndSwapInt64(&peak, p, c) {
+					break
+				}
+			}
+			time.Sleep(5 * time.Millisecond)
+			atomic.AddInt64(&cur, -1)
+			return nil
+		}
+	}
+	res, err := Run(context.Background(), g, fns, Options{MaxParallel: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Err() != nil {
+		t.Fatal(res.Err())
+	}
+	if got := atomic.LoadInt64(&peak); got > 3 {
+		t.Errorf("peak concurrency = %d, want <= 3", got)
+	}
+	if res.Throughput <= 0 {
+		t.Errorf("throughput = %v", res.Throughput)
+	}
+}
+
+func TestDiamondDependencies(t *testing.T) {
+	g := mustGraph(t, func(g *dag.Graph) error {
+		return errorsJoin(
+			g.AddEdge("s", "l"), g.AddEdge("s", "r"),
+			g.AddEdge("l", "t"), g.AddEdge("r", "t"),
+		)
+	})
+	var tStarted atomic.Bool
+	var lDone, rDone atomic.Bool
+	fns := map[string]Fn{
+		"s": func(ctx context.Context) error { return nil },
+		"l": func(ctx context.Context) error { lDone.Store(true); return nil },
+		"r": func(ctx context.Context) error { rDone.Store(true); return nil },
+		"t": func(ctx context.Context) error {
+			if !lDone.Load() || !rDone.Load() {
+				return fmt.Errorf("t started before both parents finished")
+			}
+			tStarted.Store(true)
+			return nil
+		},
+	}
+	res, err := Run(context.Background(), g, fns, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Err() != nil {
+		t.Fatalf("errors: %v", res.Errors)
+	}
+	if !tStarted.Load() {
+		t.Error("t never ran")
+	}
+}
+
+func TestFailureSkipsDependents(t *testing.T) {
+	g := mustGraph(t, func(g *dag.Graph) error {
+		return errorsJoin(g.AddEdge("a", "b"), g.AddEdge("b", "c"), g.AddNode("x"))
+	})
+	boom := errors.New("boom")
+	ran := make(map[string]bool)
+	var mu sync.Mutex
+	mark := func(id string) { mu.Lock(); ran[id] = true; mu.Unlock() }
+	fns := map[string]Fn{
+		"a": func(ctx context.Context) error { mark("a"); return boom },
+		"b": func(ctx context.Context) error { mark("b"); return nil },
+		"c": func(ctx context.Context) error { mark("c"); return nil },
+		"x": func(ctx context.Context) error { mark("x"); return nil },
+	}
+	res, err := Run(context.Background(), g, fns, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Err() == nil {
+		t.Fatal("run with failures should report an error")
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if ran["b"] || ran["c"] {
+		t.Errorf("dependents of a failed task must not run: %v", ran)
+	}
+	if !ran["x"] {
+		t.Error("independent task x should still run without FailFast")
+	}
+	if !errors.Is(res.Errors["b"], ErrSkipped) || !errors.Is(res.Errors["c"], ErrSkipped) {
+		t.Errorf("b/c should be skipped: %v", res.Errors)
+	}
+	if !errors.Is(res.Errors["a"], boom) {
+		t.Errorf("a should carry its own error: %v", res.Errors["a"])
+	}
+	if res.Completed != 1 {
+		t.Errorf("completed = %d, want 1 (only x)", res.Completed)
+	}
+}
+
+func TestFailFastCancelsRunning(t *testing.T) {
+	g := mustGraph(t, func(g *dag.Graph) error {
+		return errorsJoin(g.AddNode("fail"), g.AddNode("slow"))
+	})
+	slowSawCancel := make(chan bool, 1)
+	fns := map[string]Fn{
+		"fail": func(ctx context.Context) error { return errors.New("boom") },
+		"slow": func(ctx context.Context) error {
+			select {
+			case <-ctx.Done():
+				slowSawCancel <- true
+				return ctx.Err()
+			case <-time.After(5 * time.Second):
+				slowSawCancel <- false
+				return nil
+			}
+		},
+	}
+	res, err := Run(context.Background(), g, fns, Options{FailFast: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Err() == nil {
+		t.Fatal("should report failure")
+	}
+	select {
+	case saw := <-slowSawCancel:
+		if !saw {
+			t.Error("slow task did not observe cancellation")
+		}
+	default:
+		// slow may have been skipped before starting, which is also fine.
+	}
+	if res.Makespan > 2*time.Second {
+		t.Errorf("fail-fast run took %v", res.Makespan)
+	}
+}
+
+func TestValidationErrors(t *testing.T) {
+	if _, err := Run(context.Background(), nil, nil, Options{}); err == nil {
+		t.Error("nil graph should fail")
+	}
+	if _, err := Run(context.Background(), dag.New(), nil, Options{}); err == nil {
+		t.Error("empty graph should fail")
+	}
+	g := mustGraph(t, func(g *dag.Graph) error { return g.AddNode("a") })
+	if _, err := Run(context.Background(), g, map[string]Fn{}, Options{}); err == nil {
+		t.Error("missing function should fail")
+	}
+	fns := map[string]Fn{
+		"a": func(ctx context.Context) error { return nil },
+		"z": func(ctx context.Context) error { return nil },
+	}
+	if _, err := Run(context.Background(), g, fns, Options{}); err == nil {
+		t.Error("function for unknown task should fail")
+	}
+	// Cyclic graph.
+	cyc := dag.New()
+	if err := errorsJoin(cyc.AddEdge("a", "b"), cyc.AddEdge("b", "a")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Run(context.Background(), cyc, map[string]Fn{
+		"a": fns["a"], "b": fns["a"],
+	}, Options{}); err == nil {
+		t.Error("cyclic graph should fail")
+	}
+}
+
+func TestSpansCoverExecution(t *testing.T) {
+	g := mustGraph(t, func(g *dag.Graph) error { return g.AddEdge("a", "b") })
+	fns := map[string]Fn{
+		"a": func(ctx context.Context) error { time.Sleep(10 * time.Millisecond); return nil },
+		"b": func(ctx context.Context) error { time.Sleep(10 * time.Millisecond); return nil },
+	}
+	res, err := Run(context.Background(), g, fns, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	aStart, aEnd, ok := res.Recorder.TaskWindow("a")
+	if !ok {
+		t.Fatal("no span for a")
+	}
+	bStart, _, ok := res.Recorder.TaskWindow("b")
+	if !ok {
+		t.Fatal("no span for b")
+	}
+	if bStart < aEnd-1e-6 {
+		t.Errorf("b span starts (%v) before a ends (%v)", bStart, aEnd)
+	}
+	if aEnd-aStart < 0.005 {
+		t.Errorf("a span too short: %v", aEnd-aStart)
+	}
+	if res.Recorder.Makespan() > res.Makespan.Seconds()+1e-6 {
+		t.Errorf("recorder makespan %v exceeds wall makespan %v",
+			res.Recorder.Makespan(), res.Makespan.Seconds())
+	}
+}
+
+func TestWideFanOutStress(t *testing.T) {
+	g := dag.New()
+	fns := map[string]Fn{}
+	var count int64
+	const n = 200
+	if err := g.AddNode("root"); err != nil {
+		t.Fatal(err)
+	}
+	fns["root"] = func(ctx context.Context) error { return nil }
+	for i := 0; i < n; i++ {
+		id := fmt.Sprintf("leaf%03d", i)
+		if err := g.AddEdge("root", id); err != nil {
+			t.Fatal(err)
+		}
+		fns[id] = func(ctx context.Context) error {
+			atomic.AddInt64(&count, 1)
+			return nil
+		}
+	}
+	res, err := Run(context.Background(), g, fns, Options{MaxParallel: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Err() != nil {
+		t.Fatal(res.Err())
+	}
+	if atomic.LoadInt64(&count) != n {
+		t.Errorf("ran %d leaves, want %d", count, n)
+	}
+	if res.Completed != n+1 {
+		t.Errorf("completed = %d", res.Completed)
+	}
+}
+
+func TestCustomRecorderOption(t *testing.T) {
+	rec := trace.NewRecorder()
+	g := mustGraph(t, func(g *dag.Graph) error { return g.AddNode("a") })
+	fns := map[string]Fn{"a": func(ctx context.Context) error { return nil }}
+	res, err := Run(context.Background(), g, fns, Options{Recorder: rec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Recorder != rec {
+		t.Error("result should expose the provided recorder")
+	}
+	if rec.Len() != 1 {
+		t.Errorf("custom recorder got %d spans", rec.Len())
+	}
+}
+
+func TestContextCancellationBeforeStart(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	g := mustGraph(t, func(g *dag.Graph) error { return g.AddNode("a") })
+	observed := make(chan error, 1)
+	fns := map[string]Fn{"a": func(ctx context.Context) error {
+		observed <- ctx.Err()
+		return ctx.Err()
+	}}
+	res, err := Run(ctx, g, fns, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Without FailFast the task still runs, but it sees the cancelled
+	// context and reports the error.
+	select {
+	case e := <-observed:
+		if e == nil {
+			t.Error("task should observe the cancelled parent context")
+		}
+	default:
+		t.Error("task never ran")
+	}
+	if res.Err() == nil {
+		t.Error("run should report the failure")
+	}
+}

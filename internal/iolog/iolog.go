@@ -1,0 +1,205 @@
+// Package iolog ingests lightweight I/O traces and aggregates them into the
+// work vectors the Workflow Roofline methodology consumes. The paper's
+// Table I marks several characterizations "Measured" (via tools like
+// Darshan); this package is the native equivalent: a line-oriented record
+// format, a streaming parser, and per-task aggregation into
+// workflow.Work components plus effective-bandwidth estimates that feed
+// internal/calibrate.
+//
+// Record format (one per line, whitespace-separated):
+//
+//	<start-seconds> <task-id> <op> <bytes>
+//
+// where op is one of read, write (file system), ext_read, ext_write
+// (external staging), send, recv (network), h2d, d2h (PCIe), or a
+// "dur <seconds>" record that adds measured wall time to the task. Lines
+// starting with '#' are comments.
+package iolog
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+
+	"wroofline/internal/calibrate"
+	"wroofline/internal/units"
+	"wroofline/internal/workflow"
+)
+
+// Op is a traced operation kind.
+type Op string
+
+// Operations.
+const (
+	OpRead     Op = "read"
+	OpWrite    Op = "write"
+	OpExtRead  Op = "ext_read"
+	OpExtWrite Op = "ext_write"
+	OpSend     Op = "send"
+	OpRecv     Op = "recv"
+	OpH2D      Op = "h2d"
+	OpD2H      Op = "d2h"
+	OpDur      Op = "dur"
+)
+
+// validOps maps every accepted operation.
+var validOps = map[Op]bool{
+	OpRead: true, OpWrite: true, OpExtRead: true, OpExtWrite: true,
+	OpSend: true, OpRecv: true, OpH2D: true, OpD2H: true, OpDur: true,
+}
+
+// Record is one trace line.
+type Record struct {
+	// Start is the record timestamp in seconds from trace start.
+	Start float64
+	// Task is the owning task id.
+	Task string
+	// Op is the operation.
+	Op Op
+	// Value is bytes for transfer ops and seconds for dur records.
+	Value float64
+}
+
+// Parse reads records from r, in any order. It returns them sorted by
+// (Start, Task).
+func Parse(r io.Reader) ([]Record, error) {
+	var out []Record
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64*1024), 1024*1024)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 4 {
+			return nil, fmt.Errorf("iolog: line %d: want '<start> <task> <op> <value>', got %q", lineNo, line)
+		}
+		start, err := strconv.ParseFloat(fields[0], 64)
+		if err != nil || start < 0 {
+			return nil, fmt.Errorf("iolog: line %d: bad start time %q", lineNo, fields[0])
+		}
+		task := fields[1]
+		if task == "" {
+			return nil, fmt.Errorf("iolog: line %d: empty task id", lineNo)
+		}
+		op := Op(fields[2])
+		if !validOps[op] {
+			return nil, fmt.Errorf("iolog: line %d: unknown op %q", lineNo, fields[2])
+		}
+		v, err := strconv.ParseFloat(fields[3], 64)
+		if err != nil || v < 0 {
+			return nil, fmt.Errorf("iolog: line %d: bad value %q", lineNo, fields[3])
+		}
+		out = append(out, Record{Start: start, Task: task, Op: op, Value: v})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("iolog: %w", err)
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].Start != out[j].Start {
+			return out[i].Start < out[j].Start
+		}
+		return out[i].Task < out[j].Task
+	})
+	return out, nil
+}
+
+// TaskProfile aggregates one task's traced activity.
+type TaskProfile struct {
+	// Work holds the aggregated byte volumes by component.
+	Work workflow.Work
+	// MeasuredSeconds sums the task's dur records.
+	MeasuredSeconds float64
+	// Records counts the task's trace lines.
+	Records int
+}
+
+// Aggregate groups records by task and accumulates work vectors: read/write
+// into FSBytes, ext_* into ExternalBytes, send/recv into NetworkBytes,
+// h2d/d2h into PCIeBytes, dur into MeasuredSeconds.
+func Aggregate(records []Record) map[string]*TaskProfile {
+	out := make(map[string]*TaskProfile)
+	for _, rec := range records {
+		p, ok := out[rec.Task]
+		if !ok {
+			p = &TaskProfile{}
+			out[rec.Task] = p
+		}
+		p.Records++
+		switch rec.Op {
+		case OpRead, OpWrite:
+			p.Work.FSBytes += units.Bytes(rec.Value)
+		case OpExtRead, OpExtWrite:
+			p.Work.ExternalBytes += units.Bytes(rec.Value)
+		case OpSend, OpRecv:
+			p.Work.NetworkBytes += units.Bytes(rec.Value)
+		case OpH2D, OpD2H:
+			p.Work.PCIeBytes += units.Bytes(rec.Value)
+		case OpDur:
+			p.MeasuredSeconds += rec.Value
+		}
+	}
+	return out
+}
+
+// ApplyToWorkflow copies aggregated profiles onto matching workflow tasks
+// (adding traced volumes to the characterized work and setting
+// MeasuredSeconds when present). Tasks absent from the trace are untouched;
+// trace tasks absent from the workflow are an error, catching id typos.
+func ApplyToWorkflow(w *workflow.Workflow, profiles map[string]*TaskProfile) error {
+	for id, p := range profiles {
+		t, err := w.Task(id)
+		if err != nil {
+			return fmt.Errorf("iolog: trace references unknown task %q", id)
+		}
+		t.Work = t.Work.Add(p.Work)
+		if p.MeasuredSeconds > 0 {
+			t.MeasuredSeconds = p.MeasuredSeconds
+		}
+	}
+	return nil
+}
+
+// BandwidthObservations pairs each task's traced volume on one component
+// with its measured duration, producing calibrate inputs. component selects
+// which Work field to read: "fs", "external", "network", or "pcie". Tasks
+// without both a positive volume and a positive duration are skipped.
+func BandwidthObservations(profiles map[string]*TaskProfile, component string) ([]calibrate.BandwidthObs, error) {
+	pick := func(w workflow.Work) units.Bytes {
+		switch component {
+		case "fs":
+			return w.FSBytes
+		case "external":
+			return w.ExternalBytes
+		case "network":
+			return w.NetworkBytes
+		case "pcie":
+			return w.PCIeBytes
+		}
+		return -1
+	}
+	if pick(workflow.Work{}) < 0 {
+		return nil, fmt.Errorf("iolog: unknown component %q (want fs, external, network, or pcie)", component)
+	}
+	// Deterministic order.
+	ids := make([]string, 0, len(profiles))
+	for id := range profiles {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	var out []calibrate.BandwidthObs
+	for _, id := range ids {
+		p := profiles[id]
+		vol := pick(p.Work)
+		if vol > 0 && p.MeasuredSeconds > 0 {
+			out = append(out, calibrate.BandwidthObs{Bytes: vol, Seconds: p.MeasuredSeconds})
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,226 @@
+package iolog
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"wroofline/internal/calibrate"
+	"wroofline/internal/machine"
+	"wroofline/internal/units"
+	"wroofline/internal/workflow"
+)
+
+const sample = `
+# LCLS-like trace: each analysis task stages 1 TB in, reads it back from
+# the FS, and reports its duration.
+0.0   A ext_read 1e12
+0.0   B ext_read 1e12
+10.5  A read     1e12
+11.0  B read     1e12
+500   A send     2e9
+1000  A dur      1020
+1000  B dur      1015
+1020  merge read 5e9
+1020  merge dur  1
+`
+
+func TestParse(t *testing.T) {
+	recs, err := Parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 9 {
+		t.Fatalf("records = %d", len(recs))
+	}
+	// Sorted by start time, then task.
+	if recs[0].Task != "A" || recs[1].Task != "B" {
+		t.Errorf("first records: %+v %+v", recs[0], recs[1])
+	}
+	for i := 1; i < len(recs); i++ {
+		if recs[i].Start < recs[i-1].Start {
+			t.Errorf("records not sorted at %d", i)
+		}
+	}
+	if recs[0].Op != OpExtRead || recs[0].Value != 1e12 {
+		t.Errorf("first record = %+v", recs[0])
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := map[string]string{
+		"short line": "0 A read\n",
+		"long line":  "0 A read 5 extra\n",
+		"bad start":  "x A read 5\n",
+		"neg start":  "-1 A read 5\n",
+		"unknown op": "0 A fly 5\n",
+		"bad value":  "0 A read lots\n",
+		"neg value":  "0 A read -5\n",
+	}
+	for name, src := range cases {
+		if _, err := Parse(strings.NewReader(src)); err == nil {
+			t.Errorf("%s: should fail: %q", name, src)
+		}
+	}
+	// Error carries the line number.
+	_, err := Parse(strings.NewReader("0 A read 5\nbroken\n"))
+	if err == nil || !strings.Contains(err.Error(), "line 2") {
+		t.Errorf("error should name the line: %v", err)
+	}
+}
+
+func TestAggregate(t *testing.T) {
+	recs, err := Parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	profiles := Aggregate(recs)
+	if len(profiles) != 3 {
+		t.Fatalf("profiles = %d", len(profiles))
+	}
+	a := profiles["A"]
+	if a.Work.ExternalBytes != 1*units.TB {
+		t.Errorf("A external = %v", float64(a.Work.ExternalBytes))
+	}
+	if a.Work.FSBytes != 1*units.TB {
+		t.Errorf("A fs = %v", float64(a.Work.FSBytes))
+	}
+	if a.Work.NetworkBytes != 2*units.GB {
+		t.Errorf("A network = %v", float64(a.Work.NetworkBytes))
+	}
+	if a.MeasuredSeconds != 1020 {
+		t.Errorf("A measured = %v", a.MeasuredSeconds)
+	}
+	if a.Records != 4 {
+		t.Errorf("A records = %d", a.Records)
+	}
+	m := profiles["merge"]
+	if m.Work.FSBytes != 5*units.GB || m.MeasuredSeconds != 1 {
+		t.Errorf("merge profile = %+v", m)
+	}
+}
+
+func TestAggregatePCIe(t *testing.T) {
+	recs, err := Parse(strings.NewReader("0 t h2d 80e9\n1 t d2h 20e9\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := Aggregate(recs)["t"]
+	if p.Work.PCIeBytes != 100*units.GB {
+		t.Errorf("pcie = %v", float64(p.Work.PCIeBytes))
+	}
+}
+
+func TestApplyToWorkflow(t *testing.T) {
+	w := workflow.New("LCLS", machine.PartHaswell)
+	for _, id := range []string{"A", "B", "merge"} {
+		if err := w.AddTask(&workflow.Task{ID: id, Nodes: 1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	recs, err := Parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	profiles := Aggregate(recs)
+	if err := ApplyToWorkflow(w, profiles); err != nil {
+		t.Fatal(err)
+	}
+	a, err := w.Task("A")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Work.ExternalBytes != 1*units.TB || a.MeasuredSeconds != 1020 {
+		t.Errorf("A after apply = %+v / %v", a.Work, a.MeasuredSeconds)
+	}
+	// Unknown task in the trace is an error.
+	bad := map[string]*TaskProfile{"ghost": {}}
+	if err := ApplyToWorkflow(w, bad); err == nil {
+		t.Error("unknown trace task should fail")
+	}
+	// Applying adds to existing characterization.
+	if err := ApplyToWorkflow(w, profiles); err != nil {
+		t.Fatal(err)
+	}
+	if a.Work.ExternalBytes != 2*units.TB {
+		t.Errorf("second apply should accumulate: %v", float64(a.Work.ExternalBytes))
+	}
+}
+
+func TestBandwidthObservations(t *testing.T) {
+	recs, err := Parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	profiles := Aggregate(recs)
+	obs, err := BandwidthObservations(profiles, "external")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A and B have external volume and duration; merge has neither.
+	if len(obs) != 2 {
+		t.Fatalf("observations = %d", len(obs))
+	}
+	rate, err := calibrate.FitBandwidth(obs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// ~1 TB over ~1020 s: close to the LCLS good-day 1 GB/s.
+	if math.Abs(float64(rate)-0.98e9) > 0.05e9 {
+		t.Errorf("fitted external rate = %v, want ~0.98e9", float64(rate))
+	}
+	if _, err := BandwidthObservations(profiles, "bogus"); err == nil {
+		t.Error("unknown component should fail")
+	}
+	for _, comp := range []string{"fs", "network", "pcie"} {
+		if _, err := BandwidthObservations(profiles, comp); err != nil {
+			t.Errorf("component %q: %v", comp, err)
+		}
+	}
+}
+
+func TestCommentsAndBlank(t *testing.T) {
+	recs, err := Parse(strings.NewReader("# hi\n\n   \n0 t read 1\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 1 {
+		t.Errorf("records = %d", len(recs))
+	}
+}
+
+// End to end: trace -> workflow characterization -> roofline model.
+func TestTraceToModel(t *testing.T) {
+	w := workflow.New("traced", machine.PartHaswell)
+	for _, id := range []string{"A", "B", "merge"} {
+		if err := w.AddTask(&workflow.Task{ID: id, Nodes: 32}); err != nil {
+			t.Fatal(err)
+		}
+		if id != "merge" {
+			continue
+		}
+	}
+	for _, id := range []string{"A", "B"} {
+		if err := w.AddDep(id, "merge"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	recs, err := Parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ApplyToWorkflow(w, Aggregate(recs)); err != nil {
+		t.Fatal(err)
+	}
+	a, err := w.Task("A")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Work.IsZero() {
+		t.Fatal("trace should have characterized task A")
+	}
+	// The characterized workflow now has the aggregates the model needs.
+	if w.MaxWorkPerTask().ExternalBytes != 1*units.TB {
+		t.Errorf("max external = %v", float64(w.MaxWorkPerTask().ExternalBytes))
+	}
+}

@@ -1,0 +1,273 @@
+// Package machine characterizes HPC system architectures for the Workflow
+// Roofline model: per-node peaks (compute, memory, PCIe, NIC) and
+// system-wide peaks (file system, burst buffer, external/DTN bandwidth),
+// plus node counts from which the system parallelism wall is derived.
+//
+// The built-in specs reproduce the systems in the paper's appendix:
+// Perlmutter's GPU and CPU partitions and Cori Haswell.
+package machine
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+
+	"wroofline/internal/units"
+)
+
+// Partition describes one homogeneous node pool of a machine (e.g. the
+// Perlmutter GPU partition). All node-level peaks are per-node aggregates:
+// a Perlmutter GPU node reports 4 x 9.7 TFLOPS = 38.8 TFLOPS.
+type Partition struct {
+	// Name identifies the partition, e.g. "gpu" or "cpu".
+	Name string `json:"name"`
+	// Nodes is the number of schedulable nodes in the partition.
+	Nodes int `json:"nodes"`
+	// CoresPerNode is the CPU core count per node (used to translate a
+	// process count into a node requirement).
+	CoresPerNode int `json:"cores_per_node,omitempty"`
+	// GPUsPerNode is the accelerator count per node (0 for CPU partitions).
+	GPUsPerNode int `json:"gpus_per_node,omitempty"`
+	// NodeFlops is the aggregate peak compute rate per node.
+	NodeFlops units.FlopRate `json:"node_flops"`
+	// NodeMemBW is the aggregate peak main-memory (DRAM or HBM) bandwidth
+	// per node.
+	NodeMemBW units.ByteRate `json:"node_mem_bw"`
+	// NodePCIeBW is the aggregate host<->device PCIe bandwidth per node per
+	// direction (0 when there are no accelerators).
+	NodePCIeBW units.ByteRate `json:"node_pcie_bw,omitempty"`
+	// NodeNICBW is the aggregate network-injection bandwidth per node per
+	// direction.
+	NodeNICBW units.ByteRate `json:"node_nic_bw"`
+}
+
+// MaxParallelTasks returns the system parallelism wall for tasks that each
+// require nodesPerTask nodes: floor(Nodes / nodesPerTask). It returns an
+// error when nodesPerTask is not positive or exceeds the partition size.
+func (p *Partition) MaxParallelTasks(nodesPerTask int) (int, error) {
+	if nodesPerTask <= 0 {
+		return 0, fmt.Errorf("machine: nodes per task must be positive, got %d", nodesPerTask)
+	}
+	if nodesPerTask > p.Nodes {
+		return 0, fmt.Errorf("machine: task needs %d nodes but partition %q has only %d",
+			nodesPerTask, p.Name, p.Nodes)
+	}
+	return p.Nodes / nodesPerTask, nil
+}
+
+// NodesForProcs returns the number of nodes needed to host procs processes
+// at one process per core, rounding up. It returns an error if the partition
+// does not record a core count.
+func (p *Partition) NodesForProcs(procs int) (int, error) {
+	if p.CoresPerNode <= 0 {
+		return 0, fmt.Errorf("machine: partition %q has no cores_per_node", p.Name)
+	}
+	if procs <= 0 {
+		return 0, fmt.Errorf("machine: process count must be positive, got %d", procs)
+	}
+	return (procs + p.CoresPerNode - 1) / p.CoresPerNode, nil
+}
+
+// Machine describes a full system: its partitions plus the shared,
+// system-wide data paths.
+type Machine struct {
+	// Name identifies the machine, e.g. "Perlmutter".
+	Name string `json:"name"`
+	// Partitions holds the node pools keyed by partition name.
+	Partitions map[string]*Partition `json:"partitions"`
+	// FileSystemBW maps partition name to the peak aggregate bandwidth from
+	// that partition to the shared parallel file system (the paper derives
+	// 5.6 TB/s for PM-GPU and 4.8 TB/s for PM-CPU from I/O-group fabric
+	// links).
+	FileSystemBW map[string]units.ByteRate `json:"file_system_bw"`
+	// BurstBufferBW is the aggregate burst-buffer bandwidth, when the system
+	// has one (Cori: 140 BB nodes x 6.5 GB/s = 910 GB/s). Zero when absent.
+	BurstBufferBW units.ByteRate `json:"burst_buffer_bw,omitempty"`
+	// ExternalBW is the peak bandwidth for staging data in from outside the
+	// system (data transfer nodes / WAN).
+	ExternalBW units.ByteRate `json:"external_bw,omitempty"`
+}
+
+// Partition returns the named partition or an error listing the available
+// names.
+func (m *Machine) Partition(name string) (*Partition, error) {
+	if p, ok := m.Partitions[name]; ok {
+		return p, nil
+	}
+	names := make([]string, 0, len(m.Partitions))
+	for n := range m.Partitions {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return nil, fmt.Errorf("machine: %s has no partition %q (have %v)", m.Name, name, names)
+}
+
+// FSBandwidth returns the file-system peak for the named partition, falling
+// back to the burst buffer when no file-system entry exists.
+func (m *Machine) FSBandwidth(partition string) (units.ByteRate, error) {
+	if bw, ok := m.FileSystemBW[partition]; ok {
+		return bw, nil
+	}
+	if m.BurstBufferBW > 0 {
+		return m.BurstBufferBW, nil
+	}
+	return 0, fmt.Errorf("machine: %s has no file-system bandwidth for partition %q", m.Name, partition)
+}
+
+// Validate checks internal consistency: every partition must have a positive
+// node count and at least one positive node-level peak, and file-system
+// entries must reference existing partitions.
+func (m *Machine) Validate() error {
+	if m.Name == "" {
+		return fmt.Errorf("machine: missing name")
+	}
+	if len(m.Partitions) == 0 {
+		return fmt.Errorf("machine %s: no partitions", m.Name)
+	}
+	for name, p := range m.Partitions {
+		if p == nil {
+			return fmt.Errorf("machine %s: partition %q is nil", m.Name, name)
+		}
+		if p.Name == "" {
+			p.Name = name
+		}
+		if p.Name != name {
+			return fmt.Errorf("machine %s: partition key %q disagrees with name %q", m.Name, name, p.Name)
+		}
+		if p.Nodes <= 0 {
+			return fmt.Errorf("machine %s: partition %q has %d nodes", m.Name, name, p.Nodes)
+		}
+		if p.NodeFlops <= 0 && p.NodeMemBW <= 0 && p.NodeNICBW <= 0 {
+			return fmt.Errorf("machine %s: partition %q has no node-level peaks", m.Name, name)
+		}
+		if p.NodeFlops < 0 || p.NodeMemBW < 0 || p.NodePCIeBW < 0 || p.NodeNICBW < 0 {
+			return fmt.Errorf("machine %s: partition %q has a negative peak", m.Name, name)
+		}
+	}
+	for name, bw := range m.FileSystemBW {
+		if _, ok := m.Partitions[name]; !ok {
+			return fmt.Errorf("machine %s: file-system bandwidth references unknown partition %q", m.Name, name)
+		}
+		if bw <= 0 {
+			return fmt.Errorf("machine %s: non-positive file-system bandwidth for %q", m.Name, name)
+		}
+	}
+	if m.BurstBufferBW < 0 || m.ExternalBW < 0 {
+		return fmt.Errorf("machine %s: negative system bandwidth", m.Name)
+	}
+	return nil
+}
+
+// MarshalJSON emits the machine as plain JSON (quantities as raw floats in
+// base units).
+func (m *Machine) MarshalJSON() ([]byte, error) {
+	type alias Machine
+	return json.Marshal((*alias)(m))
+}
+
+// UnmarshalJSON parses and validates a machine description.
+func (m *Machine) UnmarshalJSON(data []byte) error {
+	type alias Machine
+	if err := json.Unmarshal(data, (*alias)(m)); err != nil {
+		return fmt.Errorf("machine: decode: %w", err)
+	}
+	return m.Validate()
+}
+
+// Clone returns a deep copy, so callers can derive what-if variants (e.g.
+// degraded external bandwidth on a "bad day") without mutating shared specs.
+func (m *Machine) Clone() *Machine {
+	out := &Machine{
+		Name:          m.Name,
+		Partitions:    make(map[string]*Partition, len(m.Partitions)),
+		FileSystemBW:  make(map[string]units.ByteRate, len(m.FileSystemBW)),
+		BurstBufferBW: m.BurstBufferBW,
+		ExternalBW:    m.ExternalBW,
+	}
+	for k, p := range m.Partitions {
+		cp := *p
+		out.Partitions[k] = &cp
+	}
+	for k, v := range m.FileSystemBW {
+		out.FileSystemBW[k] = v
+	}
+	return out
+}
+
+// Built-in partition names used by the paper's case studies.
+const (
+	PartGPU     = "gpu"
+	PartCPU     = "cpu"
+	PartHaswell = "haswell"
+)
+
+// Perlmutter returns the NERSC Perlmutter spec with the peaks from the
+// paper's appendix:
+//
+//	GPU partition: 1792 nodes, 4xA100 per node -> 38.8 TFLOPS, 4x1555 GB/s
+//	HBM, 4x25 GB/s PCIe, 4 NICs -> 100 GB/s injection; 5.6 TB/s file system.
+//	CPU partition: 3072 nodes, 2xMilan -> 5 TFLOPS, 2x204.8 GB/s DRAM,
+//	25 GB/s NIC; 4.8 TB/s file system.
+//	External (DTN) bandwidth: 25 GB/s.
+func Perlmutter() *Machine {
+	return &Machine{
+		Name: "Perlmutter",
+		Partitions: map[string]*Partition{
+			PartGPU: {
+				Name:         PartGPU,
+				Nodes:        1792,
+				CoresPerNode: 64,
+				GPUsPerNode:  4,
+				NodeFlops:    4 * 9.7 * units.TFLOPS,
+				NodeMemBW:    4 * 1555 * units.GBPS,
+				NodePCIeBW:   4 * 25 * units.GBPS,
+				NodeNICBW:    100 * units.GBPS,
+			},
+			PartCPU: {
+				Name:         PartCPU,
+				Nodes:        3072,
+				CoresPerNode: 128,
+				NodeFlops:    5 * units.TFLOPS,
+				NodeMemBW:    2 * 204.8 * units.GBPS,
+				NodeNICBW:    25 * units.GBPS,
+			},
+		},
+		FileSystemBW: map[string]units.ByteRate{
+			PartGPU: 5.6 * units.TBPS,
+			PartCPU: 4.8 * units.TBPS,
+		},
+		ExternalBW: 25 * units.GBPS,
+	}
+}
+
+// CoriHaswell returns the (now retired) Cori Haswell spec used by the LCLS
+// case study: 2388 nodes, 32 cores and 129 GB/s DRAM per node, a 910 GB/s
+// burst buffer (140 BB nodes x 6.5 GB/s), and a 1 GB/s average external
+// path on "good days".
+func CoriHaswell() *Machine {
+	return &Machine{
+		Name: "Cori",
+		Partitions: map[string]*Partition{
+			PartHaswell: {
+				Name:         PartHaswell,
+				Nodes:        2388,
+				CoresPerNode: 32,
+				NodeFlops:    1.2 * units.TFLOPS,
+				NodeMemBW:    129 * units.GBPS,
+				NodeNICBW:    8 * units.GBPS,
+			},
+		},
+		FileSystemBW:  map[string]units.ByteRate{},
+		BurstBufferBW: 910 * units.GBPS,
+		ExternalBW:    1 * units.GBPS,
+	}
+}
+
+// WithExternalBW returns a clone with the external bandwidth replaced; it is
+// the standard way to express contention scenarios like LCLS "bad days"
+// (1 GB/s -> 0.2 GB/s) or the PM-CPU 5x degradation (25 -> 5 GB/s).
+func (m *Machine) WithExternalBW(bw units.ByteRate) *Machine {
+	c := m.Clone()
+	c.ExternalBW = bw
+	return c
+}

@@ -1,0 +1,326 @@
+package machine
+
+import (
+	"encoding/json"
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"wroofline/internal/units"
+)
+
+func TestPerlmutterPeaks(t *testing.T) {
+	pm := Perlmutter()
+	if err := pm.Validate(); err != nil {
+		t.Fatalf("Perlmutter invalid: %v", err)
+	}
+	gpu, err := pm.Partition(PartGPU)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gpu.Nodes != 1792 {
+		t.Errorf("GPU nodes = %d, want 1792", gpu.Nodes)
+	}
+	if got, want := float64(gpu.NodeFlops), 38.8e12; math.Abs(got-want) > 1e6 {
+		t.Errorf("GPU node flops = %v, want %v", got, want)
+	}
+	if got, want := float64(gpu.NodePCIeBW), 100e9; got != want {
+		t.Errorf("GPU PCIe = %v, want %v", got, want)
+	}
+	if got, want := float64(gpu.NodeMemBW), 4*1555e9; got != want {
+		t.Errorf("GPU HBM = %v, want %v", got, want)
+	}
+	cpu, err := pm.Partition(PartCPU)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cpu.Nodes != 3072 {
+		t.Errorf("CPU nodes = %d, want 3072", cpu.Nodes)
+	}
+	if got, want := float64(cpu.NodeMemBW), 2*204.8e9; math.Abs(got-want) > 1 {
+		t.Errorf("CPU DRAM = %v, want %v", got, want)
+	}
+	fs, err := pm.FSBandwidth(PartGPU)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := float64(fs), 5.6e12; got != want {
+		t.Errorf("GPU FS = %v, want %v", got, want)
+	}
+	fs, err = pm.FSBandwidth(PartCPU)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := float64(fs), 4.8e12; got != want {
+		t.Errorf("CPU FS = %v, want %v", got, want)
+	}
+}
+
+func TestCoriPeaks(t *testing.T) {
+	cori := CoriHaswell()
+	if err := cori.Validate(); err != nil {
+		t.Fatalf("Cori invalid: %v", err)
+	}
+	hsw, err := cori.Partition(PartHaswell)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hsw.Nodes != 2388 {
+		t.Errorf("Cori nodes = %d, want 2388", hsw.Nodes)
+	}
+	if got, want := float64(hsw.NodeMemBW), 129e9; got != want {
+		t.Errorf("Cori DRAM = %v, want %v", got, want)
+	}
+	// No parallel-FS entry: falls back to the burst buffer (910 GB/s).
+	fs, err := cori.FSBandwidth(PartHaswell)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := float64(fs), 910e9; got != want {
+		t.Errorf("Cori BB = %v, want %v", got, want)
+	}
+}
+
+// Paper wall checks: 1792/64 = 28 (Fig 1, Fig 7a), 1792/1024 = 1 (Fig 7b),
+// 1536/128 = 12 (Fig 8 uses 1536 = 1792 minus 256 large-memory nodes),
+// 2388/32 = 74 (Fig 5a), 3072/8 = 384 (Fig 6), 3072/1 = 3072 (Fig 10a).
+func TestParallelismWalls(t *testing.T) {
+	pm := Perlmutter()
+	cori := CoriHaswell()
+	gpu := pm.Partitions[PartGPU]
+	cpu := pm.Partitions[PartCPU]
+	hsw := cori.Partitions[PartHaswell]
+
+	cases := []struct {
+		part   *Partition
+		nodes  int
+		want   int
+		source string
+	}{
+		{gpu, 64, 28, "Fig 1 / Fig 7a"},
+		{gpu, 1024, 1, "Fig 7b"},
+		{cpu, 8, 384, "Fig 6"},
+		{cpu, 1, 3072, "Fig 10a"},
+		{hsw, 32, 74, "Fig 5a"},
+	}
+	for _, c := range cases {
+		got, err := c.part.MaxParallelTasks(c.nodes)
+		if err != nil {
+			t.Errorf("%s: %v", c.source, err)
+			continue
+		}
+		if got != c.want {
+			t.Errorf("%s: wall = %d, want %d", c.source, got, c.want)
+		}
+	}
+	// CosmoFlow excludes the 256 large-memory nodes: 1536/128 = 12.
+	reduced := *gpu
+	reduced.Nodes = 1536
+	if got, _ := reduced.MaxParallelTasks(128); got != 12 {
+		t.Errorf("CosmoFlow wall = %d, want 12", got)
+	}
+}
+
+func TestMaxParallelTasksErrors(t *testing.T) {
+	gpu := Perlmutter().Partitions[PartGPU]
+	if _, err := gpu.MaxParallelTasks(0); err == nil {
+		t.Error("zero nodes per task should fail")
+	}
+	if _, err := gpu.MaxParallelTasks(-3); err == nil {
+		t.Error("negative nodes per task should fail")
+	}
+	if _, err := gpu.MaxParallelTasks(4000); err == nil {
+		t.Error("oversubscribed task should fail")
+	}
+}
+
+func TestNodesForProcs(t *testing.T) {
+	hsw := CoriHaswell().Partitions[PartHaswell]
+	// LCLS: 1024 processes at 32 cores/node -> 32 nodes (appendix, Fig 5a wall 74).
+	n, err := hsw.NodesForProcs(1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 32 {
+		t.Errorf("Cori nodes for 1024 procs = %d, want 32", n)
+	}
+	cpu := Perlmutter().Partitions[PartCPU]
+	// LCLS on PM-CPU: 1024 procs at 128 cores/node -> 8 nodes (Fig 6 wall 384).
+	n, err = cpu.NodesForProcs(1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 8 {
+		t.Errorf("PM-CPU nodes for 1024 procs = %d, want 8", n)
+	}
+	// Rounding up.
+	n, err = cpu.NodesForProcs(129)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 2 {
+		t.Errorf("PM-CPU nodes for 129 procs = %d, want 2", n)
+	}
+	if _, err := cpu.NodesForProcs(0); err == nil {
+		t.Error("zero procs should fail")
+	}
+	noCores := &Partition{Name: "x", Nodes: 4, NodeFlops: 1}
+	if _, err := noCores.NodesForProcs(10); err == nil {
+		t.Error("partition without cores_per_node should fail")
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	pm := Perlmutter()
+	data, err := json.Marshal(pm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Machine
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Name != pm.Name {
+		t.Errorf("name = %q, want %q", back.Name, pm.Name)
+	}
+	if len(back.Partitions) != len(pm.Partitions) {
+		t.Fatalf("partitions = %d, want %d", len(back.Partitions), len(pm.Partitions))
+	}
+	if back.Partitions[PartGPU].NodeFlops != pm.Partitions[PartGPU].NodeFlops {
+		t.Errorf("GPU flops did not round-trip")
+	}
+	if back.ExternalBW != pm.ExternalBW {
+		t.Errorf("external bandwidth did not round-trip")
+	}
+}
+
+func TestUnmarshalRejectsInvalid(t *testing.T) {
+	bad := `{"name":"X","partitions":{"p":{"name":"p","nodes":0,"node_flops":1}}}`
+	var m Machine
+	if err := json.Unmarshal([]byte(bad), &m); err == nil {
+		t.Error("zero-node partition should fail validation on decode")
+	}
+	bad2 := `{"name":"X","partitions":{"p":{"name":"p","nodes":4,"node_flops":1}},"file_system_bw":{"q":1}}`
+	if err := json.Unmarshal([]byte(bad2), &m); err == nil ||
+		!strings.Contains(err.Error(), "unknown partition") {
+		t.Errorf("dangling FS entry should fail, got %v", err)
+	}
+}
+
+func TestValidateErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		m    *Machine
+	}{
+		{"no name", &Machine{Partitions: map[string]*Partition{"p": {Name: "p", Nodes: 1, NodeFlops: 1}}}},
+		{"no partitions", &Machine{Name: "X"}},
+		{"nil partition", &Machine{Name: "X", Partitions: map[string]*Partition{"p": nil}}},
+		{"key mismatch", &Machine{Name: "X", Partitions: map[string]*Partition{"p": {Name: "q", Nodes: 1, NodeFlops: 1}}}},
+		{"no peaks", &Machine{Name: "X", Partitions: map[string]*Partition{"p": {Name: "p", Nodes: 1}}}},
+		{"negative peak", &Machine{Name: "X", Partitions: map[string]*Partition{"p": {Name: "p", Nodes: 1, NodeFlops: -1, NodeMemBW: 1}}}},
+		{"negative external", &Machine{Name: "X", ExternalBW: -1, Partitions: map[string]*Partition{"p": {Name: "p", Nodes: 1, NodeFlops: 1}}}},
+	}
+	for _, c := range cases {
+		if err := c.m.Validate(); err == nil {
+			t.Errorf("%s: Validate should fail", c.name)
+		}
+	}
+}
+
+func TestValidateFillsPartitionName(t *testing.T) {
+	m := &Machine{
+		Name:       "X",
+		Partitions: map[string]*Partition{"p": {Nodes: 1, NodeFlops: 1}},
+	}
+	if err := m.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	if m.Partitions["p"].Name != "p" {
+		t.Errorf("Validate should fill empty partition name from map key")
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	pm := Perlmutter()
+	c := pm.Clone()
+	c.Partitions[PartGPU].Nodes = 1
+	c.FileSystemBW[PartGPU] = 1
+	c.ExternalBW = 1
+	if pm.Partitions[PartGPU].Nodes != 1792 {
+		t.Error("Clone shared partition storage")
+	}
+	if pm.FileSystemBW[PartGPU] != 5.6*units.TBPS {
+		t.Error("Clone shared FS map")
+	}
+	if pm.ExternalBW != 25*units.GBPS {
+		t.Error("Clone shared scalar state")
+	}
+}
+
+func TestWithExternalBW(t *testing.T) {
+	cori := CoriHaswell()
+	bad := cori.WithExternalBW(0.2 * units.GBPS)
+	if bad.ExternalBW != 0.2*units.GBPS {
+		t.Errorf("bad-day external = %v", bad.ExternalBW)
+	}
+	if cori.ExternalBW != 1*units.GBPS {
+		t.Errorf("original mutated: %v", cori.ExternalBW)
+	}
+}
+
+func TestPartitionLookupError(t *testing.T) {
+	pm := Perlmutter()
+	_, err := pm.Partition("nope")
+	if err == nil {
+		t.Fatal("lookup of missing partition should fail")
+	}
+	if !strings.Contains(err.Error(), "cpu") || !strings.Contains(err.Error(), "gpu") {
+		t.Errorf("error should list available partitions, got %v", err)
+	}
+}
+
+// Property: the wall is monotone non-increasing in nodes-per-task and
+// multiplying the task size by k divides the wall by at least k (floor
+// effects only help).
+func TestQuickWallMonotonicity(t *testing.T) {
+	gpu := Perlmutter().Partitions[PartGPU]
+	f := func(a, b uint8) bool {
+		x, y := int(a%64)+1, int(b%64)+1
+		if x > y {
+			x, y = y, x
+		}
+		wx, err1 := gpu.MaxParallelTasks(x)
+		wy, err2 := gpu.MaxParallelTasks(y)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return wx >= wy && wx <= gpu.Nodes && wy >= 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFSBandwidthMissing(t *testing.T) {
+	m := &Machine{
+		Name:       "bare",
+		Partitions: map[string]*Partition{"p": {Name: "p", Nodes: 4, NodeFlops: 1}},
+	}
+	if _, err := m.FSBandwidth("p"); err == nil {
+		t.Error("machine without FS or BB should fail FSBandwidth lookup")
+	}
+}
+
+func TestValidateRejectsNegativeFSEntry(t *testing.T) {
+	m := Perlmutter()
+	m.FileSystemBW[PartGPU] = -1
+	if err := m.Validate(); err == nil {
+		t.Error("negative FS bandwidth should fail validation")
+	}
+	m2 := Perlmutter()
+	m2.FileSystemBW[PartGPU] = 0
+	if err := m2.Validate(); err == nil {
+		t.Error("zero FS bandwidth entry should fail validation")
+	}
+}

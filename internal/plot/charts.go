@@ -1,0 +1,151 @@
+package plot
+
+import (
+	"fmt"
+
+	"wroofline/internal/breakdown"
+	"wroofline/internal/gantt"
+)
+
+// GanttSVG renders a Gantt chart (Fig 7d): one row per task, critical-path
+// bars in the accent hue, a time axis in seconds.
+func GanttSVG(ch *gantt.Chart, width, height int) (string, error) {
+	if ch == nil || len(ch.Bars) == 0 {
+		return "", fmt.Errorf("plot: empty gantt chart")
+	}
+	if width <= 0 {
+		width = 860
+	}
+	if height <= 0 {
+		height = 80 + 34*len(ch.Bars)
+	}
+	const (
+		marginL = 110.0
+		marginR = 24.0
+		marginT = 40.0
+		marginB = 44.0
+	)
+	c := NewCanvas(width, height)
+	w, h := float64(c.Width()), float64(c.Height())
+
+	minStart, maxEnd := ch.Bars[0].Start, ch.Bars[0].End
+	for _, b := range ch.Bars {
+		if b.Start < minStart {
+			minStart = b.Start
+		}
+		if b.End > maxEnd {
+			maxEnd = b.End
+		}
+	}
+	span := maxEnd - minStart
+	if span <= 0 {
+		span = 1
+	}
+	xpos := func(t float64) float64 {
+		return marginL + (t-minStart)/span*(w-marginL-marginR)
+	}
+
+	// Time axis with five ticks.
+	for i := 0; i <= 5; i++ {
+		t := minStart + span*float64(i)/5
+		px := xpos(t)
+		c.Line(px, marginT, px, h-marginB, colGrid, 1, "")
+		c.Text(px, h-marginB+16, fmt.Sprintf("%.4g", t), 11, colTextMuted, "middle")
+	}
+
+	rowH := (h - marginT - marginB) / float64(len(ch.Bars))
+	barH := rowH * 0.6
+	for i, b := range ch.Bars {
+		y := marginT + rowH*float64(i) + (rowH-barH)/2
+		col := seriesColors[0]
+		if b.OnCriticalPath {
+			col = seriesColors[5] // accent for the critical path
+		}
+		bw := xpos(b.End) - xpos(b.Start)
+		if bw < 2 {
+			bw = 2 // always visible
+		}
+		c.Rect(xpos(b.Start), y, bw, barH, col, "white", 0.9)
+		c.Text(marginL-8, y+barH/2+4, b.Task, 11, colText, "end")
+		c.Text(xpos(b.End)+4, y+barH/2+4, fmt.Sprintf("%.4gs", b.Duration()), 10, colTextMuted, "start")
+	}
+
+	c.Text(w/2, 20, ch.Title, 14, colText, "middle")
+	c.Text(w/2, h-8, "Time (s)", 12, colText, "middle")
+	return c.String(), nil
+}
+
+// BreakdownSVG renders a stacked time breakdown (Fig 5b, Fig 10b): one
+// column per scenario, segments in fixed category order with 2px surface
+// gaps, totals labeled above each stack.
+func BreakdownSVG(ch *breakdown.Chart, width, height int) (string, error) {
+	bars := ch.Bars()
+	if len(bars) == 0 {
+		return "", fmt.Errorf("plot: empty breakdown chart")
+	}
+	if width <= 0 {
+		width = 520
+	}
+	if height <= 0 {
+		height = 420
+	}
+	const (
+		marginL = 64.0
+		marginR = 24.0
+		marginT = 44.0
+		marginB = 88.0
+	)
+	c := NewCanvas(width, height)
+	w, h := float64(c.Width()), float64(c.Height())
+	maxTotal := ch.MaxTotal()
+	if maxTotal <= 0 {
+		maxTotal = 1
+	}
+	plotH := h - marginT - marginB
+	ypix := func(v float64) float64 { return v / maxTotal * plotH }
+
+	// Y grid.
+	for i := 0; i <= 4; i++ {
+		v := maxTotal * float64(i) / 4
+		py := h - marginB - ypix(v)
+		c.Line(marginL, py, w-marginR, py, colGrid, 1, "")
+		c.Text(marginL-6, py+4, fmt.Sprintf("%.4g", v), 11, colTextMuted, "end")
+	}
+
+	cats := ch.CategoryOrder()
+	colW := (w - marginL - marginR) / float64(len(bars))
+	barW := colW * 0.5
+	for i, b := range bars {
+		x := marginL + colW*float64(i) + (colW-barW)/2
+		yCursor := h - marginB
+		for ci, cat := range cats {
+			v := b.Segments[cat]
+			if v <= 0 {
+				continue
+			}
+			segH := ypix(v)
+			yCursor -= segH
+			// 2px surface gap between stacked segments.
+			drawH := segH - 2
+			if drawH < 1 {
+				drawH = segH
+			}
+			c.Rect(x, yCursor, barW, drawH, seriesColors[ci%len(seriesColors)], "", 0.95)
+		}
+		c.Text(x+barW/2, yCursor-6, fmt.Sprintf("%.4gs", b.Total()), 11, colText, "middle")
+		c.Text(x+barW/2, h-marginB+16, b.Label, 12, colText, "middle")
+	}
+
+	// Legend row under the bar labels (>= 2 categories always legended).
+	lx := marginL
+	ly := h - marginB + 40
+	for ci, cat := range cats {
+		c.Rect(lx, ly-9, 10, 10, seriesColors[ci%len(seriesColors)], "", 0.95)
+		c.Text(lx+14, ly, cat, 11, colText, "start")
+		lx += 18 + 7*float64(len(cat)) + 16
+	}
+
+	c.Text(w/2, 20, ch.Title, 14, colText, "middle")
+	c.Text(16, marginT-14, "Time (s)", 12, colText, "start")
+	return c.String(), nil
+}

@@ -1,0 +1,375 @@
+package plot
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"wroofline/internal/core"
+)
+
+// Palette roles (validated categorical palette, light mode). Ceilings take
+// series hues in fixed slot order; zones use low-opacity status fills; text
+// wears ink tokens, never series colors.
+const (
+	colText      = "#0b0b0b"
+	colTextMuted = "#52514e"
+	colGrid      = "#d9d8d4"
+	colWall      = "#0b0b0b"
+	colPoint     = "#0b0b0b"
+	colUnattain  = "#52514e"
+	colZoneGood  = "#008300" // good makespan + good throughput
+	colZoneWarn  = "#eda100" // one target met
+	colZoneBad   = "#e34948" // neither met
+	colTarget    = "#52514e"
+)
+
+// seriesColors is the fixed categorical order for ceilings.
+var seriesColors = []string{
+	"#2a78d6", // blue
+	"#1baf7a", // aqua
+	"#eda100", // yellow
+	"#008300", // green
+	"#4a3aa7", // violet
+	"#e34948", // red
+	"#e87ba4", // magenta
+	"#eb6834", // orange
+}
+
+// Options tunes roofline rendering.
+type Options struct {
+	// Width and Height are the SVG pixel size (defaults 860x560).
+	Width, Height int
+	// XMin, XMax, YMin, YMax override the automatic log ranges (0 = auto).
+	XMin, XMax, YMin, YMax float64
+	// ShowZones shades the four target zones of Fig 2a when the model has
+	// targets.
+	ShowZones bool
+	// ShadeBoundClass colors the attainable area below the envelope by the
+	// kind of the binding resource — node-local (blue) vs shared-system
+	// (orange) — reproducing the Fig 3 interpretation view.
+	ShadeBoundClass bool
+}
+
+// autoRange derives plot ranges covering the wall, ceilings, points, and
+// targets with a decade of headroom.
+func autoRange(m *core.Model, points []core.Point, o *Options) {
+	if o.Width <= 0 {
+		o.Width = 860
+	}
+	if o.Height <= 0 {
+		o.Height = 560
+	}
+	if o.XMin <= 0 {
+		o.XMin = 0.5
+	}
+	if o.XMax <= 0 {
+		o.XMax = float64(m.Wall) * 4
+		for _, p := range points {
+			if p.ParallelTasks*2 > o.XMax {
+				o.XMax = p.ParallelTasks * 2
+			}
+		}
+	}
+	if o.YMin <= 0 || o.YMax <= 0 {
+		lo, hi := math.Inf(1), math.Inf(-1)
+		consider := func(v float64) {
+			if v <= 0 || math.IsInf(v, 0) || math.IsNaN(v) {
+				return
+			}
+			if v < lo {
+				lo = v
+			}
+			if v > hi {
+				hi = v
+			}
+		}
+		for _, c := range m.Ceilings {
+			consider(c.TPSAt(1))
+			consider(c.TPSAt(float64(m.Wall)))
+		}
+		for _, p := range points {
+			consider(p.TPS)
+		}
+		if m.Targets != nil {
+			consider(m.Targets.ThroughputTPS)
+			consider(m.Targets.MakespanTPS())
+		}
+		if math.IsInf(lo, 1) {
+			lo, hi = 0.001, 10
+		}
+		if o.YMin <= 0 {
+			o.YMin = lo / 10
+		}
+		if o.YMax <= 0 {
+			o.YMax = hi * 10
+		}
+	}
+}
+
+// RooflineSVG renders the model and empirical points as an SVG document.
+func RooflineSVG(m *core.Model, points []core.Point, opts Options) (string, error) {
+	if err := m.Validate(); err != nil {
+		return "", err
+	}
+	autoRange(m, points, &opts)
+
+	const (
+		marginL = 74.0
+		marginR = 24.0
+		marginT = 34.0
+		marginB = 52.0
+	)
+	c := NewCanvas(opts.Width, opts.Height)
+	w, h := float64(c.Width()), float64(c.Height())
+	xs := LogScale{Min: opts.XMin, Max: opts.XMax, PixMin: marginL, PixMax: w - marginR}
+	ys := LogScale{Min: opts.YMin, Max: opts.YMax, PixMin: h - marginB, PixMax: marginT}
+	if !xs.Valid() || !ys.Valid() {
+		return "", fmt.Errorf("plot: invalid ranges x=[%g,%g] y=[%g,%g]",
+			opts.XMin, opts.XMax, opts.YMin, opts.YMax)
+	}
+
+	// Grid and ticks.
+	for _, tv := range xs.Ticks() {
+		px := xs.Pos(tv)
+		c.Line(px, marginT, px, h-marginB, colGrid, 1, "")
+		c.Text(px, h-marginB+16, formatTick(tv), 11, colTextMuted, "middle")
+	}
+	for _, tv := range ys.Ticks() {
+		py := ys.Pos(tv)
+		c.Line(marginL, py, w-marginR, py, colGrid, 1, "")
+		c.Text(marginL-6, py+4, formatTick(tv), 11, colTextMuted, "end")
+	}
+
+	wallX := xs.Pos(float64(m.Wall))
+
+	// Zones (Fig 2a) or the unattainable region beyond the wall.
+	if opts.ShowZones && m.Targets != nil {
+		drawZones(c, m, xs, ys, marginT, h-marginB, wallX)
+	}
+	// Grey the region beyond the wall.
+	c.Rect(wallX, marginT, xs.PixMax-wallX, h-marginB-marginT, colUnattain, "", 0.15)
+
+	if opts.ShadeBoundClass {
+		shadeBoundClass(c, m, xs, ys, h-marginB, wallX)
+	}
+
+	// Ceilings: solid up to the wall, dashed beyond (unreachable).
+	for i, ceil := range m.Ceilings {
+		col := seriesColors[i%len(seriesColors)]
+		drawCeiling(c, ceil, xs, ys, wallX, col)
+	}
+
+	// Wall.
+	c.Line(wallX, marginT, wallX, h-marginB, colWall, 2, "")
+	c.Text(wallX+4, marginT+12, fmt.Sprintf("parallelism wall: %d", m.Wall), 11, colText, "start")
+
+	// Targets (dashed).
+	if m.Targets != nil {
+		if tp := m.Targets.ThroughputTPS; tp > 0 {
+			py := ys.Pos(tp)
+			c.Line(marginL, py, w-marginR, py, colTarget, 1.5, "6 4")
+			c.Text(w-marginR-4, py-4, fmt.Sprintf("target throughput %.3g TPS", tp), 11, colTextMuted, "end")
+		}
+		if mt := m.Targets.MakespanTPS(); mt > 0 {
+			py := ys.Pos(mt)
+			c.Line(marginL, py, w-marginR, py, colTarget, 1.5, "2 3")
+			c.Text(w-marginR-4, py+12, fmt.Sprintf("target makespan %.4gs", m.Targets.MakespanSeconds), 11, colTextMuted, "end")
+		}
+	}
+
+	// Points.
+	for _, p := range points {
+		px, py := xs.Pos(p.ParallelTasks), ys.Pos(p.TPS)
+		c.Circle(px, py, 5, colPoint, "white")
+		label := p.Label
+		if p.MakespanSeconds > 0 {
+			label = fmt.Sprintf("%s (%.4gs)", p.Label, p.MakespanSeconds)
+		}
+		c.Text(px+8, py-6, label, 11, colText, "start")
+	}
+
+	// Axis labels and title.
+	c.Text(w/2, h-10, "Number of Parallel Tasks", 13, colText, "middle")
+	c.Text(14, marginT-14, "Throughput [tasks/sec]", 13, colText, "start")
+	c.Text(w/2, 18, m.Title, 14, colText, "middle")
+
+	return c.String(), nil
+}
+
+// drawCeiling renders one bound: node ceilings are diagonals, system
+// ceilings horizontals; both turn dashed beyond the wall, and scenario
+// (what-if) ceilings are dashed throughout.
+func drawCeiling(c *Canvas, ceil core.Ceiling, xs, ys LogScale, wallX float64, col string) {
+	y := func(x float64) float64 { return ys.Pos(ceil.TPSAt(x)) }
+	wall := wallAt(xs, wallX)
+	if ceil.Scenario {
+		c.Line(xs.Pos(xs.Min), y(xs.Min), wallX, y(wall), col, 1.5, "7 3")
+	} else {
+		// Solid segment [xmin, wall].
+		c.Polyline(
+			[]float64{xs.Pos(xs.Min), wallX},
+			[]float64{y(xs.Min), y(wall)},
+			col, 2)
+	}
+	// Dashed segment beyond the wall.
+	if wallX < xs.PixMax-1 {
+		c.Line(wallX, y(wall), xs.PixMax, y(xs.Max), col, 1.5, "4 4")
+	}
+	// Label near the left end, just above the line.
+	c.Text(xs.Pos(xs.Min)+6, y(xs.Min)-5, ceil.Name, 11, col, "start")
+}
+
+// wallAt inverts the pixel position of the wall back into data space.
+func wallAt(xs LogScale, wallX float64) float64 {
+	f := (wallX - xs.PixMin) / (xs.PixMax - xs.PixMin)
+	return math.Pow(10, math.Log10(xs.Min)+f*(math.Log10(xs.Max)-math.Log10(xs.Min)))
+}
+
+// drawZones shades the Fig 2a quadrants: the two horizontal target lines
+// split the y range into bands (above both = green, between = amber, below
+// both = red).
+func drawZones(c *Canvas, m *core.Model, xs, ys LogScale, top, bottom, wallX float64) {
+	t1 := m.Targets.ThroughputTPS
+	t2 := m.Targets.MakespanTPS()
+	ysOf := func(v float64) float64 {
+		if v <= 0 {
+			return bottom
+		}
+		return ys.Pos(v)
+	}
+	hi, lo := math.Max(t1, t2), math.Min(t1, t2)
+	if lo <= 0 {
+		lo = hi
+	}
+	if hi <= 0 {
+		return
+	}
+	left := xs.PixMin
+	width := wallX - left
+	yHi, yLo := ysOf(hi), ysOf(lo)
+	// Above both targets.
+	c.Rect(left, top, width, math.Max(0, yHi-top), colZoneGood, "", 0.10)
+	// Between the targets.
+	if yLo > yHi {
+		c.Rect(left, yHi, width, yLo-yHi, colZoneWarn, "", 0.10)
+	}
+	// Below both targets.
+	c.Rect(left, yLo, width, math.Max(0, bottom-yLo), colZoneBad, "", 0.10)
+}
+
+// shadeBoundClass fills the attainable region (under the bound envelope,
+// left of the wall) in per-column strips colored by the binding resource
+// kind: blue where a node-local resource binds, orange where a shared
+// system resource does (the paper's Fig 3 split).
+func shadeBoundClass(c *Canvas, m *core.Model, xs, ys LogScale, bottom, wallX float64) {
+	const strips = 96
+	left := xs.PixMin
+	width := wallX - left
+	if width <= 0 {
+		return
+	}
+	stripW := width / strips
+	for i := 0; i < strips; i++ {
+		px := left + stripW*float64(i)
+		// Invert the strip midpoint back to data space.
+		f := (px + stripW/2 - xs.PixMin) / (xs.PixMax - xs.PixMin)
+		x := math.Pow(10, math.Log10(xs.Min)+f*(math.Log10(xs.Max)-math.Log10(xs.Min)))
+		bound, limit := m.Bound(x)
+		if math.IsInf(bound, 1) || bound <= 0 {
+			continue
+		}
+		top := ys.Pos(bound)
+		if top >= bottom {
+			continue
+		}
+		col := seriesColors[0] // blue: node bound
+		if !core.NodeResource(limit.Resource) {
+			col = seriesColors[7] // orange: system bound
+		}
+		c.Rect(px, top, stripW+0.5, bottom-top, col, "", 0.12)
+	}
+}
+
+// RooflineASCII renders a compact terminal view: the attainable envelope
+// ('*'), the wall ('|'), and empirical points ('o'), with a legend of
+// ceilings below.
+func RooflineASCII(m *core.Model, points []core.Point, width, height int) (string, error) {
+	if err := m.Validate(); err != nil {
+		return "", err
+	}
+	if width < 20 {
+		width = 60
+	}
+	if height < 8 {
+		height = 18
+	}
+	opts := Options{Width: 860, Height: 560}
+	autoRange(m, points, &opts)
+	xs := LogScale{Min: opts.XMin, Max: opts.XMax, PixMin: 0, PixMax: float64(width - 1)}
+	ys := LogScale{Min: opts.YMin, Max: opts.YMax, PixMin: float64(height - 1), PixMax: 0}
+
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", width))
+	}
+	// Envelope per column.
+	for colIdx := 0; colIdx < width; colIdx++ {
+		f := float64(colIdx) / float64(width-1)
+		x := math.Pow(10, math.Log10(xs.Min)+f*(math.Log10(xs.Max)-math.Log10(xs.Min)))
+		bound, limit := m.Bound(x)
+		if math.IsInf(bound, 1) {
+			continue
+		}
+		row := int(math.Round(ys.Pos(bound)))
+		if row < 0 || row >= height {
+			continue
+		}
+		mark := byte('*')
+		if x > float64(m.Wall) {
+			mark = '.'
+		} else if limit.Scope == core.ScopeNode {
+			mark = '/'
+		} else {
+			mark = '-'
+		}
+		grid[row][colIdx] = mark
+	}
+	// Wall column.
+	wallCol := int(math.Round(xs.Pos(float64(m.Wall))))
+	if wallCol >= 0 && wallCol < width {
+		for r := 0; r < height; r++ {
+			if grid[r][wallCol] == ' ' {
+				grid[r][wallCol] = '|'
+			}
+		}
+	}
+	// Points.
+	for _, p := range points {
+		colIdx := int(math.Round(xs.Pos(p.ParallelTasks)))
+		row := int(math.Round(ys.Pos(p.TPS)))
+		if colIdx >= 0 && colIdx < width && row >= 0 && row < height {
+			grid[row][colIdx] = 'o'
+		}
+	}
+
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s  [y: %.3g..%.3g TPS, x: %.3g..%.3g tasks, log-log]\n",
+		m.Title, opts.YMin, opts.YMax, opts.XMin, opts.XMax)
+	for _, row := range grid {
+		sb.WriteString(string(row))
+		sb.WriteByte('\n')
+	}
+	for _, ceil := range m.Ceilings {
+		kind := "-"
+		if ceil.Scope == core.ScopeNode {
+			kind = "/"
+		}
+		fmt.Fprintf(&sb, "%s %s\n", kind, ceil.Name)
+	}
+	fmt.Fprintf(&sb, "| parallelism wall: %d tasks\n", m.Wall)
+	for _, p := range points {
+		fmt.Fprintf(&sb, "o %s: p=%.4g, %.4g TPS\n", p.Label, p.ParallelTasks, p.TPS)
+	}
+	return sb.String(), nil
+}

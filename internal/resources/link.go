@@ -1,0 +1,206 @@
+// Package resources provides shared-resource models for the workflow
+// simulator: bandwidth links with max-min fair sharing among concurrent
+// flows (file system, external/DTN, network fabric) and counting node pools
+// (compute allocation). Both are built on the discrete-event engine.
+package resources
+
+import (
+	"fmt"
+	"math"
+
+	"wroofline/internal/engine"
+)
+
+// flow is one in-flight transfer on a Link.
+type flow struct {
+	remaining float64 // bytes left
+	rate      float64 // current bytes/s share
+	done      func(start, end float64)
+	start     float64
+}
+
+// Link is a shared bandwidth resource. Concurrent flows divide the capacity
+// by max-min fair share: each flow receives min(PerFlowCap, capacity/n).
+// When some flows are capped below the equal share, the surplus is
+// redistributed to the others (classic water-filling with homogeneous caps
+// this reduces to the min above).
+//
+// A Link models the paper's shared system resources: the parallel file
+// system (5.6 TB/s aggregate), the external/DTN path (per-flow 1 GB/s on
+// LCLS "good days", 0.2 GB/s on "bad days"), or a fabric.
+type Link struct {
+	// Name labels the link in errors and traces.
+	Name string
+
+	eng        *engine.Engine
+	capacity   float64
+	perFlowCap float64
+	flows      map[*flow]struct{}
+	next       *engine.Event
+	lastSettle float64
+}
+
+// NewLink creates a link with aggregate capacity (bytes/s) and an optional
+// per-flow rate cap (0 = uncapped).
+func NewLink(eng *engine.Engine, name string, capacity, perFlowCap float64) (*Link, error) {
+	if eng == nil {
+		return nil, fmt.Errorf("resources: link %q needs an engine", name)
+	}
+	if capacity <= 0 || math.IsNaN(capacity) || math.IsInf(capacity, 0) {
+		return nil, fmt.Errorf("resources: link %q needs positive finite capacity, got %v", name, capacity)
+	}
+	if perFlowCap < 0 || math.IsNaN(perFlowCap) {
+		return nil, fmt.Errorf("resources: link %q has invalid per-flow cap %v", name, perFlowCap)
+	}
+	return &Link{
+		Name:       name,
+		eng:        eng,
+		capacity:   capacity,
+		perFlowCap: perFlowCap,
+		flows:      make(map[*flow]struct{}),
+	}, nil
+}
+
+// Capacity returns the aggregate capacity in bytes/s.
+func (l *Link) Capacity() float64 { return l.capacity }
+
+// SetCapacity changes the aggregate capacity at the current virtual time,
+// modelling contention onset or relief mid-run. In-flight flows are settled
+// first so completed progress is preserved.
+func (l *Link) SetCapacity(capacity float64) error {
+	if capacity <= 0 || math.IsNaN(capacity) || math.IsInf(capacity, 0) {
+		return fmt.Errorf("resources: link %q: invalid capacity %v", l.Name, capacity)
+	}
+	l.settle()
+	l.capacity = capacity
+	l.reschedule()
+	return nil
+}
+
+// ActiveFlows returns the number of in-flight transfers.
+func (l *Link) ActiveFlows() int { return len(l.flows) }
+
+// Transfer starts moving bytes across the link. done is invoked (with the
+// flow's start and end virtual times) when the transfer completes. A
+// zero-byte transfer completes immediately.
+func (l *Link) Transfer(bytes float64, done func(start, end float64)) error {
+	if bytes < 0 || math.IsNaN(bytes) || math.IsInf(bytes, 0) {
+		return fmt.Errorf("resources: link %q: invalid transfer size %v", l.Name, bytes)
+	}
+	now := l.eng.Now()
+	if bytes == 0 {
+		if done != nil {
+			done(now, now)
+		}
+		return nil
+	}
+	l.settle()
+	f := &flow{remaining: bytes, done: done, start: now}
+	l.flows[f] = struct{}{}
+	l.reschedule()
+	return nil
+}
+
+// settle applies progress at the current rates since the last settle point.
+func (l *Link) settle() {
+	now := l.eng.Now()
+	dt := now - l.lastSettle
+	l.lastSettle = now
+	if dt <= 0 || len(l.flows) == 0 {
+		return
+	}
+	var finished []*flow
+	for f := range l.flows {
+		f.remaining -= f.rate * dt
+		if l.flowDone(f) {
+			f.remaining = 0
+			finished = append(finished, f)
+		}
+	}
+	for _, f := range finished {
+		delete(l.flows, f)
+		if f.done != nil {
+			f.done(f.start, now)
+		}
+	}
+}
+
+// flowDone reports whether a flow is complete within tolerance. The
+// tolerance is a nanosecond of transfer at the flow's current rate: virtual
+// timestamps only carry ~1 ulp of precision, so after settling at a large
+// clock value a few bytes of rounding error can remain — without the
+// rate-relative term the link would reschedule completions at sub-ulp
+// deltas forever.
+func (l *Link) flowDone(f *flow) bool {
+	return f.remaining <= 1e-9 || f.remaining <= f.rate*1e-9
+}
+
+// shareRate returns the per-flow max-min rate for n flows.
+func (l *Link) shareRate(n int) float64 {
+	if n == 0 {
+		return 0
+	}
+	r := l.capacity / float64(n)
+	if l.perFlowCap > 0 && l.perFlowCap < r {
+		r = l.perFlowCap
+	}
+	return r
+}
+
+// reschedule recomputes rates and (re)arms the next-completion event.
+func (l *Link) reschedule() {
+	if l.next != nil {
+		l.next.Cancel()
+		l.next = nil
+	}
+	// Complete any flows already within tolerance at the rate they would
+	// receive, so a completion event that lands on the same timestamp (after
+	// float rounding) cannot loop.
+	for {
+		n := len(l.flows)
+		if n == 0 {
+			return
+		}
+		rate := l.shareRate(n)
+		var finished []*flow
+		for f := range l.flows {
+			f.rate = rate
+			if l.flowDone(f) {
+				finished = append(finished, f)
+			}
+		}
+		if len(finished) == 0 {
+			break
+		}
+		now := l.eng.Now()
+		for _, f := range finished {
+			f.remaining = 0
+			delete(l.flows, f)
+			if f.done != nil {
+				f.done(f.start, now)
+			}
+		}
+	}
+	rate := l.shareRate(len(l.flows))
+	soonest := math.Inf(1)
+	for f := range l.flows {
+		f.rate = rate
+		if t := f.remaining / rate; t < soonest {
+			soonest = t
+		}
+	}
+	ev, err := l.eng.Schedule(soonest, func() {
+		l.next = nil
+		l.settle()
+		l.reschedule()
+	})
+	if err != nil {
+		// Scheduling forward from now with a non-negative delay cannot fail;
+		// a failure here means the engine clock is corrupt.
+		panic(fmt.Sprintf("resources: link %q: %v", l.Name, err))
+	}
+	l.next = ev
+}
+
+// Drain reports whether the link has no pending work, for test assertions.
+func (l *Link) Drain() bool { return len(l.flows) == 0 }

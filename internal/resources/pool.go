@@ -1,0 +1,101 @@
+package resources
+
+import (
+	"fmt"
+
+	"wroofline/internal/engine"
+)
+
+// request is a queued node acquisition.
+type request struct {
+	n       int
+	granted func()
+}
+
+// Pool is a counting resource of compute nodes with FIFO granting. It
+// models a partition (or job queue allocation): tasks acquire their node
+// count, run, and release. The system parallelism wall emerges naturally:
+// at most floor(total/nodesPerTask) equal-size tasks hold nodes at once.
+type Pool struct {
+	// Name labels the pool.
+	Name string
+
+	eng   *engine.Engine
+	total int
+	free  int
+	queue []request
+	// peakInUse tracks the high-water mark of allocated nodes.
+	peakInUse int
+}
+
+// NewPool creates a pool of total nodes.
+func NewPool(eng *engine.Engine, name string, total int) (*Pool, error) {
+	if eng == nil {
+		return nil, fmt.Errorf("resources: pool %q needs an engine", name)
+	}
+	if total <= 0 {
+		return nil, fmt.Errorf("resources: pool %q needs positive capacity, got %d", name, total)
+	}
+	return &Pool{Name: name, eng: eng, total: total, free: total}, nil
+}
+
+// Total returns the pool size.
+func (p *Pool) Total() int { return p.total }
+
+// Free returns the currently idle node count.
+func (p *Pool) Free() int { return p.free }
+
+// InUse returns the currently allocated node count.
+func (p *Pool) InUse() int { return p.total - p.free }
+
+// PeakInUse returns the allocation high-water mark.
+func (p *Pool) PeakInUse() int { return p.peakInUse }
+
+// QueueLength returns the number of waiting requests.
+func (p *Pool) QueueLength() int { return len(p.queue) }
+
+// Acquire requests n nodes; granted runs (synchronously, at the current
+// virtual time) once they are allocated. Grants are strictly FIFO: a large
+// request at the head blocks smaller ones behind it (no backfill — see
+// internal/sched for backfill policies).
+func (p *Pool) Acquire(n int, granted func()) error {
+	if n <= 0 {
+		return fmt.Errorf("resources: pool %q: acquire %d nodes", p.Name, n)
+	}
+	if n > p.total {
+		return fmt.Errorf("resources: pool %q: request for %d nodes exceeds capacity %d", p.Name, n, p.total)
+	}
+	if granted == nil {
+		return fmt.Errorf("resources: pool %q: nil grant callback", p.Name)
+	}
+	p.queue = append(p.queue, request{n: n, granted: granted})
+	p.dispatch()
+	return nil
+}
+
+// Release returns n nodes to the pool and dispatches waiters.
+func (p *Pool) Release(n int) error {
+	if n <= 0 {
+		return fmt.Errorf("resources: pool %q: release %d nodes", p.Name, n)
+	}
+	if p.free+n > p.total {
+		return fmt.Errorf("resources: pool %q: release %d would exceed capacity (%d free of %d)",
+			p.Name, n, p.free, p.total)
+	}
+	p.free += n
+	p.dispatch()
+	return nil
+}
+
+// dispatch grants requests from the queue head while they fit.
+func (p *Pool) dispatch() {
+	for len(p.queue) > 0 && p.queue[0].n <= p.free {
+		req := p.queue[0]
+		p.queue = p.queue[1:]
+		p.free -= req.n
+		if inUse := p.total - p.free; inUse > p.peakInUse {
+			p.peakInUse = inUse
+		}
+		req.granted()
+	}
+}

@@ -1,0 +1,205 @@
+package resources
+
+import (
+	"testing"
+	"testing/quick"
+
+	"wroofline/internal/engine"
+)
+
+func TestPoolBasicAcquireRelease(t *testing.T) {
+	e := engine.New()
+	p, err := NewPool(e, "gpu", 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	granted := false
+	if err := p.Acquire(4, func() { granted = true }); err != nil {
+		t.Fatal(err)
+	}
+	if !granted {
+		t.Fatal("grant should be immediate when nodes are free")
+	}
+	if p.Free() != 6 || p.InUse() != 4 {
+		t.Errorf("free=%d inuse=%d", p.Free(), p.InUse())
+	}
+	if err := p.Release(4); err != nil {
+		t.Fatal(err)
+	}
+	if p.Free() != 10 {
+		t.Errorf("free=%d after release", p.Free())
+	}
+}
+
+func TestPoolQueuesWhenFull(t *testing.T) {
+	e := engine.New()
+	p, err := NewPool(e, "gpu", 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Acquire(8, func() {}); err != nil {
+		t.Fatal(err)
+	}
+	got := false
+	if err := p.Acquire(4, func() { got = true }); err != nil {
+		t.Fatal(err)
+	}
+	if got {
+		t.Fatal("4-node request should queue behind 8-node allocation")
+	}
+	if p.QueueLength() != 1 {
+		t.Errorf("queue = %d", p.QueueLength())
+	}
+	if err := p.Release(8); err != nil {
+		t.Fatal(err)
+	}
+	if !got {
+		t.Error("release should dispatch the waiter")
+	}
+}
+
+func TestPoolFIFOHeadOfLineBlocking(t *testing.T) {
+	// FIFO (no backfill): a big request at the head blocks a small one even
+	// though the small one would fit.
+	e := engine.New()
+	p, err := NewPool(e, "gpu", 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Acquire(6, func() {}); err != nil {
+		t.Fatal(err)
+	}
+	bigGranted, smallGranted := false, false
+	if err := p.Acquire(8, func() { bigGranted = true }); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Acquire(2, func() { smallGranted = true }); err != nil {
+		t.Fatal(err)
+	}
+	if smallGranted {
+		t.Error("strict FIFO must not backfill the small request")
+	}
+	if err := p.Release(6); err != nil {
+		t.Fatal(err)
+	}
+	if !bigGranted {
+		t.Error("big request should be granted after release")
+	}
+	if !smallGranted {
+		t.Error("small request should follow once the big one is placed")
+	}
+}
+
+// The parallelism wall emerges: with 1792 nodes and 64-node tasks, exactly
+// 28 tasks can hold nodes at once (paper Fig 1).
+func TestPoolParallelismWall(t *testing.T) {
+	e := engine.New()
+	p, err := NewPool(e, "gpu", 1792)
+	if err != nil {
+		t.Fatal(err)
+	}
+	running := 0
+	maxRunning := 0
+	for i := 0; i < 40; i++ {
+		if err := p.Acquire(64, func() {
+			running++
+			if running > maxRunning {
+				maxRunning = running
+			}
+			// Hold for 10 s of virtual time, then release.
+			if _, err := e.Schedule(10, func() {
+				running--
+				if err := p.Release(64); err != nil {
+					t.Error(err)
+				}
+			}); err != nil {
+				t.Error(err)
+			}
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if maxRunning != 28 {
+		t.Errorf("max concurrent 64-node tasks = %d, want 28", maxRunning)
+	}
+	if p.PeakInUse() != 28*64 {
+		t.Errorf("peak in use = %d, want %d", p.PeakInUse(), 28*64)
+	}
+	if p.Free() != 1792 {
+		t.Errorf("free at end = %d", p.Free())
+	}
+}
+
+func TestPoolValidation(t *testing.T) {
+	e := engine.New()
+	if _, err := NewPool(nil, "x", 4); err == nil {
+		t.Error("nil engine should fail")
+	}
+	if _, err := NewPool(e, "x", 0); err == nil {
+		t.Error("zero capacity should fail")
+	}
+	p, err := NewPool(e, "x", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Acquire(0, func() {}); err == nil {
+		t.Error("zero acquire should fail")
+	}
+	if err := p.Acquire(5, func() {}); err == nil {
+		t.Error("oversized acquire should fail")
+	}
+	if err := p.Acquire(1, nil); err == nil {
+		t.Error("nil callback should fail")
+	}
+	if err := p.Release(0); err == nil {
+		t.Error("zero release should fail")
+	}
+	if err := p.Release(5); err == nil {
+		t.Error("over-release should fail")
+	}
+	if p.Total() != 4 {
+		t.Errorf("total = %d", p.Total())
+	}
+}
+
+// Property: nodes are conserved — after any interleaving of acquire/release
+// pairs the pool returns to full, and in-use never exceeds total.
+func TestQuickPoolConservation(t *testing.T) {
+	f := func(sizes []uint8) bool {
+		e := engine.New()
+		p, err := NewPool(e, "q", 100)
+		if err != nil {
+			return false
+		}
+		violated := false
+		delay := 0.0
+		for _, s := range sizes {
+			n := int(s%20) + 1
+			delay += 1
+			if err := p.Acquire(n, func() {
+				if p.InUse() > p.Total() || p.Free() < 0 {
+					violated = true
+				}
+				if _, err := e.Schedule(delay, func() {
+					if err := p.Release(n); err != nil {
+						violated = true
+					}
+				}); err != nil {
+					violated = true
+				}
+			}); err != nil {
+				return false
+			}
+		}
+		if err := e.Run(); err != nil {
+			return false
+		}
+		return !violated && p.Free() == 100 && p.QueueLength() == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

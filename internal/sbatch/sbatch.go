@@ -1,0 +1,249 @@
+// Package sbatch extracts workflow structure from Slurm batch scripts. The
+// paper's methodology obtains "the number of parallel tasks and total number
+// of tasks ... from the workflow description, e.g. sbatch"; this package
+// parses the #SBATCH directives that carry that information (node counts,
+// job names, dependencies) and assembles a workflow.Workflow from a set of
+// scripts.
+//
+// Supported directives (long and short forms):
+//
+//	#SBATCH --job-name=<name>      | -J <name>
+//	#SBATCH --nodes=<n>            | -N <n>
+//	#SBATCH --ntasks=<n>           | -n <n>
+//	#SBATCH --time=<[[D-]HH:]MM:SS>| -t <spec>
+//	#SBATCH --dependency=afterok:<jobname>[:<jobname>...]
+//	#SBATCH --partition=<name>     | -p <name>
+//
+// Dependencies reference job names (a simplification of Slurm's numeric job
+// ids, which do not exist before submission).
+package sbatch
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"wroofline/internal/workflow"
+)
+
+// Script is one parsed batch script.
+type Script struct {
+	// JobName identifies the job (required for dependency references).
+	JobName string
+	// Nodes and NTasks are the resource directives (Nodes defaults to 1).
+	Nodes, NTasks int
+	// TimeLimitSeconds is the requested wall limit (0 when absent).
+	TimeLimitSeconds float64
+	// Partition is the requested partition ("" when absent).
+	Partition string
+	// DependsOn lists job names from --dependency=afterok:...
+	DependsOn []string
+}
+
+// ParseScript extracts the #SBATCH directives from a script body.
+func ParseScript(src string) (*Script, error) {
+	s := &Script{Nodes: 1}
+	for ln, raw := range strings.Split(src, "\n") {
+		line := strings.TrimSpace(raw)
+		if !strings.HasPrefix(line, "#SBATCH") {
+			continue
+		}
+		args := strings.Fields(strings.TrimSpace(strings.TrimPrefix(line, "#SBATCH")))
+		if len(args) == 0 {
+			return nil, fmt.Errorf("sbatch: line %d: empty #SBATCH directive", ln+1)
+		}
+		if err := s.directive(args); err != nil {
+			return nil, fmt.Errorf("sbatch: line %d: %w", ln+1, err)
+		}
+	}
+	if s.JobName == "" {
+		return nil, fmt.Errorf("sbatch: script has no --job-name/-J directive")
+	}
+	if s.Nodes <= 0 {
+		return nil, fmt.Errorf("sbatch: job %q has non-positive node count %d", s.JobName, s.Nodes)
+	}
+	return s, nil
+}
+
+// directive applies one directive's arguments.
+func (s *Script) directive(args []string) error {
+	key := args[0]
+	// Normalize "--opt=value" into key/value; short options take the next
+	// argument.
+	var val string
+	switch {
+	case strings.HasPrefix(key, "--"):
+		if eq := strings.IndexByte(key, '='); eq >= 0 {
+			key, val = key[:eq], key[eq+1:]
+		} else if len(args) > 1 {
+			val = args[1]
+		}
+	case strings.HasPrefix(key, "-"):
+		if len(args) > 1 {
+			val = args[1]
+		}
+	default:
+		return fmt.Errorf("unrecognized directive %q", key)
+	}
+	if val == "" {
+		return fmt.Errorf("directive %q has no value", key)
+	}
+	switch key {
+	case "--job-name", "-J":
+		s.JobName = val
+	case "--nodes", "-N":
+		n, err := strconv.Atoi(val)
+		if err != nil {
+			return fmt.Errorf("bad node count %q", val)
+		}
+		s.Nodes = n
+	case "--ntasks", "-n":
+		n, err := strconv.Atoi(val)
+		if err != nil {
+			return fmt.Errorf("bad ntasks %q", val)
+		}
+		s.NTasks = n
+	case "--time", "-t":
+		secs, err := ParseTimeLimit(val)
+		if err != nil {
+			return err
+		}
+		s.TimeLimitSeconds = secs
+	case "--partition", "-p":
+		s.Partition = val
+	case "--dependency", "-d":
+		deps, err := parseDependency(val)
+		if err != nil {
+			return err
+		}
+		s.DependsOn = append(s.DependsOn, deps...)
+	default:
+		// Unknown directives (mail, output, account, ...) are ignored, as
+		// Slurm itself tolerates unrecognized-but-wellformed options here.
+	}
+	return nil
+}
+
+// parseDependency handles "afterok:name1:name2" (and "afterany", which we
+// treat identically for structure purposes).
+func parseDependency(val string) ([]string, error) {
+	parts := strings.Split(val, ":")
+	if len(parts) < 2 {
+		return nil, fmt.Errorf("bad dependency %q (want afterok:<job>[:<job>...])", val)
+	}
+	switch parts[0] {
+	case "afterok", "afterany", "after":
+	default:
+		return nil, fmt.Errorf("unsupported dependency type %q", parts[0])
+	}
+	for _, name := range parts[1:] {
+		if name == "" {
+			return nil, fmt.Errorf("empty job name in dependency %q", val)
+		}
+	}
+	return parts[1:], nil
+}
+
+// ParseTimeLimit parses Slurm time specs: MM, MM:SS, HH:MM:SS, D-HH,
+// D-HH:MM, and D-HH:MM:SS, returning seconds.
+func ParseTimeLimit(val string) (float64, error) {
+	days := 0
+	rest := val
+	if dash := strings.IndexByte(val, '-'); dash >= 0 {
+		d, err := strconv.Atoi(val[:dash])
+		if err != nil || d < 0 {
+			return 0, fmt.Errorf("bad day count in time %q", val)
+		}
+		days = d
+		rest = val[dash+1:]
+	}
+	parts := strings.Split(rest, ":")
+	nums := make([]int, len(parts))
+	for i, p := range parts {
+		n, err := strconv.Atoi(p)
+		if err != nil || n < 0 {
+			return 0, fmt.Errorf("bad time component %q in %q", p, val)
+		}
+		nums[i] = n
+	}
+	var secs float64
+	switch len(nums) {
+	case 1:
+		if days > 0 {
+			secs = float64(nums[0]) * 3600 // D-HH
+		} else {
+			secs = float64(nums[0]) * 60 // MM
+		}
+	case 2:
+		if days > 0 {
+			secs = float64(nums[0])*3600 + float64(nums[1])*60 // D-HH:MM
+		} else {
+			secs = float64(nums[0])*60 + float64(nums[1]) // MM:SS
+		}
+	case 3:
+		secs = float64(nums[0])*3600 + float64(nums[1])*60 + float64(nums[2]) // [D-]HH:MM:SS
+	default:
+		return 0, fmt.Errorf("bad time spec %q", val)
+	}
+	return secs + float64(days)*86400, nil
+}
+
+// BuildWorkflow assembles a workflow from parsed scripts. The workflow is
+// named name; partition comes from the scripts (they must agree; a script
+// without a partition inherits the common one). Dependencies must reference
+// declared job names.
+func BuildWorkflow(name string, scripts []*Script) (*workflow.Workflow, error) {
+	if len(scripts) == 0 {
+		return nil, fmt.Errorf("sbatch: no scripts")
+	}
+	partition := ""
+	for _, s := range scripts {
+		if s.Partition == "" {
+			continue
+		}
+		if partition == "" {
+			partition = s.Partition
+		} else if partition != s.Partition {
+			return nil, fmt.Errorf("sbatch: scripts span partitions %q and %q; one workflow uses one partition",
+				partition, s.Partition)
+		}
+	}
+	if partition == "" {
+		return nil, fmt.Errorf("sbatch: no script declares a partition")
+	}
+	w := workflow.New(name, partition)
+	for _, s := range scripts {
+		if err := w.AddTask(&workflow.Task{
+			ID:    s.JobName,
+			Nodes: s.Nodes,
+			Procs: s.NTasks,
+		}); err != nil {
+			return nil, err
+		}
+	}
+	for _, s := range scripts {
+		for _, dep := range s.DependsOn {
+			if err := w.AddDep(dep, s.JobName); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if err := w.Validate(); err != nil {
+		return nil, err
+	}
+	return w, nil
+}
+
+// ParseAll parses multiple script bodies and builds the workflow in one
+// call.
+func ParseAll(name string, sources []string) (*workflow.Workflow, error) {
+	scripts := make([]*Script, 0, len(sources))
+	for i, src := range sources {
+		s, err := ParseScript(src)
+		if err != nil {
+			return nil, fmt.Errorf("sbatch: script %d: %w", i, err)
+		}
+		scripts = append(scripts, s)
+	}
+	return BuildWorkflow(name, scripts)
+}

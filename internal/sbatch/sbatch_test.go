@@ -1,0 +1,233 @@
+package sbatch
+
+import (
+	"strings"
+	"testing"
+)
+
+const analyzeScript = `#!/bin/bash
+#SBATCH --job-name=analyze0
+#SBATCH --nodes=32
+#SBATCH --ntasks=1024
+#SBATCH --time=00:30:00
+#SBATCH --partition=haswell
+#SBATCH --output=analyze.%j.out
+
+srun ./analyze input0.h5
+`
+
+func TestParseScript(t *testing.T) {
+	s, err := ParseScript(analyzeScript)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.JobName != "analyze0" {
+		t.Errorf("job name = %q", s.JobName)
+	}
+	if s.Nodes != 32 || s.NTasks != 1024 {
+		t.Errorf("sizing = %d nodes / %d tasks", s.Nodes, s.NTasks)
+	}
+	if s.TimeLimitSeconds != 1800 {
+		t.Errorf("time limit = %v", s.TimeLimitSeconds)
+	}
+	if s.Partition != "haswell" {
+		t.Errorf("partition = %q", s.Partition)
+	}
+}
+
+func TestParseShortOptions(t *testing.T) {
+	src := `#SBATCH -J merge
+#SBATCH -N 1
+#SBATCH -n 4
+#SBATCH -t 15
+#SBATCH -p haswell
+#SBATCH -d afterok:analyze0:analyze1
+`
+	s, err := ParseScript(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.JobName != "merge" || s.Nodes != 1 || s.NTasks != 4 {
+		t.Errorf("parsed: %+v", s)
+	}
+	if s.TimeLimitSeconds != 15*60 {
+		t.Errorf("time = %v (bare minutes)", s.TimeLimitSeconds)
+	}
+	if len(s.DependsOn) != 2 || s.DependsOn[0] != "analyze0" || s.DependsOn[1] != "analyze1" {
+		t.Errorf("deps = %v", s.DependsOn)
+	}
+}
+
+func TestParseDefaults(t *testing.T) {
+	s, err := ParseScript("#SBATCH --job-name=solo\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Nodes != 1 {
+		t.Errorf("default nodes = %d, want 1", s.Nodes)
+	}
+}
+
+func TestParseScriptErrors(t *testing.T) {
+	cases := map[string]string{
+		"no job name":      "#SBATCH --nodes=4\n",
+		"bad nodes":        "#SBATCH --job-name=x\n#SBATCH --nodes=four\n",
+		"zero nodes":       "#SBATCH --job-name=x\n#SBATCH --nodes=0\n",
+		"empty directive":  "#SBATCH\n#SBATCH --job-name=x\n",
+		"missing value":    "#SBATCH --job-name\n",
+		"bad dep type":     "#SBATCH --job-name=x\n#SBATCH --dependency=before:y\n",
+		"bad dep empty":    "#SBATCH --job-name=x\n#SBATCH --dependency=afterok:\n",
+		"bad dep no colon": "#SBATCH --job-name=x\n#SBATCH --dependency=afterok\n",
+		"bad time":         "#SBATCH --job-name=x\n#SBATCH --time=later\n",
+		"weird directive":  "#SBATCH nodes=4\n#SBATCH --job-name=x\n",
+	}
+	for name, src := range cases {
+		if _, err := ParseScript(src); err == nil {
+			t.Errorf("%s: should fail:\n%s", name, src)
+		}
+	}
+}
+
+func TestUnknownDirectivesIgnored(t *testing.T) {
+	src := "#SBATCH --job-name=x\n#SBATCH --mail-type=ALL\n#SBATCH --account=m0000\n"
+	if _, err := ParseScript(src); err != nil {
+		t.Errorf("unknown directives should be tolerated: %v", err)
+	}
+}
+
+func TestParseTimeLimit(t *testing.T) {
+	cases := map[string]float64{
+		"30":         30 * 60,
+		"30:15":      30*60 + 15,
+		"01:30:00":   5400,
+		"1-00":       86400,
+		"1-01":       86400 + 3600,
+		"1-06:30":    86400 + 6*3600 + 30*60,
+		"2-01:02:03": 2*86400 + 3600 + 2*60 + 3,
+	}
+	for in, want := range cases {
+		got, err := ParseTimeLimit(in)
+		if err != nil {
+			t.Errorf("ParseTimeLimit(%q): %v", in, err)
+			continue
+		}
+		if got != want {
+			t.Errorf("ParseTimeLimit(%q) = %v, want %v", in, got, want)
+		}
+	}
+	for _, bad := range []string{"", "a", "1:2:3:4", "-1", "x-01:00", "1-"} {
+		if _, err := ParseTimeLimit(bad); err == nil {
+			t.Errorf("ParseTimeLimit(%q) should fail", bad)
+		}
+	}
+}
+
+// The LCLS shape from six sbatch scripts: five 32-node analyses and a merge
+// depending on all of them.
+func TestBuildWorkflowLCLSShape(t *testing.T) {
+	var sources []string
+	names := []string{"a0", "a1", "a2", "a3", "a4"}
+	for _, n := range names {
+		sources = append(sources,
+			"#SBATCH --job-name="+n+"\n#SBATCH --nodes=32\n#SBATCH --ntasks=1024\n#SBATCH --partition=haswell\n")
+	}
+	sources = append(sources,
+		"#SBATCH --job-name=merge\n#SBATCH --nodes=1\n#SBATCH --partition=haswell\n"+
+			"#SBATCH --dependency=afterok:a0:a1:a2:a3:a4\n")
+	w, err := ParseAll("LCLS", sources)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.TotalTasks() != 6 {
+		t.Errorf("tasks = %d", w.TotalTasks())
+	}
+	p, err := w.ParallelTasks()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p != 5 {
+		t.Errorf("parallel tasks = %d, want 5 — the paper's sbatch-derived number", p)
+	}
+	cpl, err := w.Graph().CriticalPathLength()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cpl != 2 {
+		t.Errorf("critical path length = %d, want 2", cpl)
+	}
+	mergeTask, err := w.Task("merge")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mergeTask.Nodes != 1 {
+		t.Errorf("merge nodes = %d", mergeTask.Nodes)
+	}
+	if w.Partition != "haswell" {
+		t.Errorf("partition = %q", w.Partition)
+	}
+}
+
+func TestBuildWorkflowErrors(t *testing.T) {
+	if _, err := BuildWorkflow("x", nil); err == nil {
+		t.Error("no scripts should fail")
+	}
+	// No partition anywhere.
+	s1, err := ParseScript("#SBATCH --job-name=a\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := BuildWorkflow("x", []*Script{s1}); err == nil {
+		t.Error("missing partition should fail")
+	}
+	// Conflicting partitions.
+	sources := []string{
+		"#SBATCH --job-name=a\n#SBATCH --partition=cpu\n",
+		"#SBATCH --job-name=b\n#SBATCH --partition=gpu\n",
+	}
+	if _, err := ParseAll("x", sources); err == nil {
+		t.Error("conflicting partitions should fail")
+	}
+	// Dangling dependency.
+	sources = []string{
+		"#SBATCH --job-name=a\n#SBATCH --partition=cpu\n#SBATCH --dependency=afterok:ghost\n",
+	}
+	if _, err := ParseAll("x", sources); err == nil {
+		t.Error("dependency on an undeclared job should fail")
+	}
+	// Duplicate job names.
+	sources = []string{
+		"#SBATCH --job-name=a\n#SBATCH --partition=cpu\n",
+		"#SBATCH --job-name=a\n#SBATCH --partition=cpu\n",
+	}
+	if _, err := ParseAll("x", sources); err == nil {
+		t.Error("duplicate job names should fail")
+	}
+	// Cyclic dependencies.
+	sources = []string{
+		"#SBATCH --job-name=a\n#SBATCH --partition=cpu\n#SBATCH --dependency=afterok:b\n",
+		"#SBATCH --job-name=b\n#SBATCH --partition=cpu\n#SBATCH --dependency=afterok:a\n",
+	}
+	if _, err := ParseAll("x", sources); err == nil {
+		t.Error("cyclic dependencies should fail")
+	}
+	// Parse error inside ParseAll carries the script index.
+	_, err = ParseAll("x", []string{"#SBATCH --nodes=2\n"})
+	if err == nil || !strings.Contains(err.Error(), "script 0") {
+		t.Errorf("ParseAll error should name the script: %v", err)
+	}
+}
+
+func TestPartitionInheritance(t *testing.T) {
+	// One script declares the partition; the other inherits it.
+	sources := []string{
+		"#SBATCH --job-name=a\n#SBATCH --partition=cpu\n",
+		"#SBATCH --job-name=b\n#SBATCH --dependency=afterok:a\n",
+	}
+	w, err := ParseAll("x", sources)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Partition != "cpu" {
+		t.Errorf("partition = %q", w.Partition)
+	}
+}

@@ -1,0 +1,229 @@
+// Package sched simulates batch-scheduler node allocation over time. It
+// provides two policies — strict FIFO and EASY backfill — so the toolkit can
+// study how queueing policy interacts with the system parallelism wall (an
+// ablation called out in DESIGN.md). The workflow simulator (internal/sim)
+// uses plain FIFO pools; this package is the standalone policy model.
+package sched
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Policy selects the queueing discipline.
+type Policy int
+
+const (
+	// FIFO grants strictly in arrival order; a large job at the head blocks
+	// everything behind it.
+	FIFO Policy = iota
+	// Backfill implements EASY backfill: the head job gets a reservation at
+	// the earliest time enough nodes will be free, and later jobs may jump
+	// ahead only if they finish (by their estimate) before that reservation.
+	Backfill
+)
+
+// String names the policy.
+func (p Policy) String() string {
+	switch p {
+	case FIFO:
+		return "fifo"
+	case Backfill:
+		return "easy-backfill"
+	default:
+		return fmt.Sprintf("Policy(%d)", int(p))
+	}
+}
+
+// Job is one batch job: a node count, a duration (the simulation treats the
+// estimate as exact), and a submission time.
+type Job struct {
+	// ID names the job.
+	ID string
+	// Nodes is the node requirement.
+	Nodes int
+	// Duration is the runtime in seconds once started.
+	Duration float64
+	// Submit is the submission time in seconds.
+	Submit float64
+}
+
+// Placement records when a job started and ended.
+type Placement struct {
+	// Start is the grant time.
+	Start float64
+	// End is Start + Duration.
+	End float64
+	// Backfilled marks jobs that jumped the queue.
+	Backfilled bool
+}
+
+// Result is a completed schedule.
+type Result struct {
+	// Placements maps job id to its placement.
+	Placements map[string]Placement
+	// Makespan is the latest end time.
+	Makespan float64
+	// Policy echoes the discipline used.
+	Policy Policy
+	// BackfilledJobs counts queue-jumpers (always 0 for FIFO).
+	BackfilledJobs int
+}
+
+// WaitTime returns the average queue wait (start - submit) across jobs.
+func (r *Result) WaitTime(jobs []Job) float64 {
+	if len(jobs) == 0 {
+		return 0
+	}
+	total := 0.0
+	for _, j := range jobs {
+		total += r.Placements[j.ID].Start - j.Submit
+	}
+	return total / float64(len(jobs))
+}
+
+// running is an active job in the node-availability heap.
+type running struct {
+	end   float64
+	nodes int
+}
+
+type runHeap []running
+
+func (h runHeap) Len() int           { return len(h) }
+func (h runHeap) Less(i, j int) bool { return h[i].end < h[j].end }
+func (h runHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *runHeap) Push(x any)        { *h = append(*h, x.(running)) }
+func (h *runHeap) Pop() any          { old := *h; n := len(old); v := old[n-1]; *h = old[:n-1]; return v }
+func (h runHeap) peekEnd() float64   { return h[0].end }
+
+// Simulate runs the schedule to completion and returns per-job placements.
+// Jobs are considered in (Submit, input order) sequence; ids must be unique.
+func Simulate(jobs []Job, totalNodes int, policy Policy) (*Result, error) {
+	if totalNodes <= 0 {
+		return nil, fmt.Errorf("sched: need positive node count, got %d", totalNodes)
+	}
+	seen := make(map[string]bool, len(jobs))
+	for _, j := range jobs {
+		if j.ID == "" {
+			return nil, fmt.Errorf("sched: job with empty id")
+		}
+		if seen[j.ID] {
+			return nil, fmt.Errorf("sched: duplicate job id %q", j.ID)
+		}
+		seen[j.ID] = true
+		if j.Nodes <= 0 || j.Nodes > totalNodes {
+			return nil, fmt.Errorf("sched: job %q needs %d nodes of %d", j.ID, j.Nodes, totalNodes)
+		}
+		if j.Duration < 0 || math.IsNaN(j.Duration) || math.IsInf(j.Duration, 0) {
+			return nil, fmt.Errorf("sched: job %q has invalid duration %v", j.ID, j.Duration)
+		}
+		if j.Submit < 0 || math.IsNaN(j.Submit) {
+			return nil, fmt.Errorf("sched: job %q has invalid submit time %v", j.ID, j.Submit)
+		}
+	}
+
+	// Stable order by submit time.
+	order := make([]Job, len(jobs))
+	copy(order, jobs)
+	sort.SliceStable(order, func(i, j int) bool { return order[i].Submit < order[j].Submit })
+
+	res := &Result{Placements: make(map[string]Placement, len(jobs)), Policy: policy}
+	var queue []Job    // waiting, in arrival order
+	var active runHeap // running jobs by end time
+	free := totalNodes
+	now := 0.0
+	next := 0 // next job in order to arrive
+
+	start := func(j Job, t float64, backfilled bool) {
+		free -= j.Nodes
+		end := t + j.Duration
+		heap.Push(&active, running{end: end, nodes: j.Nodes})
+		res.Placements[j.ID] = Placement{Start: t, End: end, Backfilled: backfilled}
+		if backfilled {
+			res.BackfilledJobs++
+		}
+		if end > res.Makespan {
+			res.Makespan = end
+		}
+	}
+
+	// dispatch starts queued jobs according to the policy at time now.
+	dispatch := func() {
+		// FIFO front-of-queue grants (both policies do this first).
+		for len(queue) > 0 && queue[0].Nodes <= free {
+			start(queue[0], now, false)
+			queue = queue[1:]
+		}
+		if policy != Backfill || len(queue) == 0 {
+			return
+		}
+		// EASY: give the head job a reservation at the shadow time — the
+		// earliest instant enough nodes accumulate from completions — then
+		// let later jobs jump ahead only if they cannot delay it.
+		head := queue[0]
+		shadow := now
+		avail := free
+		ends := make([]running, len(active))
+		copy(ends, active)
+		sort.Slice(ends, func(i, j int) bool { return ends[i].end < ends[j].end })
+		for _, r := range ends {
+			if avail >= head.Nodes {
+				break
+			}
+			avail += r.nodes
+			shadow = r.end
+		}
+		// extra = nodes still free at the shadow time once the head starts;
+		// a backfilled job using at most this many can run past the shadow
+		// time without delaying the reservation.
+		extra := avail - head.Nodes
+		for i := 1; i < len(queue); {
+			cand := queue[i]
+			fitsNow := cand.Nodes <= free
+			endsInTime := now+cand.Duration <= shadow+1e-9
+			withinExtra := cand.Nodes <= extra
+			if fitsNow && (endsInTime || withinExtra) {
+				start(cand, now, true)
+				queue = append(queue[:i], queue[i+1:]...)
+				if withinExtra && !endsInTime {
+					extra -= cand.Nodes
+				}
+				i = 1 // free changed; rescan
+				continue
+			}
+			i++
+		}
+	}
+
+	for next < len(order) || len(queue) > 0 || active.Len() > 0 {
+		// Advance time to the next interesting instant.
+		tArrive, tFinish := math.Inf(1), math.Inf(1)
+		if next < len(order) {
+			tArrive = order[next].Submit
+		}
+		if active.Len() > 0 {
+			tFinish = active.peekEnd()
+		}
+		if math.IsInf(tArrive, 1) && math.IsInf(tFinish, 1) {
+			// Queue non-empty but nothing running and nothing arriving:
+			// impossible given per-job validation (every job fits).
+			return nil, fmt.Errorf("sched: deadlock with %d queued jobs", len(queue))
+		}
+		now = math.Min(tArrive, tFinish)
+		// Process completions at now.
+		for active.Len() > 0 && active.peekEnd() <= now+1e-12 {
+			r := heap.Pop(&active).(running)
+			free += r.nodes
+		}
+		// Process arrivals at now.
+		for next < len(order) && order[next].Submit <= now+1e-12 {
+			queue = append(queue, order[next])
+			next++
+		}
+		dispatch()
+	}
+	return res, nil
+}

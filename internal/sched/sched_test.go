@@ -1,0 +1,289 @@
+package sched
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestSimulateSingleJob(t *testing.T) {
+	res, err := Simulate([]Job{{ID: "a", Nodes: 4, Duration: 10}}, 8, FIFO)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := res.Placements["a"]
+	if p.Start != 0 || p.End != 10 {
+		t.Errorf("placement = %+v", p)
+	}
+	if res.Makespan != 10 {
+		t.Errorf("makespan = %v", res.Makespan)
+	}
+}
+
+func TestSimulateSerialWhenFull(t *testing.T) {
+	jobs := []Job{
+		{ID: "a", Nodes: 8, Duration: 10},
+		{ID: "b", Nodes: 8, Duration: 10},
+	}
+	res, err := Simulate(jobs, 8, FIFO)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Placements["b"].Start != 10 {
+		t.Errorf("b should start when a ends, got %v", res.Placements["b"].Start)
+	}
+	if res.Makespan != 20 {
+		t.Errorf("makespan = %v", res.Makespan)
+	}
+}
+
+func TestSimulateParallelWall(t *testing.T) {
+	// 28 concurrent 64-node jobs fit on 1792 nodes; the 29th waits.
+	var jobs []Job
+	for i := 0; i < 29; i++ {
+		jobs = append(jobs, Job{ID: fmt.Sprintf("j%02d", i), Nodes: 64, Duration: 100})
+	}
+	res, err := Simulate(jobs, 1792, FIFO)
+	if err != nil {
+		t.Fatal(err)
+	}
+	started := 0
+	for _, j := range jobs {
+		if res.Placements[j.ID].Start == 0 {
+			started++
+		}
+	}
+	if started != 28 {
+		t.Errorf("jobs started at t=0: %d, want 28 (the parallelism wall)", started)
+	}
+	if res.Makespan != 200 {
+		t.Errorf("makespan = %v, want 200", res.Makespan)
+	}
+}
+
+func TestFIFOHeadOfLineVsBackfill(t *testing.T) {
+	// 10 nodes. Job a (6 nodes, 100 s) runs. Job big (8 nodes, 10 s) queues.
+	// Job small (2 nodes, 50 s) arrives after big.
+	// FIFO: small waits behind big until t=100.
+	// EASY: small fits now and ends (t=50) before big's reservation (t=100),
+	// so it backfills at t=0.
+	jobs := []Job{
+		{ID: "a", Nodes: 6, Duration: 100, Submit: 0},
+		{ID: "big", Nodes: 8, Duration: 10, Submit: 1},
+		{ID: "small", Nodes: 2, Duration: 50, Submit: 2},
+	}
+	fifo, err := Simulate(jobs, 10, FIFO)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fifo.Placements["small"].Start < 100 {
+		t.Errorf("FIFO small started at %v, want >= 100", fifo.Placements["small"].Start)
+	}
+	if fifo.BackfilledJobs != 0 {
+		t.Errorf("FIFO backfilled %d jobs", fifo.BackfilledJobs)
+	}
+	easy, err := Simulate(jobs, 10, Backfill)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if easy.Placements["small"].Start != 2 {
+		t.Errorf("EASY small started at %v, want 2 (backfilled)", easy.Placements["small"].Start)
+	}
+	if !easy.Placements["small"].Backfilled {
+		t.Error("small should be marked backfilled")
+	}
+	// The head job must not be delayed by the backfill.
+	if easy.Placements["big"].Start > fifo.Placements["big"].Start+1e-9 {
+		t.Errorf("backfill delayed the head job: %v vs %v",
+			easy.Placements["big"].Start, fifo.Placements["big"].Start)
+	}
+	if easy.Makespan > fifo.Makespan+1e-9 {
+		t.Errorf("backfill worsened makespan: %v vs %v", easy.Makespan, fifo.Makespan)
+	}
+}
+
+func TestBackfillDoesNotDelayReservation(t *testing.T) {
+	// 10 nodes. a (6 nodes, 10 s). big (10 nodes, 10 s) reserves t=10.
+	// long (4 nodes, 100 s) must NOT backfill: it fits now but would hold 4
+	// nodes past t=10, delaying big (extra at shadow time = 0).
+	jobs := []Job{
+		{ID: "a", Nodes: 6, Duration: 10, Submit: 0},
+		{ID: "big", Nodes: 10, Duration: 10, Submit: 1},
+		{ID: "long", Nodes: 4, Duration: 100, Submit: 2},
+	}
+	res, err := Simulate(jobs, 10, Backfill)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Placements["big"].Start != 10 {
+		t.Errorf("big start = %v, want 10 (reservation honoured)", res.Placements["big"].Start)
+	}
+	if res.Placements["long"].Start < 20 {
+		t.Errorf("long start = %v, want >= 20", res.Placements["long"].Start)
+	}
+}
+
+func TestBackfillWithinExtraNodes(t *testing.T) {
+	// 10 nodes. a (6, 10 s). head (7 nodes, 10 s) reserves t=10 with extra
+	// = 10-7 = 3 at the shadow time. cand (3 nodes, 1000 s) fits now and
+	// within extra, so it backfills even though it outlives the shadow time.
+	jobs := []Job{
+		{ID: "a", Nodes: 6, Duration: 10, Submit: 0},
+		{ID: "head", Nodes: 7, Duration: 10, Submit: 1},
+		{ID: "cand", Nodes: 3, Duration: 1000, Submit: 2},
+	}
+	res, err := Simulate(jobs, 10, Backfill)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Placements["cand"].Start != 2 {
+		t.Errorf("cand start = %v, want 2", res.Placements["cand"].Start)
+	}
+	if res.Placements["head"].Start != 10 {
+		t.Errorf("head start = %v, want 10 (not delayed)", res.Placements["head"].Start)
+	}
+}
+
+func TestSubmitTimesRespected(t *testing.T) {
+	jobs := []Job{
+		{ID: "late", Nodes: 1, Duration: 5, Submit: 100},
+		{ID: "early", Nodes: 1, Duration: 5, Submit: 0},
+	}
+	res, err := Simulate(jobs, 4, FIFO)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Placements["early"].Start != 0 {
+		t.Errorf("early start = %v", res.Placements["early"].Start)
+	}
+	if res.Placements["late"].Start != 100 {
+		t.Errorf("late start = %v, want 100 (cannot start before submit)", res.Placements["late"].Start)
+	}
+	if w := res.WaitTime(jobs); w != 0 {
+		t.Errorf("wait time = %v, want 0", w)
+	}
+}
+
+func TestValidation(t *testing.T) {
+	if _, err := Simulate(nil, 0, FIFO); err == nil {
+		t.Error("zero nodes should fail")
+	}
+	bad := [][]Job{
+		{{ID: "", Nodes: 1, Duration: 1}},
+		{{ID: "a", Nodes: 1, Duration: 1}, {ID: "a", Nodes: 1, Duration: 1}},
+		{{ID: "a", Nodes: 0, Duration: 1}},
+		{{ID: "a", Nodes: 100, Duration: 1}},
+		{{ID: "a", Nodes: 1, Duration: -1}},
+		{{ID: "a", Nodes: 1, Duration: math.NaN()}},
+		{{ID: "a", Nodes: 1, Duration: 1, Submit: -5}},
+	}
+	for i, jobs := range bad {
+		if _, err := Simulate(jobs, 10, FIFO); err == nil {
+			t.Errorf("case %d should fail", i)
+		}
+	}
+}
+
+func TestPolicyString(t *testing.T) {
+	if FIFO.String() != "fifo" || Backfill.String() != "easy-backfill" {
+		t.Error("policy names wrong")
+	}
+	if Policy(9).String() == "" {
+		t.Error("unknown policy should print")
+	}
+}
+
+func TestZeroDurationJobs(t *testing.T) {
+	res, err := Simulate([]Job{
+		{ID: "a", Nodes: 5, Duration: 0},
+		{ID: "b", Nodes: 5, Duration: 0},
+	}, 5, FIFO)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Makespan != 0 {
+		t.Errorf("makespan = %v", res.Makespan)
+	}
+}
+
+// Property: for random workloads, (1) every job starts at or after submit,
+// (2) node usage never exceeds capacity at any placement boundary, and
+// (3) EASY backfill never worsens the head-job start order's makespan badly:
+// makespan(easy) <= makespan(fifo) + epsilon is NOT guaranteed in general,
+// but every job must still be placed exactly once.
+func TestQuickScheduleInvariants(t *testing.T) {
+	f := func(seed int64, nRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := int(nRaw%12) + 1
+		total := 64
+		jobs := make([]Job, n)
+		for i := range jobs {
+			jobs[i] = Job{
+				ID:       fmt.Sprintf("j%02d", i),
+				Nodes:    rng.Intn(total) + 1,
+				Duration: float64(rng.Intn(100)),
+				Submit:   float64(rng.Intn(50)),
+			}
+		}
+		for _, pol := range []Policy{FIFO, Backfill} {
+			res, err := Simulate(jobs, total, pol)
+			if err != nil {
+				return false
+			}
+			if len(res.Placements) != n {
+				return false
+			}
+			for _, j := range jobs {
+				p, ok := res.Placements[j.ID]
+				if !ok || p.Start < j.Submit-1e-9 {
+					return false
+				}
+				if math.Abs(p.End-p.Start-j.Duration) > 1e-9 {
+					return false
+				}
+			}
+			// Check capacity at every start instant.
+			for _, j := range jobs {
+				at := res.Placements[j.ID].Start
+				used := 0
+				for _, k := range jobs {
+					p := res.Placements[k.ID]
+					if p.Start <= at+1e-12 && at < p.End-1e-12 {
+						used += k.Nodes
+					}
+				}
+				if used > total {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: with homogeneous jobs, EASY backfill and FIFO agree exactly.
+func TestQuickHomogeneousPoliciesAgree(t *testing.T) {
+	f := func(nRaw, nodesRaw, durRaw uint8) bool {
+		n := int(nRaw%20) + 1
+		nodes := int(nodesRaw%16) + 1
+		dur := float64(durRaw%50) + 1
+		jobs := make([]Job, n)
+		for i := range jobs {
+			jobs[i] = Job{ID: fmt.Sprintf("j%02d", i), Nodes: nodes, Duration: dur}
+		}
+		fifo, err1 := Simulate(jobs, 64, FIFO)
+		easy, err2 := Simulate(jobs, 64, Backfill)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return math.Abs(fifo.Makespan-easy.Makespan) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,56 @@
+package sim_test
+
+import (
+	"fmt"
+
+	"wroofline/internal/machine"
+	"wroofline/internal/sim"
+	"wroofline/internal/units"
+	"wroofline/internal/workflow"
+)
+
+// Example simulates two tasks sharing the Perlmutter file system: fair-share
+// contention doubles the load time.
+func Example() {
+	w := workflow.New("demo", machine.PartGPU)
+	for _, id := range []string{"a", "b"} {
+		if err := w.AddTask(&workflow.Task{
+			ID: id, Nodes: 1,
+			Work: workflow.Work{FSBytes: 5.6 * units.TB},
+		}); err != nil {
+			fmt.Println(err)
+			return
+		}
+	}
+	res, err := sim.Run(w, nil, sim.Config{Machine: machine.Perlmutter()})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	// One task alone would take 1 s; two contending tasks share 5.6 TB/s.
+	fmt.Printf("makespan: %.0f s\n", res.Makespan)
+	// Output:
+	// makespan: 2 s
+}
+
+// Example_background overlaps an MPI exchange behind compute.
+func Example_background() {
+	w := workflow.New("overlap", machine.PartGPU)
+	if err := w.AddTask(&workflow.Task{ID: "t", Nodes: 1}); err != nil {
+		fmt.Println(err)
+		return
+	}
+	res, err := sim.Run(w, map[string]sim.Program{
+		"t": {
+			{Kind: sim.PhaseNetwork, Bytes: 400 * units.GB, Background: true}, // 4 s
+			{Kind: sim.PhaseCompute, Flops: 6 * 38.8 * units.TFLOP},           // 6 s
+		},
+	}, sim.Config{Machine: machine.Perlmutter()})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("makespan: %.0f s\n", res.Makespan)
+	// Output:
+	// makespan: 6 s
+}

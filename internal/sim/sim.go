@@ -1,0 +1,529 @@
+// Package sim executes workflows on a modeled HPC system using discrete-
+// event simulation. It is the substrate that replaces the paper's real runs
+// on Perlmutter and Cori: tasks are phase programs (stage data externally,
+// load from the file system, move bytes over PCIe/memory/network, compute,
+// pay fixed control-flow overheads) executed against shared links with
+// max-min fair contention and a finite node pool.
+//
+// The simulator produces the quantities the Workflow Roofline methodology
+// consumes: the makespan, the achieved throughput, per-phase time breakdowns
+// (Fig 5b, Fig 10b), and per-task spans for Gantt charts (Fig 7d).
+package sim
+
+import (
+	"fmt"
+	"math"
+
+	"wroofline/internal/engine"
+	"wroofline/internal/machine"
+	"wroofline/internal/resources"
+	"wroofline/internal/trace"
+	"wroofline/internal/units"
+	"wroofline/internal/workflow"
+)
+
+// PhaseKind selects which resource a phase exercises.
+type PhaseKind int
+
+// Phase kinds.
+const (
+	// PhaseExternal moves Bytes (total for the task) over the shared
+	// external/DTN link.
+	PhaseExternal PhaseKind = iota
+	// PhaseFS moves Bytes (total for the task) over the shared parallel
+	// file system.
+	PhaseFS
+	// PhaseNetwork moves Bytes per node at the node NIC bandwidth.
+	PhaseNetwork
+	// PhasePCIe moves Bytes per node at the node PCIe bandwidth.
+	PhasePCIe
+	// PhaseMemory moves Bytes per node at the node memory bandwidth.
+	PhaseMemory
+	// PhaseCompute executes Flops per node at the node compute peak.
+	PhaseCompute
+	// PhaseFixed takes Seconds of wall time regardless of resources
+	// (interpreter startup, bash, metadata handling).
+	PhaseFixed
+)
+
+// String names the kind (also the default trace label).
+func (k PhaseKind) String() string {
+	switch k {
+	case PhaseExternal:
+		return "external"
+	case PhaseFS:
+		return "filesystem"
+	case PhaseNetwork:
+		return "network"
+	case PhasePCIe:
+		return "pcie"
+	case PhaseMemory:
+		return "memory"
+	case PhaseCompute:
+		return "compute"
+	case PhaseFixed:
+		return "fixed"
+	default:
+		return fmt.Sprintf("PhaseKind(%d)", int(k))
+	}
+}
+
+// Phase is one sequential step of a task program.
+type Phase struct {
+	// Name labels the phase in traces; defaults to the kind name.
+	Name string
+	// Kind selects the resource.
+	Kind PhaseKind
+	// Bytes is the data volume: total task bytes for External/FS phases,
+	// per-node bytes for Network/PCIe/Memory phases.
+	Bytes units.Bytes
+	// Flops is the per-node floating-point work for Compute phases.
+	Flops units.Flops
+	// Seconds is the duration of Fixed phases.
+	Seconds float64
+	// Efficiency is the achieved fraction of peak in (0, 1]; zero means 1.
+	// It calibrates node phases to measured data (e.g. BGW runs at ~42% of
+	// the node compute peak at 64 nodes).
+	Efficiency float64
+	// Background starts the phase and immediately proceeds to the next one;
+	// the task completes only when every background phase has finished.
+	// This models compute/communication overlap within a task (e.g. MPI
+	// exchange hidden behind GPU kernels).
+	Background bool
+}
+
+// label returns the trace label.
+func (p Phase) label() string {
+	if p.Name != "" {
+		return p.Name
+	}
+	return p.Kind.String()
+}
+
+// eff returns the efficiency with the zero default applied.
+func (p Phase) eff() float64 {
+	if p.Efficiency == 0 {
+		return 1
+	}
+	return p.Efficiency
+}
+
+// validate checks the phase is well-formed.
+func (p Phase) validate() error {
+	if p.Efficiency < 0 || p.Efficiency > 1 {
+		return fmt.Errorf("sim: phase %q efficiency %v outside (0,1]", p.label(), p.Efficiency)
+	}
+	switch p.Kind {
+	case PhaseExternal, PhaseFS, PhaseNetwork, PhasePCIe, PhaseMemory:
+		if p.Bytes < 0 || math.IsNaN(float64(p.Bytes)) || math.IsInf(float64(p.Bytes), 0) {
+			return fmt.Errorf("sim: phase %q has invalid byte volume %v", p.label(), float64(p.Bytes))
+		}
+	case PhaseCompute:
+		if p.Flops < 0 || math.IsNaN(float64(p.Flops)) || math.IsInf(float64(p.Flops), 0) {
+			return fmt.Errorf("sim: phase %q has invalid flop count %v", p.label(), float64(p.Flops))
+		}
+	case PhaseFixed:
+		if p.Seconds < 0 || math.IsNaN(p.Seconds) || math.IsInf(p.Seconds, 0) {
+			return fmt.Errorf("sim: phase %q has invalid duration %v", p.label(), p.Seconds)
+		}
+	default:
+		return fmt.Errorf("sim: phase %q has unknown kind %d", p.label(), int(p.Kind))
+	}
+	return nil
+}
+
+// Program is a task's sequential phase list.
+type Program []Phase
+
+// DefaultProgram derives a program from a task's characterized work vector:
+// external staging, file-system load, PCIe transfer, memory traffic,
+// network exchange, then compute. Unused components produce no phases.
+func DefaultProgram(t *workflow.Task) Program {
+	var p Program
+	if t.Work.ExternalBytes > 0 {
+		p = append(p, Phase{Kind: PhaseExternal, Bytes: t.Work.ExternalBytes})
+	}
+	if t.Work.FSBytes > 0 {
+		p = append(p, Phase{Kind: PhaseFS, Bytes: t.Work.FSBytes})
+	}
+	if t.Work.PCIeBytes > 0 {
+		p = append(p, Phase{Kind: PhasePCIe, Bytes: t.Work.PCIeBytes})
+	}
+	if t.Work.MemBytes > 0 {
+		p = append(p, Phase{Kind: PhaseMemory, Bytes: t.Work.MemBytes})
+	}
+	if t.Work.NetworkBytes > 0 {
+		p = append(p, Phase{Kind: PhaseNetwork, Bytes: t.Work.NetworkBytes})
+	}
+	if t.Work.Flops > 0 {
+		p = append(p, Phase{Kind: PhaseCompute, Flops: t.Work.Flops})
+	}
+	return p
+}
+
+// Config tunes a simulation run.
+type Config struct {
+	// Machine is the system model (required).
+	Machine *machine.Machine
+	// AvailableNodes overrides the partition node count (0 keeps it).
+	AvailableNodes int
+	// ExternalBW overrides the machine external bandwidth (0 keeps it).
+	ExternalBW units.ByteRate
+	// ExternalPerFlowCap caps each task's external transfer rate (LCLS
+	// observes ~1 GB/s per stream on good days); 0 means uncapped.
+	ExternalPerFlowCap units.ByteRate
+	// FSPerFlowCap caps each task's file-system rate; 0 means uncapped.
+	FSPerFlowCap units.ByteRate
+	// MaxEvents guards against scheduling loops (default 10 million).
+	MaxEvents uint64
+}
+
+// TaskResult is one task's execution window.
+type TaskResult struct {
+	// Start and End are virtual seconds.
+	Start, End float64
+}
+
+// Duration returns End - Start.
+func (t TaskResult) Duration() float64 { return t.End - t.Start }
+
+// Result is a completed simulation.
+type Result struct {
+	// Makespan is the end-to-end virtual time (first start to last end).
+	Makespan float64
+	// Throughput is total tasks divided by makespan.
+	Throughput float64
+	// Tasks maps task id to its window.
+	Tasks map[string]TaskResult
+	// Recorder holds all phase spans for breakdowns and Gantt charts.
+	Recorder *trace.Recorder
+	// PeakNodesInUse is the allocation high-water mark.
+	PeakNodesInUse int
+}
+
+// Breakdown returns total seconds per phase label.
+func (r *Result) Breakdown() map[string]float64 { return r.Recorder.ByPhase() }
+
+// run holds the per-execution state.
+type run struct {
+	eng      *engine.Engine
+	pool     *resources.Pool
+	external *resources.Link // nil when unused
+	fs       *resources.Link // nil when unused
+	part     *machine.Partition
+	rec      *trace.Recorder
+	programs map[string]Program
+	wf       *workflow.Workflow
+
+	remainingDeps map[string]int
+	result        map[string]TaskResult
+	states        map[string]*taskState
+	failure       error
+}
+
+// fail records the first error; the engine keeps draining but the run
+// reports the failure.
+func (r *run) fail(err error) {
+	if r.failure == nil {
+		r.failure = err
+	}
+}
+
+// Run executes the workflow and returns the result. Tasks without an entry
+// in programs run their DefaultProgram. Programs for unknown task ids are an
+// error.
+func Run(wf *workflow.Workflow, programs map[string]Program, cfg Config) (*Result, error) {
+	if cfg.Machine == nil {
+		return nil, fmt.Errorf("sim: nil machine")
+	}
+	if err := wf.Validate(); err != nil {
+		return nil, err
+	}
+	part, err := cfg.Machine.Partition(wf.Partition)
+	if err != nil {
+		return nil, err
+	}
+	for id := range programs {
+		if _, err := wf.Task(id); err != nil {
+			return nil, fmt.Errorf("sim: program for unknown task %q", id)
+		}
+	}
+
+	nodes := part.Nodes
+	if cfg.AvailableNodes > 0 {
+		nodes = cfg.AvailableNodes
+	}
+	if req := wf.MaxTaskNodes(); req > nodes {
+		return nil, fmt.Errorf("sim: workflow %s needs %d nodes per task but only %d are available",
+			wf.Name, req, nodes)
+	}
+
+	eng := engine.New()
+	eng.MaxEvents = cfg.MaxEvents
+	if eng.MaxEvents == 0 {
+		eng.MaxEvents = 10_000_000
+	}
+	pool, err := resources.NewPool(eng, part.Name, nodes)
+	if err != nil {
+		return nil, err
+	}
+
+	r := &run{
+		eng:           eng,
+		pool:          pool,
+		part:          part,
+		rec:           trace.NewRecorder(),
+		programs:      make(map[string]Program, wf.TotalTasks()),
+		wf:            wf,
+		remainingDeps: make(map[string]int, wf.TotalTasks()),
+		result:        make(map[string]TaskResult, wf.TotalTasks()),
+		states:        make(map[string]*taskState, wf.TotalTasks()),
+	}
+
+	// Resolve programs and validate them up front.
+	needExternal, needFS := false, false
+	for _, t := range wf.Tasks() {
+		prog, ok := programs[t.ID]
+		if !ok {
+			prog = DefaultProgram(t)
+		}
+		for _, ph := range prog {
+			if err := ph.validate(); err != nil {
+				return nil, fmt.Errorf("sim: task %q: %w", t.ID, err)
+			}
+			switch ph.Kind {
+			case PhaseExternal:
+				if ph.Bytes > 0 {
+					needExternal = true
+				}
+			case PhaseFS:
+				if ph.Bytes > 0 {
+					needFS = true
+				}
+			}
+		}
+		r.programs[t.ID] = prog
+	}
+
+	if needExternal {
+		ext := cfg.Machine.ExternalBW
+		if cfg.ExternalBW > 0 {
+			ext = cfg.ExternalBW
+		}
+		if ext <= 0 {
+			return nil, fmt.Errorf("sim: workflow %s stages external data but no external bandwidth is configured", wf.Name)
+		}
+		l, err := resources.NewLink(eng, "external", float64(ext), float64(cfg.ExternalPerFlowCap))
+		if err != nil {
+			return nil, err
+		}
+		r.external = l
+	}
+	if needFS {
+		fsBW, err := cfg.Machine.FSBandwidth(wf.Partition)
+		if err != nil {
+			return nil, err
+		}
+		l, err := resources.NewLink(eng, "filesystem", float64(fsBW), float64(cfg.FSPerFlowCap))
+		if err != nil {
+			return nil, err
+		}
+		r.fs = l
+	}
+
+	// Dependency counting; sources submit immediately.
+	g := wf.Graph()
+	for _, t := range wf.Tasks() {
+		r.remainingDeps[t.ID] = len(g.Preds(t.ID))
+	}
+	for _, t := range wf.Tasks() {
+		if r.remainingDeps[t.ID] == 0 {
+			r.submit(t.ID)
+		}
+	}
+
+	if err := eng.Run(); err != nil {
+		return nil, err
+	}
+	if r.failure != nil {
+		return nil, r.failure
+	}
+	if len(r.result) != wf.TotalTasks() {
+		return nil, fmt.Errorf("sim: only %d of %d tasks completed (dependency deadlock?)",
+			len(r.result), wf.TotalTasks())
+	}
+
+	mk := r.rec.Makespan()
+	res := &Result{
+		Makespan:       mk,
+		Tasks:          r.result,
+		Recorder:       r.rec,
+		PeakNodesInUse: pool.PeakInUse(),
+	}
+	if mk > 0 {
+		res.Throughput = float64(wf.TotalTasks()) / mk
+	}
+	return res, nil
+}
+
+// submit queues the task for node allocation.
+func (r *run) submit(id string) {
+	task, err := r.wf.Task(id)
+	if err != nil {
+		r.fail(err)
+		return
+	}
+	if err := r.pool.Acquire(task.Nodes, func() {
+		start := r.eng.Now()
+		r.states[id] = &taskState{}
+		r.execPhases(task, r.programs[id], 0, start)
+	}); err != nil {
+		r.fail(err)
+	}
+}
+
+// taskState tracks a task's in-flight background phases and whether the
+// foreground chain has finished.
+type taskState struct {
+	background int
+	chainDone  bool
+}
+
+// execPhases runs program[idx:] for the task, then completes it once the
+// foreground chain and every background phase are done.
+func (r *run) execPhases(task *workflow.Task, prog Program, idx int, taskStart float64) {
+	st := r.states[task.ID]
+	if idx >= len(prog) {
+		st.chainDone = true
+		r.maybeComplete(task, taskStart)
+		return
+	}
+	ph := prog[idx]
+	begin := r.eng.Now()
+	record := func() bool {
+		if err := r.rec.Record(trace.Span{
+			Task: task.ID, Phase: ph.label(), Start: begin, End: r.eng.Now(),
+		}); err != nil {
+			r.fail(err)
+			return false
+		}
+		return true
+	}
+
+	var done func()
+	if ph.Background {
+		st.background++
+		done = func() {
+			if !record() {
+				return
+			}
+			st.background--
+			r.maybeComplete(task, taskStart)
+		}
+	} else {
+		done = func() {
+			if !record() {
+				return
+			}
+			r.execPhases(task, prog, idx+1, taskStart)
+		}
+	}
+
+	start := func() {
+		switch ph.Kind {
+		case PhaseExternal:
+			r.transfer(r.external, ph, done)
+		case PhaseFS:
+			r.transfer(r.fs, ph, done)
+		default:
+			d, err := r.nodePhaseSeconds(task, ph)
+			if err != nil {
+				r.fail(err)
+				return
+			}
+			if _, err := r.eng.Schedule(d, done); err != nil {
+				r.fail(err)
+			}
+		}
+	}
+	start()
+	if ph.Background {
+		// The foreground chain continues immediately.
+		r.execPhases(task, prog, idx+1, taskStart)
+	}
+}
+
+// maybeComplete finishes the task once nothing is outstanding.
+func (r *run) maybeComplete(task *workflow.Task, taskStart float64) {
+	st := r.states[task.ID]
+	if st.chainDone && st.background == 0 {
+		r.complete(task, taskStart)
+	}
+}
+
+// transfer moves the phase bytes over a shared link, scaled by efficiency
+// (an 0.5-efficient transfer moves bytes/0.5 effective volume).
+func (r *run) transfer(link *resources.Link, ph Phase, done func()) {
+	if link == nil {
+		// Zero-byte phases on an absent link complete immediately.
+		if ph.Bytes == 0 {
+			done()
+			return
+		}
+		r.fail(fmt.Errorf("sim: phase %q needs a link that was not configured", ph.label()))
+		return
+	}
+	effective := float64(ph.Bytes) / ph.eff()
+	if err := link.Transfer(effective, func(_, _ float64) { done() }); err != nil {
+		r.fail(err)
+	}
+}
+
+// nodePhaseSeconds computes a node-local phase duration from the machine
+// peaks and the phase efficiency.
+func (r *run) nodePhaseSeconds(task *workflow.Task, ph Phase) (float64, error) {
+	var peakTime float64
+	switch ph.Kind {
+	case PhaseNetwork:
+		peakTime = units.TimeToMove(ph.Bytes, r.part.NodeNICBW)
+	case PhasePCIe:
+		peakTime = units.TimeToMove(ph.Bytes, r.part.NodePCIeBW)
+	case PhaseMemory:
+		peakTime = units.TimeToMove(ph.Bytes, r.part.NodeMemBW)
+	case PhaseCompute:
+		peakTime = units.TimeToCompute(ph.Flops, r.part.NodeFlops)
+	case PhaseFixed:
+		return ph.Seconds, nil
+	default:
+		return 0, fmt.Errorf("sim: task %q: unexpected node phase kind %v", task.ID, ph.Kind)
+	}
+	if math.IsInf(peakTime, 1) {
+		return 0, fmt.Errorf("sim: task %q phase %q uses a resource with zero peak on partition %q",
+			task.ID, ph.label(), r.part.Name)
+	}
+	return peakTime / ph.eff(), nil
+}
+
+// complete releases nodes, records the window, and unblocks successors.
+func (r *run) complete(task *workflow.Task, taskStart float64) {
+	end := r.eng.Now()
+	r.result[task.ID] = TaskResult{Start: taskStart, End: end}
+	// A task with an empty program still leaves a marker span so makespan
+	// and Gantt output include it.
+	if len(r.programs[task.ID]) == 0 {
+		if err := r.rec.Record(trace.Span{Task: task.ID, Phase: "noop", Start: taskStart, End: end}); err != nil {
+			r.fail(err)
+			return
+		}
+	}
+	if err := r.pool.Release(task.Nodes); err != nil {
+		r.fail(err)
+		return
+	}
+	for _, succ := range r.wf.Graph().Succs(task.ID) {
+		r.remainingDeps[succ]--
+		if r.remainingDeps[succ] == 0 {
+			r.submit(succ)
+		}
+	}
+}

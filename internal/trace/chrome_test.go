@@ -1,0 +1,63 @@
+package trace
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestWriteChromeTrace(t *testing.T) {
+	r := NewRecorder()
+	for _, s := range []Span{
+		{Task: "epsilon", Phase: "compute", Start: 0, End: 490},
+		{Task: "sigma", Phase: "compute", Start: 490, End: 1779},
+		{Task: "sigma", Phase: "io", Start: 1779, End: 1780},
+	} {
+		if err := r.Record(s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var sb strings.Builder
+	if err := r.WriteChromeTrace(&sb); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string  `json:"name"`
+			Cat  string  `json:"cat"`
+			Ph   string  `json:"ph"`
+			TS   float64 `json:"ts"`
+			Dur  float64 `json:"dur"`
+			PID  int     `json:"pid"`
+			TID  int     `json:"tid"`
+		} `json:"traceEvents"`
+		DisplayUnit string `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal([]byte(sb.String()), &doc); err != nil {
+		t.Fatalf("export is not valid JSON: %v", err)
+	}
+	if len(doc.TraceEvents) != 3 {
+		t.Fatalf("events = %d", len(doc.TraceEvents))
+	}
+	if doc.DisplayUnit != "ms" {
+		t.Errorf("display unit = %q", doc.DisplayUnit)
+	}
+	first := doc.TraceEvents[0]
+	if first.Name != "compute" || first.Cat != "epsilon" || first.Ph != "X" {
+		t.Errorf("first event = %+v", first)
+	}
+	if first.TS != 0 || first.Dur != 490e6 {
+		t.Errorf("first event timing = %v / %v (microseconds)", first.TS, first.Dur)
+	}
+	// Same task shares a tid; different tasks differ.
+	if doc.TraceEvents[1].TID != doc.TraceEvents[2].TID {
+		t.Error("sigma spans should share a tid")
+	}
+	if doc.TraceEvents[0].TID == doc.TraceEvents[1].TID {
+		t.Error("epsilon and sigma should have distinct tids")
+	}
+	// Empty recorder fails.
+	if err := NewRecorder().WriteChromeTrace(&sb); err == nil {
+		t.Error("empty recorder should fail")
+	}
+}

@@ -1,0 +1,33 @@
+package units_test
+
+import (
+	"fmt"
+
+	"wroofline/internal/units"
+)
+
+// Example computes the paper's BGW node-ceiling arithmetic with typed
+// quantities.
+func Example() {
+	perNode := (1164*units.PFLOP + 3226*units.PFLOP) / 64
+	secs := units.TimeToCompute(perNode, 4*9.7*units.TFLOPS)
+	fmt.Printf("%.0f s\n", secs)
+
+	load := units.TimeToMove(70*units.GB, 5.6*units.TBPS)
+	fmt.Printf("%.4f s\n", load)
+	// Output:
+	// 1768 s
+	// 0.0125 s
+}
+
+// ExampleParseByteRate parses a bandwidth string.
+func ExampleParseByteRate() {
+	r, err := units.ParseByteRate("5.6 TB/s")
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Println(r)
+	// Output:
+	// 5.6 TB/s
+}

@@ -1,0 +1,30 @@
+package wdl_test
+
+import (
+	"fmt"
+
+	"wroofline/internal/wdl"
+)
+
+// Example parses a workflow description and reports its structure.
+func Example() {
+	w, err := wdl.Parse(`
+workflow demo on gpu
+target makespan 10m
+task prep nodes=1 fs=100 GB
+task solve nodes=64 flops=388 TFLOP
+task post nodes=1 fs=10 GB
+prep -> solve
+solve -> post
+`)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	p, _ := w.ParallelTasks()
+	cpl, _ := w.Graph().CriticalPathLength()
+	fmt.Printf("%s: %d tasks, width %d, critical path %d\n",
+		w.Name, w.TotalTasks(), p, cpl)
+	// Output:
+	// demo: 3 tasks, width 1, critical path 3
+}

@@ -1,0 +1,367 @@
+// Package wdl implements a small workflow description language. The paper
+// obtains the number of parallel tasks "from the workflow description, e.g.
+// sbatch and Workflow Description Language (WDL)"; this package provides a
+// native equivalent: a line-oriented text format that declares tasks with
+// their characterized work and dependencies, and parses into a
+// workflow.Workflow.
+//
+// Grammar (one statement per line; '#' starts a comment):
+//
+//	workflow <name> on <partition>
+//	target makespan <duration>            # e.g. 600s, 10m
+//	target throughput <tasks/sec>
+//	task <id> [name="<label>"] nodes=<n> [procs=<n>] [flops=<q>] [mem=<q>]
+//	     [pcie=<q>] [net=<q>] [fs=<q>] [external=<q>] [measured=<duration>]
+//	<id> [<id>...] -> <id> [<id>...]      # all left tasks precede all right
+//
+// Quantities use the units package syntax ("1 TB", "38.8 TFLOPS" is not
+// needed here — work is volumes/counts like "1164 PFLOP"). Durations accept
+// Go syntax ("10m", "553s") or bare seconds.
+package wdl
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+
+	"wroofline/internal/units"
+	"wroofline/internal/workflow"
+)
+
+// Parse reads a workflow description and returns the validated workflow.
+func Parse(src string) (*workflow.Workflow, error) {
+	p := &parser{}
+	for i, raw := range strings.Split(src, "\n") {
+		line := raw
+		if idx := strings.IndexByte(line, '#'); idx >= 0 {
+			line = line[:idx]
+		}
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		if err := p.statement(line); err != nil {
+			return nil, fmt.Errorf("wdl: line %d: %w", i+1, err)
+		}
+	}
+	if p.wf == nil {
+		return nil, fmt.Errorf("wdl: missing 'workflow <name> on <partition>' header")
+	}
+	// Apply deferred dependency edges (tasks may be declared in any order).
+	for _, d := range p.deps {
+		if err := p.wf.AddDep(d.from, d.to); err != nil {
+			return nil, fmt.Errorf("wdl: %w", err)
+		}
+	}
+	if err := p.wf.Validate(); err != nil {
+		return nil, err
+	}
+	return p.wf, nil
+}
+
+type dep struct{ from, to string }
+
+type parser struct {
+	wf   *workflow.Workflow
+	deps []dep
+}
+
+func (p *parser) statement(line string) error {
+	switch {
+	case strings.HasPrefix(line, "workflow "):
+		return p.header(line)
+	case strings.HasPrefix(line, "target "):
+		return p.target(line)
+	case strings.HasPrefix(line, "task "):
+		return p.task(line)
+	case strings.Contains(line, "->"):
+		return p.edge(line)
+	default:
+		return fmt.Errorf("unrecognized statement %q", line)
+	}
+}
+
+// header parses "workflow <name> on <partition>".
+func (p *parser) header(line string) error {
+	if p.wf != nil {
+		return fmt.Errorf("duplicate workflow header")
+	}
+	rest := strings.TrimPrefix(line, "workflow ")
+	parts := strings.SplitN(rest, " on ", 2)
+	if len(parts) != 2 {
+		return fmt.Errorf("want 'workflow <name> on <partition>', got %q", line)
+	}
+	name := strings.TrimSpace(parts[0])
+	part := strings.TrimSpace(parts[1])
+	if name == "" || part == "" {
+		return fmt.Errorf("empty workflow name or partition in %q", line)
+	}
+	p.wf = workflow.New(name, part)
+	return nil
+}
+
+// target parses "target makespan 600s" / "target throughput 0.01".
+func (p *parser) target(line string) error {
+	if p.wf == nil {
+		return fmt.Errorf("target before workflow header")
+	}
+	fields := strings.Fields(line)
+	if len(fields) != 3 {
+		return fmt.Errorf("want 'target makespan|throughput <value>', got %q", line)
+	}
+	switch fields[1] {
+	case "makespan":
+		secs, err := parseDuration(fields[2])
+		if err != nil {
+			return err
+		}
+		p.wf.Targets.MakespanSeconds = secs
+	case "throughput":
+		v, err := strconv.ParseFloat(fields[2], 64)
+		if err != nil || v <= 0 {
+			return fmt.Errorf("bad throughput %q", fields[2])
+		}
+		p.wf.Targets.ThroughputTPS = v
+	default:
+		return fmt.Errorf("unknown target %q", fields[1])
+	}
+	return nil
+}
+
+// task parses a task declaration with key=value attributes. Values may be
+// quoted to contain spaces ("1 TB" works unquoted too because the splitter
+// respects quotes and treats "key=" as the only separator).
+func (p *parser) task(line string) error {
+	if p.wf == nil {
+		return fmt.Errorf("task before workflow header")
+	}
+	rest := strings.TrimSpace(strings.TrimPrefix(line, "task "))
+	if rest == "" {
+		return fmt.Errorf("task with no id")
+	}
+	// First token is the id; the remainder is key=value pairs.
+	sp := strings.IndexAny(rest, " \t")
+	id := rest
+	attrs := ""
+	if sp >= 0 {
+		id, attrs = rest[:sp], strings.TrimSpace(rest[sp+1:])
+	}
+	t := &workflow.Task{ID: id}
+	pairs, err := splitAttrs(attrs)
+	if err != nil {
+		return err
+	}
+	for _, kv := range pairs {
+		key, val := kv[0], kv[1]
+		switch key {
+		case "name":
+			t.Name = val
+		case "nodes":
+			n, err := strconv.Atoi(val)
+			if err != nil {
+				return fmt.Errorf("bad nodes %q", val)
+			}
+			t.Nodes = n
+		case "procs":
+			n, err := strconv.Atoi(val)
+			if err != nil {
+				return fmt.Errorf("bad procs %q", val)
+			}
+			t.Procs = n
+		case "flops":
+			q, err := units.ParseFlops(val)
+			if err != nil {
+				return err
+			}
+			t.Work.Flops = q
+		case "mem":
+			q, err := units.ParseBytes(val)
+			if err != nil {
+				return err
+			}
+			t.Work.MemBytes = q
+		case "pcie":
+			q, err := units.ParseBytes(val)
+			if err != nil {
+				return err
+			}
+			t.Work.PCIeBytes = q
+		case "net":
+			q, err := units.ParseBytes(val)
+			if err != nil {
+				return err
+			}
+			t.Work.NetworkBytes = q
+		case "fs":
+			q, err := units.ParseBytes(val)
+			if err != nil {
+				return err
+			}
+			t.Work.FSBytes = q
+		case "external":
+			q, err := units.ParseBytes(val)
+			if err != nil {
+				return err
+			}
+			t.Work.ExternalBytes = q
+		case "measured":
+			secs, err := parseDuration(val)
+			if err != nil {
+				return err
+			}
+			t.MeasuredSeconds = secs
+		default:
+			return fmt.Errorf("unknown task attribute %q", key)
+		}
+	}
+	return p.wf.AddTask(t)
+}
+
+// edge parses "<ids> -> <ids>"; every left id precedes every right id.
+func (p *parser) edge(line string) error {
+	if p.wf == nil {
+		return fmt.Errorf("dependency before workflow header")
+	}
+	parts := strings.SplitN(line, "->", 2)
+	froms := strings.Fields(parts[0])
+	tos := strings.Fields(parts[1])
+	if len(froms) == 0 || len(tos) == 0 {
+		return fmt.Errorf("dependency needs tasks on both sides of '->', got %q", line)
+	}
+	for _, f := range froms {
+		for _, t := range tos {
+			p.deps = append(p.deps, dep{from: f, to: t})
+		}
+	}
+	return nil
+}
+
+// splitAttrs tokenizes `a=1 b="two words" c=3 GB` into key/value pairs:
+// an unquoted value extends until the next token containing '=' (so byte
+// quantities with spaces need no quotes).
+func splitAttrs(s string) ([][2]string, error) {
+	var out [][2]string
+	fields, err := splitQuoted(s)
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < len(fields); i++ {
+		f := fields[i]
+		eq := strings.IndexByte(f, '=')
+		if eq <= 0 {
+			return nil, fmt.Errorf("expected key=value, got %q", f)
+		}
+		key, val := f[:eq], f[eq+1:]
+		// Absorb following fields that are continuation of an unquoted
+		// value (no '=' in them), e.g. "fs=1 TB".
+		for i+1 < len(fields) && !strings.Contains(fields[i+1], "=") {
+			val += " " + fields[i+1]
+			i++
+		}
+		if val == "" {
+			return nil, fmt.Errorf("empty value for %q", key)
+		}
+		out = append(out, [2]string{key, val})
+	}
+	return out, nil
+}
+
+// splitQuoted splits on whitespace, honoring double quotes (which are
+// stripped). A field like name="A B" comes back as `name=A B`.
+func splitQuoted(s string) ([]string, error) {
+	var out []string
+	var cur strings.Builder
+	inQuote := false
+	flush := func() {
+		if cur.Len() > 0 {
+			out = append(out, cur.String())
+			cur.Reset()
+		}
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c == '"':
+			inQuote = !inQuote
+		case (c == ' ' || c == '\t') && !inQuote:
+			flush()
+		default:
+			cur.WriteByte(c)
+		}
+	}
+	if inQuote {
+		return nil, fmt.Errorf("unterminated quote in %q", s)
+	}
+	flush()
+	return out, nil
+}
+
+// parseDuration accepts Go duration syntax ("10m", "553s", "1.5h") or bare
+// seconds ("600"), returning seconds.
+func parseDuration(s string) (float64, error) {
+	if v, err := strconv.ParseFloat(s, 64); err == nil {
+		if v <= 0 {
+			return 0, fmt.Errorf("duration must be positive, got %q", s)
+		}
+		return v, nil
+	}
+	d, err := time.ParseDuration(s)
+	if err != nil {
+		return 0, fmt.Errorf("bad duration %q: %w", s, err)
+	}
+	if d <= 0 {
+		return 0, fmt.Errorf("duration must be positive, got %q", s)
+	}
+	return d.Seconds(), nil
+}
+
+// Format renders a workflow back into the description language; Parse and
+// Format round-trip.
+func Format(w *workflow.Workflow) (string, error) {
+	if err := w.Validate(); err != nil {
+		return "", err
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "workflow %s on %s\n", w.Name, w.Partition)
+	if w.Targets.MakespanSeconds > 0 {
+		fmt.Fprintf(&sb, "target makespan %s\n", trimFloat(w.Targets.MakespanSeconds))
+	}
+	if w.Targets.ThroughputTPS > 0 {
+		fmt.Fprintf(&sb, "target throughput %s\n", trimFloat(w.Targets.ThroughputTPS))
+	}
+	for _, t := range w.Tasks() {
+		fmt.Fprintf(&sb, "task %s", t.ID)
+		if t.Name != "" {
+			fmt.Fprintf(&sb, " name=%q", t.Name)
+		}
+		fmt.Fprintf(&sb, " nodes=%d", t.Nodes)
+		if t.Procs > 0 {
+			fmt.Fprintf(&sb, " procs=%d", t.Procs)
+		}
+		writeQty := func(key string, v float64) {
+			if v > 0 {
+				fmt.Fprintf(&sb, " %s=%s", key, trimFloat(v))
+			}
+		}
+		writeQty("flops", float64(t.Work.Flops))
+		writeQty("mem", float64(t.Work.MemBytes))
+		writeQty("pcie", float64(t.Work.PCIeBytes))
+		writeQty("net", float64(t.Work.NetworkBytes))
+		writeQty("fs", float64(t.Work.FSBytes))
+		writeQty("external", float64(t.Work.ExternalBytes))
+		writeQty("measured", t.MeasuredSeconds)
+		sb.WriteByte('\n')
+	}
+	g := w.Graph()
+	for _, from := range g.Nodes() {
+		for _, to := range g.Succs(from) {
+			fmt.Fprintf(&sb, "%s -> %s\n", from, to)
+		}
+	}
+	return sb.String(), nil
+}
+
+func trimFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

@@ -1,0 +1,268 @@
+package wdl
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"wroofline/internal/units"
+	"wroofline/internal/workflow"
+)
+
+const lclsSrc = `
+# The LCLS skeleton of Fig 4.
+workflow LCLS on haswell
+target makespan 10m
+target throughput 0.01
+
+task A nodes=32 procs=1024 external=1 TB fs=1 TB mem=32 GB
+task B nodes=32 procs=1024 external=1 TB fs=1 TB mem=32 GB
+task C nodes=32 procs=1024 external=1 TB fs=1 TB mem=32 GB
+task D nodes=32 procs=1024 external=1 TB fs=1 TB mem=32 GB
+task E nodes=32 procs=1024 external=1 TB fs=1 TB mem=32 GB
+task F name="merge step" nodes=1 fs=5 GB
+
+A B C D E -> F
+`
+
+func TestParseLCLS(t *testing.T) {
+	w, err := Parse(lclsSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Name != "LCLS" || w.Partition != "haswell" {
+		t.Errorf("identity: %q on %q", w.Name, w.Partition)
+	}
+	if w.Targets.MakespanSeconds != 600 {
+		t.Errorf("makespan target = %v", w.Targets.MakespanSeconds)
+	}
+	if w.Targets.ThroughputTPS != 0.01 {
+		t.Errorf("throughput target = %v", w.Targets.ThroughputTPS)
+	}
+	if w.TotalTasks() != 6 {
+		t.Errorf("tasks = %d", w.TotalTasks())
+	}
+	p, err := w.ParallelTasks()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p != 5 {
+		t.Errorf("parallel tasks = %d", p)
+	}
+	a, err := w.Task("A")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Work.ExternalBytes != 1*units.TB || a.Work.MemBytes != 32*units.GB {
+		t.Errorf("A work = %+v", a.Work)
+	}
+	if a.Procs != 1024 || a.Nodes != 32 {
+		t.Errorf("A sizing = %d nodes %d procs", a.Nodes, a.Procs)
+	}
+	f, err := w.Task("F")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Name != "merge step" {
+		t.Errorf("quoted name = %q", f.Name)
+	}
+}
+
+func TestParseMeasuredAndFlops(t *testing.T) {
+	src := `workflow BGW on gpu
+task epsilon nodes=64 flops=18.19 PFLOP net=84 GB fs=35 GB measured=1109.6
+task sigma nodes=64 flops=50.4 PFLOP net=84 GB fs=35 GB measured=3075.2
+epsilon -> sigma
+`
+	w, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eps, err := w.Task("epsilon")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(float64(eps.Work.Flops)-18.19e15) > 1e9 {
+		t.Errorf("flops = %v", float64(eps.Work.Flops))
+	}
+	if eps.MeasuredSeconds != 1109.6 {
+		t.Errorf("measured = %v", eps.MeasuredSeconds)
+	}
+	path, total, err := w.CriticalPathMeasured()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(path) != 2 || math.Abs(total-4184.8) > 0.1 {
+		t.Errorf("critical path %v total %v", path, total)
+	}
+}
+
+func TestParseDurations(t *testing.T) {
+	for src, want := range map[string]float64{
+		"target makespan 600":   600,
+		"target makespan 10m":   600,
+		"target makespan 1.5h":  5400,
+		"target makespan 553s":  553,
+		"target makespan 500ms": 0.5,
+	} {
+		w, err := Parse("workflow x on p\ntask t nodes=1\n" + src + "\n")
+		if err != nil {
+			t.Errorf("%q: %v", src, err)
+			continue
+		}
+		if w.Targets.MakespanSeconds != want {
+			t.Errorf("%q -> %v, want %v", src, w.Targets.MakespanSeconds, want)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := map[string]string{
+		"missing header":     "task t nodes=1\n",
+		"bad header":         "workflow justname\ntask t nodes=1\n",
+		"empty name":         "workflow  on p\ntask t nodes=1\n",
+		"dup header":         "workflow a on p\nworkflow b on p\ntask t nodes=1\n",
+		"unknown stmt":       "workflow a on p\nfrobnicate\n",
+		"unknown target":     "workflow a on p\ntarget widgets 3\ntask t nodes=1\n",
+		"bad throughput":     "workflow a on p\ntarget throughput -1\ntask t nodes=1\n",
+		"bad makespan":       "workflow a on p\ntarget makespan soon\ntask t nodes=1\n",
+		"neg duration":       "workflow a on p\ntarget makespan -5\ntask t nodes=1\n",
+		"task no id":         "workflow a on p\ntask \n",
+		"bad nodes":          "workflow a on p\ntask t nodes=lots\n",
+		"unknown attr":       "workflow a on p\ntask t nodes=1 color=red\n",
+		"bad bytes":          "workflow a on p\ntask t nodes=1 fs=1 XB\n",
+		"edge unknown":       "workflow a on p\ntask t nodes=1\nt -> u\n",
+		"edge one side":      "workflow a on p\ntask t nodes=1\nt -> \n",
+		"target no header":   "target makespan 5\n",
+		"task dup":           "workflow a on p\ntask t nodes=1\ntask t nodes=2\n",
+		"unterminated quote": "workflow a on p\ntask t nodes=1 name=\"oops\n",
+		"cycle":              "workflow a on p\ntask t nodes=1\ntask u nodes=1\nt -> u\nu -> t\n",
+		"empty value":        "workflow a on p\ntask t nodes=\n",
+		"no tasks":           "workflow a on p\n",
+	}
+	for name, src := range cases {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("%s: Parse should fail:\n%s", name, src)
+		}
+	}
+}
+
+func TestErrorsCarryLineNumbers(t *testing.T) {
+	_, err := Parse("workflow a on p\n\n\nbogus statement\n")
+	if err == nil || !strings.Contains(err.Error(), "line 4") {
+		t.Errorf("error should carry the line number, got %v", err)
+	}
+}
+
+func TestCommentsAndBlankLines(t *testing.T) {
+	w, err := Parse("# leading comment\nworkflow a on p # trailing\n\ntask t nodes=1 # another\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.TotalTasks() != 1 {
+		t.Errorf("tasks = %d", w.TotalTasks())
+	}
+}
+
+func TestFanEdges(t *testing.T) {
+	src := `workflow fan on p
+task a nodes=1
+task b nodes=1
+task c nodes=1
+task d nodes=1
+a b -> c d
+`
+	w, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := w.Graph()
+	for _, from := range []string{"a", "b"} {
+		succs := g.Succs(from)
+		if len(succs) != 2 {
+			t.Errorf("%s succs = %v", from, succs)
+		}
+	}
+}
+
+func TestFormatRoundTrip(t *testing.T) {
+	w, err := Parse(lclsSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := Format(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := Parse(out)
+	if err != nil {
+		t.Fatalf("formatted output does not re-parse: %v\n%s", err, out)
+	}
+	if back.TotalTasks() != w.TotalTasks() {
+		t.Errorf("tasks: %d vs %d", back.TotalTasks(), w.TotalTasks())
+	}
+	p1, _ := w.ParallelTasks()
+	p2, _ := back.ParallelTasks()
+	if p1 != p2 {
+		t.Errorf("width: %d vs %d", p1, p2)
+	}
+	if back.Targets != w.Targets {
+		t.Errorf("targets: %+v vs %+v", back.Targets, w.Targets)
+	}
+	a1, _ := w.Task("A")
+	a2, _ := back.Task("A")
+	if a1.Work != a2.Work {
+		t.Errorf("work: %+v vs %+v", a1.Work, a2.Work)
+	}
+	f1, _ := w.Task("F")
+	f2, _ := back.Task("F")
+	if f1.Name != f2.Name {
+		t.Errorf("name: %q vs %q", f1.Name, f2.Name)
+	}
+}
+
+func TestFormatInvalid(t *testing.T) {
+	if _, err := Format(workflow.New("x", "p")); err == nil {
+		t.Error("formatting an empty workflow should fail")
+	}
+}
+
+// Property: Format(Parse(x)) is a fixed point — formatting the re-parsed
+// output is byte-identical to the first formatting.
+func TestQuickFormatFixedPoint(t *testing.T) {
+	f := func(nTasks uint8, nodes uint8, fsGB uint16) bool {
+		n := int(nTasks%6) + 1
+		w := workflow.New("q", "p")
+		for i := 0; i < n; i++ {
+			id := string(rune('a' + i))
+			if err := w.AddTask(&workflow.Task{
+				ID: id, Nodes: int(nodes%8) + 1,
+				Work: workflow.Work{FSBytes: units.Bytes(fsGB) * units.GB},
+			}); err != nil {
+				return false
+			}
+			if i > 0 {
+				if err := w.AddDep(string(rune('a'+i-1)), id); err != nil {
+					return false
+				}
+			}
+		}
+		s1, err := Format(w)
+		if err != nil {
+			return false
+		}
+		back, err := Parse(s1)
+		if err != nil {
+			return false
+		}
+		s2, err := Format(back)
+		if err != nil {
+			return false
+		}
+		return s1 == s2
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

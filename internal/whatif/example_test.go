@@ -1,0 +1,40 @@
+package whatif_test
+
+import (
+	"fmt"
+
+	"wroofline/internal/core"
+	"wroofline/internal/whatif"
+	"wroofline/internal/workloads"
+)
+
+// Example answers the paper's architect question for LCLS: does faster
+// compute help, and how much external-path improvement is useful?
+func Example() {
+	cs, err := workloads.LCLSCori()
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	outcomes, err := whatif.Evaluate(cs.Model, 5, []whatif.Perturbation{
+		whatif.ScaleResource(core.ResMemory, 10),
+		whatif.ScaleResource(core.ResExternal, 2),
+	})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	for _, o := range outcomes[1:] {
+		fmt.Printf("%s: %.3gx\n", o.Name, o.Speedup)
+	}
+	factor, _, err := whatif.UsefulImprovement(cs.Model, 5, core.ResExternal)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("useful external improvement: %.0fx\n", factor)
+	// Output:
+	// 10x memory: 1x
+	// 2x external: 2x
+	// useful external improvement: 182x
+}

@@ -1,0 +1,193 @@
+package workloads
+
+import (
+	"fmt"
+	"math"
+
+	"wroofline/internal/core"
+	"wroofline/internal/machine"
+	"wroofline/internal/sim"
+	"wroofline/internal/units"
+	"wroofline/internal/workflow"
+)
+
+// CosmoFlow throughput-benchmark inputs (Section IV-C3 and the appendix).
+const (
+	// CosmoNodesPerInstance is the node count per training instance.
+	CosmoNodesPerInstance = 128
+	// CosmoAvailableNodes excludes the 256 large-memory nodes: 1536 of
+	// 1792, so at most 12 instances run concurrently.
+	CosmoAvailableNodes = 1536
+	// CosmoMaxInstances is the resulting parallelism wall.
+	CosmoMaxInstances = 12
+	// CosmoEpochsPerInstance is the average epochs per model.
+	CosmoEpochsPerInstance = 25
+	// CosmoDatasetBytes is the on-disk training set (one shared copy).
+	CosmoDatasetBytes = 2 * units.TB
+	// CosmoDecompressedBytes is the decompressed volume moved host->device.
+	CosmoDecompressedBytes = 10 * units.TB
+	// CosmoSamples is the sample count (2^19).
+	CosmoSamples = 1 << 19
+	// CosmoHBMBytesPerSample is the per-sample HBM traffic.
+	CosmoHBMBytesPerSample = 6.4 * units.GB
+
+	// cosmoHBMEfficiency calibrates the measured per-epoch time: the HBM
+	// phase runs at this fraction of peak, landing the 12-instance point
+	// just under the HBM ceiling as in Fig 8 (the paper's per-instance
+	// epoch times live only in the artifact script).
+	cosmoHBMEfficiency = 0.85
+)
+
+// CosmoPCIeSecondsPerEpoch returns the PCIe makespan ceiling: 10 TB
+// decompressed over 128 nodes at 100 GB/s/node = 0.8 s (Fig 8).
+func CosmoPCIeSecondsPerEpoch() float64 {
+	perNode := CosmoDecompressedBytes / units.Bytes(CosmoNodesPerInstance)
+	return units.TimeToMove(perNode, 100*units.GBPS)
+}
+
+// CosmoHBMSecondsPerEpoch returns the HBM makespan ceiling:
+// 6.4 GB x 2^19 samples over 128 nodes x 4 GPUs x 1555 GB/s = 4.2 s (Fig 8).
+func CosmoHBMSecondsPerEpoch() float64 {
+	total := CosmoHBMBytesPerSample * units.Bytes(CosmoSamples)
+	perNode := total / units.Bytes(CosmoNodesPerInstance)
+	return units.TimeToMove(perNode, 4*1555*units.GBPS)
+}
+
+// CosmoHBMBytesPerNodePerEpoch returns the per-node HBM volume of one epoch.
+func CosmoHBMBytesPerNodePerEpoch() units.Bytes {
+	return CosmoHBMBytesPerSample * units.Bytes(CosmoSamples) / units.Bytes(CosmoNodesPerInstance)
+}
+
+// CosmoFlow reproduces Fig 8: n concurrent 128-node training instances on
+// PM-GPU. The model's "task" is one epoch, so the y axis is epochs per
+// second: the PCIe (0.8 s) and HBM (4.2 s) ceilings are per-epoch diagonals,
+// the file system is a shared horizontal (2 TB @ 5.6 TB/s), and the wall is
+// 12 instances.
+func CosmoFlow(instances int) (*CaseStudy, error) {
+	if instances < 1 || instances > CosmoMaxInstances {
+		return nil, fmt.Errorf("workloads: CosmoFlow supports 1..%d instances, got %d",
+			CosmoMaxInstances, instances)
+	}
+	pm := machine.Perlmutter()
+	fsBW, err := pm.FSBandwidth(machine.PartGPU)
+	if err != nil {
+		return nil, err
+	}
+
+	w := workflow.New("CosmoFlow", machine.PartGPU)
+	progs := make(map[string]sim.Program, instances)
+	for i := 0; i < instances; i++ {
+		id := fmt.Sprintf("instance%02d", i)
+		if err := w.AddTask(&workflow.Task{
+			ID:    id,
+			Nodes: CosmoNodesPerInstance,
+			Work: workflow.Work{
+				FSBytes:   CosmoDatasetBytes,
+				PCIeBytes: CosmoDecompressedBytes / units.Bytes(CosmoNodesPerInstance),
+				MemBytes:  CosmoHBMBytesPerNodePerEpoch(),
+			},
+		}); err != nil {
+			return nil, err
+		}
+		// One instance = one dataset load plus 25 epochs of PCIe + HBM
+		// traffic (data is cached after the first epoch, so the FS cost is
+		// paid once per instance).
+		prog := sim.Program{{Kind: sim.PhaseFS, Bytes: CosmoDatasetBytes, Name: "filesystem"}}
+		for e := 0; e < CosmoEpochsPerInstance; e++ {
+			prog = append(prog,
+				sim.Phase{Kind: sim.PhasePCIe, Bytes: CosmoDecompressedBytes / units.Bytes(CosmoNodesPerInstance), Name: "pcie"},
+				sim.Phase{Kind: sim.PhaseMemory, Bytes: CosmoHBMBytesPerNodePerEpoch(), Efficiency: cosmoHBMEfficiency, Name: "hbm"},
+			)
+		}
+		progs[id] = prog
+	}
+
+	m := &core.Model{Title: fmt.Sprintf("CosmoFlow on PM-GPU (%d instances)", instances), Wall: CosmoMaxInstances}
+	m.AddCeiling(core.Ceiling{
+		Name:     fmt.Sprintf("PCIe makespan %.2gs", CosmoPCIeSecondsPerEpoch()),
+		Resource: core.ResPCIe, Scope: core.ScopeNode,
+		TimePerTask: CosmoPCIeSecondsPerEpoch(),
+	})
+	m.AddCeiling(core.Ceiling{
+		Name:     fmt.Sprintf("HBM makespan %.2gs", CosmoHBMSecondsPerEpoch()),
+		Resource: core.ResMemory, Scope: core.ScopeNode,
+		TimePerTask: CosmoHBMSecondsPerEpoch(),
+	})
+	m.AddCeiling(core.Ceiling{
+		Name:     fmt.Sprintf("File System Bytes %v @ %v", CosmoDatasetBytes, fsBW),
+		Resource: core.ResFileSystem, Scope: core.ScopeSystem,
+		TimePerTask: units.TimeToMove(CosmoDatasetBytes, fsBW),
+	})
+
+	return &CaseStudy{
+		Name:      fmt.Sprintf("CosmoFlow/%d-instances", instances),
+		Figure:    "Fig 8",
+		Machine:   pm,
+		Workflow:  w,
+		Model:     m,
+		Programs:  progs,
+		SimConfig: sim.Config{Machine: pm, AvailableNodes: CosmoAvailableNodes},
+	}, nil
+}
+
+// CosmoFlowEpochsPerSecond runs the simulation for n instances and returns
+// the achieved throughput in epochs per second — the Fig 8 y-axis.
+func CosmoFlowEpochsPerSecond(instances int) (float64, error) {
+	cs, err := CosmoFlow(instances)
+	if err != nil {
+		return 0, err
+	}
+	res, err := cs.Simulate()
+	if err != nil {
+		return 0, err
+	}
+	if res.Makespan <= 0 {
+		return 0, fmt.Errorf("workloads: CosmoFlow simulation produced zero makespan")
+	}
+	return float64(instances*CosmoEpochsPerInstance) / res.Makespan, nil
+}
+
+// CosmoFlowSweep simulates 1..max instances and returns the Fig 8 series of
+// (instances, epochs/sec) points, ready for plotting.
+func CosmoFlowSweep(max int) ([]core.Point, error) {
+	if max < 1 || max > CosmoMaxInstances {
+		return nil, fmt.Errorf("workloads: sweep bound must be 1..%d, got %d", CosmoMaxInstances, max)
+	}
+	var out []core.Point
+	for n := 1; n <= max; n++ {
+		eps, err := CosmoFlowEpochsPerSecond(n)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, core.Point{
+			Label:           fmt.Sprintf("%d instances", n),
+			ParallelTasks:   float64(n),
+			TPS:             eps,
+			MakespanSeconds: float64(n*CosmoEpochsPerInstance) / eps,
+			TotalTasks:      n * CosmoEpochsPerInstance,
+		})
+	}
+	return out, nil
+}
+
+// CosmoLinearityError returns the worst relative deviation of the sweep from
+// the line through the single-instance point — Fig 8's "throughput increases
+// proportionally" claim.
+func CosmoLinearityError(points []core.Point) float64 {
+	if len(points) == 0 {
+		return math.Inf(1)
+	}
+	base := points[0].TPS
+	worst := 0.0
+	for i, p := range points {
+		ideal := base * float64(i+1)
+		if ideal <= 0 {
+			return math.Inf(1)
+		}
+		dev := math.Abs(p.TPS-ideal) / ideal
+		if dev > worst {
+			worst = dev
+		}
+	}
+	return worst
+}

@@ -1,0 +1,54 @@
+package workloads
+
+import (
+	"fmt"
+
+	"wroofline/internal/core"
+	"wroofline/internal/machine"
+	"wroofline/internal/units"
+)
+
+// ExampleModel reproduces Fig 1 (the artifact's example.py): the Workflow
+// Roofline ceilings on the Perlmutter GPU partition assuming 1 TB loaded via
+// the file system, 1 TB per node via the NICs, 4 GB over PCIe, 100 GFLOPs of
+// compute, and 64-node tasks (wall 28).
+func ExampleModel() (*core.Model, error) {
+	pm := machine.Perlmutter()
+	gpu, err := pm.Partition(machine.PartGPU)
+	if err != nil {
+		return nil, err
+	}
+	fsBW, err := pm.FSBandwidth(machine.PartGPU)
+	if err != nil {
+		return nil, err
+	}
+	wall, err := gpu.MaxParallelTasks(64)
+	if err != nil {
+		return nil, err
+	}
+	m := &core.Model{Title: "Workflow Roofline example on PM-GPU", Wall: wall}
+	m.AddCeiling(core.Ceiling{
+		Name:     fmt.Sprintf("File System Bytes: Loading %v @ %v", 1*units.TB, fsBW),
+		Resource: core.ResFileSystem, Scope: core.ScopeSystem,
+		TimePerTask: units.TimeToMove(1*units.TB, fsBW),
+	})
+	m.AddCeiling(core.Ceiling{
+		Name:     fmt.Sprintf("Network bytes: %v @ %v", 1*units.TB, gpu.NodeNICBW),
+		Resource: core.ResNetwork, Scope: core.ScopeSystem,
+		TimePerTask: units.TimeToMove(1*units.TB, gpu.NodeNICBW),
+	})
+	m.AddCeiling(core.Ceiling{
+		Name:     fmt.Sprintf("PCIe Bytes: %v @ %v", 4*units.GB, gpu.NodePCIeBW),
+		Resource: core.ResPCIe, Scope: core.ScopeNode,
+		TimePerTask: units.TimeToMove(4*units.GB, gpu.NodePCIeBW),
+	})
+	m.AddCeiling(core.Ceiling{
+		Name:     fmt.Sprintf("Compute Flops: %v @ %v", 100*units.GFLOP, gpu.NodeFlops),
+		Resource: core.ResCompute, Scope: core.ScopeNode,
+		TimePerTask: units.TimeToCompute(100*units.GFLOP, gpu.NodeFlops),
+	})
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}

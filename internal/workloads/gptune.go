@@ -1,0 +1,234 @@
+package workloads
+
+import (
+	"fmt"
+
+	"wroofline/internal/core"
+	"wroofline/internal/machine"
+	"wroofline/internal/sim"
+	"wroofline/internal/units"
+	"wroofline/internal/workflow"
+)
+
+// GPTuneMode selects the control flow of Fig 9.
+type GPTuneMode int
+
+const (
+	// GPTuneRCI drives each autotuning iteration from bash: every sample
+	// pays an srun launch, a Python round trip, and a metadata load from
+	// the file system (Fig 9a).
+	GPTuneRCI GPTuneMode = iota
+	// GPTuneSpawn drives iterations via MPI_Comm_Spawn with metadata kept
+	// in memory: one srun, no bash, negligible I/O (Fig 9b).
+	GPTuneSpawn
+	// GPTuneProjected is the open dot of Fig 10a: Spawn with the Python
+	// overhead removed (12x faster).
+	GPTuneProjected
+)
+
+// String names the mode.
+func (m GPTuneMode) String() string {
+	switch m {
+	case GPTuneRCI:
+		return "RCI"
+	case GPTuneSpawn:
+		return "Spawn"
+	case GPTuneProjected:
+		return "Projected"
+	default:
+		return fmt.Sprintf("GPTuneMode(%d)", int(m))
+	}
+}
+
+// GPTune inputs (Section IV-C4 and the appendix). The tuned application is
+// SuperLU_DIST on a 4960x4960 sparse matrix, forty serialized samples on one
+// PM-CPU node.
+const (
+	// GPTuneSamples is the tuned sample count.
+	GPTuneSamples = 40
+	// GPTuneCPUBytes is the measured per-socket CPU traffic per sample.
+	GPTuneCPUBytes = 3344 * units.MB
+	// GPTuneFSBytesRCI and GPTuneFSBytesSpawn are the total file-system
+	// volumes of the two modes: 45 MB vs 40 MB — nearly identical, which is
+	// the paper's point that I/O pattern, not volume, separates them.
+	GPTuneFSBytesRCI   = 45 * units.MB
+	GPTuneFSBytesSpawn = 40 * units.MB
+	// GPTuneRCISeconds and GPTuneSpawnSeconds are the measured totals.
+	GPTuneRCISeconds   = 553.0
+	GPTuneSpawnSeconds = 228.0
+	// GPTuneProjectedSpeedup is the extra headroom over Spawn once the
+	// Python overhead is removed.
+	GPTuneProjectedSpeedup = 12.0
+
+	// GPTuneIOSecondsRCI and GPTuneIOSecondsSpawn are the measured I/O
+	// times: 30 s of per-iteration metadata loads vs 0.02 s.
+	GPTuneIOSecondsRCI   = 30.0
+	GPTuneIOSecondsSpawn = 0.02
+)
+
+// gptuneStacks is the Fig 10b decomposition. The paper publishes the totals
+// (553 s, 228 s), the I/O split (30 s vs 0.02 s), the combined bash+python
+// overhead for RCI (~500 s), and the projected 12x over Spawn; the per-stack
+// values below satisfy all four (python 205 + bash 299 = 504 ~ 500;
+// application + model&search = 19 ~ 228/12).
+var gptuneStacks = map[GPTuneMode]map[string]float64{
+	GPTuneRCI: {
+		"python":           205,
+		"bash":             299,
+		"load data":        GPTuneIOSecondsRCI,
+		"application":      13,
+		"model and search": 6,
+	},
+	GPTuneSpawn: {
+		"python":           208.98,
+		"load data":        GPTuneIOSecondsSpawn,
+		"application":      13,
+		"model and search": 6,
+	},
+	GPTuneProjected: {
+		"load data":        GPTuneIOSecondsSpawn,
+		"application":      13,
+		"model and search": 6,
+	},
+}
+
+// GPTuneStack returns the Fig 10b stacked breakdown for a mode (a copy).
+func GPTuneStack(mode GPTuneMode) (map[string]float64, error) {
+	stack, ok := gptuneStacks[mode]
+	if !ok {
+		return nil, fmt.Errorf("workloads: unknown GPTune mode %v", mode)
+	}
+	out := make(map[string]float64, len(stack))
+	for k, v := range stack {
+		out[k] = v
+	}
+	return out, nil
+}
+
+// GPTuneTotalSeconds returns the mode's end-to-end time.
+func GPTuneTotalSeconds(mode GPTuneMode) (float64, error) {
+	stack, err := GPTuneStack(mode)
+	if err != nil {
+		return 0, err
+	}
+	total := 0.0
+	for _, v := range stack {
+		total += v
+	}
+	return total, nil
+}
+
+// GPTune reproduces Fig 10a for a mode: forty serialized sample tasks on one
+// node (one parallel task), bounded by the per-sample control-flow overhead
+// rather than data volume.
+func GPTune(mode GPTuneMode) (*CaseStudy, error) {
+	stack, err := GPTuneStack(mode)
+	if err != nil {
+		return nil, err
+	}
+	pm := machine.Perlmutter()
+	cpu, err := pm.Partition(machine.PartCPU)
+	if err != nil {
+		return nil, err
+	}
+	fsBW, err := pm.FSBandwidth(machine.PartCPU)
+	if err != nil {
+		return nil, err
+	}
+
+	fsBytes := GPTuneFSBytesSpawn
+	if mode == GPTuneRCI {
+		fsBytes = GPTuneFSBytesRCI
+	}
+
+	// Forty serialized samples: a chain of one-node tasks.
+	w := workflow.New("GPTune", machine.PartCPU)
+	progs := make(map[string]sim.Program, GPTuneSamples)
+	prev := ""
+	for i := 0; i < GPTuneSamples; i++ {
+		id := fmt.Sprintf("sample%02d", i)
+		if err := w.AddTask(&workflow.Task{
+			ID:    id,
+			Nodes: 1,
+			Work: workflow.Work{
+				MemBytes: GPTuneCPUBytes,
+				FSBytes:  fsBytes / GPTuneSamples,
+			},
+		}); err != nil {
+			return nil, err
+		}
+		if prev != "" {
+			if err := w.AddDep(prev, id); err != nil {
+				return nil, err
+			}
+		}
+		prev = id
+
+		// Per-sample program: each Fig 10b stack divided across the forty
+		// samples. The I/O time is launch/metadata latency, not bandwidth,
+		// so it stays a fixed phase; the application phase exercises the
+		// measured CPU bytes at a calibrated efficiency.
+		var prog sim.Program
+		for _, cat := range []string{"bash", "python", "load data"} {
+			if secs := stack[cat] / GPTuneSamples; secs > 0 {
+				prog = append(prog, sim.Phase{Kind: sim.PhaseFixed, Seconds: secs, Name: cat})
+			}
+		}
+		appSecs := stack["application"] / GPTuneSamples
+		memAtPeak := units.TimeToMove(GPTuneCPUBytes, cpu.NodeMemBW)
+		prog = append(prog, sim.Phase{
+			Kind: sim.PhaseMemory, Bytes: GPTuneCPUBytes,
+			Efficiency: memAtPeak / appSecs, Name: "application",
+		})
+		if secs := stack["model and search"] / GPTuneSamples; secs > 0 {
+			prog = append(prog, sim.Phase{Kind: sim.PhaseFixed, Seconds: secs, Name: "model and search"})
+		}
+		progs[id] = prog
+	}
+
+	wall, err := cpu.MaxParallelTasks(1)
+	if err != nil {
+		return nil, err
+	}
+	m := &core.Model{Title: fmt.Sprintf("GPTune on PM-CPU (%s)", mode), Wall: wall}
+	m.AddCeiling(core.Ceiling{
+		// The paper quotes the per-CPU (socket) memory bandwidth here.
+		Name:     fmt.Sprintf("CPU Bytes: %v @ %v", GPTuneCPUBytes, 204.8*units.GBPS),
+		Resource: core.ResMemory, Scope: core.ScopeNode,
+		TimePerTask: units.TimeToMove(GPTuneCPUBytes, 204.8*units.GBPS),
+	})
+	m.AddCeiling(core.Ceiling{
+		Name:     fmt.Sprintf("File System (RCI): %v @ %v", GPTuneFSBytesRCI, fsBW),
+		Resource: core.ResFileSystem, Scope: core.ScopeSystem,
+		TimePerTask: units.TimeToMove(GPTuneFSBytesRCI/GPTuneSamples, fsBW),
+	})
+	m.AddCeiling(core.Ceiling{
+		Name:     fmt.Sprintf("File System (Spawn): %v @ %v", GPTuneFSBytesSpawn, fsBW),
+		Resource: core.ResFileSystem, Scope: core.ScopeSystem,
+		TimePerTask: units.TimeToMove(GPTuneFSBytesSpawn/GPTuneSamples, fsBW),
+	})
+
+	var points []core.Point
+	for _, md := range []GPTuneMode{GPTuneRCI, GPTuneSpawn, GPTuneProjected} {
+		total, err := GPTuneTotalSeconds(md)
+		if err != nil {
+			return nil, err
+		}
+		pt, err := core.NewPoint(md.String(), GPTuneSamples, 1, total)
+		if err != nil {
+			return nil, err
+		}
+		points = append(points, pt)
+	}
+
+	return &CaseStudy{
+		Name:      fmt.Sprintf("GPTune/%s", mode),
+		Figure:    "Fig 10a",
+		Machine:   pm,
+		Workflow:  w,
+		Model:     m,
+		Points:    points,
+		Programs:  progs,
+		SimConfig: sim.Config{Machine: pm},
+	}, nil
+}

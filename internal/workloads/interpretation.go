@@ -1,0 +1,111 @@
+package workloads
+
+import (
+	"fmt"
+
+	"wroofline/internal/core"
+	"wroofline/internal/workflow"
+)
+
+// InterpretationFigure is one of the paper's schematic interpretation
+// figures (Fig 2a-2c, Fig 3a-3b): a demonstration model, optional points,
+// and the rendering hints that reproduce the figure's message.
+type InterpretationFigure struct {
+	// Name is "Fig 2a" etc.; Caption summarizes the message.
+	Name, Caption string
+	// Model carries the schematic ceilings and wall.
+	Model *core.Model
+	// Points holds the illustrative empirical dots.
+	Points []core.Point
+	// ShowZones and ShadeBoundClass select the figure's shading mode.
+	ShowZones, ShadeBoundClass bool
+}
+
+// demoModel builds the schematic model the Fig 2/3 panels share: one node
+// diagonal, one system horizontal, a wall of 32, and (optionally) targets.
+func demoModel(title string, withTargets bool) *core.Model {
+	m := &core.Model{Title: title, Wall: 32}
+	m.AddCeiling(core.Ceiling{
+		Name: "Node performance bound", Resource: core.ResCompute,
+		Scope: core.ScopeNode, TimePerTask: 5,
+	})
+	m.AddCeiling(core.Ceiling{
+		Name: "System performance bound", Resource: core.ResFileSystem,
+		Scope: core.ScopeSystem, TimePerTask: 0.8,
+	})
+	if withTargets {
+		m.SetTargets(workflow.Targets{MakespanSeconds: 100, ThroughputTPS: 1.0}, 50)
+	}
+	return m
+}
+
+// InterpretationFigures returns reproductions of the paper's Fig 2 and
+// Fig 3 panels.
+func InterpretationFigures() ([]InterpretationFigure, error) {
+	twoA := demoModel("Fig 2a: target makespan and throughput zones", true)
+
+	twoB := demoModel("Fig 2b: two optimization directions", true)
+	// The yellow-zone dot: meets the makespan target, misses throughput.
+	dot, err := core.NewPoint("workflow", 50, 4, 80)
+	if err != nil {
+		return nil, err
+	}
+
+	// Fig 2c: double the intra-task parallelism; the wall halves and the
+	// node ceiling doubles.
+	base2c := demoModel("Fig 2c: 2x intra-task parallelism", true)
+	twoC, err := base2c.ScaleIntraTask(2, 1.0)
+	if err != nil {
+		return nil, err
+	}
+	twoC.Title = "Fig 2c: 2x intra-task parallelism (wall 32 -> 16)"
+	halved, err := core.NewPoint("workflow (2x intra-task)", 50, 2, 80)
+	if err != nil {
+		return nil, err
+	}
+
+	// Fig 3a: a dot in the node-bound (blue) region.
+	threeA := demoModel("Fig 3a: node bound", false)
+	nodeDot, err := core.NewPoint("workflow", 8, 2, 40) // 0.2 TPS, under the node diagonal
+	if err != nil {
+		return nil, err
+	}
+
+	// Fig 3b: a dot in the system-bound (orange) region.
+	threeB := demoModel("Fig 3b: system bound", false)
+	sysDot, err := core.NewPoint("workflow", 16, 24, 20) // 0.8 TPS, past the crossover
+	if err != nil {
+		return nil, err
+	}
+
+	figs := []InterpretationFigure{
+		{
+			Name: "Fig 2a", Caption: "targets divide the attainable area into four zones",
+			Model: twoA, ShowZones: true,
+		},
+		{
+			Name: "Fig 2b", Caption: "a yellow-zone dot motivates latency and parallelism directions",
+			Model: twoB, Points: []core.Point{dot}, ShowZones: true,
+		},
+		{
+			Name: "Fig 2c", Caption: "intra-task rescaling moves the wall left and the node ceiling up",
+			Model: twoC, Points: []core.Point{halved}, ShowZones: true,
+		},
+		{
+			Name: "Fig 3a", Caption: "node-bound dot (blue region)",
+			Model: threeA, Points: []core.Point{nodeDot}, ShadeBoundClass: true,
+		},
+		{
+			Name: "Fig 3b", Caption: "system-bound dot (orange region)",
+			Model: threeB, Points: []core.Point{sysDot}, ShadeBoundClass: true,
+		},
+	}
+	// Sanity: the Fig 3 dots land in the regions their captions claim.
+	if cls := threeA.ClassifyBound(nodeDot); cls != core.NodeBound {
+		return nil, fmt.Errorf("workloads: Fig 3a dot classifies as %v", cls)
+	}
+	if cls := threeB.ClassifyBound(sysDot); cls != core.SystemBound {
+		return nil, fmt.Errorf("workloads: Fig 3b dot classifies as %v", cls)
+	}
+	return figs, nil
+}

@@ -1,0 +1,282 @@
+package workloads
+
+import (
+	"fmt"
+
+	"wroofline/internal/core"
+	"wroofline/internal/machine"
+	"wroofline/internal/sim"
+	"wroofline/internal/units"
+	"wroofline/internal/workflow"
+)
+
+// LCLS appendix inputs (Section IV-C1 and the artifact appendix).
+const (
+	// LCLSTasks is the total task count (A-E analyze, F merges).
+	LCLSTasks = 6
+	// LCLSParallelTasks is the level-0 width.
+	LCLSParallelTasks = 5
+	// LCLSExternalPerTask is the input staged from outside per analysis task.
+	LCLSExternalPerTask = 1 * units.TB
+	// LCLSCPUBytesPerNode is the analytical per-node data volume.
+	LCLSCPUBytesPerNode = 32 * units.GB
+	// LCLSProcsPerTask is the MPI rank count per analysis task.
+	LCLSProcsPerTask = 1024
+
+	// LCLSGoodDayRate and LCLSBadDayRate are the observed per-stream
+	// external rates: contention cut 1 GB/s to 0.2 GB/s (5x) from one day
+	// to another.
+	LCLSGoodDayRate = 1 * units.GBPS
+	LCLSBadDayRate  = 0.2 * units.GBPS
+
+	// LCLSGoodDaySeconds and LCLSBadDaySeconds are the reported end-to-end
+	// times: 17 and 85 minutes.
+	LCLSGoodDaySeconds = 17 * 60
+	LCLSBadDaySeconds  = 85 * 60
+
+	// LCLSTarget2020Seconds was the 2020 deadline (Fig 5a); the 2024 target
+	// (Fig 6) halves it.
+	LCLSTarget2020Seconds = 600
+	LCLSTarget2024Seconds = 300
+
+	// lclsGoodAnalysisSeconds and lclsBadAnalysisSeconds are the non-loading
+	// remainders of the reported totals: 1020 s - 1000 s load and
+	// 5100 s - 5000 s load. (Calibrated: the paper publishes only the totals
+	// and the loading rates; the analysis share is the difference.)
+	lclsGoodAnalysisSeconds = LCLSGoodDaySeconds - 1000
+	lclsBadAnalysisSeconds  = LCLSBadDaySeconds - 5000
+
+	// lclsMergeSeconds is the tiny level-1 merge cost (calibrated, well
+	// under a percent of the makespan in both scenarios).
+	lclsMergeSeconds = 1.0
+)
+
+// lclsWorkflow builds the Fig 4 skeleton: five parallel analysis tasks
+// feeding a merge.
+func lclsWorkflow(partition string, nodesPerTask int, targetSeconds float64) (*workflow.Workflow, error) {
+	w := workflow.New("LCLS", partition)
+	w.Targets = workflow.Targets{
+		MakespanSeconds: targetSeconds,
+		ThroughputTPS:   LCLSTasks / targetSeconds,
+	}
+	for _, id := range []string{"A", "B", "C", "D", "E"} {
+		if err := w.AddTask(&workflow.Task{
+			ID:    id,
+			Nodes: nodesPerTask,
+			Procs: LCLSProcsPerTask,
+			Work: workflow.Work{
+				MemBytes:      LCLSCPUBytesPerNode,
+				ExternalBytes: LCLSExternalPerTask,
+				FSBytes:       LCLSExternalPerTask, // staged data lands on the FS
+			},
+		}); err != nil {
+			return nil, err
+		}
+	}
+	if err := w.AddTask(&workflow.Task{ID: "F", Name: "merge", Nodes: 1,
+		Work: workflow.Work{FSBytes: 5 * units.GB}}); err != nil {
+		return nil, err
+	}
+	for _, id := range []string{"A", "B", "C", "D", "E"} {
+		if err := w.AddDep(id, "F"); err != nil {
+			return nil, err
+		}
+	}
+	return w, nil
+}
+
+// lclsPrograms builds the per-task simulation programs: stage input over
+// the external link, then the analysis remainder as a calibrated phase.
+func lclsPrograms(w *workflow.Workflow, analysisSeconds float64) map[string]sim.Program {
+	progs := make(map[string]sim.Program, LCLSTasks)
+	for _, t := range w.Tasks() {
+		if t.ID == "F" {
+			progs[t.ID] = sim.Program{{Kind: sim.PhaseFixed, Seconds: lclsMergeSeconds, Name: "merge"}}
+			continue
+		}
+		progs[t.ID] = sim.Program{
+			{Kind: sim.PhaseExternal, Bytes: t.Work.ExternalBytes, Name: "loading"},
+			{Kind: sim.PhaseFixed, Seconds: analysisSeconds, Name: "analysis"},
+		}
+	}
+	return progs
+}
+
+// LCLSCori reproduces Fig 5a: LCLS on Cori Haswell. The external path is
+// per-stream limited — each of the five tasks loads its 1 TB at the observed
+// per-stream rate (1 GB/s good days, 0.2 GB/s bad days) — so the external
+// ceiling scales with the number of parallel tasks and is modeled
+// node-scoped (diagonal). Both reported dots sit on it.
+func LCLSCori() (*CaseStudy, error) {
+	cori := machine.CoriHaswell()
+	hsw, err := cori.Partition(machine.PartHaswell)
+	if err != nil {
+		return nil, err
+	}
+	nodesPerTask, err := hsw.NodesForProcs(LCLSProcsPerTask)
+	if err != nil {
+		return nil, err
+	}
+	w, err := lclsWorkflow(machine.PartHaswell, nodesPerTask, LCLSTarget2020Seconds)
+	if err != nil {
+		return nil, err
+	}
+	wall, err := hsw.MaxParallelTasks(nodesPerTask)
+	if err != nil {
+		return nil, err
+	}
+
+	m := &core.Model{Title: "LCLS on Cori-HSW", Wall: wall}
+	m.AddCeiling(core.Ceiling{
+		Name:     fmt.Sprintf("System External %v @ %v per stream", 5*units.TB, LCLSGoodDayRate),
+		Resource: core.ResExternal, Scope: core.ScopeNode,
+		TimePerTask: units.TimeToMove(LCLSExternalPerTask, LCLSGoodDayRate),
+	})
+	m.AddCeiling(core.Ceiling{
+		Name:     fmt.Sprintf("System External %v @ %v per stream (contended)", 5*units.TB, LCLSBadDayRate),
+		Resource: core.ResExternal, Scope: core.ScopeNode,
+		TimePerTask: units.TimeToMove(LCLSExternalPerTask, LCLSBadDayRate),
+		Scenario:    true, // the 5x-contention overlay of Fig 5a
+	})
+	m.AddCeiling(core.Ceiling{
+		Name:     fmt.Sprintf("CPU Bytes %v @ %v", LCLSCPUBytesPerNode, hsw.NodeMemBW),
+		Resource: core.ResMemory, Scope: core.ScopeNode,
+		TimePerTask: units.TimeToMove(LCLSCPUBytesPerNode, hsw.NodeMemBW),
+	})
+	m.AddCeiling(core.Ceiling{
+		Name:     fmt.Sprintf("System Internal Loading %v @ %v", 5*units.TB, cori.BurstBufferBW),
+		Resource: core.ResFileSystem, Scope: core.ScopeSystem,
+		TimePerTask: units.TimeToMove(LCLSExternalPerTask, cori.BurstBufferBW),
+	})
+	m.SetTargets(w.Targets, LCLSTasks)
+
+	good, err := core.NewPoint("Good Days", LCLSTasks, LCLSParallelTasks, LCLSGoodDaySeconds)
+	if err != nil {
+		return nil, err
+	}
+	bad, err := core.NewPoint("Bad Days", LCLSTasks, LCLSParallelTasks, LCLSBadDaySeconds)
+	if err != nil {
+		return nil, err
+	}
+
+	return &CaseStudy{
+		Name:     "LCLS/Cori-HSW",
+		Figure:   "Fig 5a",
+		Machine:  cori,
+		Workflow: w,
+		Model:    m,
+		Points:   []core.Point{good, bad},
+		Programs: lclsPrograms(w, lclsGoodAnalysisSeconds),
+		SimConfig: sim.Config{
+			Machine: cori,
+			// Good day: five 1 GB/s streams; the aggregate link comfortably
+			// carries all five.
+			ExternalBW:         units.ByteRate(LCLSParallelTasks) * LCLSGoodDayRate,
+			ExternalPerFlowCap: LCLSGoodDayRate,
+		},
+	}, nil
+}
+
+// LCLSCoriBadDay returns the Fig 5a/5b contended scenario: per-stream rate
+// 0.2 GB/s and the correspondingly slower analysis remainder.
+func LCLSCoriBadDay() (*CaseStudy, error) {
+	cs, err := LCLSCori()
+	if err != nil {
+		return nil, err
+	}
+	cs.Name = "LCLS/Cori-HSW (bad day)"
+	flipScenario(cs.Model) // the contended line becomes the operative bound
+	cs.Programs = lclsPrograms(cs.Workflow, lclsBadAnalysisSeconds)
+	cs.SimConfig.ExternalBW = units.ByteRate(LCLSParallelTasks) * LCLSBadDayRate
+	cs.SimConfig.ExternalPerFlowCap = LCLSBadDayRate
+	return cs, nil
+}
+
+// LCLSPerlmutter reproduces Fig 6: LCLS on the Perlmutter CPU partition.
+// Staging goes through a data transfer node with 25 GB/s aggregate — a
+// shared system ceiling — which sits just above the 2024 target throughput;
+// a 5x contention drop (to 5 GB/s) makes the targets unreachable.
+func LCLSPerlmutter() (*CaseStudy, error) {
+	pm := machine.Perlmutter()
+	cpu, err := pm.Partition(machine.PartCPU)
+	if err != nil {
+		return nil, err
+	}
+	nodesPerTask, err := cpu.NodesForProcs(LCLSProcsPerTask)
+	if err != nil {
+		return nil, err
+	}
+	w, err := lclsWorkflow(machine.PartCPU, nodesPerTask, LCLSTarget2024Seconds)
+	if err != nil {
+		return nil, err
+	}
+	wall, err := cpu.MaxParallelTasks(nodesPerTask)
+	if err != nil {
+		return nil, err
+	}
+	fsBW, err := pm.FSBandwidth(machine.PartCPU)
+	if err != nil {
+		return nil, err
+	}
+
+	m := &core.Model{Title: "LCLS on PM-CPU", Wall: wall}
+	m.AddCeiling(core.Ceiling{
+		Name:     fmt.Sprintf("System External %v @ %v", 5*units.TB, pm.ExternalBW),
+		Resource: core.ResExternal, Scope: core.ScopeSystem,
+		TimePerTask: units.TimeToMove(LCLSExternalPerTask, pm.ExternalBW),
+	})
+	m.AddCeiling(core.Ceiling{
+		Name:     fmt.Sprintf("System External %v @ %v (5x contention)", 5*units.TB, 5*units.GBPS),
+		Resource: core.ResExternal, Scope: core.ScopeSystem,
+		TimePerTask: units.TimeToMove(LCLSExternalPerTask, 5*units.GBPS),
+		Scenario:    true, // the contention overlay of Fig 6
+	})
+	m.AddCeiling(core.Ceiling{
+		Name:     fmt.Sprintf("CPU Bytes %v @ %v", LCLSCPUBytesPerNode, 204.8*units.GBPS),
+		Resource: core.ResMemory, Scope: core.ScopeNode,
+		TimePerTask: units.TimeToMove(LCLSCPUBytesPerNode, 204.8*units.GBPS),
+	})
+	m.AddCeiling(core.Ceiling{
+		Name:     fmt.Sprintf("System Internal Loading %v @ %v", 5*units.TB, fsBW),
+		Resource: core.ResFileSystem, Scope: core.ScopeSystem,
+		TimePerTask: units.TimeToMove(LCLSExternalPerTask, fsBW),
+	})
+	m.SetTargets(w.Targets, LCLSTasks)
+
+	return &CaseStudy{
+		Name:     "LCLS/PM-CPU",
+		Figure:   "Fig 6",
+		Machine:  pm,
+		Workflow: w,
+		Model:    m,
+		// Fig 6 plots no measured dots (Perlmutter is the what-if system);
+		// the simulation below provides the projected ones.
+		Programs: lclsPrograms(w, lclsGoodAnalysisSeconds),
+		SimConfig: sim.Config{
+			Machine: pm, // DTN: 25 GB/s aggregate, no per-stream cap
+		},
+	}, nil
+}
+
+// LCLSPerlmutterContended returns the Fig 6 what-if with the external path
+// degraded 5x to 5 GB/s.
+func LCLSPerlmutterContended() (*CaseStudy, error) {
+	cs, err := LCLSPerlmutter()
+	if err != nil {
+		return nil, err
+	}
+	cs.Name = "LCLS/PM-CPU (5x contention)"
+	flipScenario(cs.Model)
+	cs.SimConfig.ExternalBW = 5 * units.GBPS
+	return cs, nil
+}
+
+// flipScenario swaps which external ceiling is the operative bound and
+// which is the what-if overlay (contended variants of a case study).
+func flipScenario(m *core.Model) {
+	for i := range m.Ceilings {
+		if m.Ceilings[i].Resource == core.ResExternal {
+			m.Ceilings[i].Scenario = !m.Ceilings[i].Scenario
+		}
+	}
+}
