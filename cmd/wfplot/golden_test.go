@@ -1,0 +1,51 @@
+package main
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// -update rewrites the checked-in golden SVGs from the current renderer.
+var update = flag.Bool("update", false, "rewrite testdata golden files")
+
+// TestGoldenSVGs pins the rendered bytes of two representative figures —
+// the Fig 1 model example and the Fig 5a LCLS roofline — against checked-in
+// goldens, so any drift in the plot pipeline (scales, tick placement, text
+// layout, SVG structure) shows up as a byte diff rather than silently
+// changing every figure. Run `go test ./cmd/wfplot -update` after an
+// intentional renderer change and review the SVG diff.
+func TestGoldenSVGs(t *testing.T) {
+	figs, err := Figures()
+	if err != nil {
+		t.Fatal(err)
+	}
+	byFile := map[string]string{}
+	for _, f := range figs {
+		byFile[f.File] = f.SVG
+	}
+	for _, file := range []string{"example.svg", "WRF_LCLS_HSW.svg"} {
+		t.Run(file, func(t *testing.T) {
+			svg, ok := byFile[file]
+			if !ok {
+				t.Fatalf("Figures() no longer produces %s", file)
+			}
+			golden := filepath.Join("testdata", file+".golden")
+			if *update {
+				if err := os.WriteFile(golden, []byte(svg), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(golden)
+			if err != nil {
+				t.Fatalf("missing golden (run with -update to create): %v", err)
+			}
+			if svg != string(want) {
+				t.Errorf("%s drifted from golden (%d bytes now, %d in golden); run with -update if intentional",
+					file, len(svg), len(want))
+			}
+		})
+	}
+}

@@ -1,0 +1,180 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"runtime"
+	"strings"
+	"testing"
+)
+
+// runSpec executes the CLI against an inline spec and returns the rendered
+// report.
+func runSpec(t *testing.T, spec string, extraArgs ...string) string {
+	t.Helper()
+	var out bytes.Buffer
+	args := append([]string{"-spec", "-"}, extraArgs...)
+	if err := run(context.Background(), args, strings.NewReader(spec), &out); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	return out.String()
+}
+
+const mcSpec = `{"kind": "montecarlo", "case": "lcls-cori", "trials": 300,
+  "seed": 42, "streams": 5,
+  "sampler": {"model": "twostate", "base": "1 GB/s",
+              "degraded": "0.2 GB/s", "p_bad": 0.4}}`
+
+const gridSpec = `{"kind": "grid", "case": "lcls-cori", "p": 5,
+  "resources": [{"resource": "filesystem", "factors": [1, 2, 4]},
+                {"resource": "memory", "factors": [1, 10]}],
+  "wall_factors": [1, 2],
+  "intra_task": [{"k": 1}, {"k": 2, "efficiency": 0.9}]}`
+
+const surveySpec = `{"kind": "survey", "machine": "perlmutter",
+  "partition": "cpu", "widths": [4, 8], "depths": [2, 3],
+  "nodes_per_task": 2, "work": {"flops": "5 TFLOP", "fs": "100 GB"}}`
+
+// TestReportByteEqualAcrossWorkerCounts is the determinism acceptance
+// criterion: the full rendered report must be byte-identical at worker
+// counts 1, 4, and GOMAXPROCS for every spec kind.
+func TestReportByteEqualAcrossWorkerCounts(t *testing.T) {
+	for _, tc := range []struct {
+		name, spec string
+	}{
+		{"montecarlo", mcSpec},
+		{"grid", gridSpec},
+		{"survey", surveySpec},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			base := runSpec(t, tc.spec, "-workers", "1")
+			if base == "" {
+				t.Fatal("empty report")
+			}
+			for _, workers := range []int{4, runtime.GOMAXPROCS(0)} {
+				got := runSpec(t, tc.spec, "-workers", fmt.Sprint(workers))
+				if got != base {
+					t.Errorf("workers=%d: report differs from workers=1\n--- workers=1 ---\n%s\n--- workers=%d ---\n%s",
+						workers, base, workers, got)
+				}
+			}
+		})
+	}
+}
+
+func TestMonteCarloReportShape(t *testing.T) {
+	out := runSpec(t, mcSpec)
+	for _, want := range []string{"Monte Carlo makespan", "lcls-cori", "300 trials", "seed 42", "p99/p50"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestGridReportShape(t *testing.T) {
+	out := runSpec(t, gridSpec)
+	for _, want := range []string{
+		"What-if grid", "(24 scenarios)", "base",
+		"4x filesystem", "10x memory", "2x wall", "2x intra@0.9",
+		"Bound distribution across scenarios", "Binding-ceiling histogram",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestSurveyReportShape(t *testing.T) {
+	out := runSpec(t, surveySpec)
+	for _, want := range []string{
+		"Archetype shape survey on Perlmutter/cpu",
+		"bag-of-tasks", "map-reduce", "Binding-ceiling histogram",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFormatCSV(t *testing.T) {
+	out := runSpec(t, gridSpec, "-format", "csv")
+	if !strings.Contains(out, "scenario,bound TPS,speedup,limited by") {
+		t.Errorf("csv header missing:\n%s", out)
+	}
+	if strings.Contains(out, "---") {
+		t.Errorf("csv output contains text-table separator:\n%s", out)
+	}
+}
+
+func TestFormatMarkdown(t *testing.T) {
+	out := runSpec(t, gridSpec, "-format", "markdown")
+	if !strings.Contains(out, "| scenario |") {
+		t.Errorf("markdown header missing:\n%s", out)
+	}
+}
+
+func TestExamplesRoundTrip(t *testing.T) {
+	// Every -example template must itself be a runnable spec (with the trial
+	// count cut down for test speed via -workers inheriting the spec).
+	for _, kind := range []string{"montecarlo", "grid", "survey"} {
+		var tmpl bytes.Buffer
+		if err := run(context.Background(), []string{"-example", kind}, strings.NewReader(""), &tmpl); err != nil {
+			t.Fatalf("-example %s: %v", kind, err)
+		}
+		spec := tmpl.String()
+		if kind == "montecarlo" {
+			// 10k trials is a benchmark-scale default; shrink for the test.
+			spec = strings.Replace(spec, `"trials": 10000`, `"trials": 50`, 1)
+		}
+		var out bytes.Buffer
+		if err := run(context.Background(), []string{"-spec", "-"}, strings.NewReader(spec), &out); err != nil {
+			t.Errorf("example %s spec failed to run: %v", kind, err)
+		}
+	}
+}
+
+func TestSpecErrors(t *testing.T) {
+	for _, tc := range []struct {
+		name, spec, want string
+	}{
+		{"unknown kind", `{"kind": "nope"}`, "unknown spec kind"},
+		{"unknown field", `{"kind": "grid", "case": "lcls-cori", "bogus": 1}`, "bogus"},
+		{"unknown case", `{"kind": "grid", "case": "nope"}`, "unknown case"},
+		{"missing sampler", `{"kind": "montecarlo", "case": "lcls-cori", "trials": 10}`, "sampler"},
+		{"no trials", mcNoTrials, "positive trials"},
+		{"bad resource", `{"kind": "grid", "case": "lcls-cori",
+			"resources": [{"resource": "vibes", "factors": [2]}]}`, "unknown resource"},
+		{"bad machine", `{"kind": "survey", "machine": "summit"}`, "unknown machine"},
+		{"bad units", `{"kind": "survey", "work": {"flops": "5 parsecs"}}`, "work flops"},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			var out bytes.Buffer
+			err := run(context.Background(), []string{"-spec", "-"}, strings.NewReader(tc.spec), &out)
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("err = %v, want substring %q", err, tc.want)
+			}
+		})
+	}
+}
+
+const mcNoTrials = `{"kind": "montecarlo", "case": "lcls-cori",
+  "sampler": {"model": "twostate", "base": "1 GB/s",
+              "degraded": "0.2 GB/s", "p_bad": 0.4}}`
+
+func TestMissingSpecFlag(t *testing.T) {
+	var out bytes.Buffer
+	err := run(context.Background(), nil, strings.NewReader(""), &out)
+	if err == nil || !strings.Contains(err.Error(), "missing -spec") {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestWorkersFlagOverridesSpec(t *testing.T) {
+	// A spec asking for many workers still renders identically when the flag
+	// forces the pool to one.
+	spec := strings.Replace(gridSpec, `"p": 5`, `"p": 5, "workers": 8`, 1)
+	if got, want := runSpec(t, spec, "-workers", "1"), runSpec(t, spec); got != want {
+		t.Errorf("flag override changed output:\n%s\nvs\n%s", got, want)
+	}
+}

@@ -1,0 +1,75 @@
+package archetype
+
+import (
+	"context"
+	"fmt"
+
+	"wroofline/internal/core"
+	"wroofline/internal/machine"
+	"wroofline/internal/sweep"
+)
+
+// SurveyPoint is one evaluated (shape, width, depth) combination: the
+// generated workflow's size and its Workflow Roofline bound at the wall.
+type SurveyPoint struct {
+	// Shape names the archetype; Width and Depth are the generator inputs.
+	Shape        string
+	Width, Depth int
+	// Tasks is the generated task count; Wall the model's parallelism wall.
+	Tasks int
+	Wall  int
+	// BoundTPS is the attainable throughput at the wall, Limiting the
+	// binding ceiling's name.
+	BoundTPS float64
+	Limiting string
+}
+
+// Survey evaluates every archetype in shapes at every (width, depth)
+// combination on the sweep worker pool: generate the workflow, build its
+// Workflow Roofline on m, and record the bound at the wall. base supplies
+// the per-task sizing (its Width/Depth are overridden per cell). Points come
+// back in (shape, width, depth) row-major order, bit-identical at any worker
+// count; cancelling ctx aborts the remaining cells.
+func Survey(ctx context.Context, m *machine.Machine, base Params, shapes []Shape, widths, depths []int, workers int) ([]SurveyPoint, error) {
+	if m == nil {
+		return nil, fmt.Errorf("archetype: survey needs a machine")
+	}
+	if len(shapes) == 0 || len(widths) == 0 || len(depths) == 0 {
+		return nil, fmt.Errorf("archetype: survey needs at least one shape, width, and depth")
+	}
+	dims := []int{len(shapes), len(widths), len(depths)}
+	size, err := sweep.GridSize(dims)
+	if err != nil {
+		return nil, err
+	}
+	return sweep.Map(ctx, size, workers, func(_ context.Context, i int) (SurveyPoint, error) {
+		coords, err := sweep.GridCoords(dims, i)
+		if err != nil {
+			return SurveyPoint{}, err
+		}
+		shape := shapes[coords[0]]
+		p := base
+		p.Width, p.Depth = widths[coords[1]], depths[coords[2]]
+		if p.Name == "" {
+			p.Name = shape.Name
+		}
+		w, err := shape.Generate(p)
+		if err != nil {
+			return SurveyPoint{}, fmt.Errorf("archetype: %s w=%d d=%d: %w", shape.Name, p.Width, p.Depth, err)
+		}
+		model, err := core.Build(m, w, core.BuildOptions{})
+		if err != nil {
+			return SurveyPoint{}, fmt.Errorf("archetype: %s w=%d d=%d: %w", shape.Name, p.Width, p.Depth, err)
+		}
+		bound, limit := model.BoundAtWall()
+		return SurveyPoint{
+			Shape:    shape.Name,
+			Width:    p.Width,
+			Depth:    p.Depth,
+			Tasks:    w.TotalTasks(),
+			Wall:     model.Wall,
+			BoundTPS: bound,
+			Limiting: limit.Name,
+		}, nil
+	})
+}

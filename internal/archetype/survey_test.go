@@ -1,0 +1,88 @@
+package archetype
+
+import (
+	"context"
+	"reflect"
+	"runtime"
+	"testing"
+
+	"wroofline/internal/machine"
+	"wroofline/internal/units"
+	"wroofline/internal/workflow"
+)
+
+func surveyParams() Params {
+	return Params{
+		Partition:    machine.PartCPU,
+		NodesPerTask: 2,
+		Work:         workflow.Work{Flops: 5 * units.TFLOP, FSBytes: 100 * units.GB},
+	}
+}
+
+func TestSurveyCoversTheGrid(t *testing.T) {
+	pm := machine.Perlmutter()
+	points, err := Survey(context.Background(), pm, surveyParams(),
+		Catalog(), []int{4, 8}, []int{2, 3}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != len(Catalog())*2*2 {
+		t.Fatalf("points = %d", len(points))
+	}
+	// Row-major order: shape varies slowest, depth fastest.
+	if points[0].Shape != "bag-of-tasks" || points[0].Width != 4 || points[0].Depth != 2 {
+		t.Errorf("first point = %+v", points[0])
+	}
+	if points[1].Depth != 3 {
+		t.Errorf("second point = %+v", points[1])
+	}
+	for _, pt := range points {
+		if pt.Tasks <= 0 || pt.Wall <= 0 || pt.BoundTPS <= 0 || pt.Limiting == "" {
+			t.Errorf("degenerate point %+v", pt)
+		}
+	}
+	// A bag of 8 has more tasks than a bag of 4.
+	if points[2].Tasks <= points[0].Tasks {
+		t.Errorf("width 8 bag (%d tasks) not larger than width 4 (%d)",
+			points[2].Tasks, points[0].Tasks)
+	}
+}
+
+func TestSurveyWorkerCountInvariance(t *testing.T) {
+	pm := machine.Perlmutter()
+	base, err := Survey(context.Background(), pm, surveyParams(),
+		Catalog(), []int{2, 4, 8}, []int{2, 4}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{4, runtime.GOMAXPROCS(0)} {
+		got, err := Survey(context.Background(), pm, surveyParams(),
+			Catalog(), []int{2, 4, 8}, []int{2, 4}, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(base, got) {
+			t.Fatalf("workers=%d: survey differs", workers)
+		}
+	}
+}
+
+func TestSurveyErrors(t *testing.T) {
+	pm := machine.Perlmutter()
+	if _, err := Survey(context.Background(), nil, surveyParams(), Catalog(), []int{2}, []int{2}, 1); err == nil {
+		t.Error("nil machine should fail")
+	}
+	if _, err := Survey(context.Background(), pm, surveyParams(), nil, []int{2}, []int{2}, 1); err == nil {
+		t.Error("no shapes should fail")
+	}
+	if _, err := Survey(context.Background(), pm, surveyParams(), Catalog(), nil, []int{2}, 1); err == nil {
+		t.Error("no widths should fail")
+	}
+	// A width the machine cannot host surfaces the generator/build error
+	// with the shape named.
+	huge := surveyParams()
+	huge.NodesPerTask = 1 << 30
+	if _, err := Survey(context.Background(), pm, huge, Catalog(), []int{2}, []int{2}, 1); err == nil {
+		t.Error("oversized tasks should fail")
+	}
+}

@@ -8,10 +8,12 @@
 package contention
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
 
+	"wroofline/internal/sweep"
 	"wroofline/internal/units"
 )
 
@@ -199,27 +201,39 @@ func (d *Distribution) TailRatio() (float64, error) {
 
 // MonteCarlo draws n days from the sampler and evaluates run(rate) — e.g.
 // a simulator invocation returning the day's makespan — collecting the
-// results into a distribution. The RNG stream is owned by this call, so the
-// same seed always produces the same distribution.
+// results into a distribution. It is the serial-API wrapper over
+// MonteCarloEnsemble: one worker, background context, same determinism
+// guarantee.
 func MonteCarlo(n int, seed uint64, s Sampler, run func(units.ByteRate) (float64, error)) (*Distribution, error) {
+	return MonteCarloEnsemble(context.Background(), n, seed, 1, s, run)
+}
+
+// MonteCarloEnsemble runs the Monte Carlo on the sweep worker pool: n
+// independent day trials fan out across up to workers goroutines
+// (sweep.Workers semantics: <= 0 means GOMAXPROCS). Day i's RNG is seeded
+// from (seed, i) via sweep.TrialSeed, so the distribution is bit-identical
+// at any worker count; cancelling ctx aborts the remaining trials.
+func MonteCarloEnsemble(ctx context.Context, n int, seed uint64, workers int, s Sampler, run func(units.ByteRate) (float64, error)) (*Distribution, error) {
 	if n <= 0 {
 		return nil, fmt.Errorf("contention: need a positive sample count, got %d", n)
 	}
 	if s == nil || run == nil {
 		return nil, fmt.Errorf("contention: nil sampler or run function")
 	}
-	rng := NewRNG(seed)
-	samples := make([]float64, 0, n)
-	for i := 0; i < n; i++ {
+	samples, err := sweep.Map(ctx, n, workers, func(_ context.Context, day int) (float64, error) {
+		rng := NewRNG(sweep.TrialSeed(seed, day))
 		rate := s.Sample(rng)
 		if rate <= 0 {
-			return nil, fmt.Errorf("contention: sampler produced non-positive rate %v", float64(rate))
+			return 0, fmt.Errorf("contention: sampler produced non-positive rate %v", float64(rate))
 		}
 		v, err := run(rate)
 		if err != nil {
-			return nil, fmt.Errorf("contention: day %d: %w", i, err)
+			return 0, fmt.Errorf("contention: day %d: %w", day, err)
 		}
-		samples = append(samples, v)
+		return v, nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return NewDistribution(samples)
 }

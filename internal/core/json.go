@@ -31,6 +31,16 @@ var resourceByName = func() map[string]Resource {
 	return out
 }()
 
+// ParseResource maps a symbolic resource name ("compute", "memory", "pcie",
+// "network", "filesystem", "external", "overhead") back to its enum — the
+// inverse of Resource.String, shared by the JSON codec and the CLIs.
+func ParseResource(name string) (Resource, error) {
+	if r, ok := resourceByName[name]; ok {
+		return r, nil
+	}
+	return 0, fmt.Errorf("core: unknown resource %q", name)
+}
+
 // MarshalJSON serializes the model with symbolic resource and scope names,
 // so external tooling (or a future non-Go plotter) can consume it.
 func (m *Model) MarshalJSON() ([]byte, error) {

@@ -256,15 +256,18 @@ func (m *Model) SetTargets(t workflow.Targets, totalTasks int) {
 }
 
 // ScaleIntraTask models Fig 2c: multiplying each task's intra-task
-// parallelism (nodes per task) by k >= 1 with perfect scalability moves the
+// parallelism (nodes per task) by k > 0 with perfect scalability moves the
 // wall left by k (fewer concurrent tasks fit) and node ceilings up by k
-// (per-node work drops by k, so per-task time at peak drops by k).
+// (per-node work drops by k, so per-task time at peak drops by k). A
+// fractional k coarsens instead: wider walls, slower tasks — the inverse
+// transform, so scaling by k then 1/k at perfect efficiency is the identity
+// whenever k divides the wall evenly.
 // System-scoped ceilings are unchanged: the same bytes cross the same shared
 // resource. The receiver is not mutated. efficiency in (0,1] models
 // imperfect strong scaling of the node phases: time scales by 1/(k*eff).
 func (m *Model) ScaleIntraTask(k float64, efficiency float64) (*Model, error) {
-	if k < 1 {
-		return nil, fmt.Errorf("core: intra-task scale factor must be >= 1, got %v", k)
+	if k <= 0 || math.IsInf(k, 0) || math.IsNaN(k) {
+		return nil, fmt.Errorf("core: intra-task scale factor must be a positive finite number, got %v", k)
 	}
 	if efficiency <= 0 || efficiency > 1 {
 		return nil, fmt.Errorf("core: efficiency must be in (0,1], got %v", efficiency)

@@ -200,8 +200,22 @@ func TestScaleIntraTask(t *testing.T) {
 	if !almost(imperfect.Ceilings[2].TimePerTask, m.Ceilings[2].TimePerTask, 1e-12) {
 		t.Errorf("2x at 50%% efficiency should leave node time unchanged")
 	}
-	if _, err := m.ScaleIntraTask(0.5, 1); err == nil {
-		t.Error("k < 1 should fail")
+	// Fractional k coarsens: the wall widens and node tasks slow down.
+	half, err := m.ScaleIntraTask(0.5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if half.Wall != 56 {
+		t.Errorf("0.5x wall = %d, want 56", half.Wall)
+	}
+	if _, err := m.ScaleIntraTask(0, 1); err == nil {
+		t.Error("k = 0 should fail")
+	}
+	if _, err := m.ScaleIntraTask(-2, 1); err == nil {
+		t.Error("negative k should fail")
+	}
+	if _, err := m.ScaleIntraTask(math.NaN(), 1); err == nil {
+		t.Error("NaN k should fail")
 	}
 	if _, err := m.ScaleIntraTask(2, 0); err == nil {
 		t.Error("zero efficiency should fail")

@@ -1,0 +1,119 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+// quickModel decodes a small random roofline from raw fuzz-style integers:
+// a wall that is a multiple of 16 (so power-of-two intra-task factors divide
+// it) and 2-5 ceilings with mixed scopes and per-task times in (0, 100].
+func quickModel(wallRaw uint8, ceilRaw []uint16) *Model {
+	m := &Model{Title: "quick", Wall: int(wallRaw%64+1) * 16}
+	n := len(ceilRaw)%4 + 2
+	for i := 0; i < n; i++ {
+		var raw uint16
+		if i < len(ceilRaw) {
+			raw = ceilRaw[i]
+		} else {
+			raw = uint16(i*37 + 1)
+		}
+		scope := ScopeNode
+		if raw%2 == 1 {
+			scope = ScopeSystem
+		}
+		m.AddCeiling(Ceiling{
+			Name:        "c",
+			Resource:    Resource(int(raw/2) % int(ResOverhead+1)),
+			Scope:       scope,
+			TimePerTask: float64(raw%1000+1) / 10,
+		})
+	}
+	return m
+}
+
+// Eq.(1) property: the attainable bound min_c(Peak-limited terms) is
+// monotone non-decreasing in every Peak_c. Raising one resource's peak
+// divides that ceiling's time-per-task, which can only raise (or leave
+// unchanged) the min over ceilings, at every parallelism level.
+func TestQuickBoundMonotoneInEveryPeak(t *testing.T) {
+	f := func(wallRaw uint8, ceilRaw []uint16, whichRaw uint8, factorRaw uint16, pRaw uint16) bool {
+		m := quickModel(wallRaw, ceilRaw)
+		which := int(whichRaw) % len(m.Ceilings)
+		factor := 1 + float64(factorRaw%1000)/100 // peak scale in [1, 11)
+		p := float64(pRaw%2048) + 0.5
+
+		faster := &Model{Title: m.Title, Wall: m.Wall}
+		for i, c := range m.Ceilings {
+			if i == which {
+				c.TimePerTask /= factor // Peak_c up by factor
+			}
+			faster.AddCeiling(c)
+		}
+		b0, _ := m.Bound(p)
+		b1, _ := faster.Bound(p)
+		return b1 >= b0*(1-1e-12)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// The bound is also monotone non-decreasing in p itself (more parallel
+// tasks never lower the attainable TPS; past the wall it plateaus).
+func TestQuickBoundMonotoneInP(t *testing.T) {
+	f := func(wallRaw uint8, ceilRaw []uint16, pRaw, dpRaw uint16) bool {
+		m := quickModel(wallRaw, ceilRaw)
+		p := float64(pRaw%2048) + 0.5
+		dp := float64(dpRaw%512) / 4
+		b0, _ := m.Bound(p)
+		b1, _ := m.Bound(p + dp)
+		return b1 >= b0*(1-1e-12)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// ScaleIntraTask(k) followed by ScaleIntraTask(1/k) at perfect efficiency
+// is the identity (within float tolerance) whenever k divides the wall:
+// the wall and every ceiling's time-per-task round-trip exactly.
+func TestQuickIntraTaskRoundTrip(t *testing.T) {
+	f := func(wallRaw uint8, ceilRaw []uint16, kRaw uint8) bool {
+		m := quickModel(wallRaw, ceilRaw)
+		k := float64(int(1) << (kRaw%5 + 1)) // 2, 4, ..., 32; wall%16 == 0 but
+		if m.Wall%int(k) != 0 {              // wall may be < k's multiple — skip
+			return true
+		}
+		down, err := m.ScaleIntraTask(k, 1)
+		if err != nil {
+			return false
+		}
+		back, err := down.ScaleIntraTask(1/k, 1)
+		if err != nil {
+			return false
+		}
+		if back.Wall != m.Wall {
+			t.Logf("wall %d -> %d -> %d (k=%v)", m.Wall, down.Wall, back.Wall, k)
+			return false
+		}
+		for i, c := range m.Ceilings {
+			rc := back.Ceilings[i]
+			if rc.Scope != c.Scope || rc.Resource != c.Resource {
+				return false
+			}
+			if !almost(rc.TimePerTask, c.TimePerTask, 1e-12) {
+				t.Logf("ceiling %d time %v -> %v (k=%v)", i, c.TimePerTask, rc.TimePerTask, k)
+				return false
+			}
+		}
+		// The bound at the wall round-trips with the model.
+		b0, _ := m.BoundAtWall()
+		b1, _ := back.BoundAtWall()
+		return almost(b0, b1, 1e-12) || (math.IsInf(b0, 1) && math.IsInf(b1, 1))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -349,5 +350,99 @@ func TestContextCancellationBeforeStart(t *testing.T) {
 	}
 	if res.Err() == nil {
 		t.Error("run should report the failure")
+	}
+}
+
+// TestRaceStressLayeredFailures drives the executor's every concurrent path
+// at once — wide layers, a bounded semaphore, mid-run failures with
+// FailFast, and a shared recorder — so `go test -race` exercises the
+// launch/finish/skip interleavings rather than just the happy path.
+func TestRaceStressLayeredFailures(t *testing.T) {
+	const layers, width = 6, 24
+	g := dag.New()
+	fns := map[string]Fn{}
+	var ran int64
+	for l := 0; l < layers; l++ {
+		for w := 0; w < width; w++ {
+			id := fmt.Sprintf("t%02d_%02d", l, w)
+			if l == 0 {
+				if err := g.AddNode(id); err != nil {
+					t.Fatal(err)
+				}
+			} else {
+				// Each task depends on three tasks of the previous layer.
+				for d := 0; d < 3; d++ {
+					pred := fmt.Sprintf("t%02d_%02d", l-1, (w+d*7)%width)
+					if err := g.AddEdge(pred, id); err != nil {
+						t.Fatal(err)
+					}
+				}
+			}
+			fail := l == 2 && w%5 == 0
+			fns[id] = func(ctx context.Context) error {
+				atomic.AddInt64(&ran, 1)
+				if fail {
+					return errors.New("injected failure")
+				}
+				return nil
+			}
+		}
+	}
+	res, err := Run(context.Background(), g, fns, Options{MaxParallel: 8, Recorder: trace.NewRecorder()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every task is accounted for exactly once: completed or errored/skipped.
+	if got := res.Completed + len(res.Errors); got != layers*width {
+		t.Errorf("accounted tasks = %d, want %d", got, layers*width)
+	}
+	if res.Err() == nil {
+		t.Error("injected failures should surface through Err()")
+	}
+	// Failed tasks ran; their transitive dependents were skipped, not run.
+	for id, err := range res.Errors {
+		if !errors.Is(err, ErrSkipped) && !strings.Contains(err.Error(), "injected") {
+			t.Errorf("task %s: unexpected error %v", id, err)
+		}
+	}
+	if res.Recorder.Len() != int(atomic.LoadInt64(&ran)) {
+		t.Errorf("recorder has %d spans, %d tasks ran", res.Recorder.Len(), ran)
+	}
+}
+
+// TestRaceStressFailFast floods a bounded pool and cancels mid-flight: tasks
+// blocked on the semaphore must skip, running tasks must observe the
+// cancellation, and the span count must match the tasks that actually ran.
+func TestRaceStressFailFast(t *testing.T) {
+	g := dag.New()
+	fns := map[string]Fn{}
+	const n = 64
+	for i := 0; i < n; i++ {
+		id := fmt.Sprintf("w%03d", i)
+		if err := g.AddNode(id); err != nil {
+			t.Fatal(err)
+		}
+		poison := i == 7
+		fns[id] = func(ctx context.Context) error {
+			if poison {
+				return errors.New("poison")
+			}
+			select {
+			case <-ctx.Done():
+				return ctx.Err()
+			case <-time.After(time.Millisecond):
+				return nil
+			}
+		}
+	}
+	res, err := Run(context.Background(), g, fns, Options{MaxParallel: 4, FailFast: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Err() == nil {
+		t.Error("poisoned run should report failures")
+	}
+	if res.Completed+len(res.Errors) != n {
+		t.Errorf("accounted = %d, want %d", res.Completed+len(res.Errors), n)
 	}
 }

@@ -119,6 +119,21 @@ func (t *Table) Text() string {
 	return sb.String()
 }
 
+// Render dispatches on a format name: "table" (aligned text), "csv", or
+// "markdown" — the shared switch behind every CLI's -format flag.
+func (t *Table) Render(format string) (string, error) {
+	switch format {
+	case "", "table", "text":
+		return t.Text(), nil
+	case "csv":
+		return t.CSV(), nil
+	case "markdown", "md":
+		return t.Markdown(), nil
+	default:
+		return "", fmt.Errorf("report: unknown format %q (want table, csv, or markdown)", format)
+	}
+}
+
 // CSV renders the table as RFC-4180-ish CSV (quotes applied when needed).
 func (t *Table) CSV() string {
 	var sb strings.Builder

@@ -1,0 +1,53 @@
+package sbatch
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParse asserts the sbatch extractor's contract on arbitrary script
+// bodies: malformed input returns an attributed error, never a panic, and a
+// script that parses can always seed a one-job workflow.
+func FuzzParse(f *testing.F) {
+	f.Add(`#!/bin/bash
+#SBATCH --job-name=analyze0
+#SBATCH --nodes=32
+#SBATCH --ntasks=1024
+#SBATCH --time=00:30:00
+#SBATCH --partition=haswell
+#SBATCH --output=analyze.%j.out
+srun ./analyze
+`)
+	f.Add("#SBATCH -J merge\n#SBATCH -N 1\n#SBATCH -n 4\n#SBATCH -t 15\n")
+	f.Add("#SBATCH --job-name=b\n#SBATCH --dependency=afterok:a\n")
+	f.Add("#SBATCH --job-name=c\n#SBATCH --time=2-12:00:00\n")
+	f.Add("#SBATCH\n")                               // empty directive
+	f.Add("#SBATCH --nodes=4\n")                     // no job name
+	f.Add("#SBATCH -J x\n#SBATCH --nodes=zero\n")    // bad int
+	f.Add("#SBATCH -J x\n#SBATCH -N\n")              // short form missing value
+	f.Add("#SBATCH -J x\n#SBATCH --time=99:99:99\n") // bad time fields
+	f.Add("#SBATCH -J x\n#SBATCH --dependency=after:x\n")
+	f.Add("echo no directives at all\n")
+	f.Fuzz(func(t *testing.T, src string) {
+		s, err := ParseScript(src)
+		if err != nil {
+			if s != nil {
+				t.Fatalf("ParseScript returned both a script and an error: %v", err)
+			}
+			if !strings.HasPrefix(err.Error(), "sbatch:") {
+				t.Fatalf("error not attributed to the package: %v", err)
+			}
+			return
+		}
+		if s.JobName == "" || s.Nodes <= 0 {
+			t.Fatalf("accepted script violates invariants: %+v", s)
+		}
+		// A valid standalone script (no dangling dependencies, and a
+		// partition for the workflow to adopt) must assemble.
+		if len(s.DependsOn) == 0 && s.Partition != "" {
+			if _, err := BuildWorkflow("fuzz", []*Script{s}); err != nil {
+				t.Fatalf("BuildWorkflow on valid script: %v\n%+v", err, s)
+			}
+		}
+	})
+}

@@ -1,0 +1,46 @@
+package wdl
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParse asserts the parser's contract on arbitrary input: malformed
+// sources return an error (prefixed "wdl:" so callers can attribute it),
+// never a panic, and anything that parses survives a Format/Parse
+// round-trip.
+func FuzzParse(f *testing.F) {
+	f.Add(lclsSrc)
+	f.Add("workflow W on cpu\ntask A nodes=1\n")
+	f.Add("workflow W on cpu\ntarget makespan 10m\ntask A nodes=2 flops=1 TFLOP\ntask B nodes=1\nA -> B\n")
+	f.Add("workflow W on gpu\ntask A name=\"quoted label\" nodes=1 measured=553s\n")
+	f.Add("# only a comment\n")
+	f.Add("workflow W on cpu\ntask A nodes=1\ntask A nodes=1\n") // duplicate id
+	f.Add("workflow W on cpu\ntask A nodes=1\nA -> A\n")         // self-edge
+	f.Add("task A nodes=1\n")                                    // missing header
+	f.Add("workflow W on cpu\ntask A nodes=-3\n")
+	f.Add("workflow W on cpu\ntask A nodes=1 mem=\n")
+	f.Add("workflow W on cpu\ntask A nodes=1 fs=1 XB\n")
+	f.Add("workflow\nA ->\n-> B\n")
+	f.Add(strings.Repeat("workflow W on cpu\n", 3))
+	f.Fuzz(func(t *testing.T, src string) {
+		w, err := Parse(src)
+		if err != nil {
+			if w != nil {
+				t.Fatalf("Parse returned both a workflow and an error: %v", err)
+			}
+			if !strings.HasPrefix(err.Error(), "wdl:") && !strings.HasPrefix(err.Error(), "workflow") {
+				t.Fatalf("error not attributed to a package: %v", err)
+			}
+			return
+		}
+		// A parsed workflow must re-format and re-parse cleanly.
+		text, err := Format(w)
+		if err != nil {
+			t.Fatalf("Format after successful Parse: %v", err)
+		}
+		if _, err := Parse(text); err != nil {
+			t.Fatalf("re-Parse of Format output: %v\n%s", err, text)
+		}
+	})
+}

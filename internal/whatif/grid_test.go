@@ -1,0 +1,178 @@
+package whatif
+
+import (
+	"context"
+	"reflect"
+	"runtime"
+	"strings"
+	"testing"
+
+	"wroofline/internal/core"
+	"wroofline/internal/sweep"
+)
+
+// gridModel is a two-ceiling model where either resource can end up binding
+// depending on the applied factors.
+func gridModel() *core.Model {
+	return &core.Model{
+		Title: "grid-test",
+		Wall:  64,
+		Ceilings: []core.Ceiling{
+			{Name: "mem", Resource: core.ResMemory, Scope: core.ScopeNode, TimePerTask: 2},
+			{Name: "fs", Resource: core.ResFileSystem, Scope: core.ScopeSystem, TimePerTask: 0.5},
+		},
+	}
+}
+
+func TestGridSizeAndScenarioNames(t *testing.T) {
+	g := Grid{
+		Resources:   []ResourceAxis{{Resource: core.ResMemory, Factors: []float64{1, 2, 4}}},
+		WallFactors: []float64{1, 2},
+		IntraTask:   []IntraTaskOption{{K: 1}, {K: 2, Efficiency: 0.9}},
+	}
+	size, err := g.Size()
+	if err != nil || size != 12 {
+		t.Fatalf("size = %d, %v", size, err)
+	}
+	cells, err := EvaluateGrid(context.Background(), gridModel(), 8, g, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) != 12 {
+		t.Fatalf("cells = %d", len(cells))
+	}
+	if cells[0].Name != "base" {
+		t.Errorf("identity cell name = %q", cells[0].Name)
+	}
+	last := cells[len(cells)-1]
+	for _, want := range []string{"4x memory", "2x wall", "2x intra@0.9"} {
+		if !strings.Contains(last.Name, want) {
+			t.Errorf("last cell %q missing %q", last.Name, want)
+		}
+	}
+}
+
+func TestEvaluateGridWorkerCountInvariance(t *testing.T) {
+	g := Grid{
+		Resources: []ResourceAxis{
+			{Resource: core.ResMemory, Factors: []float64{0.5, 1, 2, 4, 8}},
+			{Resource: core.ResFileSystem, Factors: []float64{1, 2, 4}},
+		},
+		WallFactors: []float64{0.5, 1, 2},
+		IntraTask:   []IntraTaskOption{{K: 1}, {K: 2}},
+	}
+	base, err := EvaluateGrid(context.Background(), gridModel(), 16, g, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{4, runtime.GOMAXPROCS(0)} {
+		got, err := EvaluateGrid(context.Background(), gridModel(), 16, g, workers, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(base, got) {
+			t.Fatalf("workers=%d: grid cells differ", workers)
+		}
+	}
+}
+
+func TestEvaluateGridFeedsAggregator(t *testing.T) {
+	g := Grid{
+		Resources: []ResourceAxis{{Resource: core.ResFileSystem, Factors: []float64{1, 2, 4, 100}}},
+	}
+	size, err := g.Size()
+	if err != nil {
+		t.Fatal(err)
+	}
+	agg, err := sweep.NewAgg(size)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cells, err := EvaluateGrid(context.Background(), gridModel(), 16, g, 2, agg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := agg.Summary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.N != size {
+		t.Fatalf("agg n = %d, want %d", s.N, size)
+	}
+	// At p=16: fs binds at 2 TPS until scaled to 4x, where mem (8 TPS, tied
+	// but listed first) takes over; the histogram records both ceilings.
+	hist := agg.Hist()
+	labels := map[string]int{}
+	for _, h := range hist {
+		labels[h.Label] = h.Count
+	}
+	if labels["fs"] != 2 || labels["mem"] != 2 {
+		t.Errorf("hist = %+v", hist)
+	}
+	if cells[3].Outcome.Limiting != "mem" {
+		t.Errorf("100x fs cell limited by %q, want mem", cells[3].Outcome.Limiting)
+	}
+}
+
+func TestEvaluateGridDefaultsAndErrors(t *testing.T) {
+	// An all-empty grid is the single base cell.
+	cells, err := EvaluateGrid(context.Background(), gridModel(), 4, Grid{}, 1, nil)
+	if err != nil || len(cells) != 1 || cells[0].Name != "base" {
+		t.Fatalf("empty grid: %+v, %v", cells, err)
+	}
+	if cells[0].Outcome.Speedup != 1 {
+		t.Errorf("base speedup = %v", cells[0].Outcome.Speedup)
+	}
+	if _, err := EvaluateGrid(context.Background(), gridModel(), 0, Grid{}, 1, nil); err == nil {
+		t.Error("non-positive p should fail")
+	}
+	bad := Grid{Resources: []ResourceAxis{{Resource: core.ResMemory, Factors: []float64{-1}}}}
+	if _, err := EvaluateGrid(context.Background(), gridModel(), 4, bad, 1, nil); err == nil {
+		t.Error("negative factor should fail")
+	}
+	// Scaling a resource the model lacks fails, with the scenario named.
+	missing := Grid{Resources: []ResourceAxis{{Resource: core.ResCompute, Factors: []float64{2}}}}
+	if _, err := EvaluateGrid(context.Background(), gridModel(), 4, missing, 1, nil); err == nil {
+		t.Error("missing resource should fail")
+	}
+}
+
+func TestEvaluateEnsembleMatchesSerial(t *testing.T) {
+	m := gridModel()
+	perts := []Perturbation{
+		ScaleResource(core.ResMemory, 2),
+		ScaleResource(core.ResFileSystem, 4),
+		ScaleWall(2),
+		IntraTask(2, 0.8),
+	}
+	serial, err := Evaluate(m, 8, perts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, runtime.GOMAXPROCS(0)} {
+		par, err := EvaluateEnsemble(context.Background(), m, 8, perts, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(serial, par) {
+			t.Fatalf("workers=%d: outcomes differ from serial", workers)
+		}
+	}
+}
+
+func TestGridTable(t *testing.T) {
+	cells, err := EvaluateGrid(context.Background(), gridModel(), 4,
+		Grid{WallFactors: []float64{1, 2}}, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	txt, err := GridTable("grid", cells)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"scenario", "bound TPS", "base", "2x wall"} {
+		if !strings.Contains(txt, want) {
+			t.Errorf("table missing %q:\n%s", want, txt)
+		}
+	}
+}

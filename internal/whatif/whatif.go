@@ -8,11 +8,13 @@
 package whatif
 
 import (
+	"context"
 	"fmt"
 	"math"
 
 	"wroofline/internal/core"
 	"wroofline/internal/report"
+	"wroofline/internal/sweep"
 )
 
 // Perturbation is a named model transformation.
@@ -100,8 +102,20 @@ type Outcome struct {
 }
 
 // Evaluate applies each perturbation to the base model and compares bounds
-// at p parallel tasks (clipped at each scenario's wall).
+// at p parallel tasks (clipped at each scenario's wall). It is the
+// serial-API wrapper over EvaluateEnsemble: one worker, background context,
+// identical output.
 func Evaluate(base *core.Model, p float64, perts []Perturbation) ([]Outcome, error) {
+	return EvaluateEnsemble(context.Background(), base, p, perts, 1)
+}
+
+// EvaluateEnsemble is Evaluate on the sweep worker pool: each perturbation
+// is applied and bounded on its own goroutine (up to workers; sweep.Workers
+// semantics). Outcomes come back in perturbation order — base first — so the
+// result is identical at any worker count. Perturbation Apply functions must
+// not mutate the base model; every Perturbation this package constructs
+// clones it.
+func EvaluateEnsemble(ctx context.Context, base *core.Model, p float64, perts []Perturbation, workers int) ([]Outcome, error) {
 	if err := base.Validate(); err != nil {
 		return nil, err
 	}
@@ -109,16 +123,21 @@ func Evaluate(base *core.Model, p float64, perts []Perturbation) ([]Outcome, err
 		return nil, fmt.Errorf("whatif: parallel tasks must be positive, got %v", p)
 	}
 	baseBound, baseLimit := base.Bound(p)
-	out := []Outcome{outcomeFor("base", base, p, baseBound, baseLimit.Name, baseBound)}
-	for _, pert := range perts {
+	scenarios, err := sweep.Map(ctx, len(perts), workers, func(_ context.Context, i int) (Outcome, error) {
+		pert := perts[i]
 		m, err := pert.Apply(base)
 		if err != nil {
-			return nil, fmt.Errorf("whatif: %s: %w", pert.Name, err)
+			return Outcome{}, fmt.Errorf("whatif: %s: %w", pert.Name, err)
 		}
 		bound, limit := m.Bound(p)
-		out = append(out, outcomeFor(pert.Name, m, p, bound, limit.Name, baseBound))
+		return outcomeFor(pert.Name, m, p, bound, limit.Name, baseBound), nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	return out, nil
+	out := make([]Outcome, 0, len(perts)+1)
+	out = append(out, outcomeFor("base", base, p, baseBound, baseLimit.Name, baseBound))
+	return append(out, scenarios...), nil
 }
 
 func outcomeFor(name string, m *core.Model, p, bound float64, limiting string, baseBound float64) Outcome {
@@ -189,22 +208,26 @@ type SweepPoint struct {
 
 // SweepResource evaluates the bound at p while scaling a resource's peak
 // through the given factors — the series behind "changing system or node
-// bandwidths shifts the ceilings".
+// bandwidths shifts the ceilings". Serial wrapper over SweepResourceEnsemble.
 func SweepResource(m *core.Model, p float64, res core.Resource, factors []float64) ([]SweepPoint, error) {
+	return SweepResourceEnsemble(context.Background(), m, p, res, factors, 1)
+}
+
+// SweepResourceEnsemble fans the factor series across the sweep pool; points
+// come back in factor order at any worker count.
+func SweepResourceEnsemble(ctx context.Context, m *core.Model, p float64, res core.Resource, factors []float64, workers int) ([]SweepPoint, error) {
 	if len(factors) == 0 {
 		return nil, fmt.Errorf("whatif: no sweep factors")
 	}
-	var out []SweepPoint
-	for _, f := range factors {
-		pert := ScaleResource(res, f)
-		scaled, err := pert.Apply(m)
+	return sweep.Map(ctx, len(factors), workers, func(_ context.Context, i int) (SweepPoint, error) {
+		f := factors[i]
+		scaled, err := ScaleResource(res, f).Apply(m)
 		if err != nil {
-			return nil, err
+			return SweepPoint{}, err
 		}
 		bound, limit := scaled.Bound(p)
-		out = append(out, SweepPoint{Factor: f, BoundTPS: bound, Limiting: limit.Name})
-	}
-	return out, nil
+		return SweepPoint{Factor: f, BoundTPS: bound, Limiting: limit.Name}, nil
+	})
 }
 
 // Table renders outcomes as an aligned-text table.

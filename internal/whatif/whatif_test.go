@@ -149,8 +149,16 @@ func TestIntraTaskPerturbation(t *testing.T) {
 	if scaled.Wall != 14 {
 		t.Errorf("wall = %d, want 14", scaled.Wall)
 	}
-	if _, err := IntraTask(0.5, 1).Apply(m); err == nil {
-		t.Error("k < 1 should fail")
+	// Fractional k is the coarsening direction: wall widens.
+	coarse, err := IntraTask(0.5, 1).Apply(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if coarse.Wall != 2*m.Wall {
+		t.Errorf("0.5x wall = %d, want %d", coarse.Wall, 2*m.Wall)
+	}
+	if _, err := IntraTask(0, 1).Apply(m); err == nil {
+		t.Error("k = 0 should fail")
 	}
 }
 

@@ -1,0 +1,50 @@
+#!/usr/bin/env bash
+# Tier-2 gate: formatting, static analysis, and the race detector across the
+# whole module. Tier-1 (go build && go test ./...) is assumed to run first;
+# this script is the slower, stricter pass CI and pre-commit hooks call.
+#
+#   scripts/check.sh            # gofmt + vet + race tests
+#   scripts/check.sh -fuzz      # also run each fuzz target for 30s
+set -u
+cd "$(dirname "$0")/.."
+
+fail=0
+
+echo "== gofmt =="
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+    echo "gofmt needed on:"
+    echo "$unformatted"
+    fail=1
+else
+    echo "ok"
+fi
+
+echo "== go vet =="
+if go vet ./...; then
+    echo "ok"
+else
+    fail=1
+fi
+
+echo "== go test -race =="
+if go test -race ./...; then
+    echo "ok"
+else
+    fail=1
+fi
+
+if [ "${1:-}" = "-fuzz" ]; then
+    echo "== fuzz (30s per target) =="
+    for pkg in ./internal/wdl ./internal/sbatch; do
+        if ! go test "$pkg" -fuzz=FuzzParse -fuzztime=30s; then
+            fail=1
+        fi
+    done
+fi
+
+if [ "$fail" -ne 0 ]; then
+    echo "CHECK FAILED"
+    exit 1
+fi
+echo "CHECK PASSED"
