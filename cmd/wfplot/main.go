@@ -16,6 +16,9 @@
 //	WRF_Fig_2a..3b.svg   Fig 2-3  interpretation panels (zones, directions,
 //	                              intra-task rescaling, node/system shading)
 //
+// The catalog itself lives in internal/figures, shared with the wfserved
+// /v1/figures endpoint.
+//
 // Usage: wfplot -out figures/
 package main
 
@@ -24,12 +27,8 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
-	"strings"
 
-	"wroofline/internal/breakdown"
-	"wroofline/internal/gantt"
-	"wroofline/internal/plot"
-	"wroofline/internal/workloads"
+	"wroofline/internal/figures"
 )
 
 func main() {
@@ -62,176 +61,10 @@ func run(args []string) error {
 	return nil
 }
 
-// Figure is one rendered paper element.
-type Figure struct {
-	// File is the output name, Paper the figure it reproduces.
-	File, Paper string
-	// SVG is the rendered document.
-	SVG string
-}
+// Figure is one rendered paper element (alias of the shared catalog type).
+type Figure = figures.Figure
 
-// Figures renders every paper figure.
+// Figures renders every paper figure from the shared catalog.
 func Figures() ([]Figure, error) {
-	var out []Figure
-	add := func(file, paper, svg string, err error) error {
-		if err != nil {
-			return fmt.Errorf("%s (%s): %w", file, paper, err)
-		}
-		out = append(out, Figure{File: file, Paper: paper, SVG: svg})
-		return nil
-	}
-
-	// Fig 1: the model example.
-	example, err := workloads.ExampleModel()
-	if err != nil {
-		return nil, err
-	}
-	svg, err := plot.RooflineSVG(example, nil, plot.Options{})
-	if err := add("example.svg", "Fig 1", svg, err); err != nil {
-		return nil, err
-	}
-
-	// Fig 2a-2c and Fig 3a-3b: the interpretation panels.
-	interp, err := workloads.InterpretationFigures()
-	if err != nil {
-		return nil, err
-	}
-	for _, f := range interp {
-		svg, err := plot.RooflineSVG(f.Model, f.Points, plot.Options{
-			ShowZones:       f.ShowZones,
-			ShadeBoundClass: f.ShadeBoundClass,
-		})
-		file := "WRF_" + strings.ReplaceAll(f.Name, " ", "_") + ".svg"
-		if err := add(file, f.Name, svg, err); err != nil {
-			return nil, err
-		}
-	}
-
-	// Fig 5a + 5b: LCLS on Cori.
-	lcls, err := workloads.LCLSCori()
-	if err != nil {
-		return nil, err
-	}
-	svg, err = plot.RooflineSVG(lcls.Model, lcls.Points, plot.Options{ShowZones: true})
-	if err := add("WRF_LCLS_HSW.svg", "Fig 5a", svg, err); err != nil {
-		return nil, err
-	}
-	bd := breakdown.New("LCLS time breakdown on Cori-HSW", "loading", "analysis", "merge")
-	for _, build := range []func() (*workloads.CaseStudy, error){workloads.LCLSCori, workloads.LCLSCoriBadDay} {
-		cs, err := build()
-		if err != nil {
-			return nil, err
-		}
-		res, err := cs.Simulate()
-		if err != nil {
-			return nil, err
-		}
-		label := "Good days"
-		if cs.Name != "LCLS/Cori-HSW" {
-			label = "Bad days"
-		}
-		if err := bd.Add(label, res.Breakdown()); err != nil {
-			return nil, err
-		}
-	}
-	svg, err = plot.BreakdownSVG(bd, 0, 0)
-	if err := add("WRF_LCLS_HSW_bd.svg", "Fig 5b", svg, err); err != nil {
-		return nil, err
-	}
-
-	// Fig 6: LCLS on PM-CPU.
-	lclsPM, err := workloads.LCLSPerlmutter()
-	if err != nil {
-		return nil, err
-	}
-	svg, err = plot.RooflineSVG(lclsPM.Model, lclsPM.Points, plot.Options{ShowZones: true})
-	if err := add("WRF_LCLS_PM.svg", "Fig 6", svg, err); err != nil {
-		return nil, err
-	}
-
-	// Fig 7a/7b/7d: BGW at both scales plus the Gantt chart.
-	for _, scale := range []int{64, 1024} {
-		cs, err := workloads.BGW(scale)
-		if err != nil {
-			return nil, err
-		}
-		svg, err = plot.RooflineSVG(cs.Model, cs.Points, plot.Options{})
-		file := fmt.Sprintf("WRF_BGW_%d.svg", scale)
-		paper := map[int]string{64: "Fig 7a", 1024: "Fig 7b"}[scale]
-		if err := add(file, paper, svg, err); err != nil {
-			return nil, err
-		}
-		if scale == 64 {
-			res, err := cs.Simulate()
-			if err != nil {
-				return nil, err
-			}
-			path, _, err := cs.Workflow.CriticalPathMeasured()
-			if err != nil {
-				return nil, err
-			}
-			ch, err := gantt.FromRecorder("BerkeleyGW Gantt (64 nodes)", res.Recorder, path)
-			if err != nil {
-				return nil, err
-			}
-			svg, err = plot.GanttSVG(ch, 0, 0)
-			if err := add("WRF_BGW_gantt.svg", "Fig 7d", svg, err); err != nil {
-				return nil, err
-			}
-		}
-	}
-
-	// Fig 7c: the task view.
-	tv, points, err := workloads.BGWTaskView()
-	if err != nil {
-		return nil, err
-	}
-	svg, err = plot.RooflineSVG(tv, points, plot.Options{})
-	if err := add("WRF_BGW_task.svg", "Fig 7c", svg, err); err != nil {
-		return nil, err
-	}
-
-	// Fig 8: CosmoFlow sweep.
-	cosmo, err := workloads.CosmoFlow(12)
-	if err != nil {
-		return nil, err
-	}
-	sweep, err := workloads.CosmoFlowSweep(12)
-	if err != nil {
-		return nil, err
-	}
-	svg, err = plot.RooflineSVG(cosmo.Model, sweep, plot.Options{})
-	if err := add("WRF_COSMO_PM.svg", "Fig 8", svg, err); err != nil {
-		return nil, err
-	}
-
-	// Fig 10a + 10b: GPTune.
-	gpt, err := workloads.GPTune(workloads.GPTuneRCI)
-	if err != nil {
-		return nil, err
-	}
-	svg, err = plot.RooflineSVG(gpt.Model, gpt.Points, plot.Options{})
-	if err := add("WRF_GPTUNE_PM.svg", "Fig 10a", svg, err); err != nil {
-		return nil, err
-	}
-	gbd := breakdown.New("GPTune time breakdown",
-		"python", "load data", "bash", "application", "model and search")
-	for _, mode := range []workloads.GPTuneMode{workloads.GPTuneRCI, workloads.GPTuneSpawn, workloads.GPTuneProjected} {
-		stack, err := workloads.GPTuneStack(mode)
-		if err != nil {
-			return nil, err
-		}
-		if err := gbd.Add(mode.String(), stack); err != nil {
-			return nil, err
-		}
-	}
-	svg, err = plot.BreakdownSVG(gbd, 0, 0)
-	if err := add("WRF_GPTUNE_bd.svg", "Fig 10b", svg, err); err != nil {
-		return nil, err
-	}
-
-	// The set above matches the artifact's eight roofline plots plus the
-	// Gantt and breakdown panels; the Fig 9 skeletons are DOT/ASCII output
-	// from the gptune example.
-	return out, nil
+	return figures.All()
 }

@@ -1,0 +1,104 @@
+// Command wfserved runs the Workflow Roofline analysis service: model
+// bounds, classification, and advice (POST /v1/model), ensemble studies in
+// the wfsweep spec format (POST /v1/sweep), and paper figures as SVG
+// (GET /v1/figures/{name}), plus /healthz and /metrics. Responses are
+// cached by the SHA-256 of the canonicalized request and concurrent
+// identical requests coalesce onto a single evaluation — see internal/serve.
+//
+// Usage:
+//
+//	wfserved                       # listen on :8080
+//	wfserved -addr :9000 -workers 8
+//	wfserved -cache 1024 -queue 8 -timeout 60s
+//
+// The process drains cleanly on SIGINT/SIGTERM: in-flight requests finish
+// (up to -drain), new connections are refused.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"log/slog"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"wroofline/internal/serve"
+)
+
+func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stderr, nil); err != nil {
+		fmt.Fprintln(os.Stderr, "wfserved:", err)
+		os.Exit(1)
+	}
+}
+
+// run is the testable entry point: it serves until ctx is cancelled, then
+// drains. If ready is non-nil it receives the bound address once listening
+// (tests pass ":0" and read the port from here).
+func run(ctx context.Context, args []string, logOut io.Writer, ready chan<- string) error {
+	fs := flag.NewFlagSet("wfserved", flag.ContinueOnError)
+	var (
+		addr    = fs.String("addr", ":8080", "listen address")
+		workers = fs.Int("workers", 0, "sweep worker pool per evaluation (0 = GOMAXPROCS)")
+		cache   = fs.Int("cache", 512, "result cache capacity (responses)")
+		queue   = fs.Int("queue", 4, "max concurrent evaluations")
+		timeout = fs.Duration("timeout", 30*time.Second, "per-request evaluation budget")
+		drain   = fs.Duration("drain", 15*time.Second, "shutdown drain budget for in-flight requests")
+	)
+	fs.SetOutput(logOut)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	logger := slog.New(slog.NewJSONHandler(logOut, nil))
+	s := serve.New(serve.Config{
+		Workers:      *workers,
+		CacheEntries: *cache,
+		QueueDepth:   *queue,
+		Timeout:      *timeout,
+		Logger:       logger,
+	})
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           s.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	logger.Info("listening", "addr", ln.Addr().String())
+	if ready != nil {
+		ready <- ln.Addr().String()
+	}
+
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.Serve(ln) }()
+
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	logger.Info("draining", "budget", drain.String())
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutdownCtx); err != nil {
+		return fmt.Errorf("drain: %w", err)
+	}
+	if err := <-errc; !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	logger.Info("stopped")
+	return nil
+}

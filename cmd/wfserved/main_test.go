@@ -1,0 +1,78 @@
+package main
+
+import (
+	"context"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestRunServesAndDrains boots the daemon on an ephemeral port, checks the
+// endpoints answer, then cancels the context and requires a clean drain.
+func TestRunServesAndDrains(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	ready := make(chan string, 1)
+	done := make(chan error, 1)
+	go func() {
+		done <- run(ctx, []string{"-addr", "127.0.0.1:0", "-drain", "5s"}, io.Discard, ready)
+	}()
+
+	var addr string
+	select {
+	case addr = <-ready:
+	case err := <-done:
+		t.Fatalf("run exited before listening: %v", err)
+	case <-time.After(10 * time.Second):
+		t.Fatal("server never became ready")
+	}
+
+	resp, err := http.Get("http://" + addr + "/healthz")
+	if err != nil {
+		t.Fatalf("healthz: %v", err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || !strings.Contains(string(body), "ok") {
+		t.Errorf("healthz: status %d, body %s", resp.StatusCode, body)
+	}
+
+	resp, err = http.Post("http://"+addr+"/v1/model", "application/json",
+		strings.NewReader(`{"case":"example"}`))
+	if err != nil {
+		t.Fatalf("model: %v", err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("model: status %d", resp.StatusCode)
+	}
+
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Errorf("run returned %v after cancel, want clean shutdown", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("server did not drain after cancel")
+	}
+}
+
+// TestRunBadFlags rejects unknown flags without starting a listener.
+func TestRunBadFlags(t *testing.T) {
+	err := run(context.Background(), []string{"-bogus"}, io.Discard, nil)
+	if err == nil {
+		t.Fatal("unknown flag accepted")
+	}
+}
+
+// TestRunBadAddr surfaces listen errors.
+func TestRunBadAddr(t *testing.T) {
+	err := run(context.Background(), []string{"-addr", "256.256.256.256:1"}, io.Discard, nil)
+	if err == nil {
+		t.Fatal("unusable address accepted")
+	}
+}

@@ -1,0 +1,53 @@
+package main
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// -update rewrites the checked-in golden transcripts.
+var update = flag.Bool("update", false, "rewrite testdata golden files")
+
+// TestGoldenTranscripts pins the simulator's full text output for
+// representative case studies — makespan, throughput, Gantt chart, and
+// phase breakdown — against checked-in transcripts. The simulator is
+// deterministic, so any byte of drift is a real behavior change. Run
+// `go test ./cmd/wfsim -update` after an intentional change and review
+// the diff.
+func TestGoldenTranscripts(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+	}{
+		{"bgw-64-full", []string{"-case", "bgw-64", "-gantt", "-breakdown"}},
+		{"lcls-cori", []string{"-case", "lcls-cori"}},
+		{"gptune-rci-breakdown", []string{"-case", "gptune-rci", "-breakdown"}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var sb strings.Builder
+			if err := run(tc.args, &sb); err != nil {
+				t.Fatal(err)
+			}
+			out := sb.String()
+			golden := filepath.Join("testdata", tc.name+".golden")
+			if *update {
+				if err := os.WriteFile(golden, []byte(out), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(golden)
+			if err != nil {
+				t.Fatalf("missing golden (run with -update to create): %v", err)
+			}
+			if out != string(want) {
+				t.Errorf("%s output drifted from golden (%d bytes now, %d in golden); run with -update if intentional\ngot:\n%s",
+					tc.name, len(out), len(want), out)
+			}
+		})
+	}
+}

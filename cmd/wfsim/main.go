@@ -25,20 +25,6 @@ import (
 	"wroofline/internal/workloads"
 )
 
-// caseBuilders maps CLI names to case-study constructors (the wroofline and
-// wfsim name sets match).
-var caseBuilders = map[string]func() (*workloads.CaseStudy, error){
-	"lcls-cori":         workloads.LCLSCori,
-	"lcls-cori-bad":     workloads.LCLSCoriBadDay,
-	"lcls-pm":           workloads.LCLSPerlmutter,
-	"lcls-pm-contended": workloads.LCLSPerlmutterContended,
-	"bgw-64":            func() (*workloads.CaseStudy, error) { return workloads.BGW(64) },
-	"bgw-1024":          func() (*workloads.CaseStudy, error) { return workloads.BGW(1024) },
-	"cosmoflow":         func() (*workloads.CaseStudy, error) { return workloads.CosmoFlow(12) },
-	"gptune-rci":        func() (*workloads.CaseStudy, error) { return workloads.GPTune(workloads.GPTuneRCI) },
-	"gptune-spawn":      func() (*workloads.CaseStudy, error) { return workloads.GPTune(workloads.GPTuneSpawn) },
-}
-
 func main() {
 	if err := run(os.Args[1:], os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "wfsim:", err)
@@ -62,13 +48,8 @@ func run(args []string, out io.Writer) error {
 		return err
 	}
 	if *list {
-		names := make([]string, 0, len(caseBuilders))
-		for n := range caseBuilders {
-			names = append(names, n)
-		}
-		sort.Strings(names)
 		fmt.Fprintln(out, "built-in case studies:")
-		for _, n := range names {
+		for _, n := range workloads.Names() {
 			fmt.Fprintln(out, " ", n)
 		}
 		return nil
@@ -81,14 +62,10 @@ func run(args []string, out io.Writer) error {
 			return err
 		}
 	} else {
-		build, ok := caseBuilders[*caseName]
-		if !ok {
-			return fmt.Errorf("unknown case %q (try -list)", *caseName)
-		}
 		var err error
-		cs, err = build()
+		cs, err = workloads.ByName(*caseName)
 		if err != nil {
-			return err
+			return fmt.Errorf("%w (try -list)", err)
 		}
 	}
 	res, err := cs.Simulate()

@@ -5,6 +5,8 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"wroofline/internal/workloads"
 )
 
 func TestRunList(t *testing.T) {
@@ -49,7 +51,7 @@ func TestRunCaseWithEverything(t *testing.T) {
 }
 
 func TestRunAllCases(t *testing.T) {
-	for name := range caseBuilders {
+	for _, name := range workloads.Names() {
 		var sb strings.Builder
 		if err := run([]string{"-case", name}, &sb); err != nil {
 			t.Errorf("case %s: %v", name, err)

@@ -5,6 +5,10 @@
 // RNGs are seeded from (seed, trial index) and results aggregate in trial
 // order.
 //
+// The spec format and runners live in internal/study, shared with the
+// wfserved analysis service: a spec tested here runs unchanged against
+// POST /v1/sweep.
+//
 // Usage:
 //
 //	wfsweep -spec sweep.json              # run the spec
@@ -30,25 +34,14 @@
 package main
 
 import (
-	"bytes"
 	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
-	"sort"
 
-	"wroofline/internal/archetype"
-	"wroofline/internal/contention"
-	"wroofline/internal/core"
-	"wroofline/internal/machine"
-	"wroofline/internal/report"
-	"wroofline/internal/sweep"
-	"wroofline/internal/units"
-	"wroofline/internal/whatif"
-	"wroofline/internal/workflow"
-	"wroofline/internal/workloads"
+	"wroofline/internal/study"
 )
 
 func main() {
@@ -56,88 +49,6 @@ func main() {
 		fmt.Fprintln(os.Stderr, "wfsweep:", err)
 		os.Exit(1)
 	}
-}
-
-// Spec is the JSON study description.
-type Spec struct {
-	// Kind selects the study: "montecarlo", "grid", or "survey".
-	Kind string `json:"kind"`
-	// Workers bounds the pool (0 = GOMAXPROCS); the -workers flag overrides.
-	Workers int `json:"workers,omitempty"`
-
-	// Case names a built-in case study (montecarlo and grid kinds).
-	Case string `json:"case,omitempty"`
-
-	// Trials, Seed, Streams, and Sampler configure a Monte Carlo ensemble:
-	// each trial draws a per-stream external rate from the sampler and
-	// simulates the case study's makespan with Streams concurrent staging
-	// flows at that rate (aggregate = Streams x rate).
-	Trials  int          `json:"trials,omitempty"`
-	Seed    uint64       `json:"seed,omitempty"`
-	Streams int          `json:"streams,omitempty"`
-	Sampler *SamplerSpec `json:"sampler,omitempty"`
-
-	// P plus the three axis lists configure a what-if grid over the case
-	// study's model.
-	P           float64            `json:"p,omitempty"`
-	Resources   []ResourceAxisSpec `json:"resources,omitempty"`
-	WallFactors []float64          `json:"wall_factors,omitempty"`
-	IntraTask   []IntraTaskOptSpec `json:"intra_task,omitempty"`
-
-	// Machine/Partition plus the shape-grid fields configure a survey.
-	Machine      string    `json:"machine,omitempty"`
-	Partition    string    `json:"partition,omitempty"`
-	Widths       []int     `json:"widths,omitempty"`
-	Depths       []int     `json:"depths,omitempty"`
-	NodesPerTask int       `json:"nodes_per_task,omitempty"`
-	Work         *WorkSpec `json:"work,omitempty"`
-}
-
-// SamplerSpec selects and parameterizes a contention day-sampler.
-type SamplerSpec struct {
-	// Model is "twostate" or "lognormal".
-	Model string `json:"model"`
-	// Base is the uncontended per-stream rate, e.g. "1 GB/s".
-	Base string `json:"base"`
-	// Degraded and PBad parameterize the twostate model.
-	Degraded string  `json:"degraded,omitempty"`
-	PBad     float64 `json:"p_bad,omitempty"`
-	// Mu and Sigma parameterize the lognormal slowdown factor.
-	Mu    float64 `json:"mu,omitempty"`
-	Sigma float64 `json:"sigma,omitempty"`
-}
-
-// ResourceAxisSpec is one grid dimension with a symbolic resource name.
-type ResourceAxisSpec struct {
-	Resource string    `json:"resource"`
-	Factors  []float64 `json:"factors"`
-}
-
-// IntraTaskOptSpec is one intra-task-parallelism grid option.
-type IntraTaskOptSpec struct {
-	K          float64 `json:"k"`
-	Efficiency float64 `json:"efficiency,omitempty"`
-}
-
-// WorkSpec carries per-task work quantities as unit strings.
-type WorkSpec struct {
-	Flops    string `json:"flops,omitempty"`
-	Mem      string `json:"mem,omitempty"`
-	PCIe     string `json:"pcie,omitempty"`
-	Net      string `json:"net,omitempty"`
-	FS       string `json:"fs,omitempty"`
-	External string `json:"external,omitempty"`
-}
-
-// caseBuilders maps spec case names to workloads constructors.
-var caseBuilders = map[string]func() (*workloads.CaseStudy, error){
-	"lcls-cori":    workloads.LCLSCori,
-	"lcls-pm":      workloads.LCLSPerlmutter,
-	"bgw-64":       func() (*workloads.CaseStudy, error) { return workloads.BGW(64) },
-	"bgw-1024":     func() (*workloads.CaseStudy, error) { return workloads.BGW(1024) },
-	"cosmoflow":    func() (*workloads.CaseStudy, error) { return workloads.CosmoFlow(12) },
-	"gptune-rci":   func() (*workloads.CaseStudy, error) { return workloads.GPTune(workloads.GPTuneRCI) },
-	"gptune-spawn": func() (*workloads.CaseStudy, error) { return workloads.GPTune(workloads.GPTuneSpawn) },
 }
 
 // run is the testable entry point.
@@ -167,16 +78,14 @@ func run(ctx context.Context, args []string, stdin io.Reader, out io.Writer) err
 	if err != nil {
 		return err
 	}
-	var spec Spec
-	dec := json.NewDecoder(bytes.NewReader(data))
-	dec.DisallowUnknownFields()
-	if err := dec.Decode(&spec); err != nil {
-		return fmt.Errorf("parse spec: %w", err)
+	spec, err := study.ParseSpec(data)
+	if err != nil {
+		return err
 	}
 	if *workers >= 0 {
 		spec.Workers = *workers
 	}
-	tables, err := Run(ctx, &spec)
+	tables, err := study.Run(ctx, spec)
 	if err != nil {
 		return err
 	}
@@ -193,297 +102,11 @@ func run(ctx context.Context, args []string, stdin io.Reader, out io.Writer) err
 	return nil
 }
 
-// Run executes the spec and returns the report tables in print order.
-func Run(ctx context.Context, spec *Spec) ([]*report.Table, error) {
-	switch spec.Kind {
-	case "montecarlo":
-		return runMonteCarlo(ctx, spec)
-	case "grid":
-		return runGrid(ctx, spec)
-	case "survey":
-		return runSurvey(ctx, spec)
-	default:
-		return nil, fmt.Errorf("unknown spec kind %q (want montecarlo, grid, or survey)", spec.Kind)
-	}
-}
-
-// buildCase instantiates the spec's case study.
-func buildCase(name string) (*workloads.CaseStudy, error) {
-	build, ok := caseBuilders[name]
-	if !ok {
-		names := make([]string, 0, len(caseBuilders))
-		for n := range caseBuilders {
-			names = append(names, n)
-		}
-		sort.Strings(names)
-		return nil, fmt.Errorf("unknown case %q (have %v)", name, names)
-	}
-	return build()
-}
-
-// sampler builds the contention sampler from the spec.
-func (s *SamplerSpec) sampler() (contention.Sampler, error) {
-	if s == nil {
-		return nil, fmt.Errorf("montecarlo spec needs a sampler")
-	}
-	base, err := units.ParseByteRate(s.Base)
-	if err != nil {
-		return nil, fmt.Errorf("sampler base: %w", err)
-	}
-	switch s.Model {
-	case "twostate":
-		degraded, err := units.ParseByteRate(s.Degraded)
-		if err != nil {
-			return nil, fmt.Errorf("sampler degraded: %w", err)
-		}
-		m := contention.TwoState{Base: base, Degraded: degraded, PBad: s.PBad}
-		return m, m.Validate()
-	case "lognormal":
-		m := contention.Lognormal{Base: base, Mu: s.Mu, Sigma: s.Sigma}
-		return m, m.Validate()
-	default:
-		return nil, fmt.Errorf("unknown sampler model %q (want twostate or lognormal)", s.Model)
-	}
-}
-
-// runMonteCarlo fans the day trials over the pool: each trial draws a
-// per-stream rate and simulates the case study with the external path set to
-// Streams flows at that rate.
-func runMonteCarlo(ctx context.Context, spec *Spec) ([]*report.Table, error) {
-	if spec.Trials <= 0 {
-		return nil, fmt.Errorf("montecarlo spec needs positive trials, got %d", spec.Trials)
-	}
-	s, err := spec.Sampler.sampler()
-	if err != nil {
-		return nil, err
-	}
-	// Validate the case once up front; each trial builds a fresh instance so
-	// concurrent simulations never share mutable state.
-	if _, err := buildCase(spec.Case); err != nil {
-		return nil, err
-	}
-	streams := spec.Streams
-	if streams <= 0 {
-		streams = 1
-	}
-	d, err := contention.MonteCarloEnsemble(ctx, spec.Trials, spec.Seed, spec.Workers, s,
-		func(rate units.ByteRate) (float64, error) {
-			cs, err := buildCase(spec.Case)
-			if err != nil {
-				return 0, err
-			}
-			cs.SimConfig.ExternalBW = units.ByteRate(streams) * rate
-			if streams > 1 {
-				cs.SimConfig.ExternalPerFlowCap = rate
-			} else {
-				cs.SimConfig.ExternalPerFlowCap = 0
-			}
-			res, err := cs.Simulate()
-			if err != nil {
-				return 0, err
-			}
-			return res.Makespan, nil
-		})
-	if err != nil {
-		return nil, err
-	}
-	tbl := report.NewTable(
-		fmt.Sprintf("Monte Carlo makespan (s): %s, %d trials, seed %d", spec.Case, spec.Trials, spec.Seed),
-		"n", "min", "p50", "p90", "p99", "max", "mean", "p99/p50")
-	p50, err := d.Percentile(50)
-	if err != nil {
-		return nil, err
-	}
-	p90, err := d.Percentile(90)
-	if err != nil {
-		return nil, err
-	}
-	p99, err := d.Percentile(99)
-	if err != nil {
-		return nil, err
-	}
-	tail, err := d.TailRatio()
-	if err != nil {
-		return nil, err
-	}
-	if err := tbl.AddRowf(fmt.Sprint(d.N()), d.Min(), p50, p90, p99, d.Max(), d.Mean(), tail); err != nil {
-		return nil, err
-	}
-	return []*report.Table{tbl}, nil
-}
-
-// runGrid evaluates the cartesian what-if space over the case's model and
-// reports every cell plus the binding-ceiling histogram.
-func runGrid(ctx context.Context, spec *Spec) ([]*report.Table, error) {
-	cs, err := buildCase(spec.Case)
-	if err != nil {
-		return nil, err
-	}
-	p := spec.P
-	if p <= 0 {
-		p = float64(cs.Model.Wall)
-	}
-	g := whatif.Grid{WallFactors: spec.WallFactors}
-	for _, ax := range spec.Resources {
-		res, err := core.ParseResource(ax.Resource)
-		if err != nil {
-			return nil, err
-		}
-		g.Resources = append(g.Resources, whatif.ResourceAxis{Resource: res, Factors: ax.Factors})
-	}
-	for _, it := range spec.IntraTask {
-		g.IntraTask = append(g.IntraTask, whatif.IntraTaskOption{K: it.K, Efficiency: it.Efficiency})
-	}
-	size, err := g.Size()
-	if err != nil {
-		return nil, err
-	}
-	agg, err := sweep.NewAgg(size)
-	if err != nil {
-		return nil, err
-	}
-	cells, err := whatif.EvaluateGrid(ctx, cs.Model, p, g, spec.Workers, agg)
-	if err != nil {
-		return nil, err
-	}
-	grid := report.NewTable(
-		fmt.Sprintf("What-if grid: %s at p=%s (%d scenarios)", spec.Case, report.Num(p), size),
-		"scenario", "bound TPS", "speedup", "limited by")
-	for _, c := range cells {
-		if err := grid.AddRowf(c.Name, c.Outcome.BoundTPS, c.Outcome.Speedup, c.Outcome.Limiting); err != nil {
-			return nil, err
-		}
-	}
-	s, err := agg.Summary()
-	if err != nil {
-		return nil, err
-	}
-	summary := report.NewTable("Bound distribution across scenarios (TPS)",
-		"n", "min", "p50", "p99", "max", "mean", "p99/p50")
-	if err := summary.AddRowf(fmt.Sprint(s.N), s.Min, s.P50, s.P99, s.Max, s.Mean, s.TailRatio); err != nil {
-		return nil, err
-	}
-	hist := report.NewTable("Binding-ceiling histogram", "ceiling", "scenarios")
-	for _, bin := range agg.Hist() {
-		if err := hist.AddRowf(bin.Label, fmt.Sprint(bin.Count)); err != nil {
-			return nil, err
-		}
-	}
-	return []*report.Table{grid, summary, hist}, nil
-}
-
-// runSurvey sweeps the archetype catalog across the width/depth grid.
-func runSurvey(ctx context.Context, spec *Spec) ([]*report.Table, error) {
-	var m *machine.Machine
-	switch spec.Machine {
-	case "", "perlmutter":
-		m = machine.Perlmutter()
-	case "cori":
-		m = machine.CoriHaswell()
-	default:
-		return nil, fmt.Errorf("unknown machine %q (want perlmutter or cori)", spec.Machine)
-	}
-	partition := spec.Partition
-	if partition == "" {
-		partition = machine.PartCPU
-	}
-	work, err := spec.Work.work()
-	if err != nil {
-		return nil, err
-	}
-	params := archetype.Params{
-		Partition:    partition,
-		NodesPerTask: spec.NodesPerTask,
-		Work:         work,
-	}
-	widths, depths := spec.Widths, spec.Depths
-	if len(widths) == 0 {
-		widths = []int{4, 8, 16}
-	}
-	if len(depths) == 0 {
-		depths = []int{2, 3}
-	}
-	points, err := archetype.Survey(ctx, m, params, archetype.Catalog(), widths, depths, spec.Workers)
-	if err != nil {
-		return nil, err
-	}
-	tbl := report.NewTable(
-		fmt.Sprintf("Archetype shape survey on %s/%s (%d shapes)", m.Name, partition, len(points)),
-		"shape", "width", "depth", "tasks", "wall", "bound TPS", "limited by")
-	agg, err := sweep.NewAgg(len(points))
-	if err != nil {
-		return nil, err
-	}
-	for i, pt := range points {
-		if err := tbl.AddRowf(pt.Shape, fmt.Sprint(pt.Width), fmt.Sprint(pt.Depth),
-			fmt.Sprint(pt.Tasks), fmt.Sprint(pt.Wall), pt.BoundTPS, pt.Limiting); err != nil {
-			return nil, err
-		}
-		if err := agg.Add(i, pt.BoundTPS, pt.Limiting); err != nil {
-			return nil, err
-		}
-	}
-	hist := report.NewTable("Binding-ceiling histogram", "ceiling", "shapes")
-	for _, bin := range agg.Hist() {
-		if err := hist.AddRowf(bin.Label, fmt.Sprint(bin.Count)); err != nil {
-			return nil, err
-		}
-	}
-	return []*report.Table{tbl, hist}, nil
-}
-
-// work converts the unit strings into a workflow work vector.
-func (w *WorkSpec) work() (workflow.Work, error) {
-	var out workflow.Work
-	if w == nil {
-		return out, nil
-	}
-	var err error
-	parseBytes := func(dst *units.Bytes, s, what string) {
-		if err != nil || s == "" {
-			return
-		}
-		if *dst, err = units.ParseBytes(s); err != nil {
-			err = fmt.Errorf("work %s: %w", what, err)
-		}
-	}
-	if w.Flops != "" {
-		if out.Flops, err = units.ParseFlops(w.Flops); err != nil {
-			return out, fmt.Errorf("work flops: %w", err)
-		}
-	}
-	parseBytes(&out.MemBytes, w.Mem, "mem")
-	parseBytes(&out.PCIeBytes, w.PCIe, "pcie")
-	parseBytes(&out.NetworkBytes, w.Net, "net")
-	parseBytes(&out.FSBytes, w.FS, "fs")
-	parseBytes(&out.ExternalBytes, w.External, "external")
-	return out, err
-}
-
 // printExample writes a ready-to-edit template spec.
 func printExample(out io.Writer, kind string) error {
-	var spec Spec
-	switch kind {
-	case "montecarlo":
-		spec = Spec{
-			Kind: "montecarlo", Case: "lcls-cori", Trials: 10000, Seed: 7, Streams: 5,
-			Sampler: &SamplerSpec{Model: "twostate", Base: "1 GB/s", Degraded: "0.2 GB/s", PBad: 0.4},
-		}
-	case "grid":
-		spec = Spec{
-			Kind: "grid", Case: "lcls-cori", P: 5,
-			Resources:   []ResourceAxisSpec{{Resource: "memory", Factors: []float64{1, 2, 10}}},
-			WallFactors: []float64{1, 2},
-			IntraTask:   []IntraTaskOptSpec{{K: 2, Efficiency: 0.9}},
-		}
-	case "survey":
-		spec = Spec{
-			Kind: "survey", Machine: "perlmutter", Partition: "cpu",
-			Widths: []int{4, 8, 16}, Depths: []int{2, 3}, NodesPerTask: 2,
-			Work: &WorkSpec{Flops: "5 TFLOP", FS: "100 GB"},
-		}
-	default:
-		return fmt.Errorf("unknown example %q (want montecarlo, grid, or survey)", kind)
+	spec, err := study.Example(kind)
+	if err != nil {
+		return err
 	}
 	data, err := json.MarshalIndent(spec, "", "  ")
 	if err != nil {

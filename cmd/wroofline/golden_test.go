@@ -1,0 +1,51 @@
+package main
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// -update rewrites the checked-in golden transcripts.
+var update = flag.Bool("update", false, "rewrite testdata golden files")
+
+// TestGoldenTranscripts pins the full CLI output for representative
+// invocations — the Fig 1 example analysis, a measured case study with
+// what-if scenarios, and an ASCII roofline — so any drift in table layout,
+// number formatting, classification text, or advice wording shows up as a
+// diff against the checked-in transcript. Run `go test ./cmd/wroofline
+// -update` after an intentional output change and review the diff.
+func TestGoldenTranscripts(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+	}{
+		{"cosmoflow", []string{"-case", "cosmoflow"}},
+		{"lcls-cori-whatif", []string{"-case", "lcls-cori", "-whatif"}},
+		{"bgw-64-ascii", []string{"-case", "bgw-64", "-ascii"}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			out, err := capture(t, tc.args)
+			if err != nil {
+				t.Fatal(err)
+			}
+			golden := filepath.Join("testdata", tc.name+".golden")
+			if *update {
+				if err := os.WriteFile(golden, []byte(out), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(golden)
+			if err != nil {
+				t.Fatalf("missing golden (run with -update to create): %v", err)
+			}
+			if out != string(want) {
+				t.Errorf("%s output drifted from golden (%d bytes now, %d in golden); run with -update if intentional\ngot:\n%s",
+					tc.name, len(out), len(want), out)
+			}
+		})
+	}
+}

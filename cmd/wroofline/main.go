@@ -35,19 +35,6 @@ import (
 	"wroofline/internal/workloads"
 )
 
-// caseBuilders maps CLI names to case-study constructors.
-var caseBuilders = map[string]func() (*workloads.CaseStudy, error){
-	"lcls-cori":         workloads.LCLSCori,
-	"lcls-cori-bad":     workloads.LCLSCoriBadDay,
-	"lcls-pm":           workloads.LCLSPerlmutter,
-	"lcls-pm-contended": workloads.LCLSPerlmutterContended,
-	"bgw-64":            func() (*workloads.CaseStudy, error) { return workloads.BGW(64) },
-	"bgw-1024":          func() (*workloads.CaseStudy, error) { return workloads.BGW(1024) },
-	"cosmoflow":         func() (*workloads.CaseStudy, error) { return workloads.CosmoFlow(12) },
-	"gptune-rci":        func() (*workloads.CaseStudy, error) { return workloads.GPTune(workloads.GPTuneRCI) },
-	"gptune-spawn":      func() (*workloads.CaseStudy, error) { return workloads.GPTune(workloads.GPTuneSpawn) },
-}
-
 func main() {
 	if err := run(os.Args[1:], os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "wroofline:", err)
@@ -78,13 +65,8 @@ func run(args []string, out *os.File) error {
 	}
 
 	if *list {
-		names := make([]string, 0, len(caseBuilders))
-		for n := range caseBuilders {
-			names = append(names, n)
-		}
-		sort.Strings(names)
 		fmt.Fprintln(out, "built-in case studies:")
-		for _, n := range names {
+		for _, n := range workloads.Names() {
 			fmt.Fprintln(out, " ", n)
 		}
 		return nil
@@ -98,13 +80,9 @@ func run(args []string, out *os.File) error {
 	)
 	switch {
 	case *caseName != "":
-		build, ok := caseBuilders[*caseName]
-		if !ok {
-			return fmt.Errorf("unknown case %q (try -list)", *caseName)
-		}
-		cs, err := build()
+		cs, err := workloads.ByName(*caseName)
 		if err != nil {
-			return err
+			return fmt.Errorf("%w (try -list)", err)
 		}
 		model, points, mch, wf = cs.Model, cs.Points, cs.Machine, cs.Workflow
 	case *workflowPath != "" || *wdlPath != "" || *sbatchGlob != "":

@@ -1,0 +1,129 @@
+package core
+
+import (
+	"fmt"
+	"math"
+)
+
+// Analysis is the structured, JSON-serializable result of evaluating a
+// model: the Eq. (1) bound sampled along the parallelism axis, plus the
+// classification and optimization advice for every empirical point. It is
+// the machine-readable counterpart of Model.Report, and the reusable
+// evaluation entry point behind the wfserved /v1/model endpoint — the JSON
+// field set is part of the service's response contract.
+type Analysis struct {
+	// Title and Wall echo the model identity.
+	Title string `json:"title"`
+	Wall  int    `json:"wall"`
+	// BoundAtWallTPS is the best attainable throughput, with the ceiling
+	// that binds there.
+	BoundAtWallTPS float64 `json:"bound_at_wall_tps"`
+	WallLimitedBy  string  `json:"wall_limited_by"`
+	// Model is the full ceiling set in its canonical JSON form.
+	Model *Model `json:"model"`
+	// Curve samples the bound envelope at log-spaced parallelism values in
+	// [1, wall] — enough for a client to plot the roofline without
+	// re-deriving the model.
+	Curve []CurveSample `json:"curve,omitempty"`
+	// Points analyzes each empirical observation.
+	Points []PointAnalysis `json:"points,omitempty"`
+}
+
+// CurveSample is one point of the attainable-TPS envelope.
+type CurveSample struct {
+	P        float64 `json:"p"`
+	BoundTPS float64 `json:"bound_tps"`
+	Limiting string  `json:"limiting"`
+}
+
+// PointAnalysis is the classification and advice for one empirical point.
+type PointAnalysis struct {
+	Label           string  `json:"label"`
+	P               float64 `json:"p"`
+	TPS             float64 `json:"tps"`
+	MakespanSeconds float64 `json:"makespan_s,omitempty"`
+	BoundTPS        float64 `json:"bound_tps"`
+	LimitedBy       string  `json:"limited_by"`
+	// Efficiency is achieved/attainable at this p; Headroom its inverse
+	// (0 when not finite).
+	Efficiency float64 `json:"efficiency"`
+	Headroom   float64 `json:"headroom,omitempty"`
+	// Zone is the Fig 2a target classification (omitted without targets);
+	// BoundClass is the Fig 3 node/system/parallelism split.
+	Zone       string           `json:"zone,omitempty"`
+	BoundClass string           `json:"bound_class"`
+	Advice     []Recommendation `json:"advice,omitempty"`
+}
+
+// finite maps non-finite values to 0 so the analysis always marshals to
+// valid JSON (encoding/json rejects IEEE infinities).
+func finite(v float64) float64 {
+	if math.IsInf(v, 0) || math.IsNaN(v) {
+		return 0
+	}
+	return v
+}
+
+// Analyze evaluates the model into its structured form. curveSamples
+// controls the envelope resolution (<= 0 selects 64); the wall itself is
+// always the last sample, so BoundAtWallTPS appears on the curve.
+func (m *Model) Analyze(points []Point, curveSamples int) (*Analysis, error) {
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	if curveSamples <= 0 {
+		curveSamples = 64
+	}
+	atWall, wallLimit := m.BoundAtWall()
+	a := &Analysis{
+		Title:          m.Title,
+		Wall:           m.Wall,
+		BoundAtWallTPS: finite(atWall),
+		WallLimitedBy:  wallLimit.Name,
+		Model:          m,
+	}
+
+	// Log-spaced samples over [1, wall]; a wall of 1 degenerates to a single
+	// sample.
+	logWall := math.Log(float64(m.Wall))
+	for i := 0; i < curveSamples; i++ {
+		var p float64
+		if curveSamples == 1 || m.Wall == 1 {
+			p = float64(m.Wall)
+		} else {
+			p = math.Exp(logWall * float64(i) / float64(curveSamples-1))
+		}
+		bound, limit := m.Bound(p)
+		a.Curve = append(a.Curve, CurveSample{P: p, BoundTPS: finite(bound), Limiting: limit.Name})
+		if m.Wall == 1 {
+			break
+		}
+	}
+
+	for _, pt := range points {
+		if pt.ParallelTasks <= 0 {
+			return nil, fmt.Errorf("core: point %q has non-positive parallelism %v", pt.Label, pt.ParallelTasks)
+		}
+		bound, limit := m.Bound(pt.ParallelTasks)
+		pa := PointAnalysis{
+			Label:           pt.Label,
+			P:               pt.ParallelTasks,
+			TPS:             pt.TPS,
+			MakespanSeconds: pt.MakespanSeconds,
+			BoundTPS:        finite(bound),
+			LimitedBy:       limit.Name,
+			Efficiency:      finite(m.Efficiency(pt)),
+			Headroom:        finite(m.Headroom(pt)),
+			BoundClass:      m.ClassifyBound(pt).String(),
+		}
+		if z := m.ClassifyZone(pt); z != ZoneNoTargets {
+			pa.Zone = z.String()
+		}
+		for _, rec := range m.Advise(pt) {
+			rec.ProjectedSpeedup = finite(rec.ProjectedSpeedup)
+			pa.Advice = append(pa.Advice, rec)
+		}
+		a.Points = append(a.Points, pa)
+	}
+	return a, nil
+}

@@ -126,18 +126,19 @@ func (m *Model) ClassifyBound(pt Point) BoundClass {
 	return SystemBound
 }
 
-// Recommendation is one optimization direction the model motivates.
+// Recommendation is one optimization direction the model motivates. The
+// JSON tags are part of the wfserved /v1/model response contract.
 type Recommendation struct {
 	// Title is the short direction, e.g. "increase task parallelism".
-	Title string
+	Title string `json:"title"`
 	// Detail explains the expected movement on the roofline.
-	Detail string
+	Detail string `json:"detail"`
 	// Feasible is false when a wall or ceiling blocks the direction (the
 	// "infeasible optimization" of Fig 2c).
-	Feasible bool
+	Feasible bool `json:"feasible"`
 	// ProjectedSpeedup is the multiplicative gain if the direction is taken
 	// to its limit (0 when not quantifiable).
-	ProjectedSpeedup float64
+	ProjectedSpeedup float64 `json:"projected_speedup,omitempty"`
 }
 
 // String renders the recommendation on one line.

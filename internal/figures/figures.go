@@ -1,0 +1,224 @@
+// Package figures is the catalog of the paper's rendered figures: every SVG
+// the artifact's plot scripts produce, addressable by output file name. It
+// is the shared rendering entry point behind cmd/wfplot (which writes the
+// whole catalog to disk) and the wfserved /v1/figures/{name} endpoint
+// (which renders one figure per request and caches it by content address).
+//
+// Rendering is deterministic: the same name always yields the same bytes,
+// which is what makes the figures cacheable and the golden tests meaningful.
+package figures
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"wroofline/internal/breakdown"
+	"wroofline/internal/gantt"
+	"wroofline/internal/plot"
+	"wroofline/internal/workloads"
+)
+
+// Figure is one rendered paper element.
+type Figure struct {
+	// File is the output name, Paper the figure it reproduces.
+	File, Paper string
+	// SVG is the rendered document.
+	SVG string
+}
+
+// entry is one catalog slot: metadata plus a lazy renderer, so consumers
+// that need a single figure (the service) don't pay for the whole set.
+type entry struct {
+	file, paper string
+	render      func() (string, error)
+}
+
+// catalog lists every figure in the artifact's presentation order.
+func catalog() []entry {
+	out := []entry{{
+		file: "example.svg", paper: "Fig 1",
+		render: func() (string, error) {
+			m, err := workloads.ExampleModel()
+			if err != nil {
+				return "", err
+			}
+			return plot.RooflineSVG(m, nil, plot.Options{})
+		},
+	}}
+
+	// Fig 2a-2c and Fig 3a-3b: the interpretation panels.
+	for _, name := range []string{"Fig 2a", "Fig 2b", "Fig 2c", "Fig 3a", "Fig 3b"} {
+		name := name
+		out = append(out, entry{
+			file: "WRF_" + strings.ReplaceAll(name, " ", "_") + ".svg", paper: name,
+			render: func() (string, error) {
+				interp, err := workloads.InterpretationFigures()
+				if err != nil {
+					return "", err
+				}
+				for _, f := range interp {
+					if f.Name != name {
+						continue
+					}
+					return plot.RooflineSVG(f.Model, f.Points, plot.Options{
+						ShowZones:       f.ShowZones,
+						ShadeBoundClass: f.ShadeBoundClass,
+					})
+				}
+				return "", fmt.Errorf("interpretation panel %q not produced", name)
+			},
+		})
+	}
+
+	out = append(out,
+		entry{file: "WRF_LCLS_HSW.svg", paper: "Fig 5a", render: caseRoofline(workloads.LCLSCori, true)},
+		entry{file: "WRF_LCLS_HSW_bd.svg", paper: "Fig 5b", render: lclsBreakdown},
+		entry{file: "WRF_LCLS_PM.svg", paper: "Fig 6", render: caseRoofline(workloads.LCLSPerlmutter, true)},
+		entry{file: "WRF_BGW_64.svg", paper: "Fig 7a",
+			render: caseRoofline(func() (*workloads.CaseStudy, error) { return workloads.BGW(64) }, false)},
+		entry{file: "WRF_BGW_1024.svg", paper: "Fig 7b",
+			render: caseRoofline(func() (*workloads.CaseStudy, error) { return workloads.BGW(1024) }, false)},
+		entry{file: "WRF_BGW_task.svg", paper: "Fig 7c", render: bgwTaskView},
+		entry{file: "WRF_BGW_gantt.svg", paper: "Fig 7d", render: bgwGantt},
+		entry{file: "WRF_COSMO_PM.svg", paper: "Fig 8", render: cosmoSweep},
+		entry{file: "WRF_GPTUNE_PM.svg", paper: "Fig 10a",
+			render: caseRoofline(func() (*workloads.CaseStudy, error) { return workloads.GPTune(workloads.GPTuneRCI) }, false)},
+		entry{file: "WRF_GPTUNE_bd.svg", paper: "Fig 10b", render: gptuneBreakdown},
+	)
+	return out
+}
+
+// caseRoofline renders a case study's roofline with its empirical points.
+func caseRoofline(build func() (*workloads.CaseStudy, error), zones bool) func() (string, error) {
+	return func() (string, error) {
+		cs, err := build()
+		if err != nil {
+			return "", err
+		}
+		return plot.RooflineSVG(cs.Model, cs.Points, plot.Options{ShowZones: zones})
+	}
+}
+
+// lclsBreakdown stacks the good-day and bad-day simulated phase times.
+func lclsBreakdown() (string, error) {
+	bd := breakdown.New("LCLS time breakdown on Cori-HSW", "loading", "analysis", "merge")
+	for _, build := range []func() (*workloads.CaseStudy, error){workloads.LCLSCori, workloads.LCLSCoriBadDay} {
+		cs, err := build()
+		if err != nil {
+			return "", err
+		}
+		res, err := cs.Simulate()
+		if err != nil {
+			return "", err
+		}
+		label := "Good days"
+		if cs.Name != "LCLS/Cori-HSW" {
+			label = "Bad days"
+		}
+		if err := bd.Add(label, res.Breakdown()); err != nil {
+			return "", err
+		}
+	}
+	return plot.BreakdownSVG(bd, 0, 0)
+}
+
+// bgwTaskView renders the per-task roofline of Fig 7c.
+func bgwTaskView() (string, error) {
+	tv, points, err := workloads.BGWTaskView()
+	if err != nil {
+		return "", err
+	}
+	return plot.RooflineSVG(tv, points, plot.Options{})
+}
+
+// bgwGantt simulates BGW at 64 nodes and renders the Gantt chart.
+func bgwGantt() (string, error) {
+	cs, err := workloads.BGW(64)
+	if err != nil {
+		return "", err
+	}
+	res, err := cs.Simulate()
+	if err != nil {
+		return "", err
+	}
+	path, _, err := cs.Workflow.CriticalPathMeasured()
+	if err != nil {
+		return "", err
+	}
+	ch, err := gantt.FromRecorder("BerkeleyGW Gantt (64 nodes)", res.Recorder, path)
+	if err != nil {
+		return "", err
+	}
+	return plot.GanttSVG(ch, 0, 0)
+}
+
+// cosmoSweep renders the CosmoFlow instance sweep of Fig 8.
+func cosmoSweep() (string, error) {
+	cosmo, err := workloads.CosmoFlow(12)
+	if err != nil {
+		return "", err
+	}
+	sweepPts, err := workloads.CosmoFlowSweep(12)
+	if err != nil {
+		return "", err
+	}
+	return plot.RooflineSVG(cosmo.Model, sweepPts, plot.Options{})
+}
+
+// gptuneBreakdown stacks the three GPTune execution modes.
+func gptuneBreakdown() (string, error) {
+	gbd := breakdown.New("GPTune time breakdown",
+		"python", "load data", "bash", "application", "model and search")
+	for _, mode := range []workloads.GPTuneMode{workloads.GPTuneRCI, workloads.GPTuneSpawn, workloads.GPTuneProjected} {
+		stack, err := workloads.GPTuneStack(mode)
+		if err != nil {
+			return "", err
+		}
+		if err := gbd.Add(mode.String(), stack); err != nil {
+			return "", err
+		}
+	}
+	return plot.BreakdownSVG(gbd, 0, 0)
+}
+
+// Names lists the renderable figure files in sorted order.
+func Names() []string {
+	cat := catalog()
+	out := make([]string, 0, len(cat))
+	for _, e := range cat {
+		out = append(out, e.file)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Render produces the single named figure (e.g. "example.svg").
+func Render(name string) (Figure, error) {
+	for _, e := range catalog() {
+		if e.file != name {
+			continue
+		}
+		svg, err := e.render()
+		if err != nil {
+			return Figure{}, fmt.Errorf("%s (%s): %w", e.file, e.paper, err)
+		}
+		return Figure{File: e.file, Paper: e.paper, SVG: svg}, nil
+	}
+	return Figure{}, fmt.Errorf("figures: unknown figure %q (have %v)", name, Names())
+}
+
+// All renders the complete catalog in presentation order — the set the
+// artifact's plot_all_figures script produces.
+func All() ([]Figure, error) {
+	cat := catalog()
+	out := make([]Figure, 0, len(cat))
+	for _, e := range cat {
+		svg, err := e.render()
+		if err != nil {
+			return nil, fmt.Errorf("%s (%s): %w", e.file, e.paper, err)
+		}
+		out = append(out, Figure{File: e.file, Paper: e.paper, SVG: svg})
+	}
+	return out, nil
+}

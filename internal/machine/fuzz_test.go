@@ -1,0 +1,64 @@
+package machine
+
+import (
+	"encoding/json"
+	"errors"
+	"strings"
+	"testing"
+)
+
+// FuzzParse asserts the machine JSON decoder's contract on arbitrary input:
+// malformed or inconsistent descriptions return an error attributed to the
+// package, never a panic, and anything that decodes is a valid machine that
+// survives a Marshal/Unmarshal round-trip.
+func FuzzParse(f *testing.F) {
+	for _, m := range []*Machine{Perlmutter(), CoriHaswell()} {
+		data, err := json.Marshal(m)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(string(data))
+	}
+	f.Add(`{}`)
+	f.Add(`{"name":"m"}`)
+	f.Add(`{"name":"m","partitions":{}}`)
+	f.Add(`{"name":"m","partitions":{"cpu":null}}`)
+	f.Add(`{"name":"m","partitions":{"cpu":{"name":"gpu","nodes":4}}}`)  // key/name mismatch
+	f.Add(`{"name":"m","partitions":{"cpu":{"name":"cpu","nodes":-1}}}`) // negative nodes
+	f.Add(`{"name":"m","partitions":{"cpu":{"name":"cpu","nodes":4}}}`)  // no peaks
+	f.Add(`{"name":"m","partitions":{"cpu":{"name":"cpu","nodes":4,"node_flops":-5}}}`)
+	f.Add(`{"name":"m","partitions":{"cpu":{"name":"cpu","nodes":4,"node_flops":1e12}},` +
+		`"fs_bw":{"gpu":1e9}}`) // fs bandwidth for a partition that does not exist
+	f.Add(`{"name":"m","partitions":{"cpu":{"name":"cpu","nodes":1e999}}}`)
+	f.Add(`not json`)
+	f.Add(`[]`)
+	f.Add(`{"partitions":`)
+	f.Fuzz(func(t *testing.T, src string) {
+		var m Machine
+		if err := json.Unmarshal([]byte(src), &m); err != nil {
+			// Top-level syntax errors surface straight from encoding/json
+			// (the custom unmarshaler never runs); everything else must be
+			// attributed to the package.
+			var syn *json.SyntaxError
+			var typ *json.UnmarshalTypeError
+			if !errors.As(err, &syn) && !errors.As(err, &typ) &&
+				!strings.Contains(err.Error(), "machine") {
+				t.Fatalf("error not attributed to the package: %v", err)
+			}
+			return
+		}
+		// A decoded machine has already been validated by UnmarshalJSON;
+		// Validate must agree, and the round-trip must be stable.
+		if err := m.Validate(); err != nil {
+			t.Fatalf("decoded machine fails Validate: %v", err)
+		}
+		data, err := json.Marshal(&m)
+		if err != nil {
+			t.Fatalf("re-Marshal of valid machine: %v", err)
+		}
+		var again Machine
+		if err := json.Unmarshal(data, &again); err != nil {
+			t.Fatalf("re-Unmarshal of Marshal output: %v\n%s", err, data)
+		}
+	})
+}

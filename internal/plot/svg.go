@@ -10,6 +10,10 @@ import (
 	"strings"
 )
 
+// ContentTypeSVG is the MIME type every renderer in this package produces;
+// HTTP consumers (the wfserved figure endpoint) serve it verbatim.
+const ContentTypeSVG = "image/svg+xml"
+
 // Canvas is a minimal SVG surface with pixel coordinates: (0,0) top-left.
 type Canvas struct {
 	width, height int

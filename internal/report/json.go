@@ -1,0 +1,55 @@
+package report
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// jsonTable is the canonical serialized form: title, headers, then rows in
+// presentation order. Encoding a table twice always yields identical bytes,
+// so service responses built from tables are content-addressable.
+type jsonTable struct {
+	Title   string     `json:"title"`
+	Headers []string   `json:"headers"`
+	Rows    [][]string `json:"rows"`
+}
+
+// MarshalJSON serializes the table in canonical form. Empty header and row
+// sets encode as [] rather than null, so clients can index unconditionally.
+func (t *Table) MarshalJSON() ([]byte, error) {
+	jt := jsonTable{Title: t.Title, Headers: t.Headers(), Rows: t.Rows()}
+	if jt.Headers == nil {
+		jt.Headers = []string{}
+	}
+	if jt.Rows == nil {
+		jt.Rows = [][]string{}
+	}
+	return json.Marshal(jt)
+}
+
+// UnmarshalJSON parses a serialized table, validating that every row matches
+// the header width.
+func (t *Table) UnmarshalJSON(data []byte) error {
+	var jt jsonTable
+	if err := json.Unmarshal(data, &jt); err != nil {
+		return fmt.Errorf("report: decode table: %w", err)
+	}
+	nt := NewTable(jt.Title, jt.Headers...)
+	for _, row := range jt.Rows {
+		if err := nt.AddRow(row...); err != nil {
+			return err
+		}
+	}
+	*t = *nt
+	return nil
+}
+
+// Rows returns a deep copy of the data rows in presentation order.
+func (t *Table) Rows() [][]string {
+	out := make([][]string, len(t.rows))
+	for i, row := range t.rows {
+		out[i] = make([]string, len(row))
+		copy(out[i], row)
+	}
+	return out
+}

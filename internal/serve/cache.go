@@ -1,0 +1,107 @@
+package serve
+
+import (
+	"container/list"
+	"crypto/sha256"
+	"sync"
+)
+
+// Key is a content address: the SHA-256 of an endpoint tag plus the
+// canonicalized request. Because every evaluation in the toolkit is
+// deterministic (internal/sweep seeds per trial, internal/plot renders pure
+// functions of the model), equal keys imply byte-equal responses — a cached
+// body is indistinguishable from a recomputed one.
+type Key = [sha256.Size]byte
+
+// ContentKey hashes an endpoint kind and a canonical request body into a
+// cache key. The kind prefix keeps, say, a sweep spec and a model spec with
+// identical bytes from colliding.
+func ContentKey(kind string, canonical []byte) Key {
+	h := sha256.New()
+	h.Write([]byte(kind))
+	h.Write([]byte{0})
+	h.Write(canonical)
+	var k Key
+	h.Sum(k[:0])
+	return k
+}
+
+// Response is a fully rendered response body, ready to serve.
+type Response struct {
+	// Body is the exact byte payload; ContentType its MIME type.
+	Body        []byte
+	ContentType string
+	// ETag is the strong validator derived from the body hash.
+	ETag string
+}
+
+// lruCache is a fixed-capacity, mutex-guarded LRU keyed by content address.
+type lruCache struct {
+	mu    sync.Mutex
+	cap   int
+	order *list.List // front = most recently used
+	items map[Key]*list.Element
+}
+
+// lruEntry is one cache slot.
+type lruEntry struct {
+	key  Key
+	resp Response
+}
+
+// newLRUCache creates a cache holding up to capacity responses (minimum 1).
+func newLRUCache(capacity int) *lruCache {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &lruCache{
+		cap:   capacity,
+		order: list.New(),
+		items: make(map[Key]*list.Element),
+	}
+}
+
+// get returns the cached response and marks it most recently used.
+func (c *lruCache) get(k Key) (Response, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[k]
+	if !ok {
+		return Response{}, false
+	}
+	c.order.MoveToFront(el)
+	return el.Value.(*lruEntry).resp, true
+}
+
+// put stores a response, evicting the least recently used entry when full.
+// Storing an existing key refreshes its recency; the body is identical by
+// construction (same content address), so there is nothing to overwrite.
+func (c *lruCache) put(k Key, resp Response) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[k]; ok {
+		c.order.MoveToFront(el)
+		return
+	}
+	c.items[k] = c.order.PushFront(&lruEntry{key: k, resp: resp})
+	for c.order.Len() > c.cap {
+		last := c.order.Back()
+		c.order.Remove(last)
+		delete(c.items, last.Value.(*lruEntry).key)
+	}
+}
+
+// len reports the number of cached responses.
+func (c *lruCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.order.Len()
+}
+
+// flush empties the cache (used by cold-path benchmarks and tests).
+func (c *lruCache) flush() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.order.Init()
+	clear(c.items)
+}

@@ -1,0 +1,533 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"wroofline/internal/core"
+)
+
+// newTestServer mounts a Server on an httptest listener. The returned Server
+// is the same instance behind the handler, so tests can reach FlushCache,
+// Evaluations, and the evalDelay hook.
+func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
+	t.Helper()
+	s := New(cfg)
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return s, ts
+}
+
+// post sends a JSON body and returns the status, response bytes, and headers.
+func post(t *testing.T, url, body string) (int, []byte, http.Header) {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatalf("POST %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("read body: %v", err)
+	}
+	return resp.StatusCode, data, resp.Header
+}
+
+// get fetches a URL and returns the status, response bytes, and headers.
+func get(t *testing.T, url string) (int, []byte, http.Header) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("read body: %v", err)
+	}
+	return resp.StatusCode, data, resp.Header
+}
+
+func TestHealthz(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	status, body, _ := get(t, ts.URL+"/healthz")
+	if status != http.StatusOK {
+		t.Fatalf("status = %d", status)
+	}
+	if got := strings.TrimSpace(string(body)); got != `{"status":"ok"}` {
+		t.Errorf("body = %s", got)
+	}
+}
+
+// TestModelColdVsCached is the core determinism proof for /v1/model: a cold
+// evaluation, a cache hit, and a post-flush re-evaluation all produce the
+// exact same bytes, at GOMAXPROCS=1 and at the default.
+func TestModelColdVsCached(t *testing.T) {
+	for _, procs := range []int{1, 0} {
+		name := "default GOMAXPROCS"
+		if procs == 1 {
+			name = "GOMAXPROCS=1"
+		}
+		t.Run(name, func(t *testing.T) {
+			if procs > 0 {
+				old := runtime.GOMAXPROCS(procs)
+				defer runtime.GOMAXPROCS(old)
+			}
+			s, ts := newTestServer(t, Config{})
+			for _, body := range []string{
+				`{"case":"example"}`,
+				`{"case":"lcls-cori"}`,
+				`{"case":"bgw-64"}`,
+			} {
+				status, cold, hdr := post(t, ts.URL+"/v1/model", body)
+				if status != http.StatusOK {
+					t.Fatalf("%s: status = %d, body %s", body, status, cold)
+				}
+				if hdr.Get("X-Cache") != "cold" {
+					t.Errorf("%s: first request X-Cache = %q", body, hdr.Get("X-Cache"))
+				}
+				_, cached, hdr := post(t, ts.URL+"/v1/model", body)
+				if hdr.Get("X-Cache") != "hit" {
+					t.Errorf("%s: second request X-Cache = %q", body, hdr.Get("X-Cache"))
+				}
+				if !bytes.Equal(cold, cached) {
+					t.Errorf("%s: cached bytes differ from cold", body)
+				}
+				s.FlushCache()
+				_, recomputed, hdr := post(t, ts.URL+"/v1/model", body)
+				if hdr.Get("X-Cache") != "cold" {
+					t.Errorf("%s: post-flush X-Cache = %q", body, hdr.Get("X-Cache"))
+				}
+				if !bytes.Equal(cold, recomputed) {
+					t.Errorf("%s: recomputed bytes differ from first evaluation", body)
+				}
+			}
+		})
+	}
+}
+
+// TestModelFormattingSharesCache asserts that whitespace-only differences in
+// the request body map to the same content address.
+func TestModelFormattingSharesCache(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	_, cold, _ := post(t, ts.URL+"/v1/model", `{"case":"example"}`)
+	_, cached, hdr := post(t, ts.URL+"/v1/model", "{\n\t\"case\":   \"example\"\n}")
+	if hdr.Get("X-Cache") != "hit" {
+		t.Errorf("reformatted request X-Cache = %q, want hit", hdr.Get("X-Cache"))
+	}
+	if !bytes.Equal(cold, cached) {
+		t.Error("reformatted request returned different bytes")
+	}
+}
+
+// TestSweepDeterminismAndWorkerInvariance proves the /v1/sweep pipeline end
+// to end: cold, cached, and recomputed responses are byte-identical, and the
+// "workers" field is canonicalized away — a client asking for a different
+// pool size hits the same cache entry, because the sweep engine is
+// deterministic at any worker count.
+func TestSweepDeterminismAndWorkerInvariance(t *testing.T) {
+	s, ts := newTestServer(t, Config{})
+	spec := `{"kind":"montecarlo","case":"lcls-cori","trials":64,"seed":7,"workers":2,
+		"sampler":{"model":"twostate","base":"1 GB/s","degraded":"0.2 GB/s","p_bad":0.4}}`
+	status, cold, _ := post(t, ts.URL+"/v1/sweep", spec)
+	if status != http.StatusOK {
+		t.Fatalf("status = %d, body %s", status, cold)
+	}
+	var parsed SweepResponse
+	if err := json.Unmarshal(cold, &parsed); err != nil {
+		t.Fatalf("response is not a SweepResponse: %v", err)
+	}
+	if parsed.Kind != "montecarlo" || len(parsed.Tables) == 0 {
+		t.Fatalf("kind=%q tables=%d", parsed.Kind, len(parsed.Tables))
+	}
+
+	reworked := strings.Replace(spec, `"workers":2`, `"workers":13`, 1)
+	_, other, hdr := post(t, ts.URL+"/v1/sweep", reworked)
+	if hdr.Get("X-Cache") != "hit" {
+		t.Errorf("different workers field missed the cache: X-Cache = %q", hdr.Get("X-Cache"))
+	}
+	if !bytes.Equal(cold, other) {
+		t.Error("worker count changed the response bytes")
+	}
+
+	s.FlushCache()
+	_, recomputed, _ := post(t, ts.URL+"/v1/sweep", spec)
+	if !bytes.Equal(cold, recomputed) {
+		t.Error("recomputed sweep differs from first evaluation")
+	}
+}
+
+// TestCoalescing fires 64 concurrent identical requests at a cold cache with
+// evaluations stretched by the test hook, and requires exactly one
+// evaluation: every other request either rode the flight or hit the cache.
+func TestCoalescing(t *testing.T) {
+	const clients = 64
+	s, ts := newTestServer(t, Config{})
+	s.evalDelay = 50 * time.Millisecond
+
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	bodies := make([][]byte, clients)
+	statuses := make([]int, clients)
+	dispositions := make([]string, clients)
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			<-start
+			resp, err := http.Post(ts.URL+"/v1/model", "application/json",
+				strings.NewReader(`{"case":"example"}`))
+			if err != nil {
+				t.Errorf("client %d: %v", i, err)
+				return
+			}
+			defer resp.Body.Close()
+			data, err := io.ReadAll(resp.Body)
+			if err != nil {
+				t.Errorf("client %d: read: %v", i, err)
+				return
+			}
+			statuses[i] = resp.StatusCode
+			bodies[i] = data
+			dispositions[i] = resp.Header.Get("X-Cache")
+		}(i)
+	}
+	close(start)
+	wg.Wait()
+
+	for i := 0; i < clients; i++ {
+		if statuses[i] != http.StatusOK {
+			t.Fatalf("client %d: status %d, body %s", i, statuses[i], bodies[i])
+		}
+		if !bytes.Equal(bodies[i], bodies[0]) {
+			t.Errorf("client %d received different bytes", i)
+		}
+	}
+	if n := s.Evaluations(); n != 1 {
+		t.Errorf("evaluations = %d, want exactly 1", n)
+	}
+	snap := s.MetricsSnapshot()
+	if got := snap.Cache.Hits + snap.Coalesced; got != clients-1 {
+		t.Errorf("hits(%d) + coalesced(%d) = %d, want %d",
+			snap.Cache.Hits, snap.Coalesced, got, clients-1)
+	}
+	seen := map[string]int{}
+	for _, d := range dispositions {
+		seen[d]++
+	}
+	if seen["cold"] != 1 {
+		t.Errorf("dispositions = %v, want exactly one cold", seen)
+	}
+}
+
+// TestFigures checks SVG rendering, caching, and conditional requests.
+func TestFigures(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	status, body, hdr := get(t, ts.URL+"/v1/figures/example.svg")
+	if status != http.StatusOK {
+		t.Fatalf("status = %d", status)
+	}
+	if ct := hdr.Get("Content-Type"); ct != "image/svg+xml" {
+		t.Errorf("Content-Type = %q", ct)
+	}
+	if !strings.Contains(string(body), "<svg") {
+		t.Error("body is not SVG")
+	}
+	etag := hdr.Get("ETag")
+	if etag == "" {
+		t.Fatal("no ETag on figure response")
+	}
+
+	_, cached, hdr := get(t, ts.URL+"/v1/figures/example.svg")
+	if hdr.Get("X-Cache") != "hit" {
+		t.Errorf("second fetch X-Cache = %q", hdr.Get("X-Cache"))
+	}
+	if !bytes.Equal(body, cached) {
+		t.Error("cached figure differs")
+	}
+
+	req, _ := http.NewRequest("GET", ts.URL+"/v1/figures/example.svg", nil)
+	req.Header.Set("If-None-Match", etag)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusNotModified {
+		t.Errorf("If-None-Match status = %d, want 304", resp.StatusCode)
+	}
+}
+
+// TestClientErrors is the 4xx table: every malformed request maps to the
+// right status and a JSON problem document, and none of them panic or get
+// cached as successes.
+func TestClientErrors(t *testing.T) {
+	s, ts := newTestServer(t, Config{MaxBodyBytes: 1024})
+	// evaluates marks specs that parse cleanly but fail semantically inside
+	// the evaluator — those consume an evaluation slot (and must still not be
+	// cached); pure parse errors are rejected before any evaluation runs.
+	cases := []struct {
+		name      string
+		method    string
+		path      string
+		body      string
+		status    int
+		evaluates bool
+	}{
+		{"model bad json", "POST", "/v1/model", `{`, http.StatusBadRequest, false},
+		{"model unknown field", "POST", "/v1/model", `{"case":"example","bogus":1}`, http.StatusBadRequest, false},
+		{"model unknown case", "POST", "/v1/model", `{"case":"nope"}`, http.StatusBadRequest, true},
+		{"model empty", "POST", "/v1/model", `{}`, http.StatusBadRequest, false},
+		{"model case and workflow", "POST", "/v1/model", `{"case":"example","workflow":{}}`, http.StatusBadRequest, false},
+		{"model bad machine", "POST", "/v1/model", `{"machine":"summit","workflow":{"name":"w","partition":"cpu","tasks":[{"id":"a","nodes":1,"work":{"flops":1}}]}}`, http.StatusBadRequest, true},
+		{"model oversized", "POST", "/v1/model", `{"case":"` + strings.Repeat("x", 2048) + `"}`, http.StatusRequestEntityTooLarge, false},
+		{"sweep bad kind", "POST", "/v1/sweep", `{"kind":"quantum","case":"lcls-cori"}`, http.StatusBadRequest, true},
+		{"sweep unknown field", "POST", "/v1/sweep", `{"kind":"montecarlo","case":"lcls-cori","wat":1}`, http.StatusBadRequest, false},
+		{"sweep no sampler", "POST", "/v1/sweep", `{"kind":"montecarlo","case":"lcls-cori","trials":4,"seed":1}`, http.StatusBadRequest, true},
+		{"figure unknown", "GET", "/v1/figures/nope.svg", "", http.StatusNotFound, false},
+		{"figure traversal", "GET", "/v1/figures/..%2Fsecret", "", http.StatusNotFound, false},
+		{"model wrong method", "GET", "/v1/model", "", http.StatusMethodNotAllowed, false},
+		{"figures wrong method", "POST", "/v1/figures/example.svg", "x", http.StatusMethodNotAllowed, false},
+		{"unknown route", "GET", "/v2/anything", "", http.StatusNotFound, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			req, err := http.NewRequest(tc.method, ts.URL+tc.path, strings.NewReader(tc.body))
+			if err != nil {
+				t.Fatal(err)
+			}
+			resp, err := http.DefaultClient.Do(req)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer resp.Body.Close()
+			data, _ := io.ReadAll(resp.Body)
+			if resp.StatusCode != tc.status {
+				t.Fatalf("status = %d, want %d; body %s", resp.StatusCode, tc.status, data)
+			}
+			// Our own error paths return a JSON problem document; the mux's
+			// built-in 404/405 responses are plain text.
+			if ct := resp.Header.Get("Content-Type"); strings.HasPrefix(ct, "application/json") {
+				var problem struct {
+					Error  string `json:"error"`
+					Status int    `json:"status"`
+				}
+				if err := json.Unmarshal(data, &problem); err != nil {
+					t.Fatalf("error body is not JSON: %v (%s)", err, data)
+				}
+				if problem.Status != tc.status || problem.Error == "" {
+					t.Errorf("problem document = %+v", problem)
+				}
+			}
+		})
+	}
+	var wantEvals uint64
+	for _, tc := range cases {
+		if tc.evaluates {
+			wantEvals++
+		}
+	}
+	if n := s.Evaluations(); n != wantEvals {
+		t.Errorf("malformed requests triggered %d evaluations, want %d", n, wantEvals)
+	}
+	if snap := s.MetricsSnapshot(); snap.Cache.Entries != 0 {
+		t.Errorf("cache holds %d entries after error-only traffic", snap.Cache.Entries)
+	}
+}
+
+// TestErrorsAreNotCached makes sure a failed evaluation leaves the cache
+// empty, so a later fix (or retry) is not poisoned.
+func TestErrorsAreNotCached(t *testing.T) {
+	s, ts := newTestServer(t, Config{})
+	status, _, _ := post(t, ts.URL+"/v1/model", `{"case":"nope"}`)
+	if status != http.StatusBadRequest {
+		t.Fatalf("status = %d", status)
+	}
+	if snap := s.MetricsSnapshot(); snap.Cache.Entries != 0 {
+		t.Errorf("cache holds %d entries after a failed request", snap.Cache.Entries)
+	}
+}
+
+// TestMetricsEndpoint drives some traffic and checks that /metrics reports
+// coherent counters: request counts by endpoint, statuses, latency mass, and
+// the cache hit ratio.
+func TestMetricsEndpoint(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	post(t, ts.URL+"/v1/model", `{"case":"example"}`)
+	post(t, ts.URL+"/v1/model", `{"case":"example"}`)
+	post(t, ts.URL+"/v1/model", `{bad`)
+	get(t, ts.URL+"/healthz")
+
+	status, body, hdr := get(t, ts.URL+"/metrics")
+	if status != http.StatusOK {
+		t.Fatalf("status = %d", status)
+	}
+	if ct := hdr.Get("Content-Type"); ct != "application/json" {
+		t.Errorf("Content-Type = %q", ct)
+	}
+	var snap Snapshot
+	if err := json.Unmarshal(body, &snap); err != nil {
+		t.Fatalf("metrics is not a Snapshot: %v", err)
+	}
+	model := snap.Requests["model"]
+	if model.Count != 3 {
+		t.Errorf("model count = %d, want 3", model.Count)
+	}
+	if model.ByStatus["200"] != 2 || model.ByStatus["400"] != 1 {
+		t.Errorf("model by_status = %v", model.ByStatus)
+	}
+	var latencyMass uint64
+	for _, b := range model.LatencyMS {
+		latencyMass += b.Count
+	}
+	if latencyMass != 3 {
+		t.Errorf("model latency histogram holds %d observations, want 3", latencyMass)
+	}
+	if snap.Requests["healthz"].Count != 1 {
+		t.Errorf("healthz count = %d", snap.Requests["healthz"].Count)
+	}
+	if snap.Cache.Hits != 1 || snap.Cache.Misses != 1 || snap.Cache.HitRatio != 0.5 {
+		t.Errorf("cache = %+v, want 1 hit / 1 miss", snap.Cache)
+	}
+	if snap.Evaluations != 1 {
+		t.Errorf("evaluations = %d", snap.Evaluations)
+	}
+}
+
+// TestQueueSaturation fills the bounded queue with slow distinct evaluations
+// and checks that an extra distinct request times out as 503 rather than
+// piling up, while the in-flight work still completes.
+func TestQueueSaturation(t *testing.T) {
+	s, ts := newTestServer(t, Config{QueueDepth: 1, Timeout: 100 * time.Millisecond})
+	s.evalDelay = 300 * time.Millisecond
+
+	done := make(chan int, 1)
+	go func() {
+		status, _, _ := post(t, ts.URL+"/v1/model", `{"case":"example"}`)
+		done <- status
+	}()
+	time.Sleep(50 * time.Millisecond) // let the first request take the slot
+	status, body, _ := post(t, ts.URL+"/v1/model", `{"case":"lcls-cori"}`)
+	if status != http.StatusServiceUnavailable {
+		t.Errorf("saturated queue status = %d, body %s", status, body)
+	}
+	if first := <-done; first != http.StatusOK {
+		t.Errorf("in-flight request finished %d", first)
+	}
+	if snap := s.MetricsSnapshot(); snap.QueueTimeouts != 1 {
+		t.Errorf("queue_timeouts = %d, want 1", snap.QueueTimeouts)
+	}
+}
+
+// TestGracefulDrain serves one slow request through a real http.Server,
+// starts a shutdown while it is in flight, and requires both a complete 200
+// for the client and a nil return from Shutdown.
+func TestGracefulDrain(t *testing.T) {
+	s := New(Config{})
+	s.evalDelay = 200 * time.Millisecond
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	httpSrv := &http.Server{Handler: s.Handler()}
+	served := make(chan error, 1)
+	go func() { served <- httpSrv.Serve(ln) }()
+
+	url := fmt.Sprintf("http://%s/v1/model", ln.Addr())
+	reqDone := make(chan error, 1)
+	go func() {
+		resp, err := http.Post(url, "application/json", strings.NewReader(`{"case":"example"}`))
+		if err != nil {
+			reqDone <- err
+			return
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err == nil && resp.StatusCode != http.StatusOK {
+			err = fmt.Errorf("status %d", resp.StatusCode)
+		}
+		if err == nil && len(body) == 0 {
+			err = fmt.Errorf("empty body")
+		}
+		reqDone <- err
+	}()
+
+	time.Sleep(50 * time.Millisecond) // request is now inside the evaluation
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutdownCtx); err != nil {
+		t.Errorf("Shutdown = %v, want clean drain", err)
+	}
+	if err := <-reqDone; err != nil {
+		t.Errorf("in-flight request during drain: %v", err)
+	}
+	if err := <-served; err != http.ErrServerClosed {
+		t.Errorf("Serve returned %v", err)
+	}
+
+	// The drained listener refuses new work.
+	if _, err := http.Post(url, "application/json", strings.NewReader(`{"case":"example"}`)); err == nil {
+		t.Error("request after shutdown succeeded")
+	}
+}
+
+// TestCacheEviction bounds the cache at two entries and walks three distinct
+// requests through it: the oldest is re-evaluated, the newest is served hot.
+func TestCacheEviction(t *testing.T) {
+	s, ts := newTestServer(t, Config{CacheEntries: 2})
+	for _, c := range []string{"example", "lcls-cori", "bgw-64"} {
+		post(t, ts.URL+"/v1/model", `{"case":"`+c+`"}`)
+	}
+	if snap := s.MetricsSnapshot(); snap.Cache.Entries != 2 {
+		t.Fatalf("cache entries = %d, want 2", snap.Cache.Entries)
+	}
+	_, _, hdr := post(t, ts.URL+"/v1/model", `{"case":"example"}`)
+	if hdr.Get("X-Cache") != "cold" {
+		t.Errorf("evicted entry X-Cache = %q, want cold", hdr.Get("X-Cache"))
+	}
+	_, _, hdr = post(t, ts.URL+"/v1/model", `{"case":"bgw-64"}`)
+	if hdr.Get("X-Cache") != "hit" {
+		t.Errorf("fresh entry X-Cache = %q, want hit", hdr.Get("X-Cache"))
+	}
+}
+
+// TestInlineWorkflow exercises the build-from-JSON path end to end.
+func TestInlineWorkflow(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	body := `{"machine":"perlmutter","workflow":{
+		"name":"inline",
+		"partition":"cpu",
+		"tasks":[
+			{"id":"a","nodes":1,"work":{"flops":1e12,"mem_bytes":1e11}},
+			{"id":"b","nodes":1,"work":{"flops":1e12,"mem_bytes":1e11}},
+			{"id":"merge","nodes":1,"work":{"fs_bytes":5e9}}
+		],
+		"deps":[["a","merge"],["b","merge"]]
+	}}`
+	status, cold, _ := post(t, ts.URL+"/v1/model", body)
+	if status != http.StatusOK {
+		t.Fatalf("status = %d, body %s", status, cold)
+	}
+	var analysis core.Analysis
+	if err := json.Unmarshal(cold, &analysis); err != nil {
+		t.Fatalf("response is not an analysis: %v", err)
+	}
+	if analysis.Title == "" || analysis.Wall <= 0 || len(analysis.Curve) == 0 {
+		t.Errorf("analysis = title %q wall %v curve %d", analysis.Title, analysis.Wall, len(analysis.Curve))
+	}
+	_, cached, hdr := post(t, ts.URL+"/v1/model", body)
+	if hdr.Get("X-Cache") != "hit" || !bytes.Equal(cold, cached) {
+		t.Error("inline workflow did not cache deterministically")
+	}
+}

@@ -1,0 +1,61 @@
+package serve
+
+import "sync"
+
+// flightGroup coalesces concurrent work on the same content address: while
+// one goroutine computes a key, later arrivals for that key block and share
+// the single result instead of evaluating again. Hand-rolled single-flight —
+// the stdlib has no exported equivalent and the toolkit takes no external
+// dependencies.
+type flightGroup struct {
+	mu    sync.Mutex
+	calls map[Key]*flightCall
+}
+
+// flightCall is one in-progress computation.
+type flightCall struct {
+	done    chan struct{}
+	waiters int
+	resp    Response
+	err     error
+}
+
+// newFlightGroup creates an empty group.
+func newFlightGroup() *flightGroup {
+	return &flightGroup{calls: make(map[Key]*flightCall)}
+}
+
+// do runs fn for the key, unless a call for the same key is already in
+// flight, in which case it waits for that call and shares its result.
+// shared reports whether this caller rode an existing flight. Errors are
+// shared too: N identical malformed requests cost one failed evaluation.
+func (g *flightGroup) do(k Key, fn func() (Response, error)) (resp Response, err error, shared bool) {
+	g.mu.Lock()
+	if c, ok := g.calls[k]; ok {
+		c.waiters++
+		g.mu.Unlock()
+		<-c.done
+		return c.resp, c.err, true
+	}
+	c := &flightCall{done: make(chan struct{})}
+	g.calls[k] = c
+	g.mu.Unlock()
+
+	c.resp, c.err = fn()
+	g.mu.Lock()
+	delete(g.calls, k)
+	g.mu.Unlock()
+	close(c.done)
+	return c.resp, c.err, false
+}
+
+// waiting reports how many callers are parked on the key's in-flight call
+// (0 when no call is in flight). Tests use it to sequence coalescing races.
+func (g *flightGroup) waiting(k Key) int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if c, ok := g.calls[k]; ok {
+		return c.waiters
+	}
+	return 0
+}

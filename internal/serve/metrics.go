@@ -1,0 +1,171 @@
+package serve
+
+import (
+	"sync"
+	"time"
+)
+
+// latencyBucketsMS are the upper bounds (milliseconds, inclusive) of the
+// request-latency histogram; the implicit final bucket is +Inf. The range
+// spans a cache hit (~10 µs) to a heavyweight Monte Carlo sweep (minutes).
+var latencyBucketsMS = []float64{
+	0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10, 25, 50, 100, 250, 500,
+	1000, 2500, 5000, 10000, 30000, 60000,
+}
+
+// metrics aggregates service counters. One mutex guards everything: the
+// request path touches it twice (once per counter family), which is noise
+// next to a SHA-256 of the body, let alone an evaluation.
+type metrics struct {
+	mu        sync.Mutex
+	start     time.Time
+	endpoints map[string]*endpointStats
+
+	cacheHits   uint64
+	cacheMisses uint64
+	coalesced   uint64
+	evaluations uint64
+
+	queueTimeouts uint64
+	evalTimeouts  uint64
+}
+
+// endpointStats is the per-route slice of the counters.
+type endpointStats struct {
+	count    uint64
+	byStatus map[int]uint64
+	latency  []uint64 // one slot per bucket + overflow
+}
+
+// newMetrics creates an empty registry.
+func newMetrics() *metrics {
+	return &metrics{start: time.Now(), endpoints: make(map[string]*endpointStats)}
+}
+
+// observe records one completed request.
+func (m *metrics) observe(endpoint string, status int, dur time.Duration) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	st, ok := m.endpoints[endpoint]
+	if !ok {
+		st = &endpointStats{
+			byStatus: make(map[int]uint64),
+			latency:  make([]uint64, len(latencyBucketsMS)+1),
+		}
+		m.endpoints[endpoint] = st
+	}
+	st.count++
+	st.byStatus[status]++
+	ms := float64(dur) / float64(time.Millisecond)
+	slot := len(latencyBucketsMS)
+	for i, le := range latencyBucketsMS {
+		if ms <= le {
+			slot = i
+			break
+		}
+	}
+	st.latency[slot]++
+}
+
+// counter bumps one of the named scalar counters.
+func (m *metrics) counter(name string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	switch name {
+	case "cache_hit":
+		m.cacheHits++
+	case "cache_miss":
+		m.cacheMisses++
+	case "coalesced":
+		m.coalesced++
+	case "evaluation":
+		m.evaluations++
+	case "queue_timeout":
+		m.queueTimeouts++
+	case "eval_timeout":
+		m.evalTimeouts++
+	}
+}
+
+// Snapshot is the JSON shape of /metrics.
+type Snapshot struct {
+	UptimeSeconds float64                     `json:"uptime_seconds"`
+	Requests      map[string]EndpointSnapshot `json:"requests"`
+	Cache         CacheSnapshot               `json:"cache"`
+	Coalesced     uint64                      `json:"coalesced"`
+	Evaluations   uint64                      `json:"evaluations"`
+	QueueTimeouts uint64                      `json:"queue_timeouts"`
+	EvalTimeouts  uint64                      `json:"eval_timeouts"`
+}
+
+// EndpointSnapshot summarizes one route.
+type EndpointSnapshot struct {
+	Count     uint64            `json:"count"`
+	ByStatus  map[string]uint64 `json:"by_status"`
+	LatencyMS []LatencyBucket   `json:"latency_ms"`
+}
+
+// LatencyBucket is one histogram bar: requests at or under LE milliseconds
+// (cumulative-free, per-bucket counts; LE 0 marks the +Inf overflow bucket).
+type LatencyBucket struct {
+	LE    float64 `json:"le,omitempty"`
+	Count uint64  `json:"count"`
+}
+
+// CacheSnapshot reports the content-addressed cache's effectiveness.
+type CacheSnapshot struct {
+	Entries  int     `json:"entries"`
+	Hits     uint64  `json:"hits"`
+	Misses   uint64  `json:"misses"`
+	HitRatio float64 `json:"hit_ratio"`
+}
+
+// snapshot copies the counters into their serializable form. Empty latency
+// buckets are elided to keep /metrics readable.
+func (m *metrics) snapshot(cacheEntries int) Snapshot {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	snap := Snapshot{
+		UptimeSeconds: time.Since(m.start).Seconds(),
+		Requests:      make(map[string]EndpointSnapshot, len(m.endpoints)),
+		Cache: CacheSnapshot{
+			Entries: cacheEntries,
+			Hits:    m.cacheHits,
+			Misses:  m.cacheMisses,
+		},
+		Coalesced:     m.coalesced,
+		Evaluations:   m.evaluations,
+		QueueTimeouts: m.queueTimeouts,
+		EvalTimeouts:  m.evalTimeouts,
+	}
+	if total := m.cacheHits + m.cacheMisses; total > 0 {
+		snap.Cache.HitRatio = float64(m.cacheHits) / float64(total)
+	}
+	for name, st := range m.endpoints {
+		es := EndpointSnapshot{Count: st.count, ByStatus: make(map[string]uint64, len(st.byStatus))}
+		for code, n := range st.byStatus {
+			es.ByStatus[statusLabel(code)] = n
+		}
+		for i, n := range st.latency {
+			if n == 0 {
+				continue
+			}
+			b := LatencyBucket{Count: n}
+			if i < len(latencyBucketsMS) {
+				b.LE = latencyBucketsMS[i]
+			}
+			es.LatencyMS = append(es.LatencyMS, b)
+		}
+		snap.Requests[name] = es
+	}
+	return snap
+}
+
+// statusLabel renders an HTTP status code as a JSON map key.
+func statusLabel(code int) string {
+	const digits = "0123456789"
+	if code < 100 || code > 999 {
+		return "other"
+	}
+	return string([]byte{digits[code/100], digits[code/10%10], digits[code%10]})
+}

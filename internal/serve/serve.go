@@ -1,0 +1,547 @@
+// Package serve is the Workflow Roofline analysis service: a long-running
+// HTTP front end over the model (internal/core), the ensemble engine
+// (internal/study on internal/sweep), and the figure catalog
+// (internal/figures).
+//
+// The hot path exploits the toolkit's end-to-end determinism. Every request
+// is canonicalized (strict parse, fixed-order re-encoding, worker counts
+// normalized away) and hashed; the SHA-256 content address keys an LRU of
+// fully rendered responses. Because identical specs evaluate to identical
+// bytes, a cache hit, a coalesced flight, and a cold evaluation are
+// indistinguishable to the client — the tests assert byte equality across
+// all three paths. Concurrent identical requests collapse onto one
+// evaluation (singleflight), and distinct evaluations run under a bounded
+// queue with a per-request timeout, so a burst of heavyweight sweeps
+// degrades into orderly 503s instead of unbounded goroutines.
+//
+// Endpoints:
+//
+//	POST /v1/model          bounds + classification + advice for a spec
+//	POST /v1/sweep          montecarlo/grid/survey studies (wfsweep specs)
+//	GET  /v1/figures/{name} paper figures as SVG (e.g. example.svg)
+//	GET  /healthz           liveness
+//	GET  /metrics           counters, latency histograms, cache hit ratio
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"slices"
+	"strconv"
+	"time"
+
+	"wroofline/internal/core"
+	"wroofline/internal/figures"
+	"wroofline/internal/machine"
+	"wroofline/internal/plot"
+	"wroofline/internal/report"
+	"wroofline/internal/study"
+	"wroofline/internal/units"
+	"wroofline/internal/workflow"
+	"wroofline/internal/workloads"
+)
+
+// Config tunes the service.
+type Config struct {
+	// Workers caps the sweep pool per evaluation (0 = GOMAXPROCS). It
+	// overrides the worker count in submitted specs: results are identical
+	// at any pool size, so the server, not the client, owns the parallelism
+	// budget.
+	Workers int
+	// CacheEntries bounds the content-addressed LRU (default 512).
+	CacheEntries int
+	// QueueDepth bounds concurrent evaluations; requests beyond it wait for
+	// a slot until their timeout (default 4).
+	QueueDepth int
+	// Timeout is the per-request evaluation budget, covering both the queue
+	// wait and the evaluation itself (default 30s).
+	Timeout time.Duration
+	// MaxBodyBytes caps request bodies (default 1 MiB).
+	MaxBodyBytes int64
+	// CurveSamples is the default /v1/model envelope resolution (default 64).
+	CurveSamples int
+	// Logger receives one structured record per request; nil discards.
+	Logger *slog.Logger
+}
+
+// withDefaults fills zero fields.
+func (c Config) withDefaults() Config {
+	if c.CacheEntries <= 0 {
+		c.CacheEntries = 512
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 4
+	}
+	if c.Timeout <= 0 {
+		c.Timeout = 30 * time.Second
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 1 << 20
+	}
+	if c.CurveSamples <= 0 {
+		c.CurveSamples = 64
+	}
+	if c.Logger == nil {
+		c.Logger = slog.New(slog.DiscardHandler)
+	}
+	return c
+}
+
+// Server is the analysis service. Create with New, mount via Handler.
+type Server struct {
+	cfg     Config
+	mux     *http.ServeMux
+	cache   *lruCache
+	flight  *flightGroup
+	queue   chan struct{}
+	metrics *metrics
+
+	// evalDelay is a test hook: it stretches every evaluation so tests can
+	// provoke request pile-ups deterministically. Zero in production.
+	evalDelay time.Duration
+}
+
+// New builds a server from the config.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:     cfg,
+		mux:     http.NewServeMux(),
+		cache:   newLRUCache(cfg.CacheEntries),
+		flight:  newFlightGroup(),
+		queue:   make(chan struct{}, cfg.QueueDepth),
+		metrics: newMetrics(),
+	}
+	s.mux.HandleFunc("GET /healthz", s.instrument("healthz", s.handleHealthz))
+	s.mux.HandleFunc("GET /metrics", s.instrument("metrics", s.handleMetrics))
+	s.mux.HandleFunc("POST /v1/model", s.instrument("model", s.handleModel))
+	s.mux.HandleFunc("POST /v1/sweep", s.instrument("sweep", s.handleSweep))
+	s.mux.HandleFunc("GET /v1/figures/{name}", s.instrument("figures", s.handleFigure))
+	return s
+}
+
+// Handler returns the routed HTTP handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Evaluations reports how many cold evaluations have run — the number the
+// coalescing tests pin to exactly one under 64-way identical load.
+func (s *Server) Evaluations() uint64 {
+	s.metrics.mu.Lock()
+	defer s.metrics.mu.Unlock()
+	return s.metrics.evaluations
+}
+
+// MetricsSnapshot returns the current counters (the /metrics payload).
+func (s *Server) MetricsSnapshot() Snapshot {
+	return s.metrics.snapshot(s.cache.len())
+}
+
+// FlushCache empties the result cache, forcing the next request of each
+// shape down the cold path (benchmarks and cache-bypass testing).
+func (s *Server) FlushCache() { s.cache.flush() }
+
+// httpError carries a status code through the evaluation path.
+type httpError struct {
+	status int
+	msg    string
+}
+
+// Error implements error.
+func (e *httpError) Error() string { return e.msg }
+
+// badRequest wraps a client error as 400.
+func badRequest(format string, args ...any) *httpError {
+	return &httpError{status: http.StatusBadRequest, msg: fmt.Sprintf(format, args...)}
+}
+
+// statusOf maps an evaluation error to its HTTP status. Everything the
+// evaluators reject is a property of the submitted spec, so unrecognized
+// errors default to 400 rather than 500 — the server's own invariants are
+// covered by the explicit cases.
+func statusOf(err error) int {
+	var he *httpError
+	if errors.As(err, &he) {
+		return he.status
+	}
+	if errors.Is(err, context.DeadlineExceeded) {
+		return http.StatusGatewayTimeout
+	}
+	return http.StatusBadRequest
+}
+
+// statusRecorder captures the status code written by a handler.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+	bytes  int
+}
+
+// WriteHeader records the status.
+func (r *statusRecorder) WriteHeader(code int) {
+	r.status = code
+	r.ResponseWriter.WriteHeader(code)
+}
+
+// Write counts body bytes (and implies 200 when WriteHeader was skipped).
+func (r *statusRecorder) Write(p []byte) (int, error) {
+	n, err := r.ResponseWriter.Write(p)
+	r.bytes += n
+	return n, err
+}
+
+// instrument wraps a handler with metrics and structured request logging.
+func (s *Server) instrument(name string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+		start := time.Now()
+		h(rec, r)
+		dur := time.Since(start)
+		s.metrics.observe(name, rec.status, dur)
+		// Building the log record costs more than a cache hit; skip it
+		// entirely when the handler is disabled (the slog.DiscardHandler
+		// default).
+		if !s.cfg.Logger.Enabled(r.Context(), slog.LevelInfo) {
+			return
+		}
+		s.cfg.Logger.Info("request",
+			"endpoint", name,
+			"method", r.Method,
+			"path", r.URL.Path,
+			"status", rec.status,
+			"dur_ms", float64(dur)/float64(time.Millisecond),
+			"bytes", rec.bytes,
+			"cache", rec.Header().Get("X-Cache"),
+		)
+	}
+}
+
+// handleHealthz is the liveness probe.
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	fmt.Fprintln(w, `{"status":"ok"}`)
+}
+
+// handleMetrics renders the counter snapshot as JSON.
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	data, err := json.MarshalIndent(s.MetricsSnapshot(), "", "  ")
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(append(data, '\n'))
+}
+
+// readBody drains a capped request body.
+func (s *Server) readBody(w http.ResponseWriter, r *http.Request) ([]byte, error) {
+	data, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
+	if err != nil {
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			return nil, &httpError{status: http.StatusRequestEntityTooLarge,
+				msg: fmt.Sprintf("request body exceeds %d bytes", s.cfg.MaxBodyBytes)}
+		}
+		return nil, badRequest("read body: %v", err)
+	}
+	return data, nil
+}
+
+// respond writes a rendered response, honouring If-None-Match, and stamps
+// the cache disposition ("cold", "hit", or "coalesced") for observability
+// and the e2e tests.
+func respond(w http.ResponseWriter, r *http.Request, resp Response, disposition string) {
+	h := w.Header()
+	h.Set("X-Cache", disposition)
+	if resp.ETag != "" {
+		h.Set("ETag", resp.ETag)
+		if match := r.Header.Get("If-None-Match"); match != "" && match == resp.ETag {
+			w.WriteHeader(http.StatusNotModified)
+			return
+		}
+	}
+	h.Set("Content-Type", resp.ContentType)
+	h.Set("Content-Length", strconv.Itoa(len(resp.Body)))
+	w.Write(resp.Body)
+}
+
+// fail writes an error as a JSON problem document.
+func fail(w http.ResponseWriter, err error) {
+	status := statusOf(err)
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	body, _ := json.Marshal(map[string]any{"error": err.Error(), "status": status})
+	w.Write(append(body, '\n'))
+}
+
+// serveCached is the shared hot path: look up the content address, coalesce
+// concurrent misses onto one evaluation, and fill the cache. compute runs
+// under the bounded queue with the per-request timeout already applied.
+func (s *Server) serveCached(w http.ResponseWriter, r *http.Request, key Key, compute func(ctx context.Context) (Response, error)) {
+	if resp, ok := s.cache.get(key); ok {
+		s.metrics.counter("cache_hit")
+		respond(w, r, resp, "hit")
+		return
+	}
+	disposition := "cold"
+	resp, err, shared := s.flight.do(key, func() (Response, error) {
+		// Re-check under the flight: a request that lost the race between
+		// its cache miss and its flight entry finds the winner's result.
+		if resp, ok := s.cache.get(key); ok {
+			s.metrics.counter("cache_hit")
+			return resp, nil
+		}
+		s.metrics.counter("cache_miss")
+		resp, err := s.evaluate(compute)
+		if err != nil {
+			return Response{}, err
+		}
+		s.cache.put(key, resp)
+		return resp, nil
+	})
+	if shared {
+		s.metrics.counter("coalesced")
+		disposition = "coalesced"
+	}
+	if err != nil {
+		fail(w, err)
+		return
+	}
+	respond(w, r, resp, disposition)
+}
+
+// evaluate runs compute under the bounded queue and per-request timeout.
+// The evaluation context is detached from any one client: N coalesced
+// requests share the work, so the first client hanging up must not cancel
+// the result the other N-1 are waiting for.
+func (s *Server) evaluate(compute func(ctx context.Context) (Response, error)) (Response, error) {
+	ctx, cancel := context.WithTimeout(context.Background(), s.cfg.Timeout)
+	defer cancel()
+	select {
+	case s.queue <- struct{}{}:
+		defer func() { <-s.queue }()
+	case <-ctx.Done():
+		s.metrics.counter("queue_timeout")
+		return Response{}, &httpError{status: http.StatusServiceUnavailable,
+			msg: fmt.Sprintf("evaluation queue full for %v", s.cfg.Timeout)}
+	}
+	s.metrics.counter("evaluation")
+	if s.evalDelay > 0 {
+		time.Sleep(s.evalDelay)
+	}
+	resp, err := compute(ctx)
+	if err != nil {
+		if errors.Is(err, context.DeadlineExceeded) {
+			s.metrics.counter("eval_timeout")
+		}
+		return Response{}, err
+	}
+	resp.ETag = etagOf(resp.Body)
+	return resp, nil
+}
+
+// etagOf derives the strong validator from the body's content address.
+func etagOf(body []byte) string {
+	k := ContentKey("body", body)
+	return fmt.Sprintf("%q", "sha256-"+hexKey(k))
+}
+
+// hexKey renders a key as lowercase hex.
+func hexKey(k Key) string {
+	const hexdigits = "0123456789abcdef"
+	out := make([]byte, 2*len(k))
+	for i, b := range k {
+		out[2*i] = hexdigits[b>>4]
+		out[2*i+1] = hexdigits[b&0xf]
+	}
+	return string(out)
+}
+
+// ModelRequest is the /v1/model body: either a built-in case study by name
+// ("example" or any workloads registry entry), or an inline workflow to
+// build against a named machine.
+type ModelRequest struct {
+	// Case selects a built-in case study, or "example" for the Fig 1 model.
+	Case string `json:"case,omitempty"`
+	// Machine names the system for inline workflows: "perlmutter" (default)
+	// or "cori".
+	Machine string `json:"machine,omitempty"`
+	// Workflow is an inline workflow spec (see internal/workflow JSON).
+	Workflow json.RawMessage `json:"workflow,omitempty"`
+	// ExternalBW overrides the machine's external staging bandwidth,
+	// e.g. "5 GB/s".
+	ExternalBW string `json:"external_bw,omitempty"`
+	// CurveSamples overrides the bound-envelope resolution.
+	CurveSamples int `json:"curve_samples,omitempty"`
+}
+
+// canonicalModelRequest strictly parses and canonicalizes a model request.
+func canonicalModelRequest(data []byte) (*ModelRequest, []byte, error) {
+	var req ModelRequest
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		return nil, nil, badRequest("parse model request: %v", err)
+	}
+	if req.Case == "" && len(req.Workflow) == 0 {
+		return nil, nil, badRequest("model request needs a case name or an inline workflow")
+	}
+	if req.Case != "" && len(req.Workflow) != 0 {
+		return nil, nil, badRequest("model request takes a case or a workflow, not both")
+	}
+	// Canonical form: compact the raw workflow JSON so formatting-only
+	// variants of the same request share a content address.
+	if len(req.Workflow) > 0 {
+		var buf bytes.Buffer
+		if err := json.Compact(&buf, req.Workflow); err != nil {
+			return nil, nil, badRequest("compact workflow: %v", err)
+		}
+		req.Workflow = buf.Bytes()
+	}
+	canonical, err := json.Marshal(&req)
+	if err != nil {
+		return nil, nil, badRequest("canonicalize model request: %v", err)
+	}
+	return &req, canonical, nil
+}
+
+// handleModel serves bounds + classification + advice.
+func (s *Server) handleModel(w http.ResponseWriter, r *http.Request) {
+	body, err := s.readBody(w, r)
+	if err != nil {
+		fail(w, err)
+		return
+	}
+	req, canonical, err := canonicalModelRequest(body)
+	if err != nil {
+		fail(w, err)
+		return
+	}
+	s.serveCached(w, r, ContentKey("model", canonical), func(ctx context.Context) (Response, error) {
+		return s.evaluateModel(req)
+	})
+}
+
+// evaluateModel builds and analyzes the requested model.
+func (s *Server) evaluateModel(req *ModelRequest) (Response, error) {
+	var (
+		model  *core.Model
+		points []core.Point
+	)
+	switch {
+	case req.Case == "example":
+		m, err := workloads.ExampleModel()
+		if err != nil {
+			return Response{}, err
+		}
+		model = m
+	case req.Case != "":
+		cs, err := workloads.ByName(req.Case)
+		if err != nil {
+			return Response{}, badRequest("%v", err)
+		}
+		model, points = cs.Model, cs.Points
+	default:
+		var wf workflow.Workflow
+		if err := json.Unmarshal(req.Workflow, &wf); err != nil {
+			return Response{}, badRequest("parse workflow: %v", err)
+		}
+		var m *machine.Machine
+		switch req.Machine {
+		case "", "perlmutter":
+			m = machine.Perlmutter()
+		case "cori":
+			m = machine.CoriHaswell()
+		default:
+			return Response{}, badRequest("unknown machine %q (want perlmutter or cori)", req.Machine)
+		}
+		opts := core.BuildOptions{}
+		if req.ExternalBW != "" {
+			bw, err := units.ParseByteRate(req.ExternalBW)
+			if err != nil {
+				return Response{}, badRequest("external_bw: %v", err)
+			}
+			opts.ExternalBW = bw
+		}
+		built, err := core.Build(m, &wf, opts)
+		if err != nil {
+			return Response{}, badRequest("%v", err)
+		}
+		model = built
+	}
+	samples := req.CurveSamples
+	if samples <= 0 {
+		samples = s.cfg.CurveSamples
+	}
+	analysis, err := model.Analyze(points, samples)
+	if err != nil {
+		return Response{}, badRequest("%v", err)
+	}
+	data, err := json.Marshal(analysis)
+	if err != nil {
+		return Response{}, err
+	}
+	return Response{Body: append(data, '\n'), ContentType: "application/json"}, nil
+}
+
+// SweepResponse is the /v1/sweep body: the study's report tables in print
+// order, in the canonical table JSON of internal/report.
+type SweepResponse struct {
+	Kind   string          `json:"kind"`
+	Tables []*report.Table `json:"tables"`
+}
+
+// handleSweep runs a wfsweep spec and returns its tables as JSON.
+func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
+	body, err := s.readBody(w, r)
+	if err != nil {
+		fail(w, err)
+		return
+	}
+	spec, err := study.ParseSpec(body)
+	if err != nil {
+		fail(w, badRequest("%v", err))
+		return
+	}
+	canonical, err := spec.Canonical()
+	if err != nil {
+		fail(w, badRequest("%v", err))
+		return
+	}
+	s.serveCached(w, r, ContentKey("sweep", canonical), func(ctx context.Context) (Response, error) {
+		// The server owns the parallelism budget; results are identical at
+		// any worker count, so this never changes the bytes.
+		spec.Workers = s.cfg.Workers
+		tables, err := study.Run(ctx, spec)
+		if err != nil {
+			return Response{}, err
+		}
+		data, err := json.Marshal(SweepResponse{Kind: spec.Kind, Tables: tables})
+		if err != nil {
+			return Response{}, err
+		}
+		return Response{Body: append(data, '\n'), ContentType: "application/json"}, nil
+	})
+}
+
+// handleFigure renders one paper figure as SVG.
+func (s *Server) handleFigure(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	if !slices.Contains(figures.Names(), name) {
+		fail(w, &httpError{status: http.StatusNotFound,
+			msg: fmt.Sprintf("unknown figure %q (have %v)", name, figures.Names())})
+		return
+	}
+	s.serveCached(w, r, ContentKey("figure", []byte(name)), func(ctx context.Context) (Response, error) {
+		fig, err := figures.Render(name)
+		if err != nil {
+			return Response{}, err
+		}
+		return Response{Body: []byte(fig.SVG), ContentType: plot.ContentTypeSVG}, nil
+	})
+}

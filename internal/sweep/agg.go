@@ -78,13 +78,17 @@ func (a *Agg) Count() int {
 // tail ratio.
 type Summary struct {
 	// N is the trial count.
-	N int
+	N int `json:"n"`
 	// Min, Max, and Mean summarize the ensemble.
-	Min, Max, Mean float64
+	Min  float64 `json:"min"`
+	Max  float64 `json:"max"`
+	Mean float64 `json:"mean"`
 	// P50, P90, and P99 are interpolated quantiles.
-	P50, P90, P99 float64
+	P50 float64 `json:"p50"`
+	P90 float64 `json:"p90"`
+	P99 float64 `json:"p99"`
 	// TailRatio is P99/P50 (0 when the median is 0).
-	TailRatio float64
+	TailRatio float64 `json:"tail_ratio"`
 }
 
 // Summary finalizes the aggregate. Every trial must have been added — a
@@ -140,8 +144,8 @@ func quantile(sorted []float64, p float64) float64 {
 type HistBin struct {
 	// Label is the recorded label (e.g. a binding ceiling's name); Count is
 	// how many trials reported it.
-	Label string
-	Count int
+	Label string `json:"label"`
+	Count int    `json:"count"`
 }
 
 // Hist returns the label histogram sorted by descending count, ties broken

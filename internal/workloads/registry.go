@@ -1,0 +1,47 @@
+package workloads
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Builder constructs a case study on demand. Every call returns a fresh
+// instance, so concurrent consumers (the sweep pool, the analysis service)
+// never share mutable state.
+type Builder func() (*CaseStudy, error)
+
+// registry maps the canonical CLI/service names to constructors. The name
+// set is shared by cmd/wroofline, cmd/wfsim, cmd/wfsweep (via
+// internal/study), and the wfserved endpoints, so a spec written for one
+// tool is valid in all of them.
+var registry = map[string]Builder{
+	"lcls-cori":         LCLSCori,
+	"lcls-cori-bad":     LCLSCoriBadDay,
+	"lcls-pm":           LCLSPerlmutter,
+	"lcls-pm-contended": LCLSPerlmutterContended,
+	"bgw-64":            func() (*CaseStudy, error) { return BGW(64) },
+	"bgw-1024":          func() (*CaseStudy, error) { return BGW(1024) },
+	"cosmoflow":         func() (*CaseStudy, error) { return CosmoFlow(12) },
+	"gptune-rci":        func() (*CaseStudy, error) { return GPTune(GPTuneRCI) },
+	"gptune-spawn":      func() (*CaseStudy, error) { return GPTune(GPTuneSpawn) },
+}
+
+// Names lists the registered case-study names in sorted order.
+func Names() []string {
+	out := make([]string, 0, len(registry))
+	for n := range registry {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ByName builds a fresh instance of the named case study, or an error
+// listing the valid names.
+func ByName(name string) (*CaseStudy, error) {
+	build, ok := registry[name]
+	if !ok {
+		return nil, fmt.Errorf("workloads: unknown case %q (have %v)", name, Names())
+	}
+	return build()
+}

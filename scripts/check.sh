@@ -4,7 +4,7 @@
 # this script is the slower, stricter pass CI and pre-commit hooks call.
 #
 #   scripts/check.sh            # gofmt + vet + race tests
-#   scripts/check.sh -fuzz      # also run each fuzz target for 30s
+#   scripts/check.sh -fuzz      # also run each fuzz target (FUZZTIME, default 30s)
 set -u
 cd "$(dirname "$0")/.."
 
@@ -35,9 +35,10 @@ else
 fi
 
 if [ "${1:-}" = "-fuzz" ]; then
-    echo "== fuzz (30s per target) =="
-    for pkg in ./internal/wdl ./internal/sbatch; do
-        if ! go test "$pkg" -fuzz=FuzzParse -fuzztime=30s; then
+    fuzztime="${FUZZTIME:-30s}"
+    echo "== fuzz ($fuzztime per target) =="
+    for pkg in ./internal/wdl ./internal/sbatch ./internal/machine; do
+        if ! go test "$pkg" -fuzz=FuzzParse -fuzztime="$fuzztime"; then
             fail=1
         fi
     done
