@@ -7,6 +7,7 @@
 //	wfsim -case lcls-cori
 //	wfsim -case bgw-64 -gantt -gantt-svg bgw.svg
 //	wfsim -case gptune-rci -breakdown
+//	wfsim -case lcls-cori -fail-prob 0.02 -fail-restage "1 GB/s" -fail-seed 7
 //	wfsim -list
 package main
 
@@ -17,6 +18,7 @@ import (
 	"os"
 	"sort"
 
+	"wroofline/internal/failure"
 	"wroofline/internal/gantt"
 	"wroofline/internal/machine"
 	"wroofline/internal/plot"
@@ -43,6 +45,13 @@ func run(args []string, out io.Writer) error {
 		ganttSVG  = fs.String("gantt-svg", "", "write the Gantt chart to this SVG file")
 		showBreak = fs.Bool("breakdown", false, "print the per-phase time breakdown")
 		chromeOut = fs.String("chrome-trace", "", "write spans as Chrome Trace Event JSON to this file")
+
+		failSpec    = fs.String("fail-spec", "", "read a failure-model JSON spec from this file (see internal/failure)")
+		failProb    = fs.Float64("fail-prob", 0, "per-attempt task failure probability (0 disables)")
+		failMTBF    = fs.Float64("fail-mtbf", 0, "node mean time between failures in seconds (0 disables)")
+		failRepair  = fs.Float64("fail-repair", 0, "node repair time in seconds (0 = default)")
+		failRestage = fs.String("fail-restage", "", "re-staging rate for retried inputs, e.g. \"1 GB/s\"")
+		failSeed    = fs.Uint64("fail-seed", 0, "failure-model RNG seed")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -68,6 +77,13 @@ func run(args []string, out io.Writer) error {
 			return fmt.Errorf("%w (try -list)", err)
 		}
 	}
+	fm, err := failureModel(*failSpec, *failProb, *failMTBF, *failRepair, *failRestage, *failSeed)
+	if err != nil {
+		return err
+	}
+	if fm != nil {
+		cs.SimConfig.Failures = fm
+	}
 	res, err := cs.Simulate()
 	if err != nil {
 		return err
@@ -77,6 +93,11 @@ func run(args []string, out io.Writer) error {
 	fmt.Fprintf(out, "makespan: %.2f s\n", res.Makespan)
 	fmt.Fprintf(out, "throughput: %.6g tasks/s\n", res.Throughput)
 	fmt.Fprintf(out, "peak nodes in use: %d\n", res.PeakNodesInUse)
+	if cs.SimConfig.Failures.Enabled() {
+		fmt.Fprintf(out, "retries: %d (%.2f s lost, dominant phase %s)\n",
+			res.Retries, res.RetryTotalSeconds(), res.DominantRetryLabel())
+		fmt.Fprintf(out, "node failures: %d\n", res.NodeFailures)
+	}
 
 	if *showBreak {
 		bd := res.Breakdown()
@@ -130,6 +151,39 @@ func run(args []string, out io.Writer) error {
 		}
 	}
 	return nil
+}
+
+// failureModel builds the failure model from -fail-spec or the inline flags
+// (mixing the two is rejected so a file's parameters are never silently
+// overridden). Returns nil when no failure flag was given, leaving any
+// case-built-in failure model in place.
+func failureModel(specPath string, prob, mtbf, repair float64, restage string, seed uint64) (*failure.Model, error) {
+	inline := prob != 0 || mtbf != 0 || repair != 0 || restage != "" || seed != 0
+	if specPath != "" && inline {
+		return nil, fmt.Errorf("use -fail-spec or the inline -fail-* flags, not both")
+	}
+	if specPath != "" {
+		data, err := os.ReadFile(specPath)
+		if err != nil {
+			return nil, err
+		}
+		spec, err := failure.ParseSpec(data)
+		if err != nil {
+			return nil, err
+		}
+		return spec.Compile()
+	}
+	if !inline {
+		return nil, nil
+	}
+	spec := &failure.Spec{
+		TaskFailProb:      prob,
+		NodeMTBFSeconds:   mtbf,
+		NodeRepairSeconds: repair,
+		RestageRate:       restage,
+		Seed:              seed,
+	}
+	return spec.Compile()
 }
 
 // caseFromWDL wraps a workflow description into an ad-hoc case study using

@@ -132,3 +132,58 @@ func TestChromeTraceOutput(t *testing.T) {
 		t.Error("unwritable trace path should fail")
 	}
 }
+
+func TestRunFailureFlags(t *testing.T) {
+	var base strings.Builder
+	if err := run([]string{"-case", "lcls-cori"}, &base); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(base.String(), "retries:") {
+		t.Errorf("failure summary printed without failure flags:\n%s", base.String())
+	}
+
+	var sb strings.Builder
+	if err := run([]string{"-case", "lcls-cori",
+		"-fail-prob", "0.5", "-fail-restage", "1 GB/s", "-fail-seed", "12"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"makespan:", "retries:", "node failures:"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	// Deterministic per seed: same flags, same transcript.
+	var sb2 strings.Builder
+	if err := run([]string{"-case", "lcls-cori",
+		"-fail-prob", "0.5", "-fail-restage", "1 GB/s", "-fail-seed", "12"}, &sb2); err != nil {
+		t.Fatal(err)
+	}
+	if sb2.String() != out {
+		t.Errorf("same seed produced different transcripts:\n%s\nvs\n%s", out, sb2.String())
+	}
+
+	// Spec-file path.
+	specPath := filepath.Join(t.TempDir(), "fail.json")
+	if err := os.WriteFile(specPath,
+		[]byte(`{"task_fail_prob": 0.5, "seed": 12, "restage_rate": "1 GB/s"}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var sb3 strings.Builder
+	if err := run([]string{"-case", "lcls-cori", "-fail-spec", specPath}, &sb3); err != nil {
+		t.Fatal(err)
+	}
+	if sb3.String() != out {
+		t.Errorf("spec file and inline flags disagree:\n%s\nvs\n%s", out, sb3.String())
+	}
+
+	// Mixing the file with inline flags is rejected.
+	var sb4 strings.Builder
+	if err := run([]string{"-case", "lcls-cori", "-fail-spec", specPath, "-fail-prob", "0.1"}, &sb4); err == nil {
+		t.Error("mixed -fail-spec and -fail-prob accepted")
+	}
+	// Invalid inline values are rejected.
+	if err := run([]string{"-case", "lcls-cori", "-fail-prob", "2"}, &sb4); err == nil {
+		t.Error("fail-prob of 2 accepted")
+	}
+}

@@ -1,5 +1,6 @@
 // Command wfsweep runs parallel ensemble studies — Monte Carlo contention
-// trials, what-if scenario grids, and archetype shape surveys — over the
+// trials, what-if scenario grids, archetype shape surveys, and failure
+// ensembles — over the
 // sweep worker pool. A JSON spec goes in; an aligned-text, CSV, or Markdown
 // report comes out. Results are bit-identical at any worker count: per-trial
 // RNGs are seeded from (seed, trial index) and results aggregate in trial
@@ -31,6 +32,10 @@
 //	{"kind": "survey", "machine": "perlmutter", "partition": "cpu",
 //	 "widths": [4, 8, 16], "depths": [2, 3], "nodes_per_task": 2,
 //	 "work": {"flops": "5 TFLOP", "fs": "100 GB"}}
+//
+//	{"kind": "failures", "case": "lcls-cori", "trials": 200, "seed": 7,
+//	 "failure": {"task_fail_prob": 0.02, "restage_rate": "1 GB/s",
+//	             "retry": {"max_attempts": 5, "backoff_seconds": 1}}}
 package main
 
 import (
@@ -57,7 +62,7 @@ func run(ctx context.Context, args []string, stdin io.Reader, out io.Writer) err
 	specPath := fs.String("spec", "", "JSON spec file ('-' reads stdin)")
 	workers := fs.Int("workers", -1, "worker pool size (overrides the spec; 0 = GOMAXPROCS)")
 	format := fs.String("format", "table", "output format: table, csv, or markdown")
-	example := fs.String("example", "", "print a template spec (montecarlo, grid, survey) and exit")
+	example := fs.String("example", "", "print a template spec (montecarlo, grid, survey, failures) and exit")
 	fs.SetOutput(out)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -66,7 +71,7 @@ func run(ctx context.Context, args []string, stdin io.Reader, out io.Writer) err
 		return printExample(out, *example)
 	}
 	if *specPath == "" {
-		return fmt.Errorf("missing -spec (use -example montecarlo|grid|survey for a template)")
+		return fmt.Errorf("missing -spec (use -example montecarlo|grid|survey|failures for a template)")
 	}
 	var data []byte
 	var err error

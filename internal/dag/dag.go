@@ -100,6 +100,26 @@ func (g *Graph) TopoSort() ([]string, error) {
 	for id := range g.nodes {
 		indeg[id] = len(g.pred[id])
 	}
+	// Precompute each node's successors sorted by insertion order: visiting
+	// them that way keeps the sort stable, and doing it once up front makes
+	// the walk O(V + E log E) instead of rescanning every vertex per pop
+	// (which is quadratic on long chains).
+	idx := make(map[string]int, len(g.order))
+	for i, id := range g.order {
+		idx[id] = i
+	}
+	succs := make(map[string][]string, len(g.nodes))
+	for id, set := range g.succ {
+		if len(set) == 0 {
+			continue
+		}
+		out := make([]string, 0, len(set))
+		for s := range set {
+			out = append(out, s)
+		}
+		sort.Slice(out, func(i, j int) bool { return idx[out[i]] < idx[out[j]] })
+		succs[id] = out
+	}
 	var ready []string
 	for _, id := range g.order {
 		if indeg[id] == 0 {
@@ -111,11 +131,7 @@ func (g *Graph) TopoSort() ([]string, error) {
 		id := ready[0]
 		ready = ready[1:]
 		out = append(out, id)
-		// Visit successors in insertion order so the sort is stable.
-		for _, s := range g.order {
-			if !g.succ[id][s] {
-				continue
-			}
+		for _, s := range succs[id] {
 			indeg[s]--
 			if indeg[s] == 0 {
 				ready = append(ready, s)

@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"wroofline/internal/dag"
+	"wroofline/internal/failure"
 	"wroofline/internal/trace"
 )
 
@@ -31,6 +32,14 @@ type Options struct {
 	FailFast bool
 	// Recorder receives task spans; a fresh one is created when nil.
 	Recorder *trace.Recorder
+	// Retry re-runs failed task bodies under the policy (nil disables
+	// retries). Each failed attempt sleeps the policy's backoff — respecting
+	// context cancellation — before the next try; every attempt records its
+	// own span, so wasted time shows up in the trace.
+	Retry *failure.Retry
+	// RetrySeed seeds the per-task jitter streams when the retry policy uses
+	// jitter; with zero jitter the seed is unused.
+	RetrySeed uint64
 }
 
 // ErrSkipped marks tasks not run because a dependency failed (or FailFast
@@ -47,6 +56,9 @@ type Result struct {
 	Throughput float64
 	// Errors maps failed or skipped task ids to their error.
 	Errors map[string]error
+	// Attempts maps task ids to how many times their body ran (nil when no
+	// retry policy was set; skipped tasks are absent).
+	Attempts map[string]int
 	// Recorder holds per-task spans with times in seconds from run start.
 	Recorder *trace.Recorder
 }
@@ -80,6 +92,9 @@ func Run(ctx context.Context, g *dag.Graph, fns map[string]Fn, opts Options) (*R
 			return nil, fmt.Errorf("exec: function for unknown task %q", id)
 		}
 	}
+	if opts.Retry != nil && opts.Retry.MaxAttempts <= 0 {
+		return nil, fmt.Errorf("exec: retry policy needs positive max attempts, got %d", opts.Retry.MaxAttempts)
+	}
 
 	rec := opts.Recorder
 	if rec == nil {
@@ -99,13 +114,18 @@ func Run(ctx context.Context, g *dag.Graph, fns map[string]Fn, opts Options) (*R
 		errs      = make(map[string]error)
 		remaining = make(map[string]int, g.Len())
 		failedDep = make(map[string]bool)
+		attempts  map[string]int
 		wg        sync.WaitGroup
 	)
+	if opts.Retry != nil {
+		attempts = make(map[string]int, g.Len())
+	}
 	start := time.Now()
 
-	var launch func(id string)
-	finish := func(id string, err error) {
+	// settle marks a task finished and returns the successors it made ready.
+	settle := func(id string, err error) []string {
 		mu.Lock()
+		defer mu.Unlock()
 		if err != nil {
 			errs[id] = err
 			if opts.FailFast {
@@ -122,23 +142,33 @@ func Run(ctx context.Context, g *dag.Graph, fns map[string]Fn, opts Options) (*R
 				ready = append(ready, succ)
 			}
 		}
-		mu.Unlock()
-		for _, succ := range ready {
-			launch(succ)
+		return ready
+	}
+
+	// runTask executes one task body (with retries) in a fresh goroutine and
+	// drives its successors when it finishes.
+	var runTask func(id string)
+
+	// drive consumes a worklist of ready tasks. Skipped tasks are settled
+	// inline and their newly-ready successors appended, so an arbitrarily
+	// long chain of skips iterates instead of recursing (a settle->skip->
+	// settle recursion would grow the stack with the chain length).
+	drive := func(ready []string) {
+		for len(ready) > 0 {
+			id := ready[0]
+			ready = ready[1:]
+			mu.Lock()
+			skip := failedDep[id] || (opts.FailFast && runCtx.Err() != nil)
+			mu.Unlock()
+			if skip {
+				ready = append(ready, settle(id, fmt.Errorf("%w: dependency failed or run cancelled", ErrSkipped))...)
+				continue
+			}
+			runTask(id)
 		}
 	}
 
-	launch = func(id string) {
-		mu.Lock()
-		skip := failedDep[id]
-		if !skip && opts.FailFast && runCtx.Err() != nil {
-			skip = true
-		}
-		mu.Unlock()
-		if skip {
-			finish(id, fmt.Errorf("%w: dependency failed or run cancelled", ErrSkipped))
-			return
-		}
+	runTask = func(id string) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
@@ -147,17 +177,50 @@ func Run(ctx context.Context, g *dag.Graph, fns map[string]Fn, opts Options) (*R
 				case sem <- struct{}{}:
 					defer func() { <-sem }()
 				case <-runCtx.Done():
-					finish(id, fmt.Errorf("%w: %v", ErrSkipped, runCtx.Err()))
+					drive(settle(id, fmt.Errorf("%w: %v", ErrSkipped, runCtx.Err())))
 					return
 				}
 			}
-			t0 := time.Since(start).Seconds()
-			err := fns[id](runCtx)
-			t1 := time.Since(start).Seconds()
-			if recErr := rec.Record(trace.Span{Task: id, Phase: "run", Start: t0, End: t1}); recErr != nil && err == nil {
-				err = recErr
+			var jitter *failure.Stream
+			if opts.Retry != nil && opts.Retry.JitterFrac > 0 {
+				jitter = failure.TaskStream(opts.RetrySeed, id)
 			}
-			finish(id, err)
+			var err error
+			attempt := 0
+			for {
+				attempt++
+				t0 := time.Since(start).Seconds()
+				err = fns[id](runCtx)
+				t1 := time.Since(start).Seconds()
+				if recErr := rec.Record(trace.Span{Task: id, Phase: "run", Start: t0, End: t1}); recErr != nil && err == nil {
+					err = recErr
+				}
+				if err == nil || opts.Retry == nil || attempt >= opts.Retry.MaxAttempts || runCtx.Err() != nil {
+					break
+				}
+				var u float64
+				if jitter != nil {
+					u = jitter.Float64()
+				}
+				delay := time.Duration(opts.Retry.Delay(attempt, u) * float64(time.Second))
+				timer := time.NewTimer(delay)
+				select {
+				case <-timer.C:
+				case <-runCtx.Done():
+					timer.Stop()
+					// Cancelled mid-backoff: keep the last attempt's error.
+					attempt = opts.Retry.MaxAttempts
+				}
+			}
+			if opts.Retry != nil {
+				if err != nil && attempt > 1 {
+					err = fmt.Errorf("after %d attempts: %w", attempt, err)
+				}
+				mu.Lock()
+				attempts[id] = attempt
+				mu.Unlock()
+			}
+			drive(settle(id, err))
 		}()
 	}
 
@@ -169,12 +232,10 @@ func Run(ctx context.Context, g *dag.Graph, fns map[string]Fn, opts Options) (*R
 			sources = append(sources, id)
 		}
 	}
-	for _, id := range sources {
-		launch(id)
-	}
+	drive(sources)
 
-	// Wait for the whole graph: every task eventually reaches finish exactly
-	// once (run, failed, or skipped), and wg tracks the running ones.
+	// Wait for the whole graph: every task eventually settles exactly once
+	// (run, failed, or skipped), and wg tracks the running ones.
 	done := make(chan struct{})
 	go func() {
 		wg.Wait()
@@ -186,6 +247,7 @@ func Run(ctx context.Context, g *dag.Graph, fns map[string]Fn, opts Options) (*R
 	res := &Result{
 		Makespan: elapsed,
 		Errors:   errs,
+		Attempts: attempts,
 		Recorder: rec,
 	}
 	res.Completed = g.Len() - len(errs)

@@ -1,0 +1,173 @@
+package failure
+
+import (
+	"math"
+	"testing"
+)
+
+func TestParseSpecStrict(t *testing.T) {
+	spec, err := ParseSpec([]byte(`{"task_fail_prob": 0.02, "retry": {"max_attempts": 3}}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.TaskFailProb != 0.02 || spec.Retry.MaxAttempts != 3 {
+		t.Fatalf("parsed %+v", spec)
+	}
+	if _, err := ParseSpec([]byte(`{"task_fail_probability": 0.02}`)); err == nil {
+		t.Fatal("unknown field accepted")
+	}
+	if _, err := ParseSpec([]byte(`{`)); err == nil {
+		t.Fatal("truncated JSON accepted")
+	}
+}
+
+func TestCompileDefaultsAndValidation(t *testing.T) {
+	m, err := (&Spec{TaskFailProb: 0.05}).Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Retry.MaxAttempts != DefaultMaxAttempts ||
+		m.Retry.BackoffSeconds != DefaultBackoffSeconds ||
+		m.Retry.BackoffFactor != DefaultBackoffFactor ||
+		m.Retry.BackoffCapSeconds != DefaultBackoffCapSeconds {
+		t.Fatalf("defaults not applied: %+v", m.Retry)
+	}
+	if !m.Enabled() {
+		t.Fatal("5%% task failure should enable the model")
+	}
+	if m0, err := (&Spec{}).Compile(); err != nil || m0.Enabled() {
+		t.Fatalf("zero spec should compile disabled: %+v, %v", m0, err)
+	}
+	// Node failures default the repair time.
+	mn, err := (&Spec{NodeMTBFSeconds: 3600}).Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mn.NodeRepair != DefaultRepairSeconds {
+		t.Fatalf("repair default = %v", mn.NodeRepair)
+	}
+	// Restage rate parses units.
+	mr, err := (&Spec{TaskFailProb: 0.01, RestageRate: "1 GB/s"}).Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mr.RestageBytesPerSec != 1e9 {
+		t.Fatalf("restage rate = %v", mr.RestageBytesPerSec)
+	}
+
+	bad := []*Spec{
+		{TaskFailProb: -0.1},
+		{TaskFailProb: 1},
+		{TaskFailProb: math.NaN()},
+		{NodeMTBFSeconds: -1},
+		{NodeRepairSeconds: math.Inf(1)},
+		{RestageRate: "fast"},
+		{Retry: &RetrySpec{MaxAttempts: -1}},
+		{Retry: &RetrySpec{JitterFrac: 1.5}},
+		{Retry: &RetrySpec{CheckpointOverhead: 2}},
+		{Retry: &RetrySpec{BackoffFactor: math.NaN()}},
+	}
+	for i, s := range bad {
+		if _, err := s.Compile(); err == nil {
+			t.Errorf("bad spec %d compiled: %+v", i, s)
+		}
+	}
+}
+
+func TestRetryDelay(t *testing.T) {
+	r := Retry{MaxAttempts: 5, BackoffSeconds: 1, BackoffFactor: 2, BackoffCapSeconds: 60}
+	for i, want := range []float64{1, 2, 4, 8, 16, 32, 60, 60} {
+		if got := r.Delay(i+1, 0); got != want {
+			t.Errorf("Delay(%d) = %v, want %v", i+1, got, want)
+		}
+	}
+	// Jitter scales the delay into [d*(1-j), d].
+	r.JitterFrac = 0.5
+	if got := r.Delay(1, 0); got != 1 {
+		t.Errorf("jitter with u=0 should keep the full delay, got %v", got)
+	}
+	if got := r.Delay(1, 0.999999); got >= 1 || got < 0.5 {
+		t.Errorf("jitter with u~1 should approach d/2, got %v", got)
+	}
+}
+
+func TestStreamDeterminism(t *testing.T) {
+	a, b := NewStream(42), NewStream(42)
+	for i := 0; i < 100; i++ {
+		if av, bv := a.Uint64(), b.Uint64(); av != bv {
+			t.Fatalf("streams diverged at draw %d: %x vs %x", i, av, bv)
+		}
+	}
+	// Different seeds diverge immediately (overwhelmingly likely).
+	if NewStream(1).Uint64() == NewStream(2).Uint64() {
+		t.Fatal("distinct seeds produced the same first draw")
+	}
+	// Task streams depend only on (seed, id).
+	if TaskStream(7, "A").Uint64() != TaskStream(7, "A").Uint64() {
+		t.Fatal("task stream not reproducible")
+	}
+	if TaskStream(7, "A").Uint64() == TaskStream(7, "B").Uint64() {
+		t.Fatal("distinct task ids share a stream")
+	}
+	if TaskStream(7, "A").Uint64() == NodeStream(7).Uint64() {
+		t.Fatal("node stream collides with a task stream")
+	}
+}
+
+func TestStreamDistributions(t *testing.T) {
+	s := NewStream(123)
+	sum := 0.0
+	const n = 20000
+	for i := 0; i < n; i++ {
+		u := s.Float64()
+		if u < 0 || u >= 1 {
+			t.Fatalf("Float64 out of range: %v", u)
+		}
+		sum += u
+	}
+	if mean := sum / n; math.Abs(mean-0.5) > 0.01 {
+		t.Errorf("uniform mean = %v, want ~0.5", mean)
+	}
+	sum = 0
+	for i := 0; i < n; i++ {
+		v := s.Exp(10)
+		if v < 0 {
+			t.Fatalf("Exp draw negative: %v", v)
+		}
+		sum += v
+	}
+	if mean := sum / n; math.Abs(mean-10) > 0.5 {
+		t.Errorf("exponential mean = %v, want ~10", mean)
+	}
+}
+
+func TestAnalyze(t *testing.T) {
+	m, err := (&Spec{TaskFailProb: 0.1, Retry: &RetrySpec{MaxAttempts: 3}}).Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := m.Analyze(100)
+	if want := 1 - 0.001; math.Abs(a.SuccessProb-want) > 1e-12 {
+		t.Errorf("SuccessProb = %v, want %v", a.SuccessProb, want)
+	}
+	if want := (1 - 0.001) / 0.9; math.Abs(a.ExpectedAttempts-want) > 1e-12 {
+		t.Errorf("ExpectedAttempts = %v, want %v", a.ExpectedAttempts, want)
+	}
+	if a.ExpectedWorkFactor <= 1 || a.EffectiveTPS >= 100 || a.EffectiveTPS <= 0 {
+		t.Errorf("work factor %v / effective TPS %v implausible", a.ExpectedWorkFactor, a.EffectiveTPS)
+	}
+	// Checkpointing strictly reduces the work factor.
+	mc, err := (&Spec{TaskFailProb: 0.1,
+		Retry: &RetrySpec{MaxAttempts: 3, Checkpoint: true, CheckpointOverhead: 0.1}}).Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ac := mc.Analyze(100); ac.ExpectedWorkFactor >= a.ExpectedWorkFactor {
+		t.Errorf("checkpointed work factor %v not below %v", ac.ExpectedWorkFactor, a.ExpectedWorkFactor)
+	}
+	// Disabled model is the identity.
+	z, _ := (&Spec{}).Compile()
+	if az := z.Analyze(100); az.ExpectedAttempts != 1 || az.ExpectedWorkFactor != 1 || az.EffectiveTPS != 100 {
+		t.Errorf("disabled analysis = %+v", az)
+	}
+}

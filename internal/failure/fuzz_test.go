@@ -1,0 +1,32 @@
+package failure
+
+import "testing"
+
+// FuzzParse exercises the failure-spec JSON parser: it must never panic, and
+// any spec it accepts must either compile cleanly or be rejected by Compile
+// with an error (never a crash). Round-trip stability is not required —
+// Compile owns normalization — but parse-accepted specs must re-parse.
+func FuzzParse(f *testing.F) {
+	f.Add(`{"task_fail_prob": 0.02}`)
+	f.Add(`{"task_fail_prob": 0.05, "node_mtbf_seconds": 3600, "node_repair_seconds": 120}`)
+	f.Add(`{"restage_rate": "1 GB/s", "seed": 7, "retry": {"max_attempts": 3, "backoff_seconds": 0.5}}`)
+	f.Add(`{"retry": {"checkpoint": true, "checkpoint_overhead": 0.1, "jitter_frac": 0.25}}`)
+	f.Add(`{}`)
+	f.Add(`{"task_fail_prob": 1e308}`)
+	f.Fuzz(func(t *testing.T, data string) {
+		spec, err := ParseSpec([]byte(data))
+		if err != nil {
+			return
+		}
+		m, err := spec.Compile()
+		if err != nil {
+			return
+		}
+		// Compiled models must be safe to evaluate.
+		_ = m.Enabled()
+		a := m.Analyze(1)
+		if a.ExpectedAttempts < 1 || a.ExpectedWorkFactor < 1 {
+			t.Fatalf("compiled model %+v produced sub-unit expectations %+v", m, a)
+		}
+	})
+}

@@ -26,6 +26,11 @@ type Pool struct {
 	queue []request
 	// peakInUse tracks the high-water mark of allocated nodes.
 	peakInUse int
+	// down counts nodes out of service (failure models); downPending counts
+	// nodes marked for removal that are still held by running tasks — they
+	// go down as releases come in.
+	down        int
+	downPending int
 }
 
 // NewPool creates a pool of total nodes.
@@ -45,8 +50,12 @@ func (p *Pool) Total() int { return p.total }
 // Free returns the currently idle node count.
 func (p *Pool) Free() int { return p.free }
 
-// InUse returns the currently allocated node count.
-func (p *Pool) InUse() int { return p.total - p.free }
+// InUse returns the currently allocated node count (nodes pending removal
+// are still held by tasks, so they count as in use until released).
+func (p *Pool) InUse() int { return p.total - p.free - p.down }
+
+// Down returns the number of nodes currently out of service.
+func (p *Pool) Down() int { return p.down + p.downPending }
 
 // PeakInUse returns the allocation high-water mark.
 func (p *Pool) PeakInUse() int { return p.peakInUse }
@@ -73,16 +82,60 @@ func (p *Pool) Acquire(n int, granted func()) error {
 	return nil
 }
 
-// Release returns n nodes to the pool and dispatches waiters.
+// Release returns n nodes to the pool and dispatches waiters. Nodes pending
+// removal (Offline during use) go out of service instead of back to free.
 func (p *Pool) Release(n int) error {
 	if n <= 0 {
 		return fmt.Errorf("resources: pool %q: release %d nodes", p.Name, n)
 	}
-	if p.free+n > p.total {
+	if p.free+p.down+n > p.total {
 		return fmt.Errorf("resources: pool %q: release %d would exceed capacity (%d free of %d)",
 			p.Name, n, p.free, p.total)
 	}
 	p.free += n
+	if p.downPending > 0 {
+		take := min(p.downPending, p.free)
+		p.free -= take
+		p.down += take
+		p.downPending -= take
+	}
+	p.dispatch()
+	return nil
+}
+
+// Offline takes n nodes out of service, modelling node failures. Idle nodes
+// leave immediately; nodes held by running tasks are marked and leave as
+// they are released (the failure model's task-kill probability covers work
+// lost on a dying node — the pool itself only drains capacity).
+func (p *Pool) Offline(n int) error {
+	if n <= 0 {
+		return fmt.Errorf("resources: pool %q: offline %d nodes", p.Name, n)
+	}
+	if p.down+p.downPending+n > p.total {
+		return fmt.Errorf("resources: pool %q: offline %d would exceed capacity (%d already down of %d)",
+			p.Name, n, p.down+p.downPending, p.total)
+	}
+	take := min(n, p.free)
+	p.free -= take
+	p.down += take
+	p.downPending += n - take
+	return nil
+}
+
+// Online returns n previously offlined nodes to service (repair completion)
+// and dispatches waiters. Pending removals are cancelled first.
+func (p *Pool) Online(n int) error {
+	if n <= 0 {
+		return fmt.Errorf("resources: pool %q: online %d nodes", p.Name, n)
+	}
+	if n > p.down+p.downPending {
+		return fmt.Errorf("resources: pool %q: online %d but only %d are down",
+			p.Name, n, p.down+p.downPending)
+	}
+	cancel := min(n, p.downPending)
+	p.downPending -= cancel
+	p.down -= n - cancel
+	p.free += n - cancel
 	p.dispatch()
 	return nil
 }
@@ -93,7 +146,7 @@ func (p *Pool) dispatch() {
 		req := p.queue[0]
 		p.queue = p.queue[1:]
 		p.free -= req.n
-		if inUse := p.total - p.free; inUse > p.peakInUse {
+		if inUse := p.total - p.free - p.down; inUse > p.peakInUse {
 			p.peakInUse = inUse
 		}
 		req.granted()

@@ -203,3 +203,82 @@ func TestQuickPoolConservation(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+func TestPoolOfflineOnline(t *testing.T) {
+	e := engine.New()
+	p, err := NewPool(e, "gpu", 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Idle nodes go down immediately.
+	if err := p.Offline(3); err != nil {
+		t.Fatal(err)
+	}
+	if p.Free() != 7 || p.Down() != 3 || p.InUse() != 0 {
+		t.Fatalf("after offline: free=%d down=%d inuse=%d", p.Free(), p.Down(), p.InUse())
+	}
+	// A request for more than the remaining capacity waits.
+	granted := false
+	if err := p.Acquire(8, func() { granted = true }); err != nil {
+		t.Fatal(err)
+	}
+	if granted {
+		t.Fatal("grant should wait while nodes are down")
+	}
+	// Repair returns capacity and dispatches the waiter.
+	if err := p.Online(3); err != nil {
+		t.Fatal(err)
+	}
+	if !granted {
+		t.Fatal("repair should dispatch the waiting request")
+	}
+	if p.InUse() != 8 || p.Free() != 2 {
+		t.Fatalf("after grant: free=%d inuse=%d", p.Free(), p.InUse())
+	}
+}
+
+func TestPoolOfflineBusyNodesDrain(t *testing.T) {
+	e := engine.New()
+	p, err := NewPool(e, "gpu", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Acquire(4, func() {}); err != nil {
+		t.Fatal(err)
+	}
+	// All nodes busy: removal is deferred until release.
+	if err := p.Offline(2); err != nil {
+		t.Fatal(err)
+	}
+	if p.Down() != 2 || p.Free() != 0 || p.InUse() != 4 {
+		t.Fatalf("pending offline: free=%d down=%d inuse=%d", p.Free(), p.Down(), p.InUse())
+	}
+	if err := p.Release(1); err != nil {
+		t.Fatal(err)
+	}
+	if p.Free() != 0 || p.Down() != 2 || p.InUse() != 3 {
+		t.Fatalf("after first release: free=%d down=%d inuse=%d", p.Free(), p.Down(), p.InUse())
+	}
+	if err := p.Release(3); err != nil {
+		t.Fatal(err)
+	}
+	if p.Free() != 2 || p.Down() != 2 || p.InUse() != 0 {
+		t.Fatalf("after drain: free=%d down=%d inuse=%d", p.Free(), p.Down(), p.InUse())
+	}
+	// Online cancels pending removals first, then repairs down nodes.
+	if err := p.Online(2); err != nil {
+		t.Fatal(err)
+	}
+	if p.Free() != 4 || p.Down() != 0 {
+		t.Fatalf("after repair: free=%d down=%d", p.Free(), p.Down())
+	}
+	if err := p.Online(1); err == nil {
+		t.Fatal("online with nothing down should error")
+	}
+	if err := p.Offline(5); err == nil {
+		t.Fatal("offline beyond capacity should error")
+	}
+	if err := p.Offline(0); err == nil {
+		t.Fatal("offline zero should error")
+	}
+}

@@ -1,0 +1,73 @@
+package sched
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestEpsilonUnifiedAcrossBackfillAndCompletion is the regression test for
+// the mixed-epsilon bug: backfill eligibility used 1e-9 while the completion
+// drain used 1e-12, so a backfilled job whose end landed inside the gap
+// (shadow < end <= shadow+1e-9) was admitted as "ends in time" yet still
+// held its nodes when the head's shadow time arrived, delaying the head
+// past its reservation.
+func TestEpsilonUnifiedAcrossBackfillAndCompletion(t *testing.T) {
+	// 2 nodes. A (1 node) runs 0-10. H (2 nodes, head) reserves the shadow
+	// time t=10. C (1 node, duration 8.0000000005) backfills at t=2 and ends
+	// at 10.0000000005 — inside the (1e-12, 1e-9] gap past the shadow time.
+	jobs := []Job{
+		{ID: "A", Nodes: 1, Duration: 10, Submit: 0},
+		{ID: "H", Nodes: 2, Duration: 5, Submit: 1},
+		{ID: "C", Nodes: 1, Duration: 8.0000000005, Submit: 2},
+	}
+	res, err := Simulate(jobs, 2, Backfill)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := res.Placements["C"]
+	if !c.Backfilled || c.Start != 2 {
+		t.Fatalf("C placement = %+v, want backfilled at t=2", c)
+	}
+	// With one epsilon everywhere, C's nodes count as free at the shadow
+	// time it was admitted against, so H starts exactly at its reservation.
+	if h := res.Placements["H"]; h.Start != 10 {
+		t.Errorf("H start = %.12f, want exactly 10 (reservation honoured)", h.Start)
+	}
+	if res.Makespan != 15 {
+		t.Errorf("makespan = %.12f, want 15", res.Makespan)
+	}
+}
+
+// TestWaitTimeMissingPlacementErrors is the regression test for WaitTime
+// silently reading the zero-value Placement for unknown job ids: a phantom
+// start at t=0 subtracted a real submit time and dragged the average
+// negative.
+func TestWaitTimeMissingPlacementErrors(t *testing.T) {
+	jobs := []Job{
+		{ID: "a", Nodes: 2, Duration: 10, Submit: 0},
+		{ID: "b", Nodes: 2, Duration: 10, Submit: 1},
+	}
+	res, err := Simulate(jobs, 2, FIFO)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := res.WaitTime(jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// a waits 0, b waits 10-1=9.
+	if want := 4.5; w != want {
+		t.Errorf("wait time = %v, want %v", w, want)
+	}
+
+	ghost := append(jobs, Job{ID: "ghost", Nodes: 1, Duration: 1, Submit: 50})
+	if _, err := res.WaitTime(ghost); err == nil {
+		t.Fatal("missing placement did not error (old behavior: negative wait)")
+	} else if !strings.Contains(err.Error(), "ghost") {
+		t.Errorf("error %q does not name the missing job", err)
+	}
+
+	if w, err := res.WaitTime(nil); err != nil || w != 0 {
+		t.Errorf("WaitTime(nil) = %v, %v, want 0, nil", w, err)
+	}
+}

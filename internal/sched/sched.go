@@ -12,6 +12,14 @@ import (
 	"sort"
 )
 
+// timeEps is the single time-comparison tolerance for the whole scheduler:
+// completions, arrivals, and backfill-eligibility checks all use it. Two
+// different epsilons (1e-9 for backfill, 1e-12 for the event loop) once let
+// a job count as "ending by the shadow time" for backfill while its nodes
+// were not considered free at that same instant, delaying the head job's
+// reservation.
+const timeEps = 1e-9
+
 // Policy selects the queueing discipline.
 type Policy int
 
@@ -72,16 +80,23 @@ type Result struct {
 	BackfilledJobs int
 }
 
-// WaitTime returns the average queue wait (start - submit) across jobs.
-func (r *Result) WaitTime(jobs []Job) float64 {
+// WaitTime returns the average queue wait (start - submit) across jobs. A
+// job absent from the placements is an error: silently reading the zero
+// value would subtract the submit time from a phantom start at t=0 and drag
+// the average negative.
+func (r *Result) WaitTime(jobs []Job) (float64, error) {
 	if len(jobs) == 0 {
-		return 0
+		return 0, nil
 	}
 	total := 0.0
 	for _, j := range jobs {
-		total += r.Placements[j.ID].Start - j.Submit
+		p, ok := r.Placements[j.ID]
+		if !ok {
+			return 0, fmt.Errorf("sched: job %q has no placement in this result", j.ID)
+		}
+		total += p.Start - j.Submit
 	}
-	return total / float64(len(jobs))
+	return total / float64(len(jobs)), nil
 }
 
 // running is an active job in the node-availability heap.
@@ -183,7 +198,7 @@ func Simulate(jobs []Job, totalNodes int, policy Policy) (*Result, error) {
 		for i := 1; i < len(queue); {
 			cand := queue[i]
 			fitsNow := cand.Nodes <= free
-			endsInTime := now+cand.Duration <= shadow+1e-9
+			endsInTime := now+cand.Duration <= shadow+timeEps
 			withinExtra := cand.Nodes <= extra
 			if fitsNow && (endsInTime || withinExtra) {
 				start(cand, now, true)
@@ -214,12 +229,12 @@ func Simulate(jobs []Job, totalNodes int, policy Policy) (*Result, error) {
 		}
 		now = math.Min(tArrive, tFinish)
 		// Process completions at now.
-		for active.Len() > 0 && active.peekEnd() <= now+1e-12 {
+		for active.Len() > 0 && active.peekEnd() <= now+timeEps {
 			r := heap.Pop(&active).(running)
 			free += r.nodes
 		}
 		// Process arrivals at now.
-		for next < len(order) && order[next].Submit <= now+1e-12 {
+		for next < len(order) && order[next].Submit <= now+timeEps {
 			queue = append(queue, order[next])
 			next++
 		}

@@ -161,7 +161,11 @@ func TestSubmitTimesRespected(t *testing.T) {
 	if res.Placements["late"].Start != 100 {
 		t.Errorf("late start = %v, want 100 (cannot start before submit)", res.Placements["late"].Start)
 	}
-	if w := res.WaitTime(jobs); w != 0 {
+	w, err := res.WaitTime(jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w != 0 {
 		t.Errorf("wait time = %v, want 0", w)
 	}
 }

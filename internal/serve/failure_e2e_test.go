@@ -1,0 +1,164 @@
+package serve
+
+import (
+	"encoding/json"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+func TestModelFailureBlock(t *testing.T) {
+	s, ts := newTestServer(t, Config{})
+
+	// A request without a failure block keeps the pre-failure contract: no
+	// "failure" key in the response.
+	status, plain, _ := post(t, ts.URL+"/v1/model", `{"case": "lcls-cori"}`)
+	if status != http.StatusOK {
+		t.Fatalf("status = %d: %s", status, plain)
+	}
+	var plainDoc map[string]json.RawMessage
+	if err := json.Unmarshal(plain, &plainDoc); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := plainDoc["failure"]; ok {
+		t.Fatal("failure key present without a failure block")
+	}
+
+	// With a failure block, the standard fields stay in place and the
+	// analytic failure block appears.
+	status, body, _ := post(t, ts.URL+"/v1/model",
+		`{"case": "lcls-cori", "failure": {"task_fail_prob": 0.02, "retry": {"max_attempts": 3}}}`)
+	if status != http.StatusOK {
+		t.Fatalf("status = %d: %s", status, body)
+	}
+	var doc struct {
+		Title   string          `json:"title"`
+		Failure json.RawMessage `json:"failure"`
+	}
+	if err := json.Unmarshal(body, &doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc.Title == "" {
+		t.Error("analysis fields not flattened into the failure response")
+	}
+	var fa struct {
+		ExpectedAttempts   float64 `json:"expected_attempts"`
+		ExpectedWorkFactor float64 `json:"expected_work_factor"`
+		EffectiveTPS       float64 `json:"effective_tps"`
+	}
+	if err := json.Unmarshal(doc.Failure, &fa); err != nil {
+		t.Fatalf("failure block: %v in %s", err, doc.Failure)
+	}
+	if fa.ExpectedAttempts <= 1 || fa.ExpectedWorkFactor <= 1 || fa.EffectiveTPS <= 0 {
+		t.Errorf("implausible failure analysis: %+v", fa)
+	}
+
+	// Invalid failure specs are client errors.
+	status, _, _ = post(t, ts.URL+"/v1/model", `{"case": "lcls-cori", "failure": {"task_fail_prob": 2}}`)
+	if status != http.StatusBadRequest {
+		t.Errorf("invalid failure prob: status = %d", status)
+	}
+	status, _, _ = post(t, ts.URL+"/v1/model", `{"case": "lcls-cori", "failure": {"task_fail_probability": 0.1}}`)
+	if status != http.StatusBadRequest {
+		t.Errorf("unknown failure field: status = %d", status)
+	}
+	_ = s
+}
+
+// TestModelFailureParamsKeyTheCache pins cache-key correctness: requests
+// differing only in failure parameters must evaluate separately, and repeats
+// of each shape must hit the cache.
+func TestModelFailureParamsKeyTheCache(t *testing.T) {
+	s, ts := newTestServer(t, Config{})
+	bodies := []string{
+		`{"case": "lcls-cori"}`,
+		`{"case": "lcls-cori", "failure": {"task_fail_prob": 0.02}}`,
+		`{"case": "lcls-cori", "failure": {"task_fail_prob": 0.05}}`,
+		`{"case": "lcls-cori", "failure": {"task_fail_prob": 0.02, "retry": {"max_attempts": 3}}}`,
+	}
+	responses := make([]string, len(bodies))
+	for i, b := range bodies {
+		status, data, h := post(t, ts.URL+"/v1/model", b)
+		if status != http.StatusOK {
+			t.Fatalf("request %d: status %d: %s", i, status, data)
+		}
+		if h.Get("X-Cache") != "cold" {
+			t.Errorf("request %d: disposition %q, want cold", i, h.Get("X-Cache"))
+		}
+		responses[i] = string(data)
+	}
+	if got := s.Evaluations(); got != uint64(len(bodies)) {
+		t.Errorf("evaluations = %d, want %d (one per distinct failure shape)", got, len(bodies))
+	}
+	for i := range responses {
+		for j := i + 1; j < len(responses); j++ {
+			if responses[i] == responses[j] {
+				t.Errorf("requests %d and %d returned identical bytes", i, j)
+			}
+		}
+	}
+	// Identical repeats are cache hits with identical bytes.
+	for i, b := range bodies {
+		status, data, h := post(t, ts.URL+"/v1/model", b)
+		if status != http.StatusOK {
+			t.Fatalf("repeat %d: status %d", i, status)
+		}
+		if h.Get("X-Cache") != "hit" {
+			t.Errorf("repeat %d: disposition %q, want hit", i, h.Get("X-Cache"))
+		}
+		if string(data) != responses[i] {
+			t.Errorf("repeat %d: bytes differ from the cold evaluation", i)
+		}
+	}
+}
+
+func TestSweepFailuresKind(t *testing.T) {
+	s, ts := newTestServer(t, Config{})
+	spec := `{"kind": "failures", "case": "lcls-cori", "trials": 8, "seed": 7,
+		"failure": {"task_fail_prob": 0.05, "restage_rate": "1 GB/s",
+		            "retry": {"max_attempts": 5, "backoff_seconds": 1}}}`
+	status, cold, _ := post(t, ts.URL+"/v1/sweep", spec)
+	if status != http.StatusOK {
+		t.Fatalf("status = %d: %s", status, cold)
+	}
+	var resp SweepResponse
+	if err := json.Unmarshal(cold, &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Kind != "failures" || len(resp.Tables) != 4 {
+		t.Fatalf("kind = %q, tables = %d", resp.Kind, len(resp.Tables))
+	}
+	if !strings.Contains(resp.Tables[0].Title, "Failure-ensemble makespan") {
+		t.Errorf("first table = %q", resp.Tables[0].Title)
+	}
+	// Same spec with different formatting and an explicit worker count is
+	// the same content address: a cache hit with identical bytes.
+	reordered := `{"seed": 7, "workers": 3, "trials": 8, "case": "lcls-cori", "kind": "failures",
+		"failure": {"task_fail_prob": 0.05, "restage_rate": "1 GB/s",
+		            "retry": {"max_attempts": 5, "backoff_seconds": 1}}}`
+	status, hit, h := post(t, ts.URL+"/v1/sweep", reordered)
+	if status != http.StatusOK {
+		t.Fatalf("reordered: status %d", status)
+	}
+	if h.Get("X-Cache") != "hit" {
+		t.Errorf("reordered spec disposition = %q, want hit", h.Get("X-Cache"))
+	}
+	if string(hit) != string(cold) {
+		t.Error("reordered spec bytes differ")
+	}
+	// A different failure probability is a different content address.
+	bumped := strings.Replace(spec, "0.05", "0.06", 1)
+	status, other, h2 := post(t, ts.URL+"/v1/sweep", bumped)
+	if status != http.StatusOK {
+		t.Fatalf("bumped: status %d: %s", status, other)
+	}
+	if h2.Get("X-Cache") != "cold" {
+		t.Errorf("bumped spec disposition = %q, want cold", h2.Get("X-Cache"))
+	}
+	if string(other) == string(cold) {
+		t.Error("different failure probability returned identical bytes")
+	}
+	if got := s.Evaluations(); got != 2 {
+		t.Errorf("evaluations = %d, want 2", got)
+	}
+}

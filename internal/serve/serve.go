@@ -37,6 +37,7 @@ import (
 	"time"
 
 	"wroofline/internal/core"
+	"wroofline/internal/failure"
 	"wroofline/internal/figures"
 	"wroofline/internal/machine"
 	"wroofline/internal/plot"
@@ -378,6 +379,11 @@ type ModelRequest struct {
 	ExternalBW string `json:"external_bw,omitempty"`
 	// CurveSamples overrides the bound-envelope resolution.
 	CurveSamples int `json:"curve_samples,omitempty"`
+	// Failure optionally adds a failure-aware analysis: the analytic
+	// expected-attempts / work-factor / effective-TPS block computed from the
+	// model's bound at the wall. Part of the canonical bytes, so requests
+	// differing only in failure parameters get distinct cache entries.
+	Failure *failure.Spec `json:"failure,omitempty"`
 }
 
 // canonicalModelRequest strictly parses and canonicalizes a model request.
@@ -482,11 +488,30 @@ func (s *Server) evaluateModel(req *ModelRequest) (Response, error) {
 	if err != nil {
 		return Response{}, badRequest("%v", err)
 	}
-	data, err := json.Marshal(analysis)
+	// Requests without a failure block marshal the bare analysis, keeping
+	// their response bytes identical to the pre-failure contract.
+	var payload any = analysis
+	if req.Failure != nil {
+		fm, err := req.Failure.Compile()
+		if err != nil {
+			return Response{}, badRequest("failure: %v", err)
+		}
+		fa := fm.Analyze(analysis.BoundAtWallTPS)
+		payload = &modelAnalysis{Analysis: analysis, Failure: &fa}
+	}
+	data, err := json.Marshal(payload)
 	if err != nil {
 		return Response{}, err
 	}
 	return Response{Body: append(data, '\n'), ContentType: "application/json"}, nil
+}
+
+// modelAnalysis is the /v1/model response when the request carries a failure
+// block: the standard analysis fields flattened in place, plus the analytic
+// failure block.
+type modelAnalysis struct {
+	*core.Analysis
+	Failure *failure.Analysis `json:"failure"`
 }
 
 // SweepResponse is the /v1/sweep body: the study's report tables in print

@@ -1,0 +1,287 @@
+package sim
+
+import (
+	"fmt"
+	"reflect"
+	"strings"
+	"testing"
+
+	"wroofline/internal/failure"
+	"wroofline/internal/machine"
+	"wroofline/internal/workflow"
+)
+
+// compileFailure builds a model for tests, failing the test on spec errors.
+func compileFailure(t *testing.T, spec *failure.Spec) *failure.Model {
+	t.Helper()
+	m, err := spec.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// chainWorkflow builds a width-wide, depth-deep layered workflow of
+// fixed-duration tasks.
+func chainWorkflow(t *testing.T, width, depth int, secs float64) (*workflow.Workflow, map[string]Program) {
+	t.Helper()
+	w := workflow.New("layers", machine.PartCPU)
+	progs := make(map[string]Program)
+	for d := 0; d < depth; d++ {
+		for i := 0; i < width; i++ {
+			id := fmt.Sprintf("t%d_%d", d, i)
+			if err := w.AddTask(&workflow.Task{ID: id, Nodes: 1}); err != nil {
+				t.Fatal(err)
+			}
+			progs[id] = Program{{Kind: PhaseFixed, Seconds: secs, Name: "work"}}
+			if d > 0 {
+				if err := w.AddDep(fmt.Sprintf("t%d_%d", d-1, i), id); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+	}
+	return w, progs
+}
+
+func TestZeroFailureConfigIsByteIdentical(t *testing.T) {
+	// A present-but-disabled failure model must not perturb the simulation:
+	// same makespan, same spans, same result maps, no retry bookkeeping
+	// beyond the attempt counts.
+	w, progs := chainWorkflow(t, 4, 3, 10)
+	base, err := Run(w, progs, Config{Machine: machine.Perlmutter()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	disabled := compileFailure(t, &failure.Spec{}) // compiles but Enabled() == false
+	got, err := Run(w, progs, Config{Machine: machine.Perlmutter(), Failures: disabled})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Makespan != base.Makespan || got.Throughput != base.Throughput {
+		t.Errorf("disabled model drifted: makespan %v vs %v", got.Makespan, base.Makespan)
+	}
+	if !reflect.DeepEqual(got.Tasks, base.Tasks) {
+		t.Errorf("task windows drifted")
+	}
+	if !reflect.DeepEqual(got.Recorder.Spans(), base.Recorder.Spans()) {
+		t.Errorf("spans drifted")
+	}
+	if got.Retries != 0 || got.Attempts != nil || got.RetrySeconds != nil {
+		t.Errorf("disabled model left retry bookkeeping: %+v", got)
+	}
+}
+
+func TestTaskFailureRetriesAndExtendsMakespan(t *testing.T) {
+	w, progs := chainWorkflow(t, 2, 1, 10)
+	fm := compileFailure(t, &failure.Spec{
+		TaskFailProb: 0.5, Seed: 1,
+		Retry: &failure.RetrySpec{MaxAttempts: 20, BackoffSeconds: 3, BackoffFactor: 1},
+	})
+	res, err := Run(w, progs, Config{Machine: machine.Perlmutter(), Failures: fm})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := Run(w, progs, Config{Machine: machine.Perlmutter()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Retries == 0 {
+		t.Fatal("50% failure probability produced no retries")
+	}
+	if res.Makespan <= base.Makespan {
+		t.Errorf("failures should extend makespan: %v <= %v", res.Makespan, base.Makespan)
+	}
+	// Every retry pays the 3 s backoff and re-runs wasted "work" time.
+	if res.RetrySeconds["backoff"] != float64(res.Retries)*3 {
+		t.Errorf("backoff seconds = %v for %d retries", res.RetrySeconds["backoff"], res.Retries)
+	}
+	if res.RetrySeconds["work"] <= 0 {
+		t.Errorf("doomed attempts recorded no wasted work: %v", res.RetrySeconds)
+	}
+	total := 0
+	for id, n := range res.Attempts {
+		if n < 1 {
+			t.Errorf("task %s has %d attempts", id, n)
+		}
+		total += n - 1
+	}
+	if total != res.Retries {
+		t.Errorf("attempt counts (%d extra) disagree with Retries (%d)", total, res.Retries)
+	}
+	if res.DominantRetryLabel() == "none" {
+		t.Errorf("dominant retry label missing with %d retries", res.Retries)
+	}
+}
+
+func TestFailureDeterministicPerSeed(t *testing.T) {
+	w, progs := chainWorkflow(t, 3, 2, 5)
+	spec := &failure.Spec{
+		TaskFailProb: 0.3, Seed: 7, RestageRate: "1 GB/s",
+		Retry: &failure.RetrySpec{MaxAttempts: 50, JitterFrac: 0.5},
+	}
+	run1, err := Run(w, progs, Config{Machine: machine.Perlmutter(), Failures: compileFailure(t, spec)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	run2, err := Run(w, progs, Config{Machine: machine.Perlmutter(), Failures: compileFailure(t, spec)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if run1.Makespan != run2.Makespan || run1.Retries != run2.Retries {
+		t.Fatalf("same seed diverged: %v/%d vs %v/%d",
+			run1.Makespan, run1.Retries, run2.Makespan, run2.Retries)
+	}
+	if !reflect.DeepEqual(run1.Recorder.Spans(), run2.Recorder.Spans()) {
+		t.Fatal("same seed produced different span sets")
+	}
+	// A different seed draws a different fault sequence (with 6 tasks at 30%
+	// the sequences essentially cannot coincide exactly).
+	spec.Seed = 8
+	run3, err := Run(w, progs, Config{Machine: machine.Perlmutter(), Failures: compileFailure(t, spec)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if run3.Makespan == run1.Makespan && run3.Retries == run1.Retries {
+		t.Logf("warning: seeds 7 and 8 coincided (makespan %v, retries %d)", run3.Makespan, run3.Retries)
+	}
+}
+
+func TestPermanentFailureAfterMaxAttempts(t *testing.T) {
+	w, progs := chainWorkflow(t, 1, 1, 1)
+	fm := compileFailure(t, &failure.Spec{TaskFailProb: 0.999, Seed: 1,
+		Retry: &failure.RetrySpec{MaxAttempts: 3, BackoffSeconds: 0.01}})
+	_, err := Run(w, progs, Config{Machine: machine.Perlmutter(), Failures: fm})
+	if err == nil || !strings.Contains(err.Error(), "failed permanently after 3 attempts") {
+		t.Fatalf("want permanent-failure error, got %v", err)
+	}
+}
+
+func TestCheckpointReducesRetryCost(t *testing.T) {
+	// With checkpointing, retries resume from completed work, so the total
+	// wasted time is strictly below the full-rerun policy for the same
+	// fault sequence.
+	w, progs := chainWorkflow(t, 4, 2, 20)
+	spec := func(ckpt bool) *failure.Spec {
+		return &failure.Spec{
+			TaskFailProb: 0.4, Seed: 5,
+			Retry: &failure.RetrySpec{MaxAttempts: 50, BackoffSeconds: 0.001,
+				Checkpoint: ckpt, CheckpointOverhead: 0.05},
+		}
+	}
+	full, err := Run(w, progs, Config{Machine: machine.Perlmutter(), Failures: compileFailure(t, spec(false))})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ckpt, err := Run(w, progs, Config{Machine: machine.Perlmutter(), Failures: compileFailure(t, spec(true))})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same seed, same per-task streams: identical fault draws, so retry
+	// counts match and only the redone work differs.
+	if full.Retries != ckpt.Retries {
+		t.Fatalf("fault sequences diverged: %d vs %d retries", full.Retries, ckpt.Retries)
+	}
+	if full.Retries == 0 {
+		t.Fatal("fault sequence produced no retries")
+	}
+	if ckpt.Makespan >= full.Makespan {
+		t.Errorf("checkpointing should shorten the run: %v >= %v", ckpt.Makespan, full.Makespan)
+	}
+	if ckpt.RetrySeconds["work"] >= full.RetrySeconds["work"] {
+		t.Errorf("checkpointing should waste less work: %v >= %v",
+			ckpt.RetrySeconds["work"], full.RetrySeconds["work"])
+	}
+}
+
+func TestRestageCostScalesWithPayload(t *testing.T) {
+	w := workflow.New("staged", machine.PartCPU)
+	if err := w.AddTask(&workflow.Task{ID: "t", Nodes: 1}); err != nil {
+		t.Fatal(err)
+	}
+	progs := map[string]Program{"t": {
+		{Kind: PhaseExternal, Bytes: 2e9, Name: "stage"},
+		{Kind: PhaseFixed, Seconds: 1, Name: "work"},
+	}}
+	fm := compileFailure(t, &failure.Spec{TaskFailProb: 0.5, Seed: 2, RestageRate: "1 GB/s",
+		Retry: &failure.RetrySpec{MaxAttempts: 100, BackoffSeconds: 0.001}})
+	res, err := Run(w, progs, Config{Machine: machine.Perlmutter(), Failures: fm})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Retries == 0 {
+		t.Fatal("seed 2 is known to doom the first attempt of task t")
+	}
+	// Each retry re-stages the 2 GB payload at 1 GB/s.
+	want := float64(res.Retries) * 2
+	if res.RetrySeconds["restage"] != want {
+		t.Errorf("restage seconds = %v, want %v for %d retries",
+			res.RetrySeconds["restage"], want, res.Retries)
+	}
+}
+
+func TestNodeFailuresSlowTheRun(t *testing.T) {
+	// 8 single-node tasks on a tiny 2-node partition; frequent outages with
+	// slow repairs serialize the run.
+	w := workflow.New("outages", machine.PartCPU)
+	progs := make(map[string]Program)
+	for i := 0; i < 8; i++ {
+		id := fmt.Sprintf("t%d", i)
+		if err := w.AddTask(&workflow.Task{ID: id, Nodes: 1}); err != nil {
+			t.Fatal(err)
+		}
+		progs[id] = Program{{Kind: PhaseFixed, Seconds: 10, Name: "work"}}
+	}
+	cfg := Config{Machine: machine.Perlmutter(), AvailableNodes: 2}
+	base, err := Run(w, progs, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Failures = compileFailure(t, &failure.Spec{
+		NodeMTBFSeconds: 20, NodeRepairSeconds: 15, Seed: 9,
+	})
+	res, err := Run(w, progs, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NodeFailures == 0 {
+		t.Fatal("MTBF of 20 s per 2 nodes over a 40+ s run produced no outages")
+	}
+	if res.Makespan <= base.Makespan {
+		t.Errorf("outages should slow the run: %v <= %v", res.Makespan, base.Makespan)
+	}
+	if res.Retries != 0 {
+		t.Errorf("pure node outages should not retry tasks, got %d", res.Retries)
+	}
+	// Determinism under node faults too.
+	res2, err := Run(w, progs, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Makespan != res.Makespan || res2.NodeFailures != res.NodeFailures {
+		t.Errorf("node-fault runs diverged: %v/%d vs %v/%d",
+			res.Makespan, res.NodeFailures, res2.Makespan, res2.NodeFailures)
+	}
+}
+
+func TestNodeFaultsNeverWedgeWideTasks(t *testing.T) {
+	// A task needing every node must still run: the fault process caps
+	// concurrent outages at nodes - MaxTaskNodes (here zero — no outages).
+	w := workflow.New("wide", machine.PartCPU)
+	if err := w.AddTask(&workflow.Task{ID: "t", Nodes: 4}); err != nil {
+		t.Fatal(err)
+	}
+	progs := map[string]Program{"t": {{Kind: PhaseFixed, Seconds: 100, Name: "work"}}}
+	cfg := Config{Machine: machine.Perlmutter(), AvailableNodes: 4,
+		Failures: compileFailure(t, &failure.Spec{NodeMTBFSeconds: 1, NodeRepairSeconds: 1e6, Seed: 2})}
+	res, err := Run(w, progs, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Makespan != 100 {
+		t.Errorf("makespan = %v, want 100", res.Makespan)
+	}
+	if res.NodeFailures != 0 {
+		t.Errorf("outage cap violated: %d failures", res.NodeFailures)
+	}
+}

@@ -15,6 +15,7 @@ import (
 	"math"
 
 	"wroofline/internal/engine"
+	"wroofline/internal/failure"
 	"wroofline/internal/machine"
 	"wroofline/internal/resources"
 	"wroofline/internal/trace"
@@ -176,6 +177,10 @@ type Config struct {
 	FSPerFlowCap units.ByteRate
 	// MaxEvents guards against scheduling loops (default 10 million).
 	MaxEvents uint64
+	// Failures enables fault injection (task failures with retry/backoff,
+	// node MTBF outages). Nil — or a disabled model — simulates a
+	// failure-free system, bit-identical to a run without the field.
+	Failures *failure.Model
 }
 
 // TaskResult is one task's execution window.
@@ -199,6 +204,38 @@ type Result struct {
 	Recorder *trace.Recorder
 	// PeakNodesInUse is the allocation high-water mark.
 	PeakNodesInUse int
+	// Attempts maps task id to how many attempts it took (1 = no failure).
+	Attempts map[string]int
+	// Retries counts failed attempts across the run.
+	Retries int
+	// RetrySeconds sums the time lost to failures per phase label — the
+	// doomed attempts' phase time plus "restage" and "backoff" — answering
+	// "which resource did the retries hammer".
+	RetrySeconds map[string]float64
+	// NodeFailures counts node outages injected by the fault process.
+	NodeFailures int
+}
+
+// RetryTotalSeconds sums RetrySeconds across labels.
+func (r *Result) RetryTotalSeconds() float64 {
+	total := 0.0
+	for _, v := range r.RetrySeconds {
+		total += v
+	}
+	return total
+}
+
+// DominantRetryLabel returns the phase label with the most retry seconds
+// (ties broken by name), or "none" when the run had no retries — the label
+// the failure-ensemble histogram aggregates.
+func (r *Result) DominantRetryLabel() string {
+	best, bestV := "none", 0.0
+	for label, v := range r.RetrySeconds {
+		if v > bestV || (v == bestV && v > 0 && label < best) {
+			best, bestV = label, v
+		}
+	}
+	return best
 }
 
 // Breakdown returns total seconds per phase label.
@@ -219,13 +256,22 @@ type run struct {
 	result        map[string]TaskResult
 	states        map[string]*taskState
 	failure       error
+
+	// fm is the fault model (nil when disabled); faults drives node outages.
+	fm           *failure.Model
+	faults       *nodeFaults
+	retries      int
+	retrySeconds map[string]float64
 }
 
 // fail records the first error; the engine keeps draining but the run
-// reports the failure.
+// reports the failure. The node-fault process stops so the drain is finite.
 func (r *run) fail(err error) {
 	if r.failure == nil {
 		r.failure = err
+	}
+	if r.faults != nil {
+		r.faults.stop()
 	}
 }
 
@@ -278,6 +324,16 @@ func Run(wf *workflow.Workflow, programs map[string]Program, cfg Config) (*Resul
 		remainingDeps: make(map[string]int, wf.TotalTasks()),
 		result:        make(map[string]TaskResult, wf.TotalTasks()),
 		states:        make(map[string]*taskState, wf.TotalTasks()),
+	}
+	if cfg.Failures.Enabled() {
+		r.fm = cfg.Failures
+		r.retrySeconds = make(map[string]float64)
+		if r.fm.Retry.MaxAttempts <= 0 {
+			return nil, fmt.Errorf("sim: failure model needs positive max attempts, got %d", r.fm.Retry.MaxAttempts)
+		}
+		if r.fm.NodeMTBF > 0 {
+			r.faults = newNodeFaults(r, nodes, wf.MaxTaskNodes())
+		}
 	}
 
 	// Resolve programs and validate them up front.
@@ -336,6 +392,9 @@ func Run(wf *workflow.Workflow, programs map[string]Program, cfg Config) (*Resul
 	for _, t := range wf.Tasks() {
 		r.remainingDeps[t.ID] = len(g.Preds(t.ID))
 	}
+	if r.faults != nil {
+		r.faults.arm()
+	}
 	for _, t := range wf.Tasks() {
 		if r.remainingDeps[t.ID] == 0 {
 			r.submit(t.ID)
@@ -363,6 +422,17 @@ func Run(wf *workflow.Workflow, programs map[string]Program, cfg Config) (*Resul
 	if mk > 0 {
 		res.Throughput = float64(wf.TotalTasks()) / mk
 	}
+	if r.fm != nil {
+		res.Attempts = make(map[string]int, len(r.states))
+		for id, st := range r.states {
+			res.Attempts[id] = st.attempt
+		}
+		res.Retries = r.retries
+		res.RetrySeconds = r.retrySeconds
+		if r.faults != nil {
+			res.NodeFailures = r.faults.failures
+		}
+	}
 	return res, nil
 }
 
@@ -374,19 +444,101 @@ func (r *run) submit(id string) {
 		return
 	}
 	if err := r.pool.Acquire(task.Nodes, func() {
-		start := r.eng.Now()
-		r.states[id] = &taskState{}
-		r.execPhases(task, r.programs[id], 0, start)
+		r.startAttempt(task)
 	}); err != nil {
 		r.fail(err)
 	}
 }
 
 // taskState tracks a task's in-flight background phases and whether the
-// foreground chain has finished.
+// foreground chain has finished, plus the failure-model bookkeeping
+// (attempt counts, checkpoint progress, the task's fault stream). Without a
+// fault model only background/chainDone ever change.
 type taskState struct {
 	background int
 	chainDone  bool
+
+	// attempt counts attempts so far (1 on the first run).
+	attempt int
+	// remaining is the fraction of nominal work still to do (1 initially;
+	// shrinks only under checkpointed retries).
+	remaining float64
+	// doomed marks the current attempt as failing at fraction frac of its
+	// planned work, both drawn from stream at attempt start.
+	doomed bool
+	frac   float64
+	// firstStart is the first attempt's start time — the task window origin.
+	firstStart float64
+	stream     *failure.Stream
+}
+
+// startAttempt begins the next attempt of a task that holds its nodes. With
+// no fault model this is exactly the pre-failure execution path: one
+// attempt, the unmodified program.
+func (r *run) startAttempt(task *workflow.Task) {
+	start := r.eng.Now()
+	st := r.states[task.ID]
+	if st == nil {
+		st = &taskState{remaining: 1, firstStart: start}
+		r.states[task.ID] = st
+		if r.fm != nil && r.fm.TaskFailProb > 0 {
+			st.stream = failure.TaskStream(r.fm.Seed, task.ID)
+		}
+	}
+	st.attempt++
+	st.background = 0
+	st.chainDone = false
+	st.doomed = false
+	if st.stream != nil {
+		if st.stream.Float64() < r.fm.TaskFailProb {
+			st.doomed = true
+			st.frac = st.stream.Float64()
+		}
+	}
+	prog := r.programs[task.ID]
+	if r.fm != nil {
+		// planned = work this attempt would do if it succeeded: the remaining
+		// fraction, plus the checkpoint-restart overhead of re-processing
+		// completed work. A doomed attempt stops at frac of its plan.
+		planned := st.remaining
+		if r.fm.Retry.Checkpoint && st.attempt > 1 {
+			planned += r.fm.Retry.CheckpointOverhead * (1 - st.remaining)
+		}
+		factor := planned
+		if st.doomed {
+			factor *= st.frac
+		}
+		if factor != 1 {
+			prog = scaleProgram(prog, factor)
+		}
+	}
+	r.execPhases(task, prog, 0, start)
+}
+
+// scaleProgram returns a copy of the program with every phase's work scaled
+// by factor — the partial execution of a failed or checkpoint-resumed
+// attempt.
+func scaleProgram(p Program, factor float64) Program {
+	out := make(Program, len(p))
+	for i, ph := range p {
+		ph.Bytes = units.Bytes(float64(ph.Bytes) * factor)
+		ph.Flops = units.Flops(float64(ph.Flops) * factor)
+		ph.Seconds *= factor
+		out[i] = ph
+	}
+	return out
+}
+
+// stagedBytes sums the program's external and file-system payload — the
+// volume a failed task must re-stage before retrying.
+func stagedBytes(p Program) float64 {
+	total := 0.0
+	for _, ph := range p {
+		if ph.Kind == PhaseExternal || ph.Kind == PhaseFS {
+			total += float64(ph.Bytes)
+		}
+	}
+	return total
 }
 
 // execPhases runs program[idx:] for the task, then completes it once the
@@ -406,6 +558,10 @@ func (r *run) execPhases(task *workflow.Task, prog Program, idx int, taskStart f
 		}); err != nil {
 			r.fail(err)
 			return false
+		}
+		if st.doomed {
+			// The whole attempt is wasted work; charge it to the phase label.
+			r.retrySeconds[ph.label()] += r.eng.Now() - begin
 		}
 		return true
 	}
@@ -453,11 +609,69 @@ func (r *run) execPhases(task *workflow.Task, prog Program, idx int, taskStart f
 	}
 }
 
-// maybeComplete finishes the task once nothing is outstanding.
+// maybeComplete finishes the attempt once nothing is outstanding: a doomed
+// attempt re-enters the queue after restage + backoff, a clean one completes
+// the task.
 func (r *run) maybeComplete(task *workflow.Task, taskStart float64) {
 	st := r.states[task.ID]
-	if st.chainDone && st.background == 0 {
-		r.complete(task, taskStart)
+	if !st.chainDone || st.background != 0 {
+		return
+	}
+	if st.doomed {
+		r.failAttempt(task, st)
+		return
+	}
+	r.complete(task, st.firstStart)
+}
+
+// failAttempt handles a failed attempt: release the nodes, pay the
+// payload-dependent restage cost and the policy backoff, then re-enter the
+// allocation queue — or give up once attempts are exhausted.
+func (r *run) failAttempt(task *workflow.Task, st *taskState) {
+	r.retries++
+	if r.fm.Retry.Checkpoint {
+		st.remaining *= 1 - st.frac
+	}
+	if err := r.pool.Release(task.Nodes); err != nil {
+		r.fail(err)
+		return
+	}
+	if st.attempt >= r.fm.Retry.MaxAttempts {
+		r.fail(fmt.Errorf("sim: task %q failed permanently after %d attempts", task.ID, st.attempt))
+		return
+	}
+	now := r.eng.Now()
+	restage := 0.0
+	if r.fm.RestageBytesPerSec > 0 {
+		if b := stagedBytes(r.programs[task.ID]); b > 0 {
+			restage = b / r.fm.RestageBytesPerSec
+		}
+	}
+	var u float64
+	if r.fm.Retry.JitterFrac > 0 {
+		u = st.stream.Float64()
+	}
+	backoff := r.fm.Retry.Delay(st.attempt, u)
+	if restage > 0 {
+		if err := r.rec.Record(trace.Span{Task: task.ID, Phase: "restage", Start: now, End: now + restage}); err != nil {
+			r.fail(err)
+			return
+		}
+		r.retrySeconds["restage"] += restage
+	}
+	if backoff > 0 {
+		if err := r.rec.Record(trace.Span{Task: task.ID, Phase: "backoff", Start: now + restage, End: now + restage + backoff}); err != nil {
+			r.fail(err)
+			return
+		}
+		r.retrySeconds["backoff"] += backoff
+	}
+	if _, err := r.eng.Schedule(restage+backoff, func() {
+		if err := r.pool.Acquire(task.Nodes, func() { r.startAttempt(task) }); err != nil {
+			r.fail(err)
+		}
+	}); err != nil {
+		r.fail(err)
 	}
 }
 
@@ -520,10 +734,104 @@ func (r *run) complete(task *workflow.Task, taskStart float64) {
 		r.fail(err)
 		return
 	}
+	if r.faults != nil && len(r.result) == r.wf.TotalTasks() {
+		// The workflow is done; stop injecting outages so the engine drains.
+		r.faults.stop()
+	}
 	for _, succ := range r.wf.Graph().Succs(task.ID) {
 		r.remainingDeps[succ]--
 		if r.remainingDeps[succ] == 0 {
 			r.submit(succ)
 		}
 	}
+}
+
+// nodeFaults is the node-outage process: exponential interarrivals with
+// aggregate mean MTBF/nodes take one node out of service at a time;
+// repairs return it after the repair time. The process never takes the
+// pool below the widest task's requirement, so capacity loss slows the
+// workflow without wedging it.
+type nodeFaults struct {
+	r        *run
+	stream   *failure.Stream
+	mean     float64 // aggregate interarrival mean (MTBF / nominal nodes)
+	repair   float64
+	maxDown  int
+	down     int
+	failures int
+	stopped  bool
+	next     *engine.Event
+	repairs  map[*engine.Event]struct{}
+}
+
+// newNodeFaults builds the process (armed separately, before task submission).
+func newNodeFaults(r *run, nodes, maxTaskNodes int) *nodeFaults {
+	return &nodeFaults{
+		r:       r,
+		stream:  failure.NodeStream(r.fm.Seed),
+		mean:    r.fm.NodeMTBF / float64(nodes),
+		repair:  r.fm.NodeRepair,
+		maxDown: nodes - maxTaskNodes,
+		repairs: make(map[*engine.Event]struct{}),
+	}
+}
+
+// arm schedules the next outage.
+func (nf *nodeFaults) arm() {
+	if nf.stopped {
+		return
+	}
+	ev, err := nf.r.eng.Schedule(nf.stream.Exp(nf.mean), nf.fire)
+	if err != nil {
+		nf.r.fail(err)
+		return
+	}
+	nf.next = ev
+}
+
+// fire takes one node down (when the cap allows), schedules its repair, and
+// re-arms.
+func (nf *nodeFaults) fire() {
+	nf.next = nil
+	if nf.stopped {
+		return
+	}
+	if nf.down < nf.maxDown {
+		if err := nf.r.pool.Offline(1); err != nil {
+			nf.r.fail(err)
+			return
+		}
+		nf.down++
+		nf.failures++
+		var rev *engine.Event
+		rev, err := nf.r.eng.Schedule(nf.repair, func() {
+			delete(nf.repairs, rev)
+			nf.down--
+			if err := nf.r.pool.Online(1); err != nil {
+				nf.r.fail(err)
+			}
+		})
+		if err != nil {
+			nf.r.fail(err)
+			return
+		}
+		nf.repairs[rev] = struct{}{}
+	}
+	nf.arm()
+}
+
+// stop cancels every pending outage and repair so the engine can drain.
+func (nf *nodeFaults) stop() {
+	if nf.stopped {
+		return
+	}
+	nf.stopped = true
+	if nf.next != nil {
+		nf.next.Cancel()
+		nf.next = nil
+	}
+	for ev := range nf.repairs {
+		ev.Cancel()
+	}
+	nf.repairs = nil
 }

@@ -1,0 +1,128 @@
+package study
+
+import (
+	"context"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"wroofline/internal/failure"
+	"wroofline/internal/report"
+)
+
+func failuresSpec(workers int) *Spec {
+	return &Spec{
+		Kind: "failures", Case: "lcls-cori", Trials: 16, Seed: 7, Workers: workers,
+		Failure: &failure.Spec{
+			TaskFailProb: 0.05,
+			RestageRate:  "1 GB/s",
+			Retry:        &failure.RetrySpec{MaxAttempts: 5, BackoffSeconds: 1, BackoffFactor: 2},
+		},
+	}
+}
+
+// renderTables flattens a table list for byte comparison.
+func renderTables(t *testing.T, tables []*report.Table) string {
+	t.Helper()
+	data, err := json.Marshal(tables)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(data)
+}
+
+func TestFailuresStudyDeterministicAcrossWorkers(t *testing.T) {
+	one, err := Run(context.Background(), failuresSpec(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	many, err := Run(context.Background(), failuresSpec(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a, b := renderTables(t, one), renderTables(t, many); a != b {
+		t.Fatalf("worker count changed the result bytes:\n%s\nvs\n%s", a, b)
+	}
+	if len(one) != 4 {
+		t.Fatalf("failures study produced %d tables, want 4", len(one))
+	}
+	if !strings.Contains(one[0].Title, "lcls-cori") || !strings.Contains(one[0].Title, "16 trials") {
+		t.Errorf("makespan table title = %q", one[0].Title)
+	}
+}
+
+func TestFailuresStudyValidation(t *testing.T) {
+	if _, err := Run(context.Background(), &Spec{Kind: "failures", Case: "lcls-cori",
+		Failure: &failure.Spec{TaskFailProb: 0.1}}); err == nil {
+		t.Error("zero trials accepted")
+	}
+	if _, err := Run(context.Background(), &Spec{Kind: "failures", Case: "lcls-cori", Trials: 4}); err == nil {
+		t.Error("missing failure block accepted")
+	}
+	if _, err := Run(context.Background(), &Spec{Kind: "failures", Case: "no-such-case", Trials: 4,
+		Failure: &failure.Spec{TaskFailProb: 0.1}}); err == nil {
+		t.Error("unknown case accepted")
+	}
+	if _, err := Run(context.Background(), &Spec{Kind: "failures", Case: "lcls-cori", Trials: 4,
+		Failure: &failure.Spec{TaskFailProb: 2}}); err == nil {
+		t.Error("invalid failure probability accepted")
+	}
+}
+
+func TestFailuresSpecCanonicalCoversFailureParams(t *testing.T) {
+	// The content-addressed cache keys on Canonical bytes, so any failure
+	// parameter change must change them.
+	a, err := failuresSpec(0).Canonical()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := failuresSpec(0)
+	b.Failure.TaskFailProb = 0.06
+	bc, err := b.Canonical()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(a) == string(bc) {
+		t.Fatal("task_fail_prob change did not change the canonical bytes")
+	}
+	c := failuresSpec(0)
+	c.Failure.Retry.MaxAttempts = 6
+	cc, err := c.Canonical()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(a) == string(cc) {
+		t.Fatal("retry change did not change the canonical bytes")
+	}
+	// Workers is normalized away, as for every other kind.
+	w, err := failuresSpec(9).Canonical()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(a) != string(w) {
+		t.Fatal("worker count leaked into the canonical bytes")
+	}
+}
+
+func TestFailuresExampleRoundTrips(t *testing.T) {
+	ex, err := Example("failures")
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := json.Marshal(ex)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec, err := ParseSpec(data)
+	if err != nil {
+		t.Fatalf("example does not re-parse strictly: %v", err)
+	}
+	if spec.Kind != "failures" || spec.Failure == nil {
+		t.Fatalf("round-tripped example = %+v", spec)
+	}
+	// The template must actually run.
+	spec.Trials = 4
+	if _, err := Run(context.Background(), spec); err != nil {
+		t.Fatal(err)
+	}
+}

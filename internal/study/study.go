@@ -19,6 +19,7 @@ import (
 	"wroofline/internal/archetype"
 	"wroofline/internal/contention"
 	"wroofline/internal/core"
+	"wroofline/internal/failure"
 	"wroofline/internal/machine"
 	"wroofline/internal/report"
 	"wroofline/internal/sweep"
@@ -55,6 +56,12 @@ type Spec struct {
 	Resources   []ResourceAxisSpec `json:"resources,omitempty"`
 	WallFactors []float64          `json:"wall_factors,omitempty"`
 	IntraTask   []IntraTaskOptSpec `json:"intra_task,omitempty"`
+
+	// Failure configures a failure-ensemble study: Trials independent
+	// simulations of the case under the failure model, each trial re-seeded
+	// from (Seed, trial), reporting the makespan/throughput degradation
+	// distribution and where the retries landed.
+	Failure *failure.Spec `json:"failure,omitempty"`
 
 	// Machine/Partition plus the shape-grid fields configure a survey.
 	Machine      string    `json:"machine,omitempty"`
@@ -133,8 +140,10 @@ func Run(ctx context.Context, spec *Spec) ([]*report.Table, error) {
 		return runGrid(ctx, spec)
 	case "survey":
 		return runSurvey(ctx, spec)
+	case "failures":
+		return runFailures(ctx, spec)
 	default:
-		return nil, fmt.Errorf("unknown spec kind %q (want montecarlo, grid, or survey)", spec.Kind)
+		return nil, fmt.Errorf("unknown spec kind %q (want montecarlo, grid, survey, or failures)", spec.Kind)
 	}
 }
 
@@ -227,6 +236,133 @@ func runMonteCarlo(ctx context.Context, spec *Spec) ([]*report.Table, error) {
 		return nil, err
 	}
 	return []*report.Table{tbl}, nil
+}
+
+// failureTrial is one failure-ensemble outcome.
+type failureTrial struct {
+	makespan float64
+	retries  int
+	label    string
+}
+
+// runFailures simulates the case Trials times under the failure model, each
+// trial with an independent fault sequence seeded from (Seed, trial), and
+// reports the makespan/TPS degradation distribution, the retry-count
+// distribution, and the histogram of which phase the retries hammered.
+func runFailures(ctx context.Context, spec *Spec) ([]*report.Table, error) {
+	if spec.Trials <= 0 {
+		return nil, fmt.Errorf("failures spec needs positive trials, got %d", spec.Trials)
+	}
+	if spec.Failure == nil {
+		return nil, fmt.Errorf("failures spec needs a failure block")
+	}
+	// Validate the case and failure spec once up front; each trial compiles
+	// and builds fresh instances so concurrent simulations share nothing.
+	baselineCase, err := workloads.ByName(spec.Case)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := spec.Failure.Compile(); err != nil {
+		return nil, err
+	}
+	baseline, err := baselineCase.Simulate()
+	if err != nil {
+		return nil, fmt.Errorf("baseline simulation: %w", err)
+	}
+
+	trials, err := sweep.Map(ctx, spec.Trials, spec.Workers,
+		func(ctx context.Context, trial int) (failureTrial, error) {
+			cs, err := workloads.ByName(spec.Case)
+			if err != nil {
+				return failureTrial{}, err
+			}
+			fs := *spec.Failure
+			fs.Seed = sweep.TrialSeed(spec.Seed, trial)
+			fm, err := fs.Compile()
+			if err != nil {
+				return failureTrial{}, err
+			}
+			cs.SimConfig.Failures = fm
+			res, err := cs.Simulate()
+			if err != nil {
+				return failureTrial{}, err
+			}
+			return failureTrial{
+				makespan: res.Makespan,
+				retries:  res.Retries,
+				label:    res.DominantRetryLabel(),
+			}, nil
+		})
+	if err != nil {
+		return nil, err
+	}
+	makespans, err := sweep.NewAgg(spec.Trials)
+	if err != nil {
+		return nil, err
+	}
+	retries, err := sweep.NewAgg(spec.Trials)
+	if err != nil {
+		return nil, err
+	}
+	for i, tr := range trials {
+		if err := makespans.Add(i, tr.makespan, tr.label); err != nil {
+			return nil, err
+		}
+		if err := retries.Add(i, float64(tr.retries), ""); err != nil {
+			return nil, err
+		}
+	}
+	ms, err := makespans.Summary()
+	if err != nil {
+		return nil, err
+	}
+	rs, err := retries.Summary()
+	if err != nil {
+		return nil, err
+	}
+
+	mk := report.NewTable(
+		fmt.Sprintf("Failure-ensemble makespan (s): %s, %d trials, seed %d, p=%s",
+			spec.Case, spec.Trials, spec.Seed, report.Num(spec.Failure.TaskFailProb)),
+		"n", "baseline", "min", "p50", "p90", "p99", "max", "mean", "p99/p50")
+	if err := mk.AddRowf(fmt.Sprint(ms.N), baseline.Makespan,
+		ms.Min, ms.P50, ms.P90, ms.P99, ms.Max, ms.Mean, ms.TailRatio); err != nil {
+		return nil, err
+	}
+
+	baseTPS := baseline.Throughput
+	tps := report.NewTable("Throughput degradation (tasks/s)",
+		"baseline TPS", "mean TPS", "p50 TPS", "worst TPS", "mean slowdown")
+	meanTPS, p50TPS, worstTPS, slowdown := 0.0, 0.0, 0.0, 0.0
+	if ms.Mean > 0 {
+		meanTPS = baseTPS * baseline.Makespan / ms.Mean
+	}
+	if ms.P50 > 0 {
+		p50TPS = baseTPS * baseline.Makespan / ms.P50
+	}
+	if ms.Max > 0 {
+		worstTPS = baseTPS * baseline.Makespan / ms.Max
+	}
+	if baseline.Makespan > 0 {
+		slowdown = ms.Mean / baseline.Makespan
+	}
+	if err := tps.AddRowf(baseTPS, meanTPS, p50TPS, worstTPS, slowdown); err != nil {
+		return nil, err
+	}
+
+	rt := report.NewTable("Retries per run",
+		"min", "p50", "p99", "max", "mean")
+	if err := rt.AddRowf(rs.Min, rs.P50, rs.P99, rs.Max, rs.Mean); err != nil {
+		return nil, err
+	}
+
+	hist := report.NewTable("Dominant retry phase histogram", "phase", "runs")
+	for _, bin := range makespans.Hist() {
+		if err := hist.AddRowf(bin.Label, fmt.Sprint(bin.Count)); err != nil {
+			return nil, err
+		}
+	}
+	return []*report.Table{mk, tps, rt, hist}, nil
 }
 
 // runGrid evaluates the cartesian what-if space over the case's model and
@@ -398,7 +534,16 @@ func Example(kind string) (*Spec, error) {
 			Widths: []int{4, 8, 16}, Depths: []int{2, 3}, NodesPerTask: 2,
 			Work: &WorkSpec{Flops: "5 TFLOP", FS: "100 GB"},
 		}, nil
+	case "failures":
+		return &Spec{
+			Kind: "failures", Case: "lcls-cori", Trials: 200, Seed: 7,
+			Failure: &failure.Spec{
+				TaskFailProb: 0.02,
+				RestageRate:  "1 GB/s",
+				Retry:        &failure.RetrySpec{MaxAttempts: 5, BackoffSeconds: 1, BackoffFactor: 2},
+			},
+		}, nil
 	default:
-		return nil, fmt.Errorf("unknown example %q (want montecarlo, grid, or survey)", kind)
+		return nil, fmt.Errorf("unknown example %q (want montecarlo, grid, survey, or failures)", kind)
 	}
 }

@@ -125,8 +125,14 @@ func (a *Agg) Summary() (Summary, error) {
 }
 
 // quantile interpolates the p-quantile (0..100) of sorted samples, matching
-// contention.Distribution.Percentile.
+// contention.Distribution.Percentile. An empty slice yields 0 rather than a
+// panic: NewAgg rejects n<=0 so Summary never passes one, but the guard keeps
+// ad-hoc callers (e.g. failure-ensemble sub-populations that may be empty)
+// safe.
 func quantile(sorted []float64, p float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
 	if len(sorted) == 1 {
 		return sorted[0]
 	}

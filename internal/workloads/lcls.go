@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"wroofline/internal/core"
+	"wroofline/internal/failure"
 	"wroofline/internal/machine"
 	"wroofline/internal/sim"
 	"wroofline/internal/units"
@@ -189,6 +190,39 @@ func LCLSCoriBadDay() (*CaseStudy, error) {
 	cs.Programs = lclsPrograms(cs.Workflow, lclsBadAnalysisSeconds)
 	cs.SimConfig.ExternalBW = units.ByteRate(LCLSParallelTasks) * LCLSBadDayRate
 	cs.SimConfig.ExternalPerFlowCap = LCLSBadDayRate
+	return cs, nil
+}
+
+// LCLSFaultySeed and LCLSFaultyFailProb parameterize the faulty-day
+// scenario: the Fig 5a good day re-run under a 2% per-attempt task failure
+// probability — the middle of a representative 1-5% transient-failure band —
+// with failed attempts re-staging their 1 TB input at the good-day
+// per-stream rate before retrying.
+const (
+	LCLSFaultySeed     = 7
+	LCLSFaultyFailProb = 0.02
+)
+
+// LCLSCoriFaulty returns the Fig 5a good-day scenario with the failure model
+// armed: 2% task failure per attempt, full input re-stage at 1 GB/s on every
+// retry, and the default exponential-backoff retry policy. Zero-failure
+// draws leave the run byte-identical to LCLSCori.
+func LCLSCoriFaulty() (*CaseStudy, error) {
+	cs, err := LCLSCori()
+	if err != nil {
+		return nil, err
+	}
+	cs.Name = "LCLS/Cori-HSW (faulty)"
+	spec := &failure.Spec{
+		TaskFailProb: LCLSFaultyFailProb,
+		RestageRate:  "1 GB/s",
+		Seed:         LCLSFaultySeed,
+	}
+	fm, err := spec.Compile()
+	if err != nil {
+		return nil, err
+	}
+	cs.SimConfig.Failures = fm
 	return cs, nil
 }
 

@@ -235,3 +235,45 @@ func TestLCLSFasterComputeMakesNoDifference(t *testing.T) {
 		t.Errorf("advisor should warn against faster compute: %+v", recs)
 	}
 }
+
+func TestLCLSCoriFaulty(t *testing.T) {
+	cs, err := LCLSCoriFaulty()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cs.SimConfig.Failures == nil || !cs.SimConfig.Failures.Enabled() {
+		t.Fatal("faulty scenario has no armed failure model")
+	}
+	if _, err := ByName("lcls-cori-faulty"); err != nil {
+		t.Fatal(err)
+	}
+	good, err := LCLSCori()
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := good.Simulate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := cs.Simulate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The scenario is deterministic per its pinned seed: both outcomes are
+	// legal, but whichever this seed draws must be consistent.
+	if res.Retries == 0 {
+		if res.Makespan != base.Makespan {
+			t.Errorf("no retries but makespan moved: %v vs %v", res.Makespan, base.Makespan)
+		}
+	} else if res.Makespan <= base.Makespan {
+		t.Errorf("%d retries but makespan did not grow: %v vs %v", res.Retries, res.Makespan, base.Makespan)
+	}
+	res2, err := cs.Simulate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Makespan != res.Makespan || res2.Retries != res.Retries {
+		t.Errorf("faulty scenario not reproducible: %v/%d vs %v/%d",
+			res.Makespan, res.Retries, res2.Makespan, res2.Retries)
+	}
+}

@@ -17,6 +17,7 @@ type Builder func() (*CaseStudy, error)
 var registry = map[string]Builder{
 	"lcls-cori":         LCLSCori,
 	"lcls-cori-bad":     LCLSCoriBadDay,
+	"lcls-cori-faulty":  LCLSCoriFaulty,
 	"lcls-pm":           LCLSPerlmutter,
 	"lcls-pm-contended": LCLSPerlmutterContended,
 	"bgw-64":            func() (*CaseStudy, error) { return BGW(64) },

@@ -37,7 +37,7 @@ fi
 if [ "${1:-}" = "-fuzz" ]; then
     fuzztime="${FUZZTIME:-30s}"
     echo "== fuzz ($fuzztime per target) =="
-    for pkg in ./internal/wdl ./internal/sbatch ./internal/machine; do
+    for pkg in ./internal/wdl ./internal/sbatch ./internal/machine ./internal/failure; do
         if ! go test "$pkg" -fuzz=FuzzParse -fuzztime="$fuzztime"; then
             fail=1
         fi
