@@ -10,6 +10,7 @@
 //	wfserved                       # listen on :8080
 //	wfserved -addr :9000 -workers 8
 //	wfserved -cache 1024 -queue 8 -timeout 60s
+//	wfserved -pprof localhost:6060 # expose net/http/pprof on a side port
 //
 // The process drains cleanly on SIGINT/SIGTERM: in-flight requests finish
 // (up to -drain), new connections are refused.
@@ -24,6 +25,7 @@ import (
 	"log/slog"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -53,6 +55,7 @@ func run(ctx context.Context, args []string, logOut io.Writer, ready chan<- stri
 		queue   = fs.Int("queue", 4, "max concurrent evaluations")
 		timeout = fs.Duration("timeout", 30*time.Second, "per-request evaluation budget")
 		drain   = fs.Duration("drain", 15*time.Second, "shutdown drain budget for in-flight requests")
+		pprofAt = fs.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060); empty disables")
 	)
 	fs.SetOutput(logOut)
 	if err := fs.Parse(args); err != nil {
@@ -71,6 +74,29 @@ func run(ctx context.Context, args []string, logOut io.Writer, ready chan<- stri
 		Addr:              *addr,
 		Handler:           s.Handler(),
 		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	// The profiler gets its own listener and mux so /debug/pprof is never
+	// reachable through the public service address.
+	var pprofSrv *http.Server
+	if *pprofAt != "" {
+		pln, err := net.Listen("tcp", *pprofAt)
+		if err != nil {
+			return fmt.Errorf("pprof listen: %w", err)
+		}
+		mux := http.NewServeMux()
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		pprofSrv = &http.Server{Handler: mux, ReadHeaderTimeout: 10 * time.Second}
+		logger.Info("pprof listening", "addr", pln.Addr().String())
+		go func() {
+			if err := pprofSrv.Serve(pln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				logger.Error("pprof server", "err", err)
+			}
+		}()
 	}
 
 	ln, err := net.Listen("tcp", *addr)
@@ -95,6 +121,11 @@ func run(ctx context.Context, args []string, logOut io.Writer, ready chan<- stri
 	defer cancel()
 	if err := httpSrv.Shutdown(shutdownCtx); err != nil {
 		return fmt.Errorf("drain: %w", err)
+	}
+	if pprofSrv != nil {
+		if err := pprofSrv.Shutdown(shutdownCtx); err != nil {
+			logger.Warn("pprof shutdown", "err", err)
+		}
 	}
 	if err := <-errc; !errors.Is(err, http.ErrServerClosed) {
 		return err

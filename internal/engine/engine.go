@@ -7,6 +7,12 @@
 // total order over events, and callback execution is the ordering point.
 // Determinism is guaranteed by breaking time ties with a monotonically
 // increasing sequence number.
+//
+// The kernel is built for steady-state zero allocation: fired and cancelled
+// events return to a free list and are reused by later Schedule/At calls,
+// and cancellation is lazy — a cancelled event stays in the heap until it
+// is popped or until cancelled events outnumber live ones, at which point
+// the heap is compacted in one pass.
 package engine
 
 import (
@@ -16,22 +22,40 @@ import (
 )
 
 // Event is a scheduled callback. It can be cancelled until it fires.
+//
+// Events are recycled: once an event has fired (or been cancelled and
+// drained) the engine may hand the same *Event back out from a later
+// Schedule/At call. Holders must therefore drop their reference when the
+// callback runs and must not call Cancel on an event that has already
+// fired. Cancel on an already-popped event is a no-op, so the common
+// "cancel the pending completion, if any" pattern stays safe as long as the
+// callback clears the holder's pointer first.
 type Event struct {
 	time     float64
 	seq      uint64
 	index    int // heap index, -1 once removed
 	fn       func()
 	canceled bool
+	owner    *Engine
 }
 
 // Time returns the virtual time at which the event fires.
 func (e *Event) Time() float64 { return e.time }
 
-// Cancel prevents the event from firing. Cancelling an already-fired or
-// already-cancelled event is a no-op.
-func (e *Event) Cancel() { e.canceled = true }
+// Cancel prevents the event from firing. Cancelling an already-fired,
+// already-drained, or already-cancelled event is a no-op.
+func (e *Event) Cancel() {
+	if e.canceled || e.index < 0 {
+		return
+	}
+	e.canceled = true
+	if e.owner != nil {
+		e.owner.canceledLive++
+		e.owner.maybeCompact()
+	}
+}
 
-// Canceled reports whether Cancel was called.
+// Canceled reports whether Cancel was called while the event was queued.
 func (e *Event) Canceled() bool { return e.canceled }
 
 type eventHeap []*Event
@@ -63,12 +87,25 @@ func (h *eventHeap) Pop() any {
 	return e
 }
 
+// compactMin is the queue size below which lazy deletion is left alone:
+// compacting tiny heaps buys nothing and the drain loops handle the corpses.
+const compactMin = 64
+
+// maxFree bounds the event free list; beyond it, drained events are left to
+// the garbage collector. The bound only matters after a burst far above the
+// steady-state pending count.
+const maxFree = 8192
+
 // Engine is the simulation kernel. The zero value is not usable; create
 // engines with New.
 type Engine struct {
 	now    float64
 	seq    uint64
 	events eventHeap
+	// canceledLive counts cancelled events still sitting in the heap.
+	canceledLive int
+	// free is the recycled-event stack (see Event).
+	free []*Event
 	// processed counts fired events, a cheap runaway-simulation guard.
 	processed uint64
 	// MaxEvents aborts Run after this many fired events (0 = no limit).
@@ -80,15 +117,84 @@ func New() *Engine {
 	return &Engine{}
 }
 
+// Reset returns the engine to time zero with an empty queue, dropping any
+// still-queued events. The event free list and heap capacity are retained,
+// so a pooled engine's steady state allocates nothing across runs.
+func (e *Engine) Reset() {
+	for _, ev := range e.events {
+		ev.index = -1
+		e.release(ev)
+	}
+	e.events = e.events[:0]
+	e.now = 0
+	e.seq = 0
+	e.processed = 0
+	e.canceledLive = 0
+}
+
 // Now returns the current virtual time in seconds.
 func (e *Engine) Now() float64 { return e.now }
 
 // Processed returns the number of events fired so far.
 func (e *Engine) Processed() uint64 { return e.processed }
 
-// Pending returns the number of events still queued (including cancelled
-// ones not yet drained).
-func (e *Engine) Pending() int { return len(e.events) }
+// Pending returns the number of live (non-cancelled) events still queued.
+func (e *Engine) Pending() int { return len(e.events) - e.canceledLive }
+
+// alloc takes an event from the free list (or the heap's allocator) and
+// initializes it.
+func (e *Engine) alloc(t float64, fn func()) *Event {
+	var ev *Event
+	if n := len(e.free); n > 0 {
+		ev = e.free[n-1]
+		e.free[n-1] = nil
+		e.free = e.free[:n-1]
+		ev.time = t
+		ev.fn = fn
+		ev.canceled = false
+	} else {
+		ev = &Event{time: t, fn: fn}
+	}
+	ev.seq = e.seq
+	ev.owner = e
+	e.seq++
+	return ev
+}
+
+// release puts a popped event on the free list. The callback reference is
+// dropped immediately so cancelled closures do not outlive their event.
+func (e *Engine) release(ev *Event) {
+	ev.fn = nil
+	if len(e.free) < maxFree {
+		e.free = append(e.free, ev)
+	}
+}
+
+// maybeCompact rebuilds the heap without the cancelled events once they
+// outnumber the live ones, keeping Step/RunUntil drains O(live).
+func (e *Engine) maybeCompact() {
+	if len(e.events) < compactMin || e.canceledLive <= len(e.events)/2 {
+		return
+	}
+	live := e.events[:0]
+	for _, ev := range e.events {
+		if ev.canceled {
+			ev.index = -1
+			e.release(ev)
+		} else {
+			live = append(live, ev)
+		}
+	}
+	for i := len(live); i < len(e.events); i++ {
+		e.events[i] = nil
+	}
+	e.events = live
+	e.canceledLive = 0
+	for i, ev := range e.events {
+		ev.index = i
+	}
+	heap.Init(&e.events)
+}
 
 // At schedules fn to run at absolute virtual time t. Scheduling in the past
 // is an error.
@@ -102,8 +208,7 @@ func (e *Engine) At(t float64, fn func()) (*Event, error) {
 	if fn == nil {
 		return nil, fmt.Errorf("engine: nil callback")
 	}
-	ev := &Event{time: t, seq: e.seq, fn: fn}
-	e.seq++
+	ev := e.alloc(t, fn)
 	heap.Push(&e.events, ev)
 	return ev, nil
 }
@@ -125,15 +230,19 @@ func (e *Engine) Step() bool {
 	for len(e.events) > 0 {
 		ev := heap.Pop(&e.events).(*Event)
 		if ev.canceled {
+			e.canceledLive--
+			e.release(ev)
 			continue
 		}
 		if math.IsInf(ev.time, 1) {
-			// Nothing real left to simulate.
+			// Nothing real left to simulate. The placeholder is consumed
+			// but not recycled: its holder may still Cancel it later.
 			return false
 		}
 		e.now = ev.time
 		e.processed++
 		ev.fn()
+		e.release(ev)
 		return true
 	}
 	return false
@@ -159,6 +268,8 @@ func (e *Engine) RunUntil(t float64) error {
 		next := e.events[0]
 		if next.canceled {
 			heap.Pop(&e.events)
+			e.canceledLive--
+			e.release(next)
 			continue
 		}
 		if next.time > t {

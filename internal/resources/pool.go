@@ -44,6 +44,21 @@ func NewPool(eng *engine.Engine, name string, total int) (*Pool, error) {
 	return &Pool{Name: name, eng: eng, total: total, free: total}, nil
 }
 
+// Reset restores the pool to an idle state with a (possibly new) capacity,
+// for reuse across pooled simulation trials. Queue capacity is retained.
+func (p *Pool) Reset(total int) error {
+	if total <= 0 {
+		return fmt.Errorf("resources: pool %q needs positive capacity, got %d", p.Name, total)
+	}
+	p.total = total
+	p.free = total
+	p.queue = p.queue[:0]
+	p.peakInUse = 0
+	p.down = 0
+	p.downPending = 0
+	return nil
+}
+
 // Total returns the pool size.
 func (p *Pool) Total() int { return p.total }
 

@@ -1,0 +1,781 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+	"sync"
+
+	"wroofline/internal/engine"
+	"wroofline/internal/failure"
+	"wroofline/internal/machine"
+	"wroofline/internal/resources"
+	"wroofline/internal/trace"
+	"wroofline/internal/units"
+	"wroofline/internal/workflow"
+)
+
+// Plan is a workflow compiled for repeated simulation. Compile resolves and
+// validates everything that is identical across Monte Carlo trials — phase
+// programs, the dependency structure as index slices, link bandwidths, the
+// partition — so each Run only touches per-trial mutable state, drawn from
+// an internal sync.Pool of scratch runs (engine, node pool, links, and the
+// per-task state table are all reused across trials).
+//
+// A Plan is immutable after Compile and safe for concurrent Run calls from
+// multiple goroutines; each call checks out its own scratch.
+type Plan struct {
+	wf   *workflow.Workflow
+	cfg  Config
+	part *machine.Partition
+
+	nodes        int
+	maxTaskNodes int
+	total        int
+
+	tasks    []*workflow.Task // ID-sorted, same order wf.Tasks() returns
+	index    map[string]int
+	programs []Program
+	preds    []int     // dependency counts by task index
+	succs    [][]int   // successor indices, in Succs' (ID-sorted) order
+	staged   []float64 // per-task external+FS payload of the nominal program
+
+	needExternal bool
+	needFS       bool
+	externalBW   float64
+	externalCap  float64
+	fsBW         float64
+	fsCap        float64
+	maxEvents    uint64
+
+	scratch sync.Pool // of *trialRun
+}
+
+// Trial selects the per-trial variations a compiled plan supports: the knobs
+// internal/study's Monte Carlo and failure ensembles turn between trials.
+// The zero value reruns the plan exactly as compiled.
+type Trial struct {
+	// OverrideExternal replaces the plan's external bandwidth and per-flow
+	// cap for this trial (with Config.ExternalBW semantics: a zero
+	// ExternalBW falls back to the machine's external bandwidth, and a zero
+	// cap means uncapped).
+	OverrideExternal   bool
+	ExternalBW         units.ByteRate
+	ExternalPerFlowCap units.ByteRate
+	// Failures, when non-nil, replaces the compiled Config.Failures — each
+	// ensemble trial carries its own seeded model.
+	Failures *failure.Model
+}
+
+// Compile validates the workflow, programs, and configuration and returns a
+// reusable Plan. It reports the same errors Run does.
+func Compile(wf *workflow.Workflow, programs map[string]Program, cfg Config) (*Plan, error) {
+	if cfg.Machine == nil {
+		return nil, fmt.Errorf("sim: nil machine")
+	}
+	if err := wf.Validate(); err != nil {
+		return nil, err
+	}
+	part, err := cfg.Machine.Partition(wf.Partition)
+	if err != nil {
+		return nil, err
+	}
+	for id := range programs {
+		if _, err := wf.Task(id); err != nil {
+			return nil, fmt.Errorf("sim: program for unknown task %q", id)
+		}
+	}
+
+	nodes := part.Nodes
+	if cfg.AvailableNodes > 0 {
+		nodes = cfg.AvailableNodes
+	}
+	maxTaskNodes := wf.MaxTaskNodes()
+	if maxTaskNodes > nodes {
+		return nil, fmt.Errorf("sim: workflow %s needs %d nodes per task but only %d are available",
+			wf.Name, maxTaskNodes, nodes)
+	}
+
+	// Dry-construct the shared resources once so invalid parameters surface
+	// at compile time with the exact errors the per-trial construction would
+	// produce.
+	dry := engine.New()
+	if _, err := resources.NewPool(dry, part.Name, nodes); err != nil {
+		return nil, err
+	}
+
+	if cfg.Failures.Enabled() && cfg.Failures.Retry.MaxAttempts <= 0 {
+		return nil, fmt.Errorf("sim: failure model needs positive max attempts, got %d", cfg.Failures.Retry.MaxAttempts)
+	}
+
+	p := &Plan{
+		wf:           wf,
+		cfg:          cfg,
+		part:         part,
+		nodes:        nodes,
+		maxTaskNodes: maxTaskNodes,
+		total:        wf.TotalTasks(),
+	}
+
+	// Resolve programs and validate them up front.
+	p.tasks = wf.Tasks()
+	p.index = make(map[string]int, len(p.tasks))
+	for i, t := range p.tasks {
+		p.index[t.ID] = i
+	}
+	p.programs = make([]Program, len(p.tasks))
+	p.staged = make([]float64, len(p.tasks))
+	for i, t := range p.tasks {
+		prog, ok := programs[t.ID]
+		if !ok {
+			prog = DefaultProgram(t)
+		}
+		for _, ph := range prog {
+			if err := ph.validate(); err != nil {
+				return nil, fmt.Errorf("sim: task %q: %w", t.ID, err)
+			}
+			switch ph.Kind {
+			case PhaseExternal:
+				if ph.Bytes > 0 {
+					p.needExternal = true
+				}
+			case PhaseFS:
+				if ph.Bytes > 0 {
+					p.needFS = true
+				}
+			}
+		}
+		p.programs[i] = prog
+		p.staged[i] = stagedBytes(prog)
+	}
+
+	if p.needExternal {
+		ext := cfg.Machine.ExternalBW
+		if cfg.ExternalBW > 0 {
+			ext = cfg.ExternalBW
+		}
+		if ext <= 0 {
+			return nil, fmt.Errorf("sim: workflow %s stages external data but no external bandwidth is configured", wf.Name)
+		}
+		if _, err := resources.NewLink(dry, "external", float64(ext), float64(cfg.ExternalPerFlowCap)); err != nil {
+			return nil, err
+		}
+		p.externalBW = float64(ext)
+		p.externalCap = float64(cfg.ExternalPerFlowCap)
+	}
+	if p.needFS {
+		fsBW, err := cfg.Machine.FSBandwidth(wf.Partition)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := resources.NewLink(dry, "filesystem", float64(fsBW), float64(cfg.FSPerFlowCap)); err != nil {
+			return nil, err
+		}
+		p.fsBW = float64(fsBW)
+		p.fsCap = float64(cfg.FSPerFlowCap)
+	}
+
+	// Dependency structure as index slices: counts in, successors out.
+	g := wf.Graph()
+	p.preds = make([]int, len(p.tasks))
+	p.succs = make([][]int, len(p.tasks))
+	for i, t := range p.tasks {
+		p.preds[i] = len(g.Preds(t.ID))
+		if sux := g.Succs(t.ID); len(sux) > 0 {
+			idx := make([]int, len(sux))
+			for j, s := range sux {
+				idx[j] = p.index[s]
+			}
+			p.succs[i] = idx
+		}
+	}
+
+	p.maxEvents = cfg.MaxEvents
+	if p.maxEvents == 0 {
+		p.maxEvents = 10_000_000
+	}
+	n := len(p.tasks)
+	p.scratch.New = func() any {
+		return &trialRun{
+			eng:     engine.New(),
+			deps:    make([]int, n),
+			states:  make([]taskState, n),
+			results: make([]TaskResult, n),
+		}
+	}
+	return p, nil
+}
+
+// Workflow returns the compiled workflow.
+func (p *Plan) Workflow() *workflow.Workflow { return p.wf }
+
+// Run executes one trial of the compiled plan. Concurrent calls are safe;
+// per-trial state comes from the plan's scratch pool.
+func (p *Plan) Run(trial Trial) (*Result, error) {
+	fm := p.cfg.Failures
+	if trial.Failures != nil {
+		fm = trial.Failures
+	}
+	if !fm.Enabled() {
+		fm = nil
+	} else if fm.Retry.MaxAttempts <= 0 {
+		return nil, fmt.Errorf("sim: failure model needs positive max attempts, got %d", fm.Retry.MaxAttempts)
+	}
+
+	externalBW, externalCap := p.externalBW, p.externalCap
+	if trial.OverrideExternal {
+		ext := p.cfg.Machine.ExternalBW
+		if trial.ExternalBW > 0 {
+			ext = trial.ExternalBW
+		}
+		if p.needExternal && ext <= 0 {
+			return nil, fmt.Errorf("sim: workflow %s stages external data but no external bandwidth is configured", p.wf.Name)
+		}
+		externalBW = float64(ext)
+		externalCap = float64(trial.ExternalPerFlowCap)
+	}
+
+	r := p.scratch.Get().(*trialRun)
+	res, err := r.run(p, fm, externalBW, externalCap)
+	// Detach everything that escaped into the Result (or is per-trial) and
+	// return the scratch for the next trial.
+	r.rec = nil
+	r.retrySeconds = nil
+	r.fm = nil
+	r.faults = nil
+	r.failure = nil
+	p.scratch.Put(r)
+	return res, err
+}
+
+// trialRun is the mutable per-trial state: the pooled counterpart of a
+// compiled Plan. All task-keyed state is indexed by the plan's task order.
+type trialRun struct {
+	plan     *Plan
+	eng      *engine.Engine
+	pool     *resources.Pool
+	external *resources.Link // nil when the plan stages no external data
+	fs       *resources.Link // nil when the plan touches no file system
+	rec      *trace.Recorder
+
+	deps      []int
+	states    []taskState
+	results   []TaskResult
+	completed int
+	failure   error
+
+	// fm is the fault model (nil when disabled); faults drives node outages.
+	fm           *failure.Model
+	faults       *nodeFaults
+	retries      int
+	retrySeconds map[string]float64
+}
+
+// taskState tracks a task's in-flight background phases and whether the
+// foreground chain has finished, plus the failure-model bookkeeping
+// (attempt counts, checkpoint progress, the task's fault stream). Without a
+// fault model only started/background/chainDone ever change.
+type taskState struct {
+	// started distinguishes the zero value from an initialized state; the
+	// first attempt initializes on demand.
+	started    bool
+	background int
+	chainDone  bool
+
+	// attempt counts attempts so far (1 on the first run).
+	attempt int
+	// remaining is the fraction of nominal work still to do (1 initially;
+	// shrinks only under checkpointed retries).
+	remaining float64
+	// doomed marks the current attempt as failing at fraction frac of its
+	// planned work, both drawn from stream at attempt start.
+	doomed bool
+	frac   float64
+	// firstStart is the first attempt's start time — the task window origin.
+	firstStart float64
+	stream     *failure.Stream
+	// scaled is the reusable buffer scaleInto fills for partial attempts, so
+	// retries do not allocate a program copy. Attempts of one task are
+	// strictly sequential, so one buffer per task suffices.
+	scaled Program
+}
+
+// scaleInto fills the state's scaled buffer with the program's phases scaled
+// by factor — the partial execution of a failed or checkpoint-resumed
+// attempt.
+func (st *taskState) scaleInto(p Program, factor float64) Program {
+	buf := st.scaled[:0]
+	for _, ph := range p {
+		ph.Bytes = units.Bytes(float64(ph.Bytes) * factor)
+		ph.Flops = units.Flops(float64(ph.Flops) * factor)
+		ph.Seconds *= factor
+		buf = append(buf, ph)
+	}
+	st.scaled = buf
+	return buf
+}
+
+// run executes one trial on checked-out scratch.
+func (r *trialRun) run(p *Plan, fm *failure.Model, externalBW, externalCap float64) (*Result, error) {
+	r.plan = p
+	r.eng.Reset()
+	r.eng.MaxEvents = p.maxEvents
+	if r.pool == nil {
+		pool, err := resources.NewPool(r.eng, p.part.Name, p.nodes)
+		if err != nil {
+			return nil, err
+		}
+		r.pool = pool
+	} else if err := r.pool.Reset(p.nodes); err != nil {
+		return nil, err
+	}
+	if p.needExternal {
+		if r.external == nil {
+			l, err := resources.NewLink(r.eng, "external", externalBW, externalCap)
+			if err != nil {
+				return nil, err
+			}
+			r.external = l
+		} else if err := r.external.Reset(externalBW, externalCap); err != nil {
+			return nil, err
+		}
+	}
+	if p.needFS {
+		if r.fs == nil {
+			l, err := resources.NewLink(r.eng, "filesystem", p.fsBW, p.fsCap)
+			if err != nil {
+				return nil, err
+			}
+			r.fs = l
+		} else if err := r.fs.Reset(p.fsBW, p.fsCap); err != nil {
+			return nil, err
+		}
+	}
+
+	copy(r.deps, p.preds)
+	for i := range r.states {
+		r.states[i] = taskState{scaled: r.states[i].scaled[:0]}
+	}
+	r.completed = 0
+	r.failure = nil
+	r.retries = 0
+	r.rec = trace.NewRecorder()
+	r.fm = fm
+	r.faults = nil
+	r.retrySeconds = nil
+	if fm != nil {
+		r.retrySeconds = make(map[string]float64)
+		if fm.NodeMTBF > 0 {
+			r.faults = newNodeFaults(r, p.nodes, p.maxTaskNodes)
+		}
+	}
+
+	if r.faults != nil {
+		r.faults.arm()
+	}
+	for i := range p.tasks {
+		if r.deps[i] == 0 {
+			r.submit(i)
+		}
+	}
+
+	if err := r.eng.Run(); err != nil {
+		return nil, err
+	}
+	if r.failure != nil {
+		return nil, r.failure
+	}
+	if r.completed != p.total {
+		return nil, fmt.Errorf("sim: only %d of %d tasks completed (dependency deadlock?)",
+			r.completed, p.total)
+	}
+
+	mk := r.rec.Makespan()
+	res := &Result{
+		Makespan:       mk,
+		Tasks:          make(map[string]TaskResult, p.total),
+		Recorder:       r.rec,
+		PeakNodesInUse: r.pool.PeakInUse(),
+	}
+	for i, t := range p.tasks {
+		res.Tasks[t.ID] = r.results[i]
+	}
+	if mk > 0 {
+		res.Throughput = float64(p.total) / mk
+	}
+	if r.fm != nil {
+		res.Attempts = make(map[string]int, p.total)
+		for i, t := range p.tasks {
+			if r.states[i].started {
+				res.Attempts[t.ID] = r.states[i].attempt
+			}
+		}
+		res.Retries = r.retries
+		res.RetrySeconds = r.retrySeconds
+		if r.faults != nil {
+			res.NodeFailures = r.faults.failures
+		}
+	}
+	return res, nil
+}
+
+// fail records the first error; the engine keeps draining but the run
+// reports the failure. The node-fault process stops so the drain is finite.
+func (r *trialRun) fail(err error) {
+	if r.failure == nil {
+		r.failure = err
+	}
+	if r.faults != nil {
+		r.faults.stop()
+	}
+}
+
+// submit queues the task for node allocation.
+func (r *trialRun) submit(i int) {
+	task := r.plan.tasks[i]
+	if err := r.pool.Acquire(task.Nodes, func() {
+		r.startAttempt(i)
+	}); err != nil {
+		r.fail(err)
+	}
+}
+
+// startAttempt begins the next attempt of a task that holds its nodes. With
+// no fault model this is exactly the pre-failure execution path: one
+// attempt, the unmodified program.
+func (r *trialRun) startAttempt(i int) {
+	start := r.eng.Now()
+	task := r.plan.tasks[i]
+	st := &r.states[i]
+	if !st.started {
+		st.started = true
+		st.remaining = 1
+		st.firstStart = start
+		if r.fm != nil && r.fm.TaskFailProb > 0 {
+			st.stream = failure.TaskStream(r.fm.Seed, task.ID)
+		}
+	}
+	st.attempt++
+	st.background = 0
+	st.chainDone = false
+	st.doomed = false
+	if st.stream != nil {
+		if st.stream.Float64() < r.fm.TaskFailProb {
+			st.doomed = true
+			st.frac = st.stream.Float64()
+		}
+	}
+	prog := r.plan.programs[i]
+	if r.fm != nil {
+		// planned = work this attempt would do if it succeeded: the remaining
+		// fraction, plus the checkpoint-restart overhead of re-processing
+		// completed work. A doomed attempt stops at frac of its plan.
+		planned := st.remaining
+		if r.fm.Retry.Checkpoint && st.attempt > 1 {
+			planned += r.fm.Retry.CheckpointOverhead * (1 - st.remaining)
+		}
+		factor := planned
+		if st.doomed {
+			factor *= st.frac
+		}
+		if factor != 1 {
+			prog = st.scaleInto(prog, factor)
+		}
+	}
+	r.execPhases(i, prog, 0, start)
+}
+
+// execPhases runs program[idx:] for the task, then completes it once the
+// foreground chain and every background phase are done.
+func (r *trialRun) execPhases(i int, prog Program, idx int, taskStart float64) {
+	st := &r.states[i]
+	if idx >= len(prog) {
+		st.chainDone = true
+		r.maybeComplete(i, taskStart)
+		return
+	}
+	task := r.plan.tasks[i]
+	ph := prog[idx]
+	begin := r.eng.Now()
+	record := func() bool {
+		if err := r.rec.Record(trace.Span{
+			Task: task.ID, Phase: ph.label(), Start: begin, End: r.eng.Now(),
+		}); err != nil {
+			r.fail(err)
+			return false
+		}
+		if st.doomed {
+			// The whole attempt is wasted work; charge it to the phase label.
+			r.retrySeconds[ph.label()] += r.eng.Now() - begin
+		}
+		return true
+	}
+
+	var done func()
+	if ph.Background {
+		st.background++
+		done = func() {
+			if !record() {
+				return
+			}
+			st.background--
+			r.maybeComplete(i, taskStart)
+		}
+	} else {
+		done = func() {
+			if !record() {
+				return
+			}
+			r.execPhases(i, prog, idx+1, taskStart)
+		}
+	}
+
+	switch ph.Kind {
+	case PhaseExternal:
+		r.transfer(r.external, ph, done)
+	case PhaseFS:
+		r.transfer(r.fs, ph, done)
+	default:
+		d, err := r.nodePhaseSeconds(task, ph)
+		if err != nil {
+			r.fail(err)
+			break
+		}
+		if _, err := r.eng.Schedule(d, done); err != nil {
+			r.fail(err)
+		}
+	}
+	if ph.Background {
+		// The foreground chain continues immediately.
+		r.execPhases(i, prog, idx+1, taskStart)
+	}
+}
+
+// maybeComplete finishes the attempt once nothing is outstanding: a doomed
+// attempt re-enters the queue after restage + backoff, a clean one completes
+// the task.
+func (r *trialRun) maybeComplete(i int, taskStart float64) {
+	st := &r.states[i]
+	if !st.chainDone || st.background != 0 {
+		return
+	}
+	if st.doomed {
+		r.failAttempt(i, st)
+		return
+	}
+	r.complete(i, st.firstStart)
+}
+
+// failAttempt handles a failed attempt: release the nodes, pay the
+// payload-dependent restage cost and the policy backoff, then re-enter the
+// allocation queue — or give up once attempts are exhausted.
+func (r *trialRun) failAttempt(i int, st *taskState) {
+	task := r.plan.tasks[i]
+	r.retries++
+	if r.fm.Retry.Checkpoint {
+		st.remaining *= 1 - st.frac
+	}
+	if err := r.pool.Release(task.Nodes); err != nil {
+		r.fail(err)
+		return
+	}
+	if st.attempt >= r.fm.Retry.MaxAttempts {
+		r.fail(fmt.Errorf("sim: task %q failed permanently after %d attempts", task.ID, st.attempt))
+		return
+	}
+	now := r.eng.Now()
+	restage := 0.0
+	if r.fm.RestageBytesPerSec > 0 {
+		if b := r.plan.staged[i]; b > 0 {
+			restage = b / r.fm.RestageBytesPerSec
+		}
+	}
+	var u float64
+	if r.fm.Retry.JitterFrac > 0 {
+		u = st.stream.Float64()
+	}
+	backoff := r.fm.Retry.Delay(st.attempt, u)
+	if restage > 0 {
+		if err := r.rec.Record(trace.Span{Task: task.ID, Phase: "restage", Start: now, End: now + restage}); err != nil {
+			r.fail(err)
+			return
+		}
+		r.retrySeconds["restage"] += restage
+	}
+	if backoff > 0 {
+		if err := r.rec.Record(trace.Span{Task: task.ID, Phase: "backoff", Start: now + restage, End: now + restage + backoff}); err != nil {
+			r.fail(err)
+			return
+		}
+		r.retrySeconds["backoff"] += backoff
+	}
+	if _, err := r.eng.Schedule(restage+backoff, func() {
+		if err := r.pool.Acquire(task.Nodes, func() { r.startAttempt(i) }); err != nil {
+			r.fail(err)
+		}
+	}); err != nil {
+		r.fail(err)
+	}
+}
+
+// transfer moves the phase bytes over a shared link, scaled by efficiency
+// (an 0.5-efficient transfer moves bytes/0.5 effective volume).
+func (r *trialRun) transfer(link *resources.Link, ph Phase, done func()) {
+	if link == nil {
+		// Zero-byte phases on an absent link complete immediately.
+		if ph.Bytes == 0 {
+			done()
+			return
+		}
+		r.fail(fmt.Errorf("sim: phase %q needs a link that was not configured", ph.label()))
+		return
+	}
+	effective := float64(ph.Bytes) / ph.eff()
+	if err := link.Transfer(effective, func(_, _ float64) { done() }); err != nil {
+		r.fail(err)
+	}
+}
+
+// nodePhaseSeconds computes a node-local phase duration from the machine
+// peaks and the phase efficiency.
+func (r *trialRun) nodePhaseSeconds(task *workflow.Task, ph Phase) (float64, error) {
+	var peakTime float64
+	switch ph.Kind {
+	case PhaseNetwork:
+		peakTime = units.TimeToMove(ph.Bytes, r.plan.part.NodeNICBW)
+	case PhasePCIe:
+		peakTime = units.TimeToMove(ph.Bytes, r.plan.part.NodePCIeBW)
+	case PhaseMemory:
+		peakTime = units.TimeToMove(ph.Bytes, r.plan.part.NodeMemBW)
+	case PhaseCompute:
+		peakTime = units.TimeToCompute(ph.Flops, r.plan.part.NodeFlops)
+	case PhaseFixed:
+		return ph.Seconds, nil
+	default:
+		return 0, fmt.Errorf("sim: task %q: unexpected node phase kind %v", task.ID, ph.Kind)
+	}
+	if math.IsInf(peakTime, 1) {
+		return 0, fmt.Errorf("sim: task %q phase %q uses a resource with zero peak on partition %q",
+			task.ID, ph.label(), r.plan.part.Name)
+	}
+	return peakTime / ph.eff(), nil
+}
+
+// complete releases nodes, records the window, and unblocks successors.
+func (r *trialRun) complete(i int, taskStart float64) {
+	task := r.plan.tasks[i]
+	end := r.eng.Now()
+	r.results[i] = TaskResult{Start: taskStart, End: end}
+	r.completed++
+	// A task with an empty program still leaves a marker span so makespan
+	// and Gantt output include it.
+	if len(r.plan.programs[i]) == 0 {
+		if err := r.rec.Record(trace.Span{Task: task.ID, Phase: "noop", Start: taskStart, End: end}); err != nil {
+			r.fail(err)
+			return
+		}
+	}
+	if err := r.pool.Release(task.Nodes); err != nil {
+		r.fail(err)
+		return
+	}
+	if r.faults != nil && r.completed == r.plan.total {
+		// The workflow is done; stop injecting outages so the engine drains.
+		r.faults.stop()
+	}
+	for _, succ := range r.plan.succs[i] {
+		r.deps[succ]--
+		if r.deps[succ] == 0 {
+			r.submit(succ)
+		}
+	}
+}
+
+// nodeFaults is the node-outage process: exponential interarrivals with
+// aggregate mean MTBF/nodes take one node out of service at a time;
+// repairs return it after the repair time. The process never takes the
+// pool below the widest task's requirement, so capacity loss slows the
+// workflow without wedging it.
+type nodeFaults struct {
+	r        *trialRun
+	stream   *failure.Stream
+	mean     float64 // aggregate interarrival mean (MTBF / nominal nodes)
+	repair   float64
+	maxDown  int
+	down     int
+	failures int
+	stopped  bool
+	next     *engine.Event
+	repairs  map[*engine.Event]struct{}
+}
+
+// newNodeFaults builds the process (armed separately, before task submission).
+func newNodeFaults(r *trialRun, nodes, maxTaskNodes int) *nodeFaults {
+	return &nodeFaults{
+		r:       r,
+		stream:  failure.NodeStream(r.fm.Seed),
+		mean:    r.fm.NodeMTBF / float64(nodes),
+		repair:  r.fm.NodeRepair,
+		maxDown: nodes - maxTaskNodes,
+		repairs: make(map[*engine.Event]struct{}),
+	}
+}
+
+// arm schedules the next outage.
+func (nf *nodeFaults) arm() {
+	if nf.stopped {
+		return
+	}
+	ev, err := nf.r.eng.Schedule(nf.stream.Exp(nf.mean), nf.fire)
+	if err != nil {
+		nf.r.fail(err)
+		return
+	}
+	nf.next = ev
+}
+
+// fire takes one node down (when the cap allows), schedules its repair, and
+// re-arms.
+func (nf *nodeFaults) fire() {
+	nf.next = nil
+	if nf.stopped {
+		return
+	}
+	if nf.down < nf.maxDown {
+		if err := nf.r.pool.Offline(1); err != nil {
+			nf.r.fail(err)
+			return
+		}
+		nf.down++
+		nf.failures++
+		var rev *engine.Event
+		rev, err := nf.r.eng.Schedule(nf.repair, func() {
+			delete(nf.repairs, rev)
+			nf.down--
+			if err := nf.r.pool.Online(1); err != nil {
+				nf.r.fail(err)
+			}
+		})
+		if err != nil {
+			nf.r.fail(err)
+			return
+		}
+		nf.repairs[rev] = struct{}{}
+	}
+	nf.arm()
+}
+
+// stop cancels every pending outage and repair so the engine can drain.
+func (nf *nodeFaults) stop() {
+	if nf.stopped {
+		return
+	}
+	nf.stopped = true
+	if nf.next != nil {
+		nf.next.Cancel()
+		nf.next = nil
+	}
+	for ev := range nf.repairs {
+		ev.Cancel()
+	}
+	nf.repairs = nil
+}

@@ -14,10 +14,8 @@ import (
 	"fmt"
 	"math"
 
-	"wroofline/internal/engine"
 	"wroofline/internal/failure"
 	"wroofline/internal/machine"
-	"wroofline/internal/resources"
 	"wroofline/internal/trace"
 	"wroofline/internal/units"
 	"wroofline/internal/workflow"
@@ -241,292 +239,18 @@ func (r *Result) DominantRetryLabel() string {
 // Breakdown returns total seconds per phase label.
 func (r *Result) Breakdown() map[string]float64 { return r.Recorder.ByPhase() }
 
-// run holds the per-execution state.
-type run struct {
-	eng      *engine.Engine
-	pool     *resources.Pool
-	external *resources.Link // nil when unused
-	fs       *resources.Link // nil when unused
-	part     *machine.Partition
-	rec      *trace.Recorder
-	programs map[string]Program
-	wf       *workflow.Workflow
-
-	remainingDeps map[string]int
-	result        map[string]TaskResult
-	states        map[string]*taskState
-	failure       error
-
-	// fm is the fault model (nil when disabled); faults drives node outages.
-	fm           *failure.Model
-	faults       *nodeFaults
-	retries      int
-	retrySeconds map[string]float64
-}
-
-// fail records the first error; the engine keeps draining but the run
-// reports the failure. The node-fault process stops so the drain is finite.
-func (r *run) fail(err error) {
-	if r.failure == nil {
-		r.failure = err
-	}
-	if r.faults != nil {
-		r.faults.stop()
-	}
-}
-
 // Run executes the workflow and returns the result. Tasks without an entry
 // in programs run their DefaultProgram. Programs for unknown task ids are an
-// error.
+// error. Run is the one-shot path: it compiles a Plan and executes a single
+// default trial. Callers running many trials of the same workflow (Monte
+// Carlo ensembles, what-if sweeps) should Compile once and call Plan.Run per
+// trial.
 func Run(wf *workflow.Workflow, programs map[string]Program, cfg Config) (*Result, error) {
-	if cfg.Machine == nil {
-		return nil, fmt.Errorf("sim: nil machine")
-	}
-	if err := wf.Validate(); err != nil {
-		return nil, err
-	}
-	part, err := cfg.Machine.Partition(wf.Partition)
+	p, err := Compile(wf, programs, cfg)
 	if err != nil {
 		return nil, err
 	}
-	for id := range programs {
-		if _, err := wf.Task(id); err != nil {
-			return nil, fmt.Errorf("sim: program for unknown task %q", id)
-		}
-	}
-
-	nodes := part.Nodes
-	if cfg.AvailableNodes > 0 {
-		nodes = cfg.AvailableNodes
-	}
-	if req := wf.MaxTaskNodes(); req > nodes {
-		return nil, fmt.Errorf("sim: workflow %s needs %d nodes per task but only %d are available",
-			wf.Name, req, nodes)
-	}
-
-	eng := engine.New()
-	eng.MaxEvents = cfg.MaxEvents
-	if eng.MaxEvents == 0 {
-		eng.MaxEvents = 10_000_000
-	}
-	pool, err := resources.NewPool(eng, part.Name, nodes)
-	if err != nil {
-		return nil, err
-	}
-
-	r := &run{
-		eng:           eng,
-		pool:          pool,
-		part:          part,
-		rec:           trace.NewRecorder(),
-		programs:      make(map[string]Program, wf.TotalTasks()),
-		wf:            wf,
-		remainingDeps: make(map[string]int, wf.TotalTasks()),
-		result:        make(map[string]TaskResult, wf.TotalTasks()),
-		states:        make(map[string]*taskState, wf.TotalTasks()),
-	}
-	if cfg.Failures.Enabled() {
-		r.fm = cfg.Failures
-		r.retrySeconds = make(map[string]float64)
-		if r.fm.Retry.MaxAttempts <= 0 {
-			return nil, fmt.Errorf("sim: failure model needs positive max attempts, got %d", r.fm.Retry.MaxAttempts)
-		}
-		if r.fm.NodeMTBF > 0 {
-			r.faults = newNodeFaults(r, nodes, wf.MaxTaskNodes())
-		}
-	}
-
-	// Resolve programs and validate them up front.
-	needExternal, needFS := false, false
-	for _, t := range wf.Tasks() {
-		prog, ok := programs[t.ID]
-		if !ok {
-			prog = DefaultProgram(t)
-		}
-		for _, ph := range prog {
-			if err := ph.validate(); err != nil {
-				return nil, fmt.Errorf("sim: task %q: %w", t.ID, err)
-			}
-			switch ph.Kind {
-			case PhaseExternal:
-				if ph.Bytes > 0 {
-					needExternal = true
-				}
-			case PhaseFS:
-				if ph.Bytes > 0 {
-					needFS = true
-				}
-			}
-		}
-		r.programs[t.ID] = prog
-	}
-
-	if needExternal {
-		ext := cfg.Machine.ExternalBW
-		if cfg.ExternalBW > 0 {
-			ext = cfg.ExternalBW
-		}
-		if ext <= 0 {
-			return nil, fmt.Errorf("sim: workflow %s stages external data but no external bandwidth is configured", wf.Name)
-		}
-		l, err := resources.NewLink(eng, "external", float64(ext), float64(cfg.ExternalPerFlowCap))
-		if err != nil {
-			return nil, err
-		}
-		r.external = l
-	}
-	if needFS {
-		fsBW, err := cfg.Machine.FSBandwidth(wf.Partition)
-		if err != nil {
-			return nil, err
-		}
-		l, err := resources.NewLink(eng, "filesystem", float64(fsBW), float64(cfg.FSPerFlowCap))
-		if err != nil {
-			return nil, err
-		}
-		r.fs = l
-	}
-
-	// Dependency counting; sources submit immediately.
-	g := wf.Graph()
-	for _, t := range wf.Tasks() {
-		r.remainingDeps[t.ID] = len(g.Preds(t.ID))
-	}
-	if r.faults != nil {
-		r.faults.arm()
-	}
-	for _, t := range wf.Tasks() {
-		if r.remainingDeps[t.ID] == 0 {
-			r.submit(t.ID)
-		}
-	}
-
-	if err := eng.Run(); err != nil {
-		return nil, err
-	}
-	if r.failure != nil {
-		return nil, r.failure
-	}
-	if len(r.result) != wf.TotalTasks() {
-		return nil, fmt.Errorf("sim: only %d of %d tasks completed (dependency deadlock?)",
-			len(r.result), wf.TotalTasks())
-	}
-
-	mk := r.rec.Makespan()
-	res := &Result{
-		Makespan:       mk,
-		Tasks:          r.result,
-		Recorder:       r.rec,
-		PeakNodesInUse: pool.PeakInUse(),
-	}
-	if mk > 0 {
-		res.Throughput = float64(wf.TotalTasks()) / mk
-	}
-	if r.fm != nil {
-		res.Attempts = make(map[string]int, len(r.states))
-		for id, st := range r.states {
-			res.Attempts[id] = st.attempt
-		}
-		res.Retries = r.retries
-		res.RetrySeconds = r.retrySeconds
-		if r.faults != nil {
-			res.NodeFailures = r.faults.failures
-		}
-	}
-	return res, nil
-}
-
-// submit queues the task for node allocation.
-func (r *run) submit(id string) {
-	task, err := r.wf.Task(id)
-	if err != nil {
-		r.fail(err)
-		return
-	}
-	if err := r.pool.Acquire(task.Nodes, func() {
-		r.startAttempt(task)
-	}); err != nil {
-		r.fail(err)
-	}
-}
-
-// taskState tracks a task's in-flight background phases and whether the
-// foreground chain has finished, plus the failure-model bookkeeping
-// (attempt counts, checkpoint progress, the task's fault stream). Without a
-// fault model only background/chainDone ever change.
-type taskState struct {
-	background int
-	chainDone  bool
-
-	// attempt counts attempts so far (1 on the first run).
-	attempt int
-	// remaining is the fraction of nominal work still to do (1 initially;
-	// shrinks only under checkpointed retries).
-	remaining float64
-	// doomed marks the current attempt as failing at fraction frac of its
-	// planned work, both drawn from stream at attempt start.
-	doomed bool
-	frac   float64
-	// firstStart is the first attempt's start time — the task window origin.
-	firstStart float64
-	stream     *failure.Stream
-}
-
-// startAttempt begins the next attempt of a task that holds its nodes. With
-// no fault model this is exactly the pre-failure execution path: one
-// attempt, the unmodified program.
-func (r *run) startAttempt(task *workflow.Task) {
-	start := r.eng.Now()
-	st := r.states[task.ID]
-	if st == nil {
-		st = &taskState{remaining: 1, firstStart: start}
-		r.states[task.ID] = st
-		if r.fm != nil && r.fm.TaskFailProb > 0 {
-			st.stream = failure.TaskStream(r.fm.Seed, task.ID)
-		}
-	}
-	st.attempt++
-	st.background = 0
-	st.chainDone = false
-	st.doomed = false
-	if st.stream != nil {
-		if st.stream.Float64() < r.fm.TaskFailProb {
-			st.doomed = true
-			st.frac = st.stream.Float64()
-		}
-	}
-	prog := r.programs[task.ID]
-	if r.fm != nil {
-		// planned = work this attempt would do if it succeeded: the remaining
-		// fraction, plus the checkpoint-restart overhead of re-processing
-		// completed work. A doomed attempt stops at frac of its plan.
-		planned := st.remaining
-		if r.fm.Retry.Checkpoint && st.attempt > 1 {
-			planned += r.fm.Retry.CheckpointOverhead * (1 - st.remaining)
-		}
-		factor := planned
-		if st.doomed {
-			factor *= st.frac
-		}
-		if factor != 1 {
-			prog = scaleProgram(prog, factor)
-		}
-	}
-	r.execPhases(task, prog, 0, start)
-}
-
-// scaleProgram returns a copy of the program with every phase's work scaled
-// by factor — the partial execution of a failed or checkpoint-resumed
-// attempt.
-func scaleProgram(p Program, factor float64) Program {
-	out := make(Program, len(p))
-	for i, ph := range p {
-		ph.Bytes = units.Bytes(float64(ph.Bytes) * factor)
-		ph.Flops = units.Flops(float64(ph.Flops) * factor)
-		ph.Seconds *= factor
-		out[i] = ph
-	}
-	return out
+	return p.Run(Trial{})
 }
 
 // stagedBytes sums the program's external and file-system payload — the
@@ -539,299 +263,4 @@ func stagedBytes(p Program) float64 {
 		}
 	}
 	return total
-}
-
-// execPhases runs program[idx:] for the task, then completes it once the
-// foreground chain and every background phase are done.
-func (r *run) execPhases(task *workflow.Task, prog Program, idx int, taskStart float64) {
-	st := r.states[task.ID]
-	if idx >= len(prog) {
-		st.chainDone = true
-		r.maybeComplete(task, taskStart)
-		return
-	}
-	ph := prog[idx]
-	begin := r.eng.Now()
-	record := func() bool {
-		if err := r.rec.Record(trace.Span{
-			Task: task.ID, Phase: ph.label(), Start: begin, End: r.eng.Now(),
-		}); err != nil {
-			r.fail(err)
-			return false
-		}
-		if st.doomed {
-			// The whole attempt is wasted work; charge it to the phase label.
-			r.retrySeconds[ph.label()] += r.eng.Now() - begin
-		}
-		return true
-	}
-
-	var done func()
-	if ph.Background {
-		st.background++
-		done = func() {
-			if !record() {
-				return
-			}
-			st.background--
-			r.maybeComplete(task, taskStart)
-		}
-	} else {
-		done = func() {
-			if !record() {
-				return
-			}
-			r.execPhases(task, prog, idx+1, taskStart)
-		}
-	}
-
-	start := func() {
-		switch ph.Kind {
-		case PhaseExternal:
-			r.transfer(r.external, ph, done)
-		case PhaseFS:
-			r.transfer(r.fs, ph, done)
-		default:
-			d, err := r.nodePhaseSeconds(task, ph)
-			if err != nil {
-				r.fail(err)
-				return
-			}
-			if _, err := r.eng.Schedule(d, done); err != nil {
-				r.fail(err)
-			}
-		}
-	}
-	start()
-	if ph.Background {
-		// The foreground chain continues immediately.
-		r.execPhases(task, prog, idx+1, taskStart)
-	}
-}
-
-// maybeComplete finishes the attempt once nothing is outstanding: a doomed
-// attempt re-enters the queue after restage + backoff, a clean one completes
-// the task.
-func (r *run) maybeComplete(task *workflow.Task, taskStart float64) {
-	st := r.states[task.ID]
-	if !st.chainDone || st.background != 0 {
-		return
-	}
-	if st.doomed {
-		r.failAttempt(task, st)
-		return
-	}
-	r.complete(task, st.firstStart)
-}
-
-// failAttempt handles a failed attempt: release the nodes, pay the
-// payload-dependent restage cost and the policy backoff, then re-enter the
-// allocation queue — or give up once attempts are exhausted.
-func (r *run) failAttempt(task *workflow.Task, st *taskState) {
-	r.retries++
-	if r.fm.Retry.Checkpoint {
-		st.remaining *= 1 - st.frac
-	}
-	if err := r.pool.Release(task.Nodes); err != nil {
-		r.fail(err)
-		return
-	}
-	if st.attempt >= r.fm.Retry.MaxAttempts {
-		r.fail(fmt.Errorf("sim: task %q failed permanently after %d attempts", task.ID, st.attempt))
-		return
-	}
-	now := r.eng.Now()
-	restage := 0.0
-	if r.fm.RestageBytesPerSec > 0 {
-		if b := stagedBytes(r.programs[task.ID]); b > 0 {
-			restage = b / r.fm.RestageBytesPerSec
-		}
-	}
-	var u float64
-	if r.fm.Retry.JitterFrac > 0 {
-		u = st.stream.Float64()
-	}
-	backoff := r.fm.Retry.Delay(st.attempt, u)
-	if restage > 0 {
-		if err := r.rec.Record(trace.Span{Task: task.ID, Phase: "restage", Start: now, End: now + restage}); err != nil {
-			r.fail(err)
-			return
-		}
-		r.retrySeconds["restage"] += restage
-	}
-	if backoff > 0 {
-		if err := r.rec.Record(trace.Span{Task: task.ID, Phase: "backoff", Start: now + restage, End: now + restage + backoff}); err != nil {
-			r.fail(err)
-			return
-		}
-		r.retrySeconds["backoff"] += backoff
-	}
-	if _, err := r.eng.Schedule(restage+backoff, func() {
-		if err := r.pool.Acquire(task.Nodes, func() { r.startAttempt(task) }); err != nil {
-			r.fail(err)
-		}
-	}); err != nil {
-		r.fail(err)
-	}
-}
-
-// transfer moves the phase bytes over a shared link, scaled by efficiency
-// (an 0.5-efficient transfer moves bytes/0.5 effective volume).
-func (r *run) transfer(link *resources.Link, ph Phase, done func()) {
-	if link == nil {
-		// Zero-byte phases on an absent link complete immediately.
-		if ph.Bytes == 0 {
-			done()
-			return
-		}
-		r.fail(fmt.Errorf("sim: phase %q needs a link that was not configured", ph.label()))
-		return
-	}
-	effective := float64(ph.Bytes) / ph.eff()
-	if err := link.Transfer(effective, func(_, _ float64) { done() }); err != nil {
-		r.fail(err)
-	}
-}
-
-// nodePhaseSeconds computes a node-local phase duration from the machine
-// peaks and the phase efficiency.
-func (r *run) nodePhaseSeconds(task *workflow.Task, ph Phase) (float64, error) {
-	var peakTime float64
-	switch ph.Kind {
-	case PhaseNetwork:
-		peakTime = units.TimeToMove(ph.Bytes, r.part.NodeNICBW)
-	case PhasePCIe:
-		peakTime = units.TimeToMove(ph.Bytes, r.part.NodePCIeBW)
-	case PhaseMemory:
-		peakTime = units.TimeToMove(ph.Bytes, r.part.NodeMemBW)
-	case PhaseCompute:
-		peakTime = units.TimeToCompute(ph.Flops, r.part.NodeFlops)
-	case PhaseFixed:
-		return ph.Seconds, nil
-	default:
-		return 0, fmt.Errorf("sim: task %q: unexpected node phase kind %v", task.ID, ph.Kind)
-	}
-	if math.IsInf(peakTime, 1) {
-		return 0, fmt.Errorf("sim: task %q phase %q uses a resource with zero peak on partition %q",
-			task.ID, ph.label(), r.part.Name)
-	}
-	return peakTime / ph.eff(), nil
-}
-
-// complete releases nodes, records the window, and unblocks successors.
-func (r *run) complete(task *workflow.Task, taskStart float64) {
-	end := r.eng.Now()
-	r.result[task.ID] = TaskResult{Start: taskStart, End: end}
-	// A task with an empty program still leaves a marker span so makespan
-	// and Gantt output include it.
-	if len(r.programs[task.ID]) == 0 {
-		if err := r.rec.Record(trace.Span{Task: task.ID, Phase: "noop", Start: taskStart, End: end}); err != nil {
-			r.fail(err)
-			return
-		}
-	}
-	if err := r.pool.Release(task.Nodes); err != nil {
-		r.fail(err)
-		return
-	}
-	if r.faults != nil && len(r.result) == r.wf.TotalTasks() {
-		// The workflow is done; stop injecting outages so the engine drains.
-		r.faults.stop()
-	}
-	for _, succ := range r.wf.Graph().Succs(task.ID) {
-		r.remainingDeps[succ]--
-		if r.remainingDeps[succ] == 0 {
-			r.submit(succ)
-		}
-	}
-}
-
-// nodeFaults is the node-outage process: exponential interarrivals with
-// aggregate mean MTBF/nodes take one node out of service at a time;
-// repairs return it after the repair time. The process never takes the
-// pool below the widest task's requirement, so capacity loss slows the
-// workflow without wedging it.
-type nodeFaults struct {
-	r        *run
-	stream   *failure.Stream
-	mean     float64 // aggregate interarrival mean (MTBF / nominal nodes)
-	repair   float64
-	maxDown  int
-	down     int
-	failures int
-	stopped  bool
-	next     *engine.Event
-	repairs  map[*engine.Event]struct{}
-}
-
-// newNodeFaults builds the process (armed separately, before task submission).
-func newNodeFaults(r *run, nodes, maxTaskNodes int) *nodeFaults {
-	return &nodeFaults{
-		r:       r,
-		stream:  failure.NodeStream(r.fm.Seed),
-		mean:    r.fm.NodeMTBF / float64(nodes),
-		repair:  r.fm.NodeRepair,
-		maxDown: nodes - maxTaskNodes,
-		repairs: make(map[*engine.Event]struct{}),
-	}
-}
-
-// arm schedules the next outage.
-func (nf *nodeFaults) arm() {
-	if nf.stopped {
-		return
-	}
-	ev, err := nf.r.eng.Schedule(nf.stream.Exp(nf.mean), nf.fire)
-	if err != nil {
-		nf.r.fail(err)
-		return
-	}
-	nf.next = ev
-}
-
-// fire takes one node down (when the cap allows), schedules its repair, and
-// re-arms.
-func (nf *nodeFaults) fire() {
-	nf.next = nil
-	if nf.stopped {
-		return
-	}
-	if nf.down < nf.maxDown {
-		if err := nf.r.pool.Offline(1); err != nil {
-			nf.r.fail(err)
-			return
-		}
-		nf.down++
-		nf.failures++
-		var rev *engine.Event
-		rev, err := nf.r.eng.Schedule(nf.repair, func() {
-			delete(nf.repairs, rev)
-			nf.down--
-			if err := nf.r.pool.Online(1); err != nil {
-				nf.r.fail(err)
-			}
-		})
-		if err != nil {
-			nf.r.fail(err)
-			return
-		}
-		nf.repairs[rev] = struct{}{}
-	}
-	nf.arm()
-}
-
-// stop cancels every pending outage and repair so the engine can drain.
-func (nf *nodeFaults) stop() {
-	if nf.stopped {
-		return
-	}
-	nf.stopped = true
-	if nf.next != nil {
-		nf.next.Cancel()
-		nf.next = nil
-	}
-	for ev := range nf.repairs {
-		ev.Cancel()
-	}
-	nf.repairs = nil
 }

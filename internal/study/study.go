@@ -22,6 +22,7 @@ import (
 	"wroofline/internal/failure"
 	"wroofline/internal/machine"
 	"wroofline/internal/report"
+	"wroofline/internal/sim"
 	"wroofline/internal/sweep"
 	"wroofline/internal/units"
 	"wroofline/internal/whatif"
@@ -183,9 +184,14 @@ func runMonteCarlo(ctx context.Context, spec *Spec) ([]*report.Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	// Validate the case once up front; each trial builds a fresh instance so
-	// concurrent simulations never share mutable state.
-	if _, err := workloads.ByName(spec.Case); err != nil {
+	// Compile the case once; every trial shares the immutable plan and only
+	// varies the external path. Plan.Run is safe for concurrent trials.
+	cs, err := workloads.ByName(spec.Case)
+	if err != nil {
+		return nil, err
+	}
+	plan, err := cs.Compile()
+	if err != nil {
 		return nil, err
 	}
 	streams := spec.Streams
@@ -194,17 +200,14 @@ func runMonteCarlo(ctx context.Context, spec *Spec) ([]*report.Table, error) {
 	}
 	d, err := contention.MonteCarloEnsemble(ctx, spec.Trials, spec.Seed, spec.Workers, s,
 		func(rate units.ByteRate) (float64, error) {
-			cs, err := workloads.ByName(spec.Case)
-			if err != nil {
-				return 0, err
+			trial := sim.Trial{
+				OverrideExternal: true,
+				ExternalBW:       units.ByteRate(streams) * rate,
 			}
-			cs.SimConfig.ExternalBW = units.ByteRate(streams) * rate
 			if streams > 1 {
-				cs.SimConfig.ExternalPerFlowCap = rate
-			} else {
-				cs.SimConfig.ExternalPerFlowCap = 0
+				trial.ExternalPerFlowCap = rate
 			}
-			res, err := cs.Simulate()
+			res, err := plan.Run(trial)
 			if err != nil {
 				return 0, err
 			}
@@ -256,34 +259,33 @@ func runFailures(ctx context.Context, spec *Spec) ([]*report.Table, error) {
 	if spec.Failure == nil {
 		return nil, fmt.Errorf("failures spec needs a failure block")
 	}
-	// Validate the case and failure spec once up front; each trial compiles
-	// and builds fresh instances so concurrent simulations share nothing.
+	// Compile the case and validate the failure spec once up front; every
+	// trial shares the immutable plan and carries its own seeded fault model.
 	baselineCase, err := workloads.ByName(spec.Case)
+	if err != nil {
+		return nil, err
+	}
+	plan, err := baselineCase.Compile()
 	if err != nil {
 		return nil, err
 	}
 	if _, err := spec.Failure.Compile(); err != nil {
 		return nil, err
 	}
-	baseline, err := baselineCase.Simulate()
+	baseline, err := plan.Run(sim.Trial{})
 	if err != nil {
 		return nil, fmt.Errorf("baseline simulation: %w", err)
 	}
 
 	trials, err := sweep.Map(ctx, spec.Trials, spec.Workers,
 		func(ctx context.Context, trial int) (failureTrial, error) {
-			cs, err := workloads.ByName(spec.Case)
-			if err != nil {
-				return failureTrial{}, err
-			}
 			fs := *spec.Failure
 			fs.Seed = sweep.TrialSeed(spec.Seed, trial)
 			fm, err := fs.Compile()
 			if err != nil {
 				return failureTrial{}, err
 			}
-			cs.SimConfig.Failures = fm
-			res, err := cs.Simulate()
+			res, err := plan.Run(sim.Trial{Failures: fm})
 			if err != nil {
 				return failureTrial{}, err
 			}

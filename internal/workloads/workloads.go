@@ -51,6 +51,17 @@ func (c *CaseStudy) Simulate() (*sim.Result, error) {
 	return sim.Run(c.Workflow, c.Programs, c.SimConfig)
 }
 
+// Compile builds a reusable simulation plan for the case study. Ensemble
+// runners that simulate the same case many times (Monte Carlo contention
+// trials, failure ensembles) compile once and run per-trial variations
+// against the shared plan instead of rebuilding the workflow every trial.
+func (c *CaseStudy) Compile() (*sim.Plan, error) {
+	if c.Workflow == nil {
+		return nil, fmt.Errorf("workloads: case study %s has no workflow", c.Name)
+	}
+	return sim.Compile(c.Workflow, c.Programs, c.SimConfig)
+}
+
 // CharacterizationMethod records how a metric was obtained for Table I.
 type CharacterizationMethod string
 
