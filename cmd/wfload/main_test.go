@@ -1,0 +1,79 @@
+package main
+
+import (
+	"context"
+	"net/http/httptest"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"wroofline/internal/serve"
+)
+
+// TestSmokeHitHeavy is the documented scenario end to end: wfload drives
+// the hit-heavy mix against an in-process wfserved over real HTTP and the
+// report shows non-zero RPS with percentiles.
+func TestSmokeHitHeavy(t *testing.T) {
+	srv := httptest.NewServer(serve.New(serve.Config{}).Handler())
+	defer srv.Close()
+
+	var sb strings.Builder
+	err := run(context.Background(), []string{
+		"-url", srv.URL, "-mix", "hit-heavy", "-workers", "4", "-duration", "400ms",
+	}, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"closed loop", "endpoint", "p50", "p95", "p99", "total"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	// The total row's RPS must be non-zero.
+	m := regexp.MustCompile(`(?m)^total\s+(\d+)\s+(\d+)\s+([\d.]+)`).FindStringSubmatch(out)
+	if m == nil {
+		t.Fatalf("no total row in output:\n%s", out)
+	}
+	if reqs, _ := strconv.Atoi(m[1]); reqs == 0 {
+		t.Errorf("total requests = 0:\n%s", out)
+	}
+	if errs, _ := strconv.Atoi(m[2]); errs != 0 {
+		t.Errorf("total errors = %s:\n%s", m[2], out)
+	}
+	if rps, _ := strconv.ParseFloat(m[3], 64); rps <= 0 {
+		t.Errorf("total rps = %s, want > 0:\n%s", m[3], out)
+	}
+}
+
+// TestSmokeOpenLoopMissHeavy exercises the other driver and mix briefly.
+func TestSmokeOpenLoopMissHeavy(t *testing.T) {
+	srv := httptest.NewServer(serve.New(serve.Config{}).Handler())
+	defer srv.Close()
+
+	var sb strings.Builder
+	err := run(context.Background(), []string{
+		"-url", srv.URL, "-mix", "miss-heavy", "-rps", "100", "-duration", "300ms",
+	}, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "open loop") || !strings.Contains(sb.String(), "total") {
+		t.Errorf("unexpected output:\n%s", sb.String())
+	}
+}
+
+// TestFlagValidation pins the error paths without touching the network.
+func TestFlagValidation(t *testing.T) {
+	for _, args := range [][]string{
+		{"-mix", "bogus"},
+		{"-workers", "0"},
+		{"-rps", "-5"},
+	} {
+		var sb strings.Builder
+		if err := run(context.Background(), args, &sb); err == nil {
+			t.Errorf("run(%v) did not fail", args)
+		}
+	}
+}

@@ -10,6 +10,7 @@
 //	wfserved                       # listen on :8080
 //	wfserved -addr :9000 -workers 8
 //	wfserved -cache 1024 -queue 8 -timeout 60s
+//	wfserved -shards 64             # more cache/singleflight shards
 //	wfserved -pprof localhost:6060 # expose net/http/pprof on a side port
 //
 // The process drains cleanly on SIGINT/SIGTERM: in-flight requests finish
@@ -52,6 +53,7 @@ func run(ctx context.Context, args []string, logOut io.Writer, ready chan<- stri
 		addr    = fs.String("addr", ":8080", "listen address")
 		workers = fs.Int("workers", 0, "sweep worker pool per evaluation (0 = GOMAXPROCS)")
 		cache   = fs.Int("cache", 512, "result cache capacity (responses)")
+		shards  = fs.Int("shards", 16, "cache/singleflight shard count (power of two, 1..256)")
 		queue   = fs.Int("queue", 4, "max concurrent evaluations")
 		timeout = fs.Duration("timeout", 30*time.Second, "per-request evaluation budget")
 		drain   = fs.Duration("drain", 15*time.Second, "shutdown drain budget for in-flight requests")
@@ -61,6 +63,9 @@ func run(ctx context.Context, args []string, logOut io.Writer, ready chan<- stri
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	if *shards < 1 || *shards > 256 || *shards&(*shards-1) != 0 {
+		return fmt.Errorf("-shards must be a power of two in [1, 256], got %d", *shards)
+	}
 
 	logger := slog.New(slog.NewJSONHandler(logOut, nil))
 	s := serve.New(serve.Config{
@@ -68,8 +73,13 @@ func run(ctx context.Context, args []string, logOut io.Writer, ready chan<- stri
 		CacheEntries: *cache,
 		QueueDepth:   *queue,
 		Timeout:      *timeout,
+		Shards:       *shards,
 		Logger:       logger,
 	})
+	// The server may degrade the shard count for small caches (a shard must
+	// own at least two entries); log the effective geometry, not the flag.
+	entries, effShards := s.CacheGeometry()
+	logger.Info("cache geometry", "entries", entries, "shards", effShards)
 	httpSrv := &http.Server{
 		Addr:              *addr,
 		Handler:           s.Handler(),

@@ -156,6 +156,69 @@ func TestRunPprofEndpoint(t *testing.T) {
 	}
 }
 
+// TestRunShardsFlag boots with an explicit shard count and checks the
+// effective cache geometry is logged at startup.
+func TestRunShardsFlag(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	logs := &syncBuffer{}
+	ready := make(chan string, 1)
+	done := make(chan error, 1)
+	go func() {
+		done <- run(ctx, []string{
+			"-addr", "127.0.0.1:0", "-cache", "512", "-shards", "8", "-drain", "5s",
+		}, logs, ready)
+	}()
+	select {
+	case <-ready:
+	case err := <-done:
+		t.Fatalf("run exited before listening: %v", err)
+	case <-time.After(10 * time.Second):
+		t.Fatal("server never became ready")
+	}
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Errorf("run returned %v after cancel", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("server did not drain after cancel")
+	}
+
+	found := false
+	for _, line := range strings.Split(logs.String(), "\n") {
+		if line == "" {
+			continue
+		}
+		var rec struct {
+			Msg     string `json:"msg"`
+			Entries int    `json:"entries"`
+			Shards  int    `json:"shards"`
+		}
+		if err := json.Unmarshal([]byte(line), &rec); err == nil && rec.Msg == "cache geometry" {
+			found = true
+			if rec.Entries != 512 || rec.Shards != 8 {
+				t.Errorf("geometry logged as entries=%d shards=%d, want 512/8", rec.Entries, rec.Shards)
+			}
+		}
+	}
+	if !found {
+		t.Errorf("no 'cache geometry' log line; log:\n%s", logs.String())
+	}
+}
+
+// TestRunBadShards rejects shard counts that are not powers of two in
+// [1, 256] before binding a listener.
+func TestRunBadShards(t *testing.T) {
+	for _, v := range []string{"0", "-1", "12", "257", "512"} {
+		err := run(context.Background(), []string{"-shards", v}, io.Discard, nil)
+		if err == nil || !strings.Contains(err.Error(), "power of two") {
+			t.Errorf("-shards %s: err = %v, want power-of-two validation error", v, err)
+		}
+	}
+}
+
 // TestRunBadFlags rejects unknown flags without starting a listener.
 func TestRunBadFlags(t *testing.T) {
 	err := run(context.Background(), []string{"-bogus"}, io.Discard, nil)

@@ -1,0 +1,100 @@
+// Package loadgen drives HTTP load against a wfserved instance: a request
+// mix (model/sweep/figure, hit-heavy or miss-heavy), a closed-loop (fixed
+// worker count) or open-loop (fixed RPS) driver, and a log-bucketed latency
+// histogram reporting achieved RPS with p50/p95/p99/max per endpoint.
+package loadgen
+
+import (
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// The histogram buckets latencies logarithmically in microseconds: each
+// power-of-two octave splits into 8 sub-buckets, so any recorded latency is
+// reported within ~12% of its true value, values under 8µs are exact, and
+// recording is one atomic add — workers share a histogram without locks.
+const (
+	histSubBits  = 3
+	histSubCount = 1 << histSubBits
+	histBuckets  = 62 * histSubCount
+)
+
+// hist is a concurrent log-bucketed latency histogram. The zero value is
+// ready to use.
+type hist struct {
+	count   atomic.Uint64
+	sum     atomic.Uint64 // microseconds
+	max     atomic.Uint64 // microseconds, exact
+	buckets [histBuckets]atomic.Uint64
+}
+
+// bucketIndex maps a latency in microseconds to its bucket: identity below
+// histSubCount, then octave*8 + sub-bucket from the top bits.
+func bucketIndex(us uint64) int {
+	if us < histSubCount {
+		return int(us)
+	}
+	k := bits.Len64(us) - histSubBits - 1
+	idx := (k+1)*histSubCount + int(us>>uint(k)) - histSubCount
+	if idx >= histBuckets {
+		return histBuckets - 1
+	}
+	return idx
+}
+
+// bucketUpperUS is the inclusive upper bound of bucket i in microseconds.
+func bucketUpperUS(i int) uint64 {
+	if i < histSubCount {
+		return uint64(i)
+	}
+	k := i/histSubCount - 1
+	m := uint64(histSubCount + i%histSubCount)
+	return (m+1)<<uint(k) - 1
+}
+
+// record adds one observation.
+func (h *hist) record(d time.Duration) {
+	us := uint64(d.Microseconds())
+	h.buckets[bucketIndex(us)].Add(1)
+	h.count.Add(1)
+	h.sum.Add(us)
+	for {
+		cur := h.max.Load()
+		if us <= cur || h.max.CompareAndSwap(cur, us) {
+			return
+		}
+	}
+}
+
+// quantile estimates the q-th quantile (0 <= q <= 1) as the upper bound of
+// the bucket holding that rank, clamped to the exact observed maximum.
+// Call after recording stops; concurrent records skew the estimate but
+// never fault.
+func (h *hist) quantile(q float64) time.Duration {
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	rank := uint64(q * float64(total))
+	if rank >= total {
+		rank = total - 1
+	}
+	var cum uint64
+	for i := range h.buckets {
+		cum += h.buckets[i].Load()
+		if cum > rank {
+			us := bucketUpperUS(i)
+			if m := h.max.Load(); us > m {
+				us = m
+			}
+			return time.Duration(us) * time.Microsecond
+		}
+	}
+	return time.Duration(h.max.Load()) * time.Microsecond
+}
+
+// maxLatency returns the exact maximum observation.
+func (h *hist) maxLatency() time.Duration {
+	return time.Duration(h.max.Load()) * time.Microsecond
+}

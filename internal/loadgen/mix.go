@@ -1,0 +1,110 @@
+package loadgen
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// A request is one materialized call the driver will issue.
+type request struct {
+	endpoint string // stats group: "model", "sweep", or "figure"
+	method   string
+	path     string
+	body     string // empty for GETs
+}
+
+// A shape is a weighted request template. Fixed-body shapes replay the same
+// bytes every time (after the first evaluation they are cache hits);
+// varying shapes derive the body from a global sequence number, so every
+// request carries a fresh cache key (a miss until the key recurs).
+type shape struct {
+	endpoint string
+	method   string
+	path     string
+	weight   int
+	body     func(seq uint64) string // nil for bodyless requests
+}
+
+// A Mix is a weighted blend of request shapes over the service's three
+// endpoints. Pick is deterministic given the rng and sequence counter, so a
+// seeded run replays the same request stream.
+type Mix struct {
+	// Name is the scenario name ("hit-heavy", "miss-heavy").
+	Name   string
+	shapes []shape
+	total  int
+}
+
+// pick draws one request: a weighted shape choice from rng, then the body
+// materialized from the sequence number.
+func (m *Mix) pick(rng *rand.Rand, seq uint64) request {
+	n := rng.Intn(m.total)
+	for i := range m.shapes {
+		sh := &m.shapes[i]
+		if n -= sh.weight; n < 0 {
+			r := request{endpoint: sh.endpoint, method: sh.method, path: sh.path}
+			if sh.body != nil {
+				r.body = sh.body(seq)
+			}
+			return r
+		}
+	}
+	panic("loadgen: weights exhausted") // unreachable: total = sum(weights)
+}
+
+// fixedBody adapts a constant payload to the shape body signature.
+func fixedBody(s string) func(uint64) string {
+	return func(uint64) string { return s }
+}
+
+// sweepSpec is the small Monte Carlo study both scenarios use; seed 7 for
+// the fixed (cacheable) variant, per-request seeds for the miss variant.
+const sweepSpec = `{"kind":"montecarlo","case":"lcls-cori","trials":16,"seed":%d,` +
+	`"sampler":{"model":"twostate","base":"1 GB/s","degraded":"0.2 GB/s","p_bad":0.4}}`
+
+// MixByName returns a built-in scenario.
+//
+// "hit-heavy" models a dashboard fleet re-requesting a small working set:
+// every body comes from a fixed pool, so after one warm pass the server
+// answers from cache and the run measures the hit path.
+//
+// "miss-heavy" models exploratory analysis: most requests vary a spec field
+// (curve_samples for models, the ensemble seed for sweeps) through the
+// sequence counter, so nearly every request is a fresh cache key and the
+// run measures evaluation plus eviction pressure.
+func MixByName(name string) (*Mix, error) {
+	switch name {
+	case "hit-heavy":
+		return Mix{Name: name, shapes: []shape{
+			{"model", "POST", "/v1/model", 40, fixedBody(`{"case":"example"}`)},
+			{"model", "POST", "/v1/model", 15, fixedBody(`{"case":"lcls-cori"}`)},
+			{"model", "POST", "/v1/model", 15, fixedBody(`{"case":"bgw-64"}`)},
+			{"model", "POST", "/v1/model", 10, func(seq uint64) string {
+				return fmt.Sprintf(`{"case":"example","curve_samples":%d}`, 32<<(seq%3))
+			}},
+			{"sweep", "POST", "/v1/sweep", 10, fixedBody(fmt.Sprintf(sweepSpec, 7))},
+			{"figure", "GET", "/v1/figures/example.svg", 10, nil},
+		}}.normalize(), nil
+	case "miss-heavy":
+		return Mix{Name: name, shapes: []shape{
+			{"model", "POST", "/v1/model", 45, func(seq uint64) string {
+				return fmt.Sprintf(`{"case":"example","curve_samples":%d}`, 64+seq%8192)
+			}},
+			{"sweep", "POST", "/v1/sweep", 35, func(seq uint64) string {
+				return fmt.Sprintf(sweepSpec, seq)
+			}},
+			{"model", "POST", "/v1/model", 10, fixedBody(`{"case":"example"}`)},
+			{"figure", "GET", "/v1/figures/example.svg", 10, nil},
+		}}.normalize(), nil
+	default:
+		return nil, fmt.Errorf("unknown mix %q (want hit-heavy or miss-heavy)", name)
+	}
+}
+
+// normalize computes the weight total.
+func (m Mix) normalize() *Mix {
+	for _, sh := range m.shapes {
+		m.total += sh.weight
+	}
+	return &m
+}

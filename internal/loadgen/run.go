@@ -1,0 +1,286 @@
+package loadgen
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Options configures a load run.
+type Options struct {
+	// BaseURL is the wfserved root, e.g. "http://localhost:8080".
+	BaseURL string
+	// Mix is the request blend (see MixByName).
+	Mix *Mix
+	// Duration is how long to drive load.
+	Duration time.Duration
+	// Workers is the closed-loop concurrency (default 8). In open-loop mode
+	// it instead caps the in-flight requests.
+	Workers int
+	// RPS switches to open-loop mode: requests fire on a fixed schedule at
+	// this aggregate rate regardless of how fast responses return. Zero
+	// selects closed-loop mode.
+	RPS float64
+	// Timeout bounds each request (default 10s).
+	Timeout time.Duration
+	// Seed makes the request stream reproducible (default 1).
+	Seed int64
+	// Client overrides the HTTP client (tests inject the in-process
+	// transport).
+	Client *http.Client
+}
+
+// EndpointResult is the per-endpoint (or total) outcome of a run.
+type EndpointResult struct {
+	// Requests counts completed requests; Errors the subset that failed in
+	// transport or returned a status >= 400.
+	Requests uint64
+	Errors   uint64
+	// RPS is the achieved rate: Requests over the run's elapsed time.
+	RPS float64
+	// P50, P95, and P99 are log-bucket latency estimates (within ~12%);
+	// Max is exact.
+	P50, P95, P99, Max time.Duration
+}
+
+// Report is the outcome of a run: per-endpoint results plus the aggregate.
+type Report struct {
+	// Mode is "closed" or "open"; Elapsed the measured wall time.
+	Mode    string
+	Elapsed time.Duration
+	// Endpoints maps "model"/"sweep"/"figure" to results; Total aggregates.
+	Endpoints map[string]*EndpointResult
+	Total     *EndpointResult
+}
+
+// endpointStats accumulates one endpoint's observations during the run.
+type endpointStats struct {
+	hist   hist
+	errors atomic.Uint64
+}
+
+// runner is the shared state of one load run.
+type runner struct {
+	opts   Options
+	client *http.Client
+	stats  map[string]*endpointStats
+	total  endpointStats
+	seq    atomic.Uint64
+}
+
+// Run drives the configured load until Duration elapses or ctx is
+// cancelled, then reports achieved RPS and latency percentiles.
+func Run(ctx context.Context, opts Options) (*Report, error) {
+	if opts.Mix == nil {
+		return nil, fmt.Errorf("loadgen: nil mix")
+	}
+	if opts.BaseURL == "" {
+		return nil, fmt.Errorf("loadgen: empty base URL")
+	}
+	if opts.Duration <= 0 {
+		return nil, fmt.Errorf("loadgen: duration must be positive")
+	}
+	if opts.Workers <= 0 {
+		opts.Workers = 8
+	}
+	if opts.Timeout <= 0 {
+		opts.Timeout = 10 * time.Second
+	}
+	if opts.Seed == 0 {
+		opts.Seed = 1
+	}
+	r := &runner{
+		opts:   opts,
+		client: opts.Client,
+		stats:  map[string]*endpointStats{},
+	}
+	if r.client == nil {
+		r.client = &http.Client{Timeout: opts.Timeout}
+	}
+	for _, sh := range opts.Mix.shapes {
+		if _, ok := r.stats[sh.endpoint]; !ok {
+			r.stats[sh.endpoint] = &endpointStats{}
+		}
+	}
+
+	ctx, cancel := context.WithTimeout(ctx, opts.Duration)
+	defer cancel()
+	start := time.Now()
+	if opts.RPS > 0 {
+		r.openLoop(ctx)
+	} else {
+		r.closedLoop(ctx)
+	}
+	elapsed := time.Since(start)
+
+	mode := "closed"
+	if opts.RPS > 0 {
+		mode = "open"
+	}
+	rep := &Report{Mode: mode, Elapsed: elapsed, Endpoints: map[string]*EndpointResult{}}
+	for name, st := range r.stats {
+		rep.Endpoints[name] = st.result(elapsed)
+	}
+	rep.Total = r.total.result(elapsed)
+	return rep, nil
+}
+
+// closedLoop keeps Workers goroutines saturated: each fires its next
+// request the moment the previous response lands, so the achieved RPS is
+// the server's capacity at that concurrency.
+func (r *runner) closedLoop(ctx context.Context) {
+	var wg sync.WaitGroup
+	for w := 0; w < r.opts.Workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(r.opts.Seed + int64(w)))
+			for ctx.Err() == nil {
+				req := r.opts.Mix.pick(rng, r.seq.Add(1)-1)
+				r.do(ctx, req, time.Now())
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+// openLoop fires requests on a fixed schedule — the n-th request at
+// start + n/RPS — independent of response times. Latency is measured from
+// the scheduled fire time, so a stalled server shows up as growing
+// latency (no coordinated omission). Workers bounds the in-flight
+// requests; when the server falls that far behind, the scheduler skips
+// ticks and the shortfall is visible as achieved RPS below the target.
+func (r *runner) openLoop(ctx context.Context) {
+	interval := time.Duration(float64(time.Second) / r.opts.RPS)
+	if interval <= 0 {
+		interval = time.Microsecond
+	}
+	inflight := make(chan struct{}, r.opts.Workers)
+	rng := rand.New(rand.NewSource(r.opts.Seed))
+	var wg sync.WaitGroup
+	start := time.Now()
+	for n := 0; ; n++ {
+		due := start.Add(time.Duration(n) * interval)
+		if d := time.Until(due); d > 0 {
+			select {
+			case <-ctx.Done():
+			case <-time.After(d):
+			}
+		}
+		if ctx.Err() != nil {
+			break
+		}
+		req := r.opts.Mix.pick(rng, r.seq.Add(1)-1)
+		select {
+		case inflight <- struct{}{}:
+		case <-ctx.Done():
+		}
+		if ctx.Err() != nil {
+			break
+		}
+		wg.Add(1)
+		go func(req request, due time.Time) {
+			defer wg.Done()
+			defer func() { <-inflight }()
+			r.do(ctx, req, due)
+		}(req, due)
+	}
+	wg.Wait()
+}
+
+// do issues one request and records its latency and disposition.
+func (r *runner) do(ctx context.Context, req request, from time.Time) {
+	st := r.stats[req.endpoint]
+	var body io.Reader
+	if req.body != "" {
+		body = strings.NewReader(req.body)
+	}
+	hreq, err := http.NewRequestWithContext(ctx, req.method, r.opts.BaseURL+req.path, body)
+	if err != nil {
+		st.errors.Add(1)
+		r.total.errors.Add(1)
+		return
+	}
+	if req.body != "" {
+		hreq.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := r.client.Do(hreq)
+	failed := err != nil
+	if err == nil {
+		_, _ = io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		failed = resp.StatusCode >= 400
+	}
+	if ctx.Err() != nil && err != nil {
+		// The run deadline cancelled this request mid-flight; it is not a
+		// server error and its truncated latency would skew the tail.
+		return
+	}
+	d := time.Since(from)
+	st.hist.record(d)
+	r.total.hist.record(d)
+	if failed {
+		st.errors.Add(1)
+		r.total.errors.Add(1)
+	}
+}
+
+// result snapshots the stats into an EndpointResult.
+func (st *endpointStats) result(elapsed time.Duration) *EndpointResult {
+	n := st.hist.count.Load()
+	res := &EndpointResult{
+		Requests: n,
+		Errors:   st.errors.Load(),
+		P50:      st.hist.quantile(0.50),
+		P95:      st.hist.quantile(0.95),
+		P99:      st.hist.quantile(0.99),
+		Max:      st.hist.maxLatency(),
+	}
+	if elapsed > 0 {
+		res.RPS = float64(n) / elapsed.Seconds()
+	}
+	return res
+}
+
+// WriteText renders the report as an aligned table, totals last.
+func (r *Report) WriteText(w io.Writer) {
+	fmt.Fprintf(w, "mode=%s elapsed=%s\n", r.Mode, r.Elapsed.Round(time.Millisecond))
+	fmt.Fprintf(w, "%-10s %10s %8s %10s %10s %10s %10s %10s\n",
+		"endpoint", "requests", "errors", "rps", "p50", "p95", "p99", "max")
+	names := make([]string, 0, len(r.Endpoints))
+	for name := range r.Endpoints {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		writeResultRow(w, name, r.Endpoints[name])
+	}
+	writeResultRow(w, "total", r.Total)
+}
+
+func writeResultRow(w io.Writer, name string, res *EndpointResult) {
+	fmt.Fprintf(w, "%-10s %10d %8d %10.1f %10s %10s %10s %10s\n",
+		name, res.Requests, res.Errors, res.RPS,
+		fmtLatency(res.P50), fmtLatency(res.P95), fmtLatency(res.P99), fmtLatency(res.Max))
+}
+
+// fmtLatency renders a duration with millisecond-scale precision.
+func fmtLatency(d time.Duration) string {
+	switch {
+	case d == 0:
+		return "-"
+	case d < time.Millisecond:
+		return fmt.Sprintf("%.0fµs", float64(d.Microseconds()))
+	case d < time.Second:
+		return fmt.Sprintf("%.2fms", float64(d.Microseconds())/1000)
+	default:
+		return fmt.Sprintf("%.2fs", d.Seconds())
+	}
+}

@@ -1,0 +1,100 @@
+package serve
+
+import (
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+// postConditional sends a JSON body with an If-None-Match validator.
+func postConditional(t *testing.T, url, body, etag string) *http.Response {
+	t.Helper()
+	req, err := http.NewRequest("POST", url, strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set("If-None-Match", etag)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatalf("POST %s: %v", url, err)
+	}
+	t.Cleanup(func() { resp.Body.Close() })
+	return resp
+}
+
+// testConditionalEndpoint drives the ETag contract for one POST endpoint:
+// the first response carries a strong validator, replaying it in
+// If-None-Match yields an empty 304 with the same validator, and a stale
+// validator yields the full 200 body again.
+func testConditionalEndpoint(t *testing.T, url, body string) {
+	status, full, hdr := post(t, url, body)
+	if status != http.StatusOK {
+		t.Fatalf("cold request: status %d, body %s", status, full)
+	}
+	etag := hdr.Get("ETag")
+	if etag == "" {
+		t.Fatal("no ETag on response")
+	}
+
+	resp := postConditional(t, url, body, etag)
+	data, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusNotModified {
+		t.Errorf("matching If-None-Match: status %d, want 304", resp.StatusCode)
+	}
+	if len(data) != 0 {
+		t.Errorf("304 carried %d body bytes", len(data))
+	}
+	if got := resp.Header.Get("ETag"); got != etag {
+		t.Errorf("304 ETag = %q, want %q", got, etag)
+	}
+
+	resp = postConditional(t, url, body, `"stale"`)
+	data, _ = io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("stale If-None-Match: status %d, want 200", resp.StatusCode)
+	}
+	if string(data) != string(full) {
+		t.Errorf("stale-validator body differs from cold body")
+	}
+}
+
+// TestModelConditionalRequests pins ETag emission and If-None-Match -> 304
+// on /v1/model.
+func TestModelConditionalRequests(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	testConditionalEndpoint(t, ts.URL+"/v1/model", `{"case":"example"}`)
+}
+
+// TestSweepConditionalRequests pins the same contract on /v1/sweep.
+func TestSweepConditionalRequests(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	spec := `{"kind":"montecarlo","case":"lcls-cori","trials":8,"seed":3,` +
+		`"sampler":{"model":"twostate","base":"1 GB/s","degraded":"0.2 GB/s","p_bad":0.4}}`
+	testConditionalEndpoint(t, ts.URL+"/v1/sweep", spec)
+}
+
+// TestConditionalAcrossRawMemo checks the fast raw-body path honours
+// If-None-Match too: the second identical request short-circuits JSON
+// parsing via the raw memo, and must still answer 304.
+func TestConditionalAcrossRawMemo(t *testing.T) {
+	s, ts := newTestServer(t, Config{})
+	body := `{"case":"example"}`
+	_, _, hdr := post(t, ts.URL+"/v1/model", body)
+	etag := hdr.Get("ETag")
+	if etag == "" {
+		t.Fatal("no ETag on cold response")
+	}
+	// Populate the raw memo with a plain repeat, then go conditional.
+	post(t, ts.URL+"/v1/model", body)
+	evalsBefore := s.Evaluations()
+	resp := postConditional(t, ts.URL+"/v1/model", body, etag)
+	io.Copy(io.Discard, resp.Body)
+	if resp.StatusCode != http.StatusNotModified {
+		t.Errorf("raw-memo conditional: status %d, want 304", resp.StatusCode)
+	}
+	if got := s.Evaluations(); got != evalsBefore {
+		t.Errorf("conditional hit re-evaluated: %d -> %d", evalsBefore, got)
+	}
+}

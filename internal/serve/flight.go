@@ -6,10 +6,20 @@ import "sync"
 // one goroutine computes a key, later arrivals for that key block and share
 // the single result instead of evaluating again. Hand-rolled single-flight —
 // the stdlib has no exported equivalent and the toolkit takes no external
-// dependencies.
+// dependencies. Like the response cache, the call table is sharded by the
+// first byte of the key, so flights on distinct keys never touch the same
+// mutex; coalescing semantics within a key are unchanged.
 type flightGroup struct {
+	mask   byte
+	shards []flightShard
+}
+
+// flightShard is one independently locked slice of the call table, padded
+// apart so neighbouring shard mutexes do not share a cache line.
+type flightShard struct {
 	mu    sync.Mutex
 	calls map[Key]*flightCall
+	_     [88]byte
 }
 
 // flightCall is one in-progress computation.
@@ -20,9 +30,23 @@ type flightCall struct {
 	err     error
 }
 
-// newFlightGroup creates an empty group.
-func newFlightGroup() *flightGroup {
-	return &flightGroup{calls: make(map[Key]*flightCall)}
+// newFlightGroup creates an empty group with the given shard count
+// (normalized to a power of two in [1, 256]).
+func newFlightGroup(shards int) *flightGroup {
+	n := 1
+	for n < shards && n < 256 {
+		n <<= 1
+	}
+	g := &flightGroup{mask: byte(n - 1), shards: make([]flightShard, n)}
+	for i := range g.shards {
+		g.shards[i].calls = make(map[Key]*flightCall)
+	}
+	return g
+}
+
+// shard maps a key to its home shard.
+func (g *flightGroup) shard(k Key) *flightShard {
+	return &g.shards[k[0]&g.mask]
 }
 
 // do runs fn for the key, unless a call for the same key is already in
@@ -30,21 +54,22 @@ func newFlightGroup() *flightGroup {
 // shared reports whether this caller rode an existing flight. Errors are
 // shared too: N identical malformed requests cost one failed evaluation.
 func (g *flightGroup) do(k Key, fn func() (Response, error)) (resp Response, err error, shared bool) {
-	g.mu.Lock()
-	if c, ok := g.calls[k]; ok {
+	sh := g.shard(k)
+	sh.mu.Lock()
+	if c, ok := sh.calls[k]; ok {
 		c.waiters++
-		g.mu.Unlock()
+		sh.mu.Unlock()
 		<-c.done
 		return c.resp, c.err, true
 	}
 	c := &flightCall{done: make(chan struct{})}
-	g.calls[k] = c
-	g.mu.Unlock()
+	sh.calls[k] = c
+	sh.mu.Unlock()
 
 	c.resp, c.err = fn()
-	g.mu.Lock()
-	delete(g.calls, k)
-	g.mu.Unlock()
+	sh.mu.Lock()
+	delete(sh.calls, k)
+	sh.mu.Unlock()
 	close(c.done)
 	return c.resp, c.err, false
 }
@@ -52,9 +77,10 @@ func (g *flightGroup) do(k Key, fn func() (Response, error)) (resp Response, err
 // waiting reports how many callers are parked on the key's in-flight call
 // (0 when no call is in flight). Tests use it to sequence coalescing races.
 func (g *flightGroup) waiting(k Key) int {
-	g.mu.Lock()
-	defer g.mu.Unlock()
-	if c, ok := g.calls[k]; ok {
+	sh := g.shard(k)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if c, ok := sh.calls[k]; ok {
 		return c.waiters
 	}
 	return 0

@@ -1,7 +1,7 @@
 package serve
 
 import (
-	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -13,49 +13,76 @@ var latencyBucketsMS = []float64{
 	1000, 2500, 5000, 10000, 30000, 60000,
 }
 
-// metrics aggregates service counters. One mutex guards everything: the
-// request path touches it twice (once per counter family), which is noise
-// next to a SHA-256 of the body, let alone an evaluation.
+// Status codes are folded into statusSlots fixed atomic slots: 100..599
+// map to code-100, everything else to the final "other" slot. A fixed
+// array keeps the observe path free of maps and mutexes.
+const (
+	statusSlotMin   = 100
+	statusSlotMax   = 599
+	statusSlots     = statusSlotMax - statusSlotMin + 2
+	statusSlotOther = statusSlots - 1
+)
+
+// statusSlot maps an HTTP status code to its atomic counter index.
+func statusSlot(code int) int {
+	if code < statusSlotMin || code > statusSlotMax {
+		return statusSlotOther
+	}
+	return code - statusSlotMin
+}
+
+// metrics aggregates service counters. Everything on the observe path is
+// an atomic on pre-registered state: the route table is built once at
+// construction and never mutated, handlers resolve their *endpointStats a
+// single time at registration, and each observation is a handful of
+// atomic adds — no mutex, no map write, no allocation.
 type metrics struct {
-	mu        sync.Mutex
 	start     time.Time
+	names     []string // registration order, for deterministic iteration
 	endpoints map[string]*endpointStats
 
-	cacheHits   uint64
-	cacheMisses uint64
-	coalesced   uint64
-	evaluations uint64
+	cacheHits   atomic.Uint64
+	cacheMisses atomic.Uint64
+	coalesced   atomic.Uint64
+	evaluations atomic.Uint64
 
-	queueTimeouts uint64
-	evalTimeouts  uint64
+	queueTimeouts atomic.Uint64
+	evalTimeouts  atomic.Uint64
 }
 
-// endpointStats is the per-route slice of the counters.
+// endpointStats is the per-route slice of the counters: a request count,
+// fixed per-status slots, and a fixed-bucket latency histogram, all atomic.
 type endpointStats struct {
-	count    uint64
-	byStatus map[int]uint64
-	latency  []uint64 // one slot per bucket + overflow
+	count    atomic.Uint64
+	byStatus [statusSlots]atomic.Uint64
+	latency  []atomic.Uint64 // one slot per bucket + overflow
 }
 
-// newMetrics creates an empty registry.
-func newMetrics() *metrics {
-	return &metrics{start: time.Now(), endpoints: make(map[string]*endpointStats)}
-}
-
-// observe records one completed request.
-func (m *metrics) observe(endpoint string, status int, dur time.Duration) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	st, ok := m.endpoints[endpoint]
-	if !ok {
-		st = &endpointStats{
-			byStatus: make(map[int]uint64),
-			latency:  make([]uint64, len(latencyBucketsMS)+1),
-		}
-		m.endpoints[endpoint] = st
+// newMetrics builds the immutable registry for the given route names.
+// Observing an unregistered name is impossible by construction: handlers
+// hold the *endpointStats they were registered with.
+func newMetrics(names ...string) *metrics {
+	m := &metrics{
+		start:     time.Now(),
+		names:     names,
+		endpoints: make(map[string]*endpointStats, len(names)),
 	}
-	st.count++
-	st.byStatus[status]++
+	for _, name := range names {
+		m.endpoints[name] = &endpointStats{
+			latency: make([]atomic.Uint64, len(latencyBucketsMS)+1),
+		}
+	}
+	return m
+}
+
+// endpoint returns the stats for a registered route name (nil if unknown).
+func (m *metrics) endpoint(name string) *endpointStats { return m.endpoints[name] }
+
+// observe records one completed request: three atomic adds and a short
+// linear scan over the 19 bucket bounds.
+func (st *endpointStats) observe(status int, dur time.Duration) {
+	st.count.Add(1)
+	st.byStatus[statusSlot(status)].Add(1)
 	ms := float64(dur) / float64(time.Millisecond)
 	slot := len(latencyBucketsMS)
 	for i, le := range latencyBucketsMS {
@@ -64,27 +91,7 @@ func (m *metrics) observe(endpoint string, status int, dur time.Duration) {
 			break
 		}
 	}
-	st.latency[slot]++
-}
-
-// counter bumps one of the named scalar counters.
-func (m *metrics) counter(name string) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	switch name {
-	case "cache_hit":
-		m.cacheHits++
-	case "cache_miss":
-		m.cacheMisses++
-	case "coalesced":
-		m.coalesced++
-	case "evaluation":
-		m.evaluations++
-	case "queue_timeout":
-		m.queueTimeouts++
-	case "eval_timeout":
-		m.evalTimeouts++
-	}
+	st.latency[slot].Add(1)
 }
 
 // Snapshot is the JSON shape of /metrics.
@@ -103,6 +110,20 @@ type EndpointSnapshot struct {
 	Count     uint64            `json:"count"`
 	ByStatus  map[string]uint64 `json:"by_status"`
 	LatencyMS []LatencyBucket   `json:"latency_ms"`
+	// Percentiles estimates p50/p95/p99 from the latency histogram; nil
+	// until the route has served a request. A new field — the rest of the
+	// snapshot shape is unchanged from earlier releases.
+	Percentiles *PercentileSnapshot `json:"percentiles_ms,omitempty"`
+}
+
+// PercentileSnapshot carries histogram-derived latency percentiles in
+// milliseconds. Each value interpolates linearly inside its bucket, so the
+// error is bounded by the bucket width; observations past the last finite
+// bound (60 s) report that bound.
+type PercentileSnapshot struct {
+	P50 float64 `json:"p50"`
+	P95 float64 `json:"p95"`
+	P99 float64 `json:"p99"`
 }
 
 // LatencyBucket is one histogram bar: requests at or under LE milliseconds
@@ -120,33 +141,84 @@ type CacheSnapshot struct {
 	HitRatio float64 `json:"hit_ratio"`
 }
 
+// histogramPercentile estimates the q-th percentile (0 < q < 1) from
+// per-bucket counts, interpolating linearly between bucket bounds. The
+// overflow bucket is clamped to the last finite bound.
+func histogramPercentile(counts []uint64, total uint64, q float64) float64 {
+	if total == 0 {
+		return 0
+	}
+	target := q * float64(total)
+	var cum float64
+	lo := 0.0
+	for i, n := range counts {
+		if n == 0 {
+			if i < len(latencyBucketsMS) {
+				lo = latencyBucketsMS[i]
+			}
+			continue
+		}
+		next := cum + float64(n)
+		if next >= target {
+			if i >= len(latencyBucketsMS) { // overflow bucket
+				return latencyBucketsMS[len(latencyBucketsMS)-1]
+			}
+			hi := latencyBucketsMS[i]
+			frac := (target - cum) / float64(n)
+			return lo + frac*(hi-lo)
+		}
+		cum = next
+		if i < len(latencyBucketsMS) {
+			lo = latencyBucketsMS[i]
+		}
+	}
+	return latencyBucketsMS[len(latencyBucketsMS)-1]
+}
+
 // snapshot copies the counters into their serializable form. Empty latency
-// buckets are elided to keep /metrics readable.
+// buckets are elided to keep /metrics readable; atomic loads mean the
+// snapshot is a near-point-in-time view, never a blocked observe path.
 func (m *metrics) snapshot(cacheEntries int) Snapshot {
-	m.mu.Lock()
-	defer m.mu.Unlock()
+	hits, misses := m.cacheHits.Load(), m.cacheMisses.Load()
 	snap := Snapshot{
 		UptimeSeconds: time.Since(m.start).Seconds(),
 		Requests:      make(map[string]EndpointSnapshot, len(m.endpoints)),
 		Cache: CacheSnapshot{
 			Entries: cacheEntries,
-			Hits:    m.cacheHits,
-			Misses:  m.cacheMisses,
+			Hits:    hits,
+			Misses:  misses,
 		},
-		Coalesced:     m.coalesced,
-		Evaluations:   m.evaluations,
-		QueueTimeouts: m.queueTimeouts,
-		EvalTimeouts:  m.evalTimeouts,
+		Coalesced:     m.coalesced.Load(),
+		Evaluations:   m.evaluations.Load(),
+		QueueTimeouts: m.queueTimeouts.Load(),
+		EvalTimeouts:  m.evalTimeouts.Load(),
 	}
-	if total := m.cacheHits + m.cacheMisses; total > 0 {
-		snap.Cache.HitRatio = float64(m.cacheHits) / float64(total)
+	if total := hits + misses; total > 0 {
+		snap.Cache.HitRatio = float64(hits) / float64(total)
 	}
-	for name, st := range m.endpoints {
-		es := EndpointSnapshot{Count: st.count, ByStatus: make(map[string]uint64, len(st.byStatus))}
-		for code, n := range st.byStatus {
-			es.ByStatus[statusLabel(code)] = n
+	for _, name := range m.names {
+		st := m.endpoints[name]
+		count := st.count.Load()
+		if count == 0 {
+			continue
 		}
-		for i, n := range st.latency {
+		es := EndpointSnapshot{Count: count, ByStatus: make(map[string]uint64)}
+		for slot := range st.byStatus {
+			if n := st.byStatus[slot].Load(); n > 0 {
+				code := slot + statusSlotMin
+				if slot == statusSlotOther {
+					code = 0
+				}
+				es.ByStatus[statusLabel(code)] = n
+			}
+		}
+		counts := make([]uint64, len(st.latency))
+		var mass uint64
+		for i := range st.latency {
+			counts[i] = st.latency[i].Load()
+			mass += counts[i]
+		}
+		for i, n := range counts {
 			if n == 0 {
 				continue
 			}
@@ -155,6 +227,13 @@ func (m *metrics) snapshot(cacheEntries int) Snapshot {
 				b.LE = latencyBucketsMS[i]
 			}
 			es.LatencyMS = append(es.LatencyMS, b)
+		}
+		if mass > 0 {
+			es.Percentiles = &PercentileSnapshot{
+				P50: histogramPercentile(counts, mass, 0.50),
+				P95: histogramPercentile(counts, mass, 0.95),
+				P99: histogramPercentile(counts, mass, 0.99),
+			}
 		}
 		snap.Requests[name] = es
 	}

@@ -1,0 +1,156 @@
+package serve
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestStatusSlotRoundTrip(t *testing.T) {
+	for _, code := range []int{100, 200, 204, 304, 400, 404, 503, 599} {
+		slot := statusSlot(code)
+		if slot < 0 || slot >= statusSlots || slot == statusSlotOther {
+			t.Errorf("statusSlot(%d) = %d", code, slot)
+		}
+		if back := slot + statusSlotMin; back != code {
+			t.Errorf("slot %d maps back to %d, want %d", slot, back, code)
+		}
+	}
+	for _, code := range []int{0, 42, 600, 1000} {
+		if statusSlot(code) != statusSlotOther {
+			t.Errorf("statusSlot(%d) = %d, want other", code, statusSlot(code))
+		}
+	}
+}
+
+// TestHistogramPercentile pins the interpolation: a point mass sits inside
+// its bucket, a split mass interpolates between bounds, and the overflow
+// bucket clamps to the last finite bound.
+func TestHistogramPercentile(t *testing.T) {
+	n := len(latencyBucketsMS) + 1
+	counts := make([]uint64, n)
+	if got := histogramPercentile(counts, 0, 0.5); got != 0 {
+		t.Errorf("empty histogram p50 = %v", got)
+	}
+
+	// All mass in the bucket (0.1, 0.25]: every percentile lands inside it.
+	counts = make([]uint64, n)
+	counts[2] = 100
+	for _, q := range []float64{0.5, 0.95, 0.99} {
+		got := histogramPercentile(counts, 100, q)
+		if got <= 0.1 || got > 0.25 {
+			t.Errorf("p%v = %v, want within (0.1, 0.25]", q*100, got)
+		}
+	}
+
+	// Half the mass at <=0.05, half in (1, 2.5]: p50 is exactly the top of
+	// the first bucket, p99 interpolates near the top of the second.
+	counts = make([]uint64, n)
+	counts[0] = 50
+	counts[5] = 50
+	if got := histogramPercentile(counts, 100, 0.5); got != 0.05 {
+		t.Errorf("split p50 = %v, want 0.05", got)
+	}
+	if got := histogramPercentile(counts, 100, 0.99); got <= 1 || got > 2.5 {
+		t.Errorf("split p99 = %v, want within (1, 2.5]", got)
+	}
+
+	// Overflow-only mass clamps to the last finite bound.
+	counts = make([]uint64, n)
+	counts[n-1] = 10
+	last := latencyBucketsMS[len(latencyBucketsMS)-1]
+	if got := histogramPercentile(counts, 10, 0.5); got != last {
+		t.Errorf("overflow p50 = %v, want %v", got, last)
+	}
+}
+
+// TestMetricsSnapshotPercentiles drives observations through the atomic
+// registry and checks the snapshot carries ordered percentile estimates.
+func TestMetricsSnapshotPercentiles(t *testing.T) {
+	m := newMetrics("model")
+	st := m.endpoint("model")
+	for i := 0; i < 90; i++ {
+		st.observe(200, 100*time.Microsecond) // <= 0.1 ms bucket
+	}
+	for i := 0; i < 10; i++ {
+		st.observe(200, 40*time.Millisecond) // (25, 50] ms bucket
+	}
+	snap := m.snapshot(0)
+	es, ok := snap.Requests["model"]
+	if !ok {
+		t.Fatal("model endpoint missing from snapshot")
+	}
+	p := es.Percentiles
+	if p == nil {
+		t.Fatal("no percentiles in snapshot")
+	}
+	if !(p.P50 <= p.P95 && p.P95 <= p.P99) {
+		t.Errorf("percentiles not ordered: %+v", p)
+	}
+	if p.P50 > 0.1 {
+		t.Errorf("p50 = %v ms, want <= 0.1 (90%% of mass is there)", p.P50)
+	}
+	if p.P99 <= 25 || p.P99 > 50 {
+		t.Errorf("p99 = %v ms, want within (25, 50]", p.P99)
+	}
+}
+
+// TestMetricsConcurrentObserve hammers one endpoint's stats from many
+// goroutines; under -race this is the lock-free observe proof, and the
+// totals must still balance.
+func TestMetricsConcurrentObserve(t *testing.T) {
+	m := newMetrics("model")
+	st := m.endpoint("model")
+	const goroutines, perG = 8, 2000
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				status := 200
+				if i%10 == 0 {
+					status = 400
+				}
+				st.observe(status, time.Duration(i%1000)*time.Microsecond)
+				m.cacheHits.Add(1)
+			}
+		}(g)
+	}
+	wg.Wait()
+	snap := m.snapshot(0)
+	es := snap.Requests["model"]
+	const total = goroutines * perG
+	if es.Count != total {
+		t.Errorf("count = %d, want %d", es.Count, total)
+	}
+	if got := es.ByStatus["200"] + es.ByStatus["400"]; got != total {
+		t.Errorf("status mass = %d, want %d", got, total)
+	}
+	var latencyMass uint64
+	for _, b := range es.LatencyMS {
+		latencyMass += b.Count
+	}
+	if latencyMass != total {
+		t.Errorf("latency mass = %d, want %d", latencyMass, total)
+	}
+	if snap.Cache.Hits != total {
+		t.Errorf("cache hits = %d, want %d", snap.Cache.Hits, total)
+	}
+}
+
+// TestMetricsObserveZeroAllocs pins the observe path at zero allocations.
+func TestMetricsObserveZeroAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation allocates")
+	}
+	m := newMetrics("model")
+	st := m.endpoint("model")
+	allocs := testing.AllocsPerRun(1000, func() {
+		st.observe(200, 123*time.Microsecond)
+		m.evaluations.Add(1)
+	})
+	if allocs != 0 {
+		t.Errorf("observe allocates %.1f per op, want 0", allocs)
+	}
+}

@@ -1,0 +1,8 @@
+//go:build !race
+
+package serve
+
+// raceEnabled reports whether the race detector is compiled in; the
+// zero-allocation assertions are skipped under -race because instrumentation
+// allocates.
+const raceEnabled = false

@@ -14,13 +14,22 @@
 // queue with a per-request timeout, so a burst of heavyweight sweeps
 // degrades into orderly 503s instead of unbounded goroutines.
 //
+// The request path is built to scale with cores: the response cache, a
+// raw-request memo (byte-identical request bodies skip JSON parsing
+// entirely), and the singleflight table are all sharded by the first byte
+// of the SHA-256 key, metrics are atomics on a pre-registered route table,
+// and the hit path recycles its buffers, hash scratch, and status recorders
+// through pools — concurrent hits on distinct keys share no mutex and
+// allocate nothing in the serve layer.
+//
 // Endpoints:
 //
 //	POST /v1/model          bounds + classification + advice for a spec
 //	POST /v1/sweep          montecarlo/grid/survey studies (wfsweep specs)
 //	GET  /v1/figures/{name} paper figures as SVG (e.g. example.svg)
 //	GET  /healthz           liveness
-//	GET  /metrics           counters, latency histograms, cache hit ratio
+//	GET  /metrics           counters, latency histograms + percentiles,
+//	                        cache hit ratio
 package serve
 
 import (
@@ -34,6 +43,7 @@ import (
 	"net/http"
 	"slices"
 	"strconv"
+	"sync"
 	"time"
 
 	"wroofline/internal/core"
@@ -57,6 +67,12 @@ type Config struct {
 	Workers int
 	// CacheEntries bounds the content-addressed LRU (default 512).
 	CacheEntries int
+	// Shards sets the shard count for the response cache, the raw-request
+	// memo, and the singleflight table (default 16). Rounded up to a power
+	// of two and clamped to [1, 256]; small caches fall back to fewer
+	// shards so each shard keeps at least two entries, and a tiny cache to
+	// exactly one shard (strict global LRU).
+	Shards int
 	// QueueDepth bounds concurrent evaluations; requests beyond it wait for
 	// a slot until their timeout (default 4).
 	QueueDepth int
@@ -75,6 +91,9 @@ type Config struct {
 func (c Config) withDefaults() Config {
 	if c.CacheEntries <= 0 {
 		c.CacheEntries = 512
+	}
+	if c.Shards <= 0 {
+		c.Shards = 16
 	}
 	if c.QueueDepth <= 0 {
 		c.QueueDepth = 4
@@ -98,10 +117,18 @@ func (c Config) withDefaults() Config {
 type Server struct {
 	cfg     Config
 	mux     *http.ServeMux
-	cache   *lruCache
+	cache   *shardedLRU[Response]
+	rawKeys *shardedLRU[Key]
 	flight  *flightGroup
 	queue   chan struct{}
 	metrics *metrics
+
+	// errQueueFull and errTooLarge are precomputed error responses for the
+	// two hot rejection paths, rendered once at construction; figureNames
+	// is the figure catalog resolved once.
+	errQueueFull *httpError
+	errTooLarge  *httpError
+	figureNames  []string
 
 	// evalDelay is a test hook: it stretches every evaluation so tests can
 	// provoke request pile-ups deterministically. Zero in production.
@@ -112,13 +139,22 @@ type Server struct {
 func New(cfg Config) *Server {
 	cfg = cfg.withDefaults()
 	s := &Server{
-		cfg:     cfg,
-		mux:     http.NewServeMux(),
-		cache:   newLRUCache(cfg.CacheEntries),
-		flight:  newFlightGroup(),
+		cfg:   cfg,
+		mux:   http.NewServeMux(),
+		cache: newShardedLRU[Response](cfg.CacheEntries, cfg.Shards),
+		// The raw memo holds 32-byte pointers into the response cache;
+		// several formattings of one spec may share a canonical entry, so
+		// it runs larger than the cache it fronts.
+		rawKeys: newShardedLRU[Key](4*cfg.CacheEntries, cfg.Shards),
+		flight:  newFlightGroup(cfg.Shards),
 		queue:   make(chan struct{}, cfg.QueueDepth),
-		metrics: newMetrics(),
+		metrics: newMetrics("healthz", "metrics", "model", "sweep", "figures"),
 	}
+	s.figureNames = figures.Names()
+	s.errQueueFull = precomputedError(http.StatusServiceUnavailable,
+		fmt.Sprintf("evaluation queue full for %v", cfg.Timeout))
+	s.errTooLarge = precomputedError(http.StatusRequestEntityTooLarge,
+		fmt.Sprintf("request body exceeds %d bytes", cfg.MaxBodyBytes))
 	s.mux.HandleFunc("GET /healthz", s.instrument("healthz", s.handleHealthz))
 	s.mux.HandleFunc("GET /metrics", s.instrument("metrics", s.handleMetrics))
 	s.mux.HandleFunc("POST /v1/model", s.instrument("model", s.handleModel))
@@ -132,25 +168,34 @@ func (s *Server) Handler() http.Handler { return s.mux }
 
 // Evaluations reports how many cold evaluations have run — the number the
 // coalescing tests pin to exactly one under 64-way identical load.
-func (s *Server) Evaluations() uint64 {
-	s.metrics.mu.Lock()
-	defer s.metrics.mu.Unlock()
-	return s.metrics.evaluations
-}
+func (s *Server) Evaluations() uint64 { return s.metrics.evaluations.Load() }
 
 // MetricsSnapshot returns the current counters (the /metrics payload).
 func (s *Server) MetricsSnapshot() Snapshot {
 	return s.metrics.snapshot(s.cache.len())
 }
 
-// FlushCache empties the result cache, forcing the next request of each
-// shape down the cold path (benchmarks and cache-bypass testing).
-func (s *Server) FlushCache() { s.cache.flush() }
+// FlushCache empties the result cache and the raw-request memo, forcing the
+// next request of each shape down the cold path (benchmarks and
+// cache-bypass testing).
+func (s *Server) FlushCache() {
+	s.cache.flush()
+	s.rawKeys.flush()
+}
 
-// httpError carries a status code through the evaluation path.
+// CacheGeometry reports the effective response-cache layout after shard
+// normalization: total entry capacity and independently locked shard count.
+// The raw-request memo and the singleflight table use the same shard count.
+func (s *Server) CacheGeometry() (entries, shards int) {
+	return s.cache.capacity(), len(s.cache.shards)
+}
+
+// httpError carries a status code through the evaluation path; body, when
+// non-nil, is the prerendered problem document.
 type httpError struct {
 	status int
 	msg    string
+	body   []byte
 }
 
 // Error implements error.
@@ -159,6 +204,19 @@ func (e *httpError) Error() string { return e.msg }
 // badRequest wraps a client error as 400.
 func badRequest(format string, args ...any) *httpError {
 	return &httpError{status: http.StatusBadRequest, msg: fmt.Sprintf(format, args...)}
+}
+
+// problemBody renders the JSON problem document for an error response.
+func problemBody(status int, msg string) []byte {
+	body, _ := json.Marshal(map[string]any{"error": msg, "status": status})
+	return append(body, '\n')
+}
+
+// precomputedError builds an httpError whose response body is rendered once
+// up front, so hot rejection paths (queue full, body too large) write
+// static bytes.
+func precomputedError(status int, msg string) *httpError {
+	return &httpError{status: status, msg: msg, body: problemBody(status, msg)}
 }
 
 // statusOf maps an evaluation error to its HTTP status. Everything the
@@ -176,12 +234,16 @@ func statusOf(err error) int {
 	return http.StatusBadRequest
 }
 
-// statusRecorder captures the status code written by a handler.
+// statusRecorder captures the status code written by a handler. Recorders
+// are pooled: instrument resets and recycles them per request.
 type statusRecorder struct {
 	http.ResponseWriter
 	status int
 	bytes  int
 }
+
+// recorderPool recycles statusRecorders across requests.
+var recorderPool = sync.Pool{New: func() any { return new(statusRecorder) }}
 
 // WriteHeader records the status.
 func (r *statusRecorder) WriteHeader(code int) {
@@ -197,35 +259,43 @@ func (r *statusRecorder) Write(p []byte) (int, error) {
 }
 
 // instrument wraps a handler with metrics and structured request logging.
+// The route's stats are resolved once here, at registration: the per-request
+// observe path is pure atomics on that pointer.
 func (s *Server) instrument(name string, h http.HandlerFunc) http.HandlerFunc {
+	st := s.metrics.endpoint(name)
 	return func(w http.ResponseWriter, r *http.Request) {
-		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+		rec := recorderPool.Get().(*statusRecorder)
+		rec.ResponseWriter, rec.status, rec.bytes = w, http.StatusOK, 0
 		start := time.Now()
 		h(rec, r)
 		dur := time.Since(start)
-		s.metrics.observe(name, rec.status, dur)
+		st.observe(rec.status, dur)
 		// Building the log record costs more than a cache hit; skip it
 		// entirely when the handler is disabled (the slog.DiscardHandler
 		// default).
-		if !s.cfg.Logger.Enabled(r.Context(), slog.LevelInfo) {
-			return
+		if s.cfg.Logger.Enabled(r.Context(), slog.LevelInfo) {
+			s.cfg.Logger.Info("request",
+				"endpoint", name,
+				"method", r.Method,
+				"path", r.URL.Path,
+				"status", rec.status,
+				"dur_ms", float64(dur)/float64(time.Millisecond),
+				"bytes", rec.bytes,
+				"cache", rec.Header().Get("X-Cache"),
+			)
 		}
-		s.cfg.Logger.Info("request",
-			"endpoint", name,
-			"method", r.Method,
-			"path", r.URL.Path,
-			"status", rec.status,
-			"dur_ms", float64(dur)/float64(time.Millisecond),
-			"bytes", rec.bytes,
-			"cache", rec.Header().Get("X-Cache"),
-		)
+		rec.ResponseWriter = nil
+		recorderPool.Put(rec)
 	}
 }
+
+// healthzBody is the static liveness payload.
+var healthzBody = []byte("{\"status\":\"ok\"}\n")
 
 // handleHealthz is the liveness probe.
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "application/json")
-	fmt.Fprintln(w, `{"status":"ok"}`)
+	w.Write(healthzBody)
 }
 
 // handleMetrics renders the counter snapshot as JSON.
@@ -239,45 +309,126 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	w.Write(append(data, '\n'))
 }
 
-// readBody drains a capped request body.
-func (s *Server) readBody(w http.ResponseWriter, r *http.Request) ([]byte, error) {
-	data, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
-	if err != nil {
-		var mbe *http.MaxBytesError
-		if errors.As(err, &mbe) {
-			return nil, &httpError{status: http.StatusRequestEntityTooLarge,
-				msg: fmt.Sprintf("request body exceeds %d bytes", s.cfg.MaxBodyBytes)}
-		}
-		return nil, badRequest("read body: %v", err)
+// bodyScratch is the pooled per-request read state: the accumulation buffer
+// and the limit reader that caps it.
+type bodyScratch struct {
+	buf bytes.Buffer
+	lr  io.LimitedReader
+}
+
+// bodyPool recycles request-body buffers across requests.
+var bodyPool = sync.Pool{New: func() any { return new(bodyScratch) }}
+
+// putBody returns a scratch to the pool (nil is a no-op, so callers can
+// defer it unconditionally).
+func putBody(sc *bodyScratch) {
+	if sc == nil {
+		return
 	}
-	return data, nil
+	sc.lr.R = nil
+	bodyPool.Put(sc)
+}
+
+// readBody drains a capped request body into a pooled buffer. On success
+// the returned bytes alias the scratch, which the caller must release with
+// putBody once the bytes are dead; on error the scratch is already
+// released.
+func (s *Server) readBody(r *http.Request) ([]byte, *bodyScratch, error) {
+	sc := bodyPool.Get().(*bodyScratch)
+	sc.buf.Reset()
+	sc.lr.R = r.Body
+	sc.lr.N = s.cfg.MaxBodyBytes + 1
+	if _, err := sc.buf.ReadFrom(&sc.lr); err != nil {
+		putBody(sc)
+		return nil, nil, badRequest("read body: %v", err)
+	}
+	if int64(sc.buf.Len()) > s.cfg.MaxBodyBytes {
+		putBody(sc)
+		return nil, nil, s.errTooLarge
+	}
+	return sc.buf.Bytes(), sc, nil
+}
+
+// Precomputed X-Cache header values, one per disposition.
+var (
+	xcacheHit       = []string{"hit"}
+	xcacheCold      = []string{"cold"}
+	xcacheCoalesced = []string{"coalesced"}
+)
+
+// xcacheVals maps a disposition to its shared header value slice.
+func xcacheVals(disposition string) []string {
+	switch disposition {
+	case "hit":
+		return xcacheHit
+	case "cold":
+		return xcacheCold
+	case "coalesced":
+		return xcacheCoalesced
+	}
+	return []string{disposition}
 }
 
 // respond writes a rendered response, honouring If-None-Match, and stamps
 // the cache disposition ("cold", "hit", or "coalesced") for observability
-// and the e2e tests.
+// and the e2e tests. Fixed headers are assigned under their canonical
+// textproto keys from the response's precomputed value slices, so a cache
+// hit writes zero serve-layer allocations; responses that never passed
+// through evaluate (direct construction in tests) fall back to Set.
 func respond(w http.ResponseWriter, r *http.Request, resp Response, disposition string) {
 	h := w.Header()
-	h.Set("X-Cache", disposition)
+	h["X-Cache"] = xcacheVals(disposition)
 	if resp.ETag != "" {
-		h.Set("ETag", resp.ETag)
+		if resp.etagVals != nil {
+			h["Etag"] = resp.etagVals
+		} else {
+			h.Set("ETag", resp.ETag)
+		}
 		if match := r.Header.Get("If-None-Match"); match != "" && match == resp.ETag {
 			w.WriteHeader(http.StatusNotModified)
 			return
 		}
 	}
-	h.Set("Content-Type", resp.ContentType)
-	h.Set("Content-Length", strconv.Itoa(len(resp.Body)))
+	if resp.ctVals != nil {
+		h["Content-Type"] = resp.ctVals
+		h["Content-Length"] = resp.clenVals
+	} else {
+		h.Set("Content-Type", resp.ContentType)
+		h.Set("Content-Length", strconv.Itoa(len(resp.Body)))
+	}
 	w.Write(resp.Body)
 }
 
-// fail writes an error as a JSON problem document.
+// fail writes an error as a JSON problem document, reusing the prerendered
+// body when the error carries one.
 func fail(w http.ResponseWriter, err error) {
 	status := statusOf(err)
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
-	body, _ := json.Marshal(map[string]any{"error": err.Error(), "status": status})
-	w.Write(append(body, '\n'))
+	var he *httpError
+	if errors.As(err, &he) && he.body != nil {
+		w.Write(he.body)
+		return
+	}
+	w.Write(problemBody(status, err.Error()))
+}
+
+// serveRawHit is the fast half of the hot path: if this exact request body
+// has been seen before (raw memo) and its canonical response is still
+// cached, serve it without parsing a byte of JSON. Reports whether it
+// served.
+func (s *Server) serveRawHit(w http.ResponseWriter, r *http.Request, rawKey Key) bool {
+	key, ok := s.rawKeys.get(rawKey)
+	if !ok {
+		return false
+	}
+	resp, ok := s.cache.get(key)
+	if !ok {
+		return false
+	}
+	s.metrics.cacheHits.Add(1)
+	respond(w, r, resp, "hit")
+	return true
 }
 
 // serveCached is the shared hot path: look up the content address, coalesce
@@ -285,7 +436,7 @@ func fail(w http.ResponseWriter, err error) {
 // under the bounded queue with the per-request timeout already applied.
 func (s *Server) serveCached(w http.ResponseWriter, r *http.Request, key Key, compute func(ctx context.Context) (Response, error)) {
 	if resp, ok := s.cache.get(key); ok {
-		s.metrics.counter("cache_hit")
+		s.metrics.cacheHits.Add(1)
 		respond(w, r, resp, "hit")
 		return
 	}
@@ -294,10 +445,10 @@ func (s *Server) serveCached(w http.ResponseWriter, r *http.Request, key Key, co
 		// Re-check under the flight: a request that lost the race between
 		// its cache miss and its flight entry finds the winner's result.
 		if resp, ok := s.cache.get(key); ok {
-			s.metrics.counter("cache_hit")
+			s.metrics.cacheHits.Add(1)
 			return resp, nil
 		}
-		s.metrics.counter("cache_miss")
+		s.metrics.cacheMisses.Add(1)
 		resp, err := s.evaluate(compute)
 		if err != nil {
 			return Response{}, err
@@ -306,7 +457,7 @@ func (s *Server) serveCached(w http.ResponseWriter, r *http.Request, key Key, co
 		return resp, nil
 	})
 	if shared {
-		s.metrics.counter("coalesced")
+		s.metrics.coalesced.Add(1)
 		disposition = "coalesced"
 	}
 	if err != nil {
@@ -327,22 +478,22 @@ func (s *Server) evaluate(compute func(ctx context.Context) (Response, error)) (
 	case s.queue <- struct{}{}:
 		defer func() { <-s.queue }()
 	case <-ctx.Done():
-		s.metrics.counter("queue_timeout")
-		return Response{}, &httpError{status: http.StatusServiceUnavailable,
-			msg: fmt.Sprintf("evaluation queue full for %v", s.cfg.Timeout)}
+		s.metrics.queueTimeouts.Add(1)
+		return Response{}, s.errQueueFull
 	}
-	s.metrics.counter("evaluation")
+	s.metrics.evaluations.Add(1)
 	if s.evalDelay > 0 {
 		time.Sleep(s.evalDelay)
 	}
 	resp, err := compute(ctx)
 	if err != nil {
 		if errors.Is(err, context.DeadlineExceeded) {
-			s.metrics.counter("eval_timeout")
+			s.metrics.evalTimeouts.Add(1)
 		}
 		return Response{}, err
 	}
 	resp.ETag = etagOf(resp.Body)
+	resp.stampHeaders()
 	return resp, nil
 }
 
@@ -418,9 +569,14 @@ func canonicalModelRequest(data []byte) (*ModelRequest, []byte, error) {
 
 // handleModel serves bounds + classification + advice.
 func (s *Server) handleModel(w http.ResponseWriter, r *http.Request) {
-	body, err := s.readBody(w, r)
+	body, sc, err := s.readBody(r)
 	if err != nil {
 		fail(w, err)
+		return
+	}
+	defer putBody(sc)
+	rawKey := ContentKey("raw-model", body)
+	if s.serveRawHit(w, r, rawKey) {
 		return
 	}
 	req, canonical, err := canonicalModelRequest(body)
@@ -428,7 +584,9 @@ func (s *Server) handleModel(w http.ResponseWriter, r *http.Request) {
 		fail(w, err)
 		return
 	}
-	s.serveCached(w, r, ContentKey("model", canonical), func(ctx context.Context) (Response, error) {
+	key := ContentKey("model", canonical)
+	s.rawKeys.put(rawKey, key)
+	s.serveCached(w, r, key, func(ctx context.Context) (Response, error) {
 		return s.evaluateModel(req)
 	})
 }
@@ -523,9 +681,14 @@ type SweepResponse struct {
 
 // handleSweep runs a wfsweep spec and returns its tables as JSON.
 func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
-	body, err := s.readBody(w, r)
+	body, sc, err := s.readBody(r)
 	if err != nil {
 		fail(w, err)
+		return
+	}
+	defer putBody(sc)
+	rawKey := ContentKey("raw-sweep", body)
+	if s.serveRawHit(w, r, rawKey) {
 		return
 	}
 	spec, err := study.ParseSpec(body)
@@ -538,7 +701,9 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		fail(w, badRequest("%v", err))
 		return
 	}
-	s.serveCached(w, r, ContentKey("sweep", canonical), func(ctx context.Context) (Response, error) {
+	key := ContentKey("sweep", canonical)
+	s.rawKeys.put(rawKey, key)
+	s.serveCached(w, r, key, func(ctx context.Context) (Response, error) {
 		// The server owns the parallelism budget; results are identical at
 		// any worker count, so this never changes the bytes.
 		spec.Workers = s.cfg.Workers
@@ -554,15 +719,16 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
-// handleFigure renders one paper figure as SVG.
+// handleFigure renders one paper figure as SVG. The catalog's name list is
+// resolved once (figures.Names sorts a fresh slice per call).
 func (s *Server) handleFigure(w http.ResponseWriter, r *http.Request) {
 	name := r.PathValue("name")
-	if !slices.Contains(figures.Names(), name) {
+	if !slices.Contains(s.figureNames, name) {
 		fail(w, &httpError{status: http.StatusNotFound,
-			msg: fmt.Sprintf("unknown figure %q (have %v)", name, figures.Names())})
+			msg: fmt.Sprintf("unknown figure %q (have %v)", name, s.figureNames)})
 		return
 	}
-	s.serveCached(w, r, ContentKey("figure", []byte(name)), func(ctx context.Context) (Response, error) {
+	s.serveCached(w, r, contentKeyString("figure", name), func(ctx context.Context) (Response, error) {
 		fig, err := figures.Render(name)
 		if err != nil {
 			return Response{}, err

@@ -19,8 +19,10 @@ func TestContentKeyDistinguishesKinds(t *testing.T) {
 	}
 }
 
+// The strict-LRU tests pin shards to 1: a single shard is exact global LRU,
+// which is also what shardCount degenerates to for tiny capacities.
 func TestLRUEvictsOldest(t *testing.T) {
-	c := newLRUCache(2)
+	c := newShardedLRU[Response](2, 1)
 	keys := make([]Key, 3)
 	for i := range keys {
 		keys[i] = ContentKey("t", []byte{byte(i)})
@@ -40,7 +42,7 @@ func TestLRUEvictsOldest(t *testing.T) {
 }
 
 func TestLRUGetRefreshesRecency(t *testing.T) {
-	c := newLRUCache(2)
+	c := newShardedLRU[Response](2, 1)
 	a := ContentKey("t", []byte("a"))
 	b := ContentKey("t", []byte("b"))
 	x := ContentKey("t", []byte("x"))
@@ -57,7 +59,7 @@ func TestLRUGetRefreshesRecency(t *testing.T) {
 }
 
 func TestLRUFlush(t *testing.T) {
-	c := newLRUCache(4)
+	c := newShardedLRU[Response](4, 1)
 	c.put(ContentKey("t", []byte("a")), Response{Body: []byte("a")})
 	c.flush()
 	if c.len() != 0 {
@@ -69,7 +71,7 @@ func TestLRUFlush(t *testing.T) {
 }
 
 func TestFlightCoalesces(t *testing.T) {
-	g := newFlightGroup()
+	g := newFlightGroup(16)
 	key := ContentKey("t", []byte("k"))
 	var evals int
 	started := make(chan struct{})
@@ -126,7 +128,7 @@ func TestFlightCoalesces(t *testing.T) {
 }
 
 func TestFlightSharesErrors(t *testing.T) {
-	g := newFlightGroup()
+	g := newFlightGroup(16)
 	key := ContentKey("t", []byte("err"))
 	wantErr := fmt.Errorf("boom")
 	_, err, _ := g.do(key, func() (Response, error) { return Response{}, wantErr })
