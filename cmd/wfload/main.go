@@ -9,7 +9,9 @@
 // The request blend comes from -mix: "hit-heavy" replays a small fixed
 // working set (after one warm pass the server answers from cache),
 // "miss-heavy" varies a spec field per request so nearly every request is a
-// fresh cache key.
+// fresh cache key, and "corpus" blends generated gen-* case models with
+// mostly re-seeded corpus sweeps, exercising the DAG generator and NUMA
+// machine models under load.
 //
 // Usage:
 //
@@ -45,7 +47,7 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("wfload", flag.ContinueOnError)
 	var (
 		url      = fs.String("url", "http://localhost:8080", "wfserved base URL")
-		mixName  = fs.String("mix", "hit-heavy", "request mix: hit-heavy or miss-heavy")
+		mixName  = fs.String("mix", "hit-heavy", "request mix: hit-heavy, miss-heavy, or corpus")
 		duration = fs.Duration("duration", 10*time.Second, "how long to drive load")
 		workers  = fs.Int("workers", 8, "closed-loop concurrency (open-loop: in-flight cap)")
 		rps      = fs.Float64("rps", 0, "open-loop target rate; 0 selects closed-loop mode")

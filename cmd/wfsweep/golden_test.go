@@ -1,0 +1,59 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// -update rewrites the checked-in golden transcripts.
+var update = flag.Bool("update", false, "rewrite testdata golden files")
+
+// TestGoldenCorpusTranscript pins the full rendered report for a small
+// generated-scenario corpus so any drift in wfgen's generator, the NUMA
+// machine model, the roofline bound, the simulator, or the table formatting
+// shows up as a diff against the checked-in transcript. The corpus is
+// deterministic per seed at any worker count, which is what makes a golden
+// possible at all. Run `go test ./cmd/wfsweep -update` after an intentional
+// change and review the diff.
+func TestGoldenCorpusTranscript(t *testing.T) {
+	cases := []struct {
+		name, spec string
+	}{
+		{"corpus-small", `{"kind": "corpus", "machine": "perlmutter-numa",
+			"count": 20, "seed": 7,
+			"template": {"width": 4, "depth": 3, "cv": 0.4, "payload": "512 MB"}}`},
+		{"corpus-ridgeline", `{"kind": "corpus", "machine": "ridgeline",
+			"count": 10, "seed": 3, "families": ["fanout", "epigenomics"],
+			"template": {"width": 6, "depth": 3, "nodes_per_task": 4,
+				"net": "20 GB", "cv": 0.3, "payload": "1 GB"}}`},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var out bytes.Buffer
+			if err := run(context.Background(), []string{"-spec", "-"},
+				strings.NewReader(tc.spec), &out); err != nil {
+				t.Fatal(err)
+			}
+			golden := filepath.Join("testdata", tc.name+".golden")
+			if *update {
+				if err := os.WriteFile(golden, out.Bytes(), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(golden)
+			if err != nil {
+				t.Fatalf("missing golden (run with -update to create): %v", err)
+			}
+			if out.String() != string(want) {
+				t.Errorf("%s output drifted from golden (%d bytes now, %d in golden); run with -update if intentional\ngot:\n%s",
+					tc.name, out.Len(), len(want), out.String())
+			}
+		})
+	}
+}

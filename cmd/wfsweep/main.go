@@ -1,6 +1,6 @@
 // Command wfsweep runs parallel ensemble studies — Monte Carlo contention
-// trials, what-if scenario grids, archetype shape surveys, and failure
-// ensembles — over the
+// trials, what-if scenario grids, archetype shape surveys, failure
+// ensembles, and generated-scenario corpora — over the
 // sweep worker pool. A JSON spec goes in; an aligned-text, CSV, or Markdown
 // report comes out. Results are bit-identical at any worker count: per-trial
 // RNGs are seeded from (seed, trial index) and results aggregate in trial
@@ -36,6 +36,10 @@
 //	{"kind": "failures", "case": "lcls-cori", "trials": 200, "seed": 7,
 //	 "failure": {"task_fail_prob": 0.02, "restage_rate": "1 GB/s",
 //	             "retry": {"max_attempts": 5, "backoff_seconds": 1}}}
+//
+//	{"kind": "corpus", "machine": "perlmutter-numa", "count": 1000, "seed": 11,
+//	 "families": ["chain", "montage"],
+//	 "template": {"width": 8, "depth": 4, "cv": 0.4, "payload": "1 GB"}}
 package main
 
 import (
@@ -62,7 +66,7 @@ func run(ctx context.Context, args []string, stdin io.Reader, out io.Writer) err
 	specPath := fs.String("spec", "", "JSON spec file ('-' reads stdin)")
 	workers := fs.Int("workers", -1, "worker pool size (overrides the spec; 0 = GOMAXPROCS)")
 	format := fs.String("format", "table", "output format: table, csv, or markdown")
-	example := fs.String("example", "", "print a template spec (montecarlo, grid, survey, failures) and exit")
+	example := fs.String("example", "", "print a template spec (montecarlo, grid, survey, failures, corpus) and exit")
 	fs.SetOutput(out)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -71,7 +75,7 @@ func run(ctx context.Context, args []string, stdin io.Reader, out io.Writer) err
 		return printExample(out, *example)
 	}
 	if *specPath == "" {
-		return fmt.Errorf("missing -spec (use -example montecarlo|grid|survey|failures for a template)")
+		return fmt.Errorf("missing -spec (use -example montecarlo|grid|survey|failures|corpus for a template)")
 	}
 	var data []byte
 	var err error

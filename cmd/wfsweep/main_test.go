@@ -36,6 +36,10 @@ const surveySpec = `{"kind": "survey", "machine": "perlmutter",
   "partition": "cpu", "widths": [4, 8], "depths": [2, 3],
   "nodes_per_task": 2, "work": {"flops": "5 TFLOP", "fs": "100 GB"}}`
 
+const corpusSpec = `{"kind": "corpus", "machine": "perlmutter-numa",
+  "count": 100, "seed": 11,
+  "template": {"width": 5, "depth": 3, "cv": 0.4, "payload": "512 MB"}}`
+
 // TestReportByteEqualAcrossWorkerCounts is the determinism acceptance
 // criterion: the full rendered report must be byte-identical at worker
 // counts 1, 4, and GOMAXPROCS for every spec kind.
@@ -46,6 +50,7 @@ func TestReportByteEqualAcrossWorkerCounts(t *testing.T) {
 		{"montecarlo", mcSpec},
 		{"grid", gridSpec},
 		{"survey", surveySpec},
+		{"corpus", corpusSpec},
 	} {
 		t.Run(tc.name, func(t *testing.T) {
 			base := runSpec(t, tc.spec, "-workers", "1")
@@ -97,6 +102,19 @@ func TestSurveyReportShape(t *testing.T) {
 	}
 }
 
+func TestCorpusReportShape(t *testing.T) {
+	out := runSpec(t, corpusSpec)
+	for _, want := range []string{
+		"Generated corpus on Perlmutter-NUMA: 100 scenarios, seed 11",
+		"chain", "fanout", "diamond", "montage", "epigenomics",
+		"Corpus makespan distribution", "Binding-ceiling histogram",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q:\n%s", want, out)
+		}
+	}
+}
+
 func TestFormatCSV(t *testing.T) {
 	out := runSpec(t, gridSpec, "-format", "csv")
 	if !strings.Contains(out, "scenario,bound TPS,speedup,limited by") {
@@ -117,7 +135,7 @@ func TestFormatMarkdown(t *testing.T) {
 func TestExamplesRoundTrip(t *testing.T) {
 	// Every -example template must itself be a runnable spec (with the trial
 	// count cut down for test speed via -workers inheriting the spec).
-	for _, kind := range []string{"montecarlo", "grid", "survey"} {
+	for _, kind := range []string{"montecarlo", "grid", "survey", "corpus"} {
 		var tmpl bytes.Buffer
 		if err := run(context.Background(), []string{"-example", kind}, strings.NewReader(""), &tmpl); err != nil {
 			t.Fatalf("-example %s: %v", kind, err)
@@ -126,6 +144,10 @@ func TestExamplesRoundTrip(t *testing.T) {
 		if kind == "montecarlo" {
 			// 10k trials is a benchmark-scale default; shrink for the test.
 			spec = strings.Replace(spec, `"trials": 10000`, `"trials": 50`, 1)
+		}
+		if kind == "corpus" {
+			// The template's 1,000 scenarios are exercised elsewhere; shrink here.
+			spec = strings.Replace(spec, `"count": 1000`, `"count": 25`, 1)
 		}
 		var out bytes.Buffer
 		if err := run(context.Background(), []string{"-spec", "-"}, strings.NewReader(spec), &out); err != nil {

@@ -94,7 +94,7 @@ func (b BoundClass) String() string {
 
 // NodeResource reports whether the resource is node-local (compute, memory,
 // PCIe, serialized overhead) as opposed to a shared system path (network,
-// file system, external). The distinction drives Fig 3's node-bound vs
+// file system, external, fabric bisection). The distinction drives Fig 3's node-bound vs
 // system-bound split; it is about what the resource *is*, not how its
 // ceiling is drawn — a per-stream-capped external path plots as a diagonal
 // but is still a system resource.

@@ -25,15 +25,16 @@ type jsonModel struct {
 // resourceNames maps enums to stable strings (String() output).
 var resourceByName = func() map[string]Resource {
 	out := make(map[string]Resource)
-	for r := ResCompute; r <= ResOverhead; r++ {
+	for r := ResCompute; r <= ResBisection; r++ {
 		out[r.String()] = r
 	}
 	return out
 }()
 
 // ParseResource maps a symbolic resource name ("compute", "memory", "pcie",
-// "network", "filesystem", "external", "overhead") back to its enum — the
-// inverse of Resource.String, shared by the JSON codec and the CLIs.
+// "network", "filesystem", "external", "overhead", "bisection") back to its
+// enum — the inverse of Resource.String, shared by the JSON codec and the
+// CLIs.
 func ParseResource(name string) (Resource, error) {
 	if r, ok := resourceByName[name]; ok {
 		return r, nil

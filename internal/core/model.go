@@ -71,6 +71,7 @@ const (
 	ResFileSystem                 // shared parallel file system
 	ResExternal                   // external staging (DTN / WAN)
 	ResOverhead                   // serialized control-flow overhead (e.g. Python, bash)
+	ResBisection                  // fabric bisection bandwidth (Ridgeline's second network dimension)
 )
 
 // String names the resource.
@@ -90,6 +91,8 @@ func (r Resource) String() string {
 		return "external"
 	case ResOverhead:
 		return "overhead"
+	case ResBisection:
+		return "bisection"
 	default:
 		return fmt.Sprintf("Resource(%d)", int(r))
 	}
@@ -427,11 +430,14 @@ func Build(m *machine.Machine, w *workflow.Workflow, opts BuildOptions) (*Model,
 		Scope:       ScopeNode,
 		TimePerTask: units.TimeToCompute(work.Flops, part.NodeFlops),
 	})
+	// NUMA topologies lower the memory peak below the flat node aggregate;
+	// for machines without a NUMA block EffectiveMemBW is exactly NodeMemBW.
+	memBW := part.EffectiveMemBW()
 	model.AddCeiling(Ceiling{
-		Name:        fmt.Sprintf("Memory: %v @ %v", work.MemBytes, part.NodeMemBW),
+		Name:        fmt.Sprintf("Memory: %v @ %v", work.MemBytes, memBW),
 		Resource:    ResMemory,
 		Scope:       ScopeNode,
-		TimePerTask: units.TimeToMove(work.MemBytes, part.NodeMemBW),
+		TimePerTask: units.TimeToMove(work.MemBytes, memBW),
 	})
 	model.AddCeiling(Ceiling{
 		Name:        fmt.Sprintf("PCIe: %v @ %v", work.PCIeBytes, part.NodePCIeBW),
@@ -448,6 +454,20 @@ func Build(m *machine.Machine, w *workflow.Workflow, opts BuildOptions) (*Model,
 		Scope:       ScopeSystem,
 		TimePerTask: units.TimeToMove(work.NetworkBytes, part.NodeNICBW),
 	})
+	// Ridgeline-style fabrics add a second network ceiling: the per-task
+	// bisection load (the task's injected bytes across all its nodes, of
+	// which BisectionShare crosses the cut) over the fabric's aggregate
+	// bisection bandwidth. Machines without a bisection entry model a
+	// full-bisection fabric and add nothing.
+	if bisBW, ok := m.BisectionBW[w.Partition]; ok && work.NetworkBytes > 0 {
+		vol := units.Bytes(float64(work.NetworkBytes) * float64(req) * machine.BisectionShare)
+		model.AddCeiling(Ceiling{
+			Name:        fmt.Sprintf("Bisection: %v/task @ %v", vol, bisBW),
+			Resource:    ResBisection,
+			Scope:       ScopeSystem,
+			TimePerTask: units.TimeToMove(vol, bisBW),
+		})
+	}
 	if work.FSBytes > 0 {
 		fsBW, err := m.FSBandwidth(w.Partition)
 		if err != nil {

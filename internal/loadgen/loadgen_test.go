@@ -92,10 +92,11 @@ func TestHistConcurrentRecord(t *testing.T) {
 	}
 }
 
-// TestMixScenarios checks both built-in mixes produce well-formed requests
-// and that the miss-heavy mix actually varies bodies with the sequence.
+// TestMixScenarios checks the built-in mixes produce well-formed requests
+// and that the miss-heavy and corpus mixes actually vary bodies with the
+// sequence.
 func TestMixScenarios(t *testing.T) {
-	for _, name := range []string{"hit-heavy", "miss-heavy"} {
+	for _, name := range []string{"hit-heavy", "miss-heavy", "corpus"} {
 		m, err := MixByName(name)
 		if err != nil {
 			t.Fatalf("MixByName(%q): %v", name, err)
@@ -122,6 +123,17 @@ func TestMixScenarios(t *testing.T) {
 	}
 	if varying < 2 {
 		t.Errorf("miss-heavy has %d sequence-varying shapes, want >= 2", varying)
+	}
+
+	corpus, _ := MixByName("corpus")
+	varying = 0
+	for _, sh := range corpus.shapes {
+		if sh.body != nil && sh.body(1) != sh.body(2) {
+			varying++
+		}
+	}
+	if varying < 1 {
+		t.Error("corpus mix has no sequence-varying shapes")
 	}
 }
 

@@ -62,6 +62,11 @@ func fixedBody(s string) func(uint64) string {
 const sweepSpec = `{"kind":"montecarlo","case":"lcls-cori","trials":16,"seed":%d,` +
 	`"sampler":{"model":"twostate","base":"1 GB/s","degraded":"0.2 GB/s","p_bad":0.4}}`
 
+// corpusSweepSpec is a small generated-scenario corpus on the NUMA machine;
+// the seed slot plays the same fixed-vs-varying role as in sweepSpec.
+const corpusSweepSpec = `{"kind":"corpus","machine":"perlmutter-numa","count":20,"seed":%d,` +
+	`"template":{"width":5,"depth":3,"cv":0.4,"payload":"512 MB"}}`
+
 // MixByName returns a built-in scenario.
 //
 // "hit-heavy" models a dashboard fleet re-requesting a small working set:
@@ -72,6 +77,11 @@ const sweepSpec = `{"kind":"montecarlo","case":"lcls-cori","trials":16,"seed":%d
 // (curve_samples for models, the ensemble seed for sweeps) through the
 // sequence counter, so nearly every request is a fresh cache key and the
 // run measures evaluation plus eviction pressure.
+//
+// "corpus" models a scenario-generation campaign: generated gen-* case
+// models plus corpus sweeps, mostly re-seeded per request so the server
+// spends its time generating and simulating fresh DAG ensembles, with a
+// fixed corpus replayed often enough to keep the hit path honest.
 func MixByName(name string) (*Mix, error) {
 	switch name {
 	case "hit-heavy":
@@ -96,8 +106,19 @@ func MixByName(name string) (*Mix, error) {
 			{"model", "POST", "/v1/model", 10, fixedBody(`{"case":"example"}`)},
 			{"figure", "GET", "/v1/figures/example.svg", 10, nil},
 		}}.normalize(), nil
+	case "corpus":
+		return Mix{Name: name, shapes: []shape{
+			{"sweep", "POST", "/v1/sweep", 35, func(seq uint64) string {
+				return fmt.Sprintf(corpusSweepSpec, seq)
+			}},
+			{"sweep", "POST", "/v1/sweep", 15, fixedBody(fmt.Sprintf(corpusSweepSpec, 11))},
+			{"model", "POST", "/v1/model", 20, fixedBody(`{"case":"gen-montage"}`)},
+			{"model", "POST", "/v1/model", 15, fixedBody(`{"case":"gen-epigenomics"}`)},
+			{"model", "POST", "/v1/model", 10, fixedBody(`{"case":"gen-chain"}`)},
+			{"figure", "GET", "/v1/figures/example.svg", 5, nil},
+		}}.normalize(), nil
 	default:
-		return nil, fmt.Errorf("unknown mix %q (want hit-heavy or miss-heavy)", name)
+		return nil, fmt.Errorf("unknown mix %q (want hit-heavy, miss-heavy, or corpus)", name)
 	}
 }
 

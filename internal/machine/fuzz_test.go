@@ -12,7 +12,7 @@ import (
 // package, never a panic, and anything that decodes is a valid machine that
 // survives a Marshal/Unmarshal round-trip.
 func FuzzParse(f *testing.F) {
-	for _, m := range []*Machine{Perlmutter(), CoriHaswell()} {
+	for _, m := range []*Machine{Perlmutter(), CoriHaswell(), PerlmutterNUMA(), Ridgeline()} {
 		data, err := json.Marshal(m)
 		if err != nil {
 			f.Fatal(err)
@@ -30,6 +30,14 @@ func FuzzParse(f *testing.F) {
 	f.Add(`{"name":"m","partitions":{"cpu":{"name":"cpu","nodes":4,"node_flops":1e12}},` +
 		`"fs_bw":{"gpu":1e9}}`) // fs bandwidth for a partition that does not exist
 	f.Add(`{"name":"m","partitions":{"cpu":{"name":"cpu","nodes":1e999}}}`)
+	f.Add(`{"name":"m","partitions":{"cpu":{"name":"cpu","nodes":4,"node_flops":1e12,` +
+		`"numa":{"sockets":0,"socket_mem_bw":1e11}}}}`) // zero sockets
+	f.Add(`{"name":"m","partitions":{"cpu":{"name":"cpu","nodes":4,"node_flops":1e12,` +
+		`"numa":{"sockets":2,"socket_mem_bw":1e11,"remote_fraction":0.5}}}}`) // remote traffic, no fabric
+	f.Add(`{"name":"m","partitions":{"cpu":{"name":"cpu","nodes":4,"node_flops":1e12}},` +
+		`"bisection_bw":{"gpu":1e12}}`) // bisection for a partition that does not exist
+	f.Add(`{"name":"m","partitions":{"cpu":{"name":"cpu","nodes":4,"node_flops":1e12}},` +
+		`"bisection_bw":{"cpu":-1}}`) // negative bisection
 	f.Add(`not json`)
 	f.Add(`[]`)
 	f.Add(`{"partitions":`)

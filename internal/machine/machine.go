@@ -15,6 +15,28 @@ import (
 	"wroofline/internal/units"
 )
 
+// NUMA refines a partition's flat NodeMemBW into a socket topology: the
+// node's memory peak is the sum of per-socket local bandwidths, but any
+// traffic a task drives across the inter-socket fabric (remote accesses)
+// moves at the much lower inter-socket rate. The effective node bandwidth
+// combines the two harmonically (see Partition.EffectiveMemBW).
+type NUMA struct {
+	// Sockets is the number of NUMA domains per node (CPU sockets, or HBM
+	// stacks on multi-GPU nodes).
+	Sockets int `json:"sockets"`
+	// SocketMemBW is the local memory bandwidth of one domain; the node's
+	// aggregate local peak is Sockets x SocketMemBW.
+	SocketMemBW units.ByteRate `json:"socket_mem_bw"`
+	// InterSocketBW is the bandwidth of the inter-socket fabric (xGMI, UPI,
+	// NVLink) that remote accesses traverse. Required when RemoteFraction is
+	// positive.
+	InterSocketBW units.ByteRate `json:"inter_socket_bw,omitempty"`
+	// RemoteFraction in [0,1] is the fraction of memory traffic that crosses
+	// sockets. Zero models perfectly pinned tasks: the effective bandwidth is
+	// exactly the local aggregate.
+	RemoteFraction float64 `json:"remote_fraction,omitempty"`
+}
+
 // Partition describes one homogeneous node pool of a machine (e.g. the
 // Perlmutter GPU partition). All node-level peaks are per-node aggregates:
 // a Perlmutter GPU node reports 4 x 9.7 TFLOPS = 38.8 TFLOPS.
@@ -39,6 +61,31 @@ type Partition struct {
 	// NodeNICBW is the aggregate network-injection bandwidth per node per
 	// direction.
 	NodeNICBW units.ByteRate `json:"node_nic_bw"`
+	// NUMA optionally refines NodeMemBW into a socket topology. When nil the
+	// node is modeled flat and NodeMemBW is the memory peak.
+	NUMA *NUMA `json:"numa,omitempty"`
+}
+
+// EffectiveMemBW returns the node memory bandwidth the NUMA topology
+// sustains. Without a NUMA block it is exactly NodeMemBW (the flat model).
+// With one, the local aggregate is Sockets x SocketMemBW, and the remote
+// fraction f of traffic is limited by the inter-socket fabric; the two
+// combine harmonically (time adds per byte):
+//
+//	BW_eff = 1 / ((1-f)/BW_local + f/BW_inter)
+//
+// A zero RemoteFraction therefore reproduces the flat model bit-exactly
+// whenever Sockets x SocketMemBW equals NodeMemBW.
+func (p *Partition) EffectiveMemBW() units.ByteRate {
+	n := p.NUMA
+	if n == nil {
+		return p.NodeMemBW
+	}
+	local := float64(n.Sockets) * float64(n.SocketMemBW)
+	if n.RemoteFraction <= 0 {
+		return units.ByteRate(local)
+	}
+	return units.ByteRate(1 / ((1-n.RemoteFraction)/local + n.RemoteFraction/float64(n.InterSocketBW)))
 }
 
 // MaxParallelTasks returns the system parallelism wall for tasks that each
@@ -86,7 +133,19 @@ type Machine struct {
 	// ExternalBW is the peak bandwidth for staging data in from outside the
 	// system (data transfer nodes / WAN).
 	ExternalBW units.ByteRate `json:"external_bw,omitempty"`
+	// BisectionBW maps partition name to the fabric's bisection bandwidth,
+	// the Ridgeline-style second network dimension: NodeNICBW bounds what one
+	// node can inject, BisectionBW bounds what all nodes can push across the
+	// fabric at once. Absent entries model an unconstrained (full-bisection)
+	// fabric, which reduces exactly to the flat one-dimensional network model.
+	BisectionBW map[string]units.ByteRate `json:"bisection_bw,omitempty"`
 }
+
+// BisectionShare is the fraction of injected traffic assumed to cross the
+// fabric bisection under a uniform (all-to-all) traffic pattern: half the
+// bytes stay on each side. Both the roofline builder and the simulator use
+// it to turn per-node network volumes into bisection load.
+const BisectionShare = 0.5
 
 // Partition returns the named partition or an error listing the available
 // names.
@@ -143,6 +202,23 @@ func (m *Machine) Validate() error {
 		if p.NodeFlops < 0 || p.NodeMemBW < 0 || p.NodePCIeBW < 0 || p.NodeNICBW < 0 {
 			return fmt.Errorf("machine %s: partition %q has a negative peak", m.Name, name)
 		}
+		if n := p.NUMA; n != nil {
+			if n.Sockets <= 0 {
+				return fmt.Errorf("machine %s: partition %q NUMA needs positive sockets, got %d", m.Name, name, n.Sockets)
+			}
+			if n.SocketMemBW <= 0 {
+				return fmt.Errorf("machine %s: partition %q NUMA needs positive socket memory bandwidth", m.Name, name)
+			}
+			if n.RemoteFraction < 0 || n.RemoteFraction > 1 {
+				return fmt.Errorf("machine %s: partition %q NUMA remote fraction %v outside [0,1]", m.Name, name, n.RemoteFraction)
+			}
+			if n.RemoteFraction > 0 && n.InterSocketBW <= 0 {
+				return fmt.Errorf("machine %s: partition %q NUMA has remote traffic but no inter-socket bandwidth", m.Name, name)
+			}
+			if n.InterSocketBW < 0 {
+				return fmt.Errorf("machine %s: partition %q NUMA has negative inter-socket bandwidth", m.Name, name)
+			}
+		}
 	}
 	for name, bw := range m.FileSystemBW {
 		if _, ok := m.Partitions[name]; !ok {
@@ -150,6 +226,14 @@ func (m *Machine) Validate() error {
 		}
 		if bw <= 0 {
 			return fmt.Errorf("machine %s: non-positive file-system bandwidth for %q", m.Name, name)
+		}
+	}
+	for name, bw := range m.BisectionBW {
+		if _, ok := m.Partitions[name]; !ok {
+			return fmt.Errorf("machine %s: bisection bandwidth references unknown partition %q", m.Name, name)
+		}
+		if bw <= 0 {
+			return fmt.Errorf("machine %s: non-positive bisection bandwidth for %q", m.Name, name)
 		}
 	}
 	if m.BurstBufferBW < 0 || m.ExternalBW < 0 {
@@ -186,10 +270,20 @@ func (m *Machine) Clone() *Machine {
 	}
 	for k, p := range m.Partitions {
 		cp := *p
+		if p.NUMA != nil {
+			n := *p.NUMA
+			cp.NUMA = &n
+		}
 		out.Partitions[k] = &cp
 	}
 	for k, v := range m.FileSystemBW {
 		out.FileSystemBW[k] = v
+	}
+	if m.BisectionBW != nil {
+		out.BisectionBW = make(map[string]units.ByteRate, len(m.BisectionBW))
+		for k, v := range m.BisectionBW {
+			out.BisectionBW[k] = v
+		}
 	}
 	return out
 }
@@ -261,6 +355,93 @@ func CoriHaswell() *Machine {
 		BurstBufferBW: 910 * units.GBPS,
 		ExternalBW:    1 * units.GBPS,
 	}
+}
+
+// PerlmutterNUMA returns the Perlmutter spec with the socket topology made
+// explicit. The CPU partition's 2 x 204.8 GB/s DRAM becomes two NUMA
+// domains joined by a 64 GB/s xGMI-class fabric with 15% of traffic going
+// remote; the GPU partition's 4 x 1555 GB/s HBM becomes four domains joined
+// by NVLink (600 GB/s) with 10% remote traffic. The flat aggregates are
+// unchanged — only the effective memory bandwidth drops, which is the point:
+// the same workflow gets a lower memory ceiling here than on Perlmutter().
+func PerlmutterNUMA() *Machine {
+	m := Perlmutter()
+	m.Name = "Perlmutter-NUMA"
+	m.Partitions[PartCPU].NUMA = &NUMA{
+		Sockets:        2,
+		SocketMemBW:    204.8 * units.GBPS,
+		InterSocketBW:  64 * units.GBPS,
+		RemoteFraction: 0.15,
+	}
+	m.Partitions[PartGPU].NUMA = &NUMA{
+		Sockets:        4,
+		SocketMemBW:    1555 * units.GBPS,
+		InterSocketBW:  600 * units.GBPS,
+		RemoteFraction: 0.10,
+	}
+	return m
+}
+
+// Ridgeline returns a dragonfly-class system characterized Ridgeline-style,
+// with the network split into two distinct ceilings: per-node injection
+// (25 GB/s NICs, 51.2 TB/s aggregate across 2048 nodes) and a 2:1-tapered
+// fabric whose bisection sustains only 12.8 TB/s. Workflows that keep
+// traffic local see the injection ceiling; all-to-all traffic at scale hits
+// the bisection first.
+func Ridgeline() *Machine {
+	return &Machine{
+		Name: "Ridgeline",
+		Partitions: map[string]*Partition{
+			PartCPU: {
+				Name:         PartCPU,
+				Nodes:        2048,
+				CoresPerNode: 64,
+				NodeFlops:    3 * units.TFLOPS,
+				NodeMemBW:    300 * units.GBPS,
+				NodeNICBW:    25 * units.GBPS,
+			},
+		},
+		FileSystemBW: map[string]units.ByteRate{
+			PartCPU: 2 * units.TBPS,
+		},
+		BisectionBW: map[string]units.ByteRate{
+			PartCPU: 12.8 * units.TBPS,
+		},
+		ExternalBW: 10 * units.GBPS,
+	}
+}
+
+// builtins maps the canonical machine names shared by the CLIs, the study
+// specs, and the wfserved endpoints to constructors.
+var builtins = map[string]func() *Machine{
+	"perlmutter":      Perlmutter,
+	"perlmutter-numa": PerlmutterNUMA,
+	"cori":            CoriHaswell,
+	"ridgeline":       Ridgeline,
+}
+
+// Names lists the built-in machine names in sorted order.
+func Names() []string {
+	out := make([]string, 0, len(builtins))
+	for n := range builtins {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ByName returns a fresh instance of the named built-in machine. The empty
+// name defaults to Perlmutter, matching the historical behaviour of every
+// spec surface that takes an optional machine field.
+func ByName(name string) (*Machine, error) {
+	if name == "" {
+		return Perlmutter(), nil
+	}
+	build, ok := builtins[name]
+	if !ok {
+		return nil, fmt.Errorf("machine: unknown machine %q (have %v)", name, Names())
+	}
+	return build(), nil
 }
 
 // WithExternalBW returns a clone with the external bandwidth replaced; it is

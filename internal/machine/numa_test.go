@@ -1,0 +1,156 @@
+package machine
+
+import (
+	"encoding/json"
+	"math"
+	"reflect"
+	"strings"
+	"testing"
+
+	"wroofline/internal/units"
+)
+
+func TestEffectiveMemBW(t *testing.T) {
+	flat := &Partition{Name: "cpu", Nodes: 4, NodeMemBW: 400 * units.GBPS}
+	if got := flat.EffectiveMemBW(); got != flat.NodeMemBW {
+		t.Errorf("flat partition effective bw = %v, want %v", got, flat.NodeMemBW)
+	}
+
+	// Zero remote fraction with Sockets x SocketMemBW == NodeMemBW must
+	// reproduce the flat value bit-exactly — the differential tests lean on
+	// this identity (x2 and /2 are exact in IEEE 754).
+	pinned := &Partition{Name: "cpu", Nodes: 4, NodeMemBW: 400 * units.GBPS,
+		NUMA: &NUMA{Sockets: 2, SocketMemBW: 200 * units.GBPS}}
+	if got := pinned.EffectiveMemBW(); got != pinned.NodeMemBW {
+		t.Errorf("pinned NUMA effective bw = %v, want exactly %v", got, pinned.NodeMemBW)
+	}
+
+	// With remote traffic the harmonic mix applies:
+	// 1 / (0.8/400e9 + 0.2/50e9).
+	remote := &Partition{Name: "cpu", Nodes: 4, NodeMemBW: 400 * units.GBPS,
+		NUMA: &NUMA{Sockets: 2, SocketMemBW: 200 * units.GBPS,
+			InterSocketBW: 50 * units.GBPS, RemoteFraction: 0.2}}
+	want := 1 / (0.8/400e9 + 0.2/50e9)
+	if got := float64(remote.EffectiveMemBW()); math.Abs(got-want) > 1 {
+		t.Errorf("remote NUMA effective bw = %v, want %v", got, want)
+	}
+	if got := remote.EffectiveMemBW(); got >= remote.NodeMemBW {
+		t.Errorf("remote traffic did not lower the ceiling: %v >= %v", got, remote.NodeMemBW)
+	}
+
+	// The built-in NUMA machine keeps the flat aggregates but sustains less.
+	flatPM, numaPM := Perlmutter(), PerlmutterNUMA()
+	for _, part := range []string{PartCPU, PartGPU} {
+		fp, np := flatPM.Partitions[part], numaPM.Partitions[part]
+		if fp.NodeMemBW != np.NodeMemBW {
+			t.Errorf("%s: NUMA spec changed the flat aggregate", part)
+		}
+		if np.EffectiveMemBW() >= fp.EffectiveMemBW() {
+			t.Errorf("%s: NUMA effective bw %v not below flat %v",
+				part, np.EffectiveMemBW(), fp.EffectiveMemBW())
+		}
+	}
+}
+
+func TestNUMAValidateErrors(t *testing.T) {
+	base := func() *Machine {
+		m := Perlmutter()
+		m.Partitions[PartCPU].NUMA = &NUMA{Sockets: 2, SocketMemBW: 200 * units.GBPS,
+			InterSocketBW: 64 * units.GBPS, RemoteFraction: 0.15}
+		return m
+	}
+	if err := base().Validate(); err != nil {
+		t.Fatalf("valid NUMA machine rejected: %v", err)
+	}
+	for _, tc := range []struct {
+		name string
+		muck func(*NUMA)
+		want string
+	}{
+		{"zero sockets", func(n *NUMA) { n.Sockets = 0 }, "positive sockets"},
+		{"zero socket bw", func(n *NUMA) { n.SocketMemBW = 0 }, "socket memory bandwidth"},
+		{"fraction above one", func(n *NUMA) { n.RemoteFraction = 1.5 }, "outside [0,1]"},
+		{"fraction below zero", func(n *NUMA) { n.RemoteFraction = -0.1 }, "outside [0,1]"},
+		{"remote without fabric", func(n *NUMA) { n.InterSocketBW = 0 }, "no inter-socket bandwidth"},
+		{"negative fabric", func(n *NUMA) { n.RemoteFraction = 0; n.InterSocketBW = -1 }, "negative inter-socket"},
+	} {
+		m := base()
+		tc.muck(m.Partitions[PartCPU].NUMA)
+		if err := m.Validate(); err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: err = %v, want substring %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+func TestBisectionValidateErrors(t *testing.T) {
+	m := Ridgeline()
+	if err := m.Validate(); err != nil {
+		t.Fatalf("Ridgeline rejected: %v", err)
+	}
+	m.BisectionBW["gpu"] = units.GBPS
+	if err := m.Validate(); err == nil || !strings.Contains(err.Error(), "unknown partition") {
+		t.Errorf("bisection for unknown partition: err = %v", err)
+	}
+	m = Ridgeline()
+	m.BisectionBW[PartCPU] = 0
+	if err := m.Validate(); err == nil || !strings.Contains(err.Error(), "bisection") {
+		t.Errorf("zero bisection: err = %v", err)
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, name := range Names() {
+		m, err := ByName(name)
+		if err != nil {
+			t.Fatalf("ByName(%q): %v", name, err)
+		}
+		if err := m.Validate(); err != nil {
+			t.Errorf("built-in %q invalid: %v", name, err)
+		}
+	}
+	m, err := ByName("")
+	if err != nil || m.Name != "Perlmutter" {
+		t.Errorf(`ByName("") = %v, %v; want Perlmutter`, m, err)
+	}
+	if _, err := ByName("summit"); err == nil || !strings.Contains(err.Error(), "unknown machine") {
+		t.Errorf("unknown machine err = %v", err)
+	}
+	// Each call returns a fresh instance: mutating one must not leak.
+	a, _ := ByName("ridgeline")
+	a.BisectionBW[PartCPU] = 1
+	b, _ := ByName("ridgeline")
+	if b.BisectionBW[PartCPU] == 1 {
+		t.Error("ByName returned a shared instance")
+	}
+}
+
+func TestCloneCopiesNUMAAndBisection(t *testing.T) {
+	orig := PerlmutterNUMA()
+	c := orig.Clone()
+	c.Partitions[PartCPU].NUMA.RemoteFraction = 0.9
+	if orig.Partitions[PartCPU].NUMA.RemoteFraction == 0.9 {
+		t.Error("clone shares the NUMA block")
+	}
+	r := Ridgeline()
+	rc := r.Clone()
+	rc.BisectionBW[PartCPU] = 1
+	if r.BisectionBW[PartCPU] == 1 {
+		t.Error("clone shares the bisection map")
+	}
+}
+
+func TestNUMAMachinesJSONRoundTrip(t *testing.T) {
+	for _, m := range []*Machine{PerlmutterNUMA(), Ridgeline()} {
+		data, err := json.Marshal(m)
+		if err != nil {
+			t.Fatalf("%s: marshal: %v", m.Name, err)
+		}
+		var back Machine
+		if err := json.Unmarshal(data, &back); err != nil {
+			t.Fatalf("%s: unmarshal: %v", m.Name, err)
+		}
+		if !reflect.DeepEqual(m, &back) {
+			t.Errorf("%s: round trip drifted:\n%s", m.Name, data)
+		}
+	}
+}

@@ -1,0 +1,83 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+// TestSweepCorpusContentAddressed proves a generated-scenario corpus flows
+// through /v1/sweep like any other study kind: the first POST evaluates cold,
+// a reformatted re-POST with a different worker count is a byte-identical
+// cache hit (corpus generation is deterministic per seed at any pool size),
+// and changing the seed is a different content address.
+func TestSweepCorpusContentAddressed(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	spec := `{"kind":"corpus","machine":"perlmutter-numa","count":40,"seed":11,"workers":2,
+		"template":{"width":5,"depth":3,"cv":0.4,"payload":"512 MB"}}`
+	status, cold, hdr := post(t, ts.URL+"/v1/sweep", spec)
+	if status != http.StatusOK {
+		t.Fatalf("status = %d, body %s", status, cold)
+	}
+	if hdr.Get("X-Cache") != "cold" {
+		t.Errorf("first corpus request X-Cache = %q", hdr.Get("X-Cache"))
+	}
+	var parsed SweepResponse
+	if err := json.Unmarshal(cold, &parsed); err != nil {
+		t.Fatalf("response is not a SweepResponse: %v", err)
+	}
+	if parsed.Kind != "corpus" || len(parsed.Tables) != 3 {
+		t.Fatalf("kind=%q tables=%d, want corpus/3", parsed.Kind, len(parsed.Tables))
+	}
+
+	// Different formatting and worker count, same content address.
+	reworked := "{\n  " + strings.TrimPrefix(
+		strings.Replace(spec, `"workers":2`, `"workers":9`, 1), "{")
+	_, cached, hdr := post(t, ts.URL+"/v1/sweep", reworked)
+	if hdr.Get("X-Cache") != "hit" {
+		t.Errorf("reworked corpus request X-Cache = %q, want hit", hdr.Get("X-Cache"))
+	}
+	if !bytes.Equal(cold, cached) {
+		t.Error("cached corpus bytes differ from cold")
+	}
+
+	// A different seed is a different corpus: must not hit the same entry.
+	reseeded := strings.Replace(spec, `"seed":11`, `"seed":12`, 1)
+	_, other, hdr := post(t, ts.URL+"/v1/sweep", reseeded)
+	if hdr.Get("X-Cache") != "cold" {
+		t.Errorf("reseeded corpus request X-Cache = %q, want cold", hdr.Get("X-Cache"))
+	}
+	if bytes.Equal(cold, other) {
+		t.Error("different seed returned identical corpus bytes")
+	}
+}
+
+// TestModelGeneratedCaseAndMachines exercises the registry's generated cases
+// and the widened machine catalog over /v1/model: a gen-* case evaluates and
+// caches, and a workflow POST naming the NUMA machine resolves via the
+// machine registry (an unknown name is still a 400).
+func TestModelGeneratedCaseAndMachines(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	status, cold, _ := post(t, ts.URL+"/v1/model", `{"case":"gen-montage"}`)
+	if status != http.StatusOK {
+		t.Fatalf("gen-montage status = %d, body %s", status, cold)
+	}
+	_, cached, hdr := post(t, ts.URL+"/v1/model", `{"case":"gen-montage"}`)
+	if hdr.Get("X-Cache") != "hit" || !bytes.Equal(cold, cached) {
+		t.Errorf("gen-montage second request X-Cache = %q", hdr.Get("X-Cache"))
+	}
+
+	wf := `{"machine":"perlmutter-numa","workflow":{"name":"w","partition":"cpu",
+		"tasks":[{"id":"a","nodes":2,"work":{"flops":2e12,"mem_bytes":5e10}}]}}`
+	status, body, _ := post(t, ts.URL+"/v1/model", wf)
+	if status != http.StatusOK {
+		t.Fatalf("numa workflow status = %d, body %s", status, body)
+	}
+
+	status, body, _ = post(t, ts.URL+"/v1/model", `{"machine":"summit","workflow":{"name":"w","partition":"cpu","tasks":[{"id":"a","nodes":1}]}}`)
+	if status != http.StatusBadRequest || !strings.Contains(string(body), "unknown machine") {
+		t.Fatalf("unknown machine: status = %d, body %s", status, body)
+	}
+}

@@ -520,8 +520,8 @@ func hexKey(k Key) string {
 type ModelRequest struct {
 	// Case selects a built-in case study, or "example" for the Fig 1 model.
 	Case string `json:"case,omitempty"`
-	// Machine names the system for inline workflows: "perlmutter" (default)
-	// or "cori".
+	// Machine names the system for inline workflows: any built-in machine
+	// name (see machine.Names(); "" defaults to perlmutter).
 	Machine string `json:"machine,omitempty"`
 	// Workflow is an inline workflow spec (see internal/workflow JSON).
 	Workflow json.RawMessage `json:"workflow,omitempty"`
@@ -615,14 +615,9 @@ func (s *Server) evaluateModel(req *ModelRequest) (Response, error) {
 		if err := json.Unmarshal(req.Workflow, &wf); err != nil {
 			return Response{}, badRequest("parse workflow: %v", err)
 		}
-		var m *machine.Machine
-		switch req.Machine {
-		case "", "perlmutter":
-			m = machine.Perlmutter()
-		case "cori":
-			m = machine.CoriHaswell()
-		default:
-			return Response{}, badRequest("unknown machine %q (want perlmutter or cori)", req.Machine)
+		m, err := machine.ByName(req.Machine)
+		if err != nil {
+			return Response{}, badRequest("%v", err)
 		}
 		opts := core.BuildOptions{}
 		if req.ExternalBW != "" {

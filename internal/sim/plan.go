@@ -41,10 +41,13 @@ type Plan struct {
 
 	needExternal bool
 	needFS       bool
+	needBis      bool // network phases exist and the fabric has a bisection limit
 	externalBW   float64
 	externalCap  float64
 	fsBW         float64
 	fsCap        float64
+	bisBW        float64
+	memBW        units.ByteRate // partition EffectiveMemBW, resolved once
 	maxEvents    uint64
 
 	scratch sync.Pool // of *trialRun
@@ -116,7 +119,10 @@ func Compile(wf *workflow.Workflow, programs map[string]Program, cfg Config) (*P
 		total:        wf.TotalTasks(),
 	}
 
+	p.memBW = part.EffectiveMemBW()
+
 	// Resolve programs and validate them up front.
+	hasNetwork := false
 	p.tasks = wf.Tasks()
 	p.index = make(map[string]int, len(p.tasks))
 	for i, t := range p.tasks {
@@ -141,6 +147,10 @@ func Compile(wf *workflow.Workflow, programs map[string]Program, cfg Config) (*P
 			case PhaseFS:
 				if ph.Bytes > 0 {
 					p.needFS = true
+				}
+			case PhaseNetwork:
+				if ph.Bytes > 0 {
+					hasNetwork = true
 				}
 			}
 		}
@@ -172,6 +182,13 @@ func Compile(wf *workflow.Workflow, programs map[string]Program, cfg Config) (*P
 		}
 		p.fsBW = float64(fsBW)
 		p.fsCap = float64(cfg.FSPerFlowCap)
+	}
+	if bisBW, ok := cfg.Machine.BisectionBW[wf.Partition]; ok && hasNetwork {
+		if _, err := resources.NewLink(dry, "bisection", float64(bisBW), 0); err != nil {
+			return nil, err
+		}
+		p.needBis = true
+		p.bisBW = float64(bisBW)
 	}
 
 	// Dependency structure as index slices: counts in, successors out.
@@ -255,6 +272,7 @@ type trialRun struct {
 	pool     *resources.Pool
 	external *resources.Link // nil when the plan stages no external data
 	fs       *resources.Link // nil when the plan touches no file system
+	bis      *resources.Link // nil unless the fabric has a bisection limit
 	rec      *trace.Recorder
 
 	deps      []int
@@ -347,6 +365,17 @@ func (r *trialRun) run(p *Plan, fm *failure.Model, externalBW, externalCap float
 			}
 			r.fs = l
 		} else if err := r.fs.Reset(p.fsBW, p.fsCap); err != nil {
+			return nil, err
+		}
+	}
+	if p.needBis {
+		if r.bis == nil {
+			l, err := resources.NewLink(r.eng, "bisection", p.bisBW, 0)
+			if err != nil {
+				return nil, err
+			}
+			r.bis = l
+		} else if err := r.bis.Reset(p.bisBW, 0); err != nil {
 			return nil, err
 		}
 	}
@@ -534,6 +563,8 @@ func (r *trialRun) execPhases(i int, prog Program, idx int, taskStart float64) {
 		r.transfer(r.external, ph, done)
 	case PhaseFS:
 		r.transfer(r.fs, ph, done)
+	case PhaseNetwork:
+		r.network(task, ph, done)
 	default:
 		d, err := r.nodePhaseSeconds(task, ph)
 		if err != nil {
@@ -635,6 +666,44 @@ func (r *trialRun) transfer(link *resources.Link, ph Phase, done func()) {
 	}
 }
 
+// network executes a network phase. On a full-bisection fabric (no bis
+// link) the per-node NIC injection time is the whole story, exactly as
+// before bisection modeling existed. On a Ridgeline fabric the phase also
+// pushes its share of cross-bisection traffic through the shared bisection
+// link, and completes only when both the injection delay and the fabric
+// transfer have finished — concurrent wide phases contend for the fabric
+// even when each node's NIC has headroom.
+func (r *trialRun) network(task *workflow.Task, ph Phase, done func()) {
+	d, err := r.nodePhaseSeconds(task, ph)
+	if err != nil {
+		r.fail(err)
+		return
+	}
+	if r.bis == nil || ph.Bytes == 0 {
+		if _, err := r.eng.Schedule(d, done); err != nil {
+			r.fail(err)
+		}
+		return
+	}
+	// ph.Bytes is per node; the task injects Nodes x Bytes, of which
+	// BisectionShare crosses the cut, inflated by the phase efficiency like
+	// every other transfer.
+	vol := float64(ph.Bytes) / ph.eff() * float64(task.Nodes) * machine.BisectionShare
+	outstanding := 2
+	join := func() {
+		if outstanding--; outstanding == 0 {
+			done()
+		}
+	}
+	if _, err := r.eng.Schedule(d, join); err != nil {
+		r.fail(err)
+		return
+	}
+	if err := r.bis.Transfer(vol, func(_, _ float64) { join() }); err != nil {
+		r.fail(err)
+	}
+}
+
 // nodePhaseSeconds computes a node-local phase duration from the machine
 // peaks and the phase efficiency.
 func (r *trialRun) nodePhaseSeconds(task *workflow.Task, ph Phase) (float64, error) {
@@ -645,7 +714,7 @@ func (r *trialRun) nodePhaseSeconds(task *workflow.Task, ph Phase) (float64, err
 	case PhasePCIe:
 		peakTime = units.TimeToMove(ph.Bytes, r.plan.part.NodePCIeBW)
 	case PhaseMemory:
-		peakTime = units.TimeToMove(ph.Bytes, r.plan.part.NodeMemBW)
+		peakTime = units.TimeToMove(ph.Bytes, r.plan.memBW)
 	case PhaseCompute:
 		peakTime = units.TimeToCompute(ph.Flops, r.plan.part.NodeFlops)
 	case PhaseFixed:

@@ -25,6 +25,7 @@ import (
 	"wroofline/internal/sim"
 	"wroofline/internal/sweep"
 	"wroofline/internal/units"
+	"wroofline/internal/wfgen"
 	"wroofline/internal/whatif"
 	"wroofline/internal/workflow"
 	"wroofline/internal/workloads"
@@ -71,6 +72,16 @@ type Spec struct {
 	Depths       []int     `json:"depths,omitempty"`
 	NodesPerTask int       `json:"nodes_per_task,omitempty"`
 	Work         *WorkSpec `json:"work,omitempty"`
+
+	// Count, Families, and Template configure a generated-scenario corpus
+	// (kind "corpus"): Count workflows are generated from the wfgen Template,
+	// cycling through Families (default: all of them), with scenario i seeded
+	// from (Seed, i). Each scenario is analyzed (roofline bound at the wall)
+	// and simulated (makespan) on Machine, and the results aggregate into
+	// per-family, distribution, and binding-ceiling tables.
+	Count    int         `json:"count,omitempty"`
+	Families []string    `json:"families,omitempty"`
+	Template *wfgen.Spec `json:"template,omitempty"`
 }
 
 // SamplerSpec selects and parameterizes a contention day-sampler.
@@ -143,8 +154,10 @@ func Run(ctx context.Context, spec *Spec) ([]*report.Table, error) {
 		return runSurvey(ctx, spec)
 	case "failures":
 		return runFailures(ctx, spec)
+	case "corpus":
+		return runCorpus(ctx, spec)
 	default:
-		return nil, fmt.Errorf("unknown spec kind %q (want montecarlo, grid, survey, or failures)", spec.Kind)
+		return nil, fmt.Errorf("unknown spec kind %q (want montecarlo, grid, survey, failures, or corpus)", spec.Kind)
 	}
 }
 
@@ -429,14 +442,9 @@ func runGrid(ctx context.Context, spec *Spec) ([]*report.Table, error) {
 
 // runSurvey sweeps the archetype catalog across the width/depth grid.
 func runSurvey(ctx context.Context, spec *Spec) ([]*report.Table, error) {
-	var m *machine.Machine
-	switch spec.Machine {
-	case "", "perlmutter":
-		m = machine.Perlmutter()
-	case "cori":
-		m = machine.CoriHaswell()
-	default:
-		return nil, fmt.Errorf("unknown machine %q (want perlmutter or cori)", spec.Machine)
+	m, err := machine.ByName(spec.Machine)
+	if err != nil {
+		return nil, err
 	}
 	partition := spec.Partition
 	if partition == "" {
@@ -485,6 +493,140 @@ func runSurvey(ctx context.Context, spec *Spec) ([]*report.Table, error) {
 		}
 	}
 	return []*report.Table{tbl, hist}, nil
+}
+
+// corpusScenario is one generated scenario's analysis + simulation outcome.
+type corpusScenario struct {
+	family   string
+	tasks    int
+	boundTPS float64
+	limiting string
+	makespan float64
+}
+
+// runCorpus generates Count scenarios from the wfgen template, cycling
+// through the topology families and seeding scenario i from (Seed, i), then
+// analyzes (roofline bound at the wall) and simulates (makespan) each on the
+// spec machine. The fan-out runs over the sweep pool, so the tables are
+// byte-identical at any worker count.
+func runCorpus(ctx context.Context, spec *Spec) ([]*report.Table, error) {
+	if spec.Count <= 0 {
+		return nil, fmt.Errorf("corpus spec needs positive count, got %d", spec.Count)
+	}
+	m, err := machine.ByName(spec.Machine)
+	if err != nil {
+		return nil, err
+	}
+	families := spec.Families
+	if len(families) == 0 {
+		families = wfgen.Families()
+	}
+	var tmpl wfgen.Spec
+	if spec.Template != nil {
+		tmpl = *spec.Template
+	}
+	// Validate one representative spec per family up front so template errors
+	// surface once, not Count times from inside the pool.
+	for _, fam := range families {
+		s := tmpl
+		s.Family = fam
+		if err := s.Validate(); err != nil {
+			return nil, err
+		}
+	}
+	scenarios, err := sweep.Map(ctx, spec.Count, spec.Workers,
+		func(ctx context.Context, i int) (corpusScenario, error) {
+			s := tmpl
+			s.Family = families[i%len(families)]
+			s.Seed = sweep.TrialSeed(spec.Seed, i)
+			wf, err := wfgen.Generate(&s)
+			if err != nil {
+				return corpusScenario{}, fmt.Errorf("scenario %d: %w", i, err)
+			}
+			model, err := core.Build(m, wf, core.BuildOptions{})
+			if err != nil {
+				return corpusScenario{}, fmt.Errorf("scenario %d (%s): %w", i, s.Family, err)
+			}
+			bound, limit := model.BoundAtWall()
+			res, err := sim.Run(wf, nil, sim.Config{Machine: m})
+			if err != nil {
+				return corpusScenario{}, fmt.Errorf("scenario %d (%s): %w", i, s.Family, err)
+			}
+			return corpusScenario{
+				family: s.Family,
+				tasks:  wf.TotalTasks(),
+				// Bin the histogram on the limiting resource, not the full
+				// ceiling name: names embed per-scenario volumes, so each
+				// would be its own bin.
+				boundTPS: bound,
+				limiting: limit.Resource.String(),
+				makespan: res.Makespan,
+			}, nil
+		})
+	if err != nil {
+		return nil, err
+	}
+
+	type famAgg struct {
+		scenarios int
+		tasks     int
+		sumBound  float64
+		sumMake   float64
+	}
+	perFam := make(map[string]*famAgg, len(families))
+	agg, err := sweep.NewAgg(spec.Count)
+	if err != nil {
+		return nil, err
+	}
+	for i, sc := range scenarios {
+		fa := perFam[sc.family]
+		if fa == nil {
+			fa = &famAgg{}
+			perFam[sc.family] = fa
+		}
+		fa.scenarios++
+		fa.tasks += sc.tasks
+		fa.sumBound += sc.boundTPS
+		fa.sumMake += sc.makespan
+		if err := agg.Add(i, sc.makespan, sc.limiting); err != nil {
+			return nil, err
+		}
+	}
+	famTbl := report.NewTable(
+		fmt.Sprintf("Generated corpus on %s: %d scenarios, seed %d", m.Name, spec.Count, spec.Seed),
+		"family", "scenarios", "tasks", "mean bound TPS", "mean makespan (s)")
+	seen := map[string]bool{}
+	for _, fam := range families {
+		if seen[fam] {
+			continue
+		}
+		seen[fam] = true
+		fa := perFam[fam]
+		if fa == nil {
+			continue
+		}
+		n := float64(fa.scenarios)
+		if err := famTbl.AddRowf(fam, fmt.Sprint(fa.scenarios), fmt.Sprint(fa.tasks),
+			fa.sumBound/n, fa.sumMake/n); err != nil {
+			return nil, err
+		}
+	}
+	s, err := agg.Summary()
+	if err != nil {
+		return nil, err
+	}
+	dist := report.NewTable("Corpus makespan distribution (s)",
+		"n", "min", "p50", "p90", "p99", "max", "mean", "p99/p50")
+	if err := dist.AddRowf(fmt.Sprint(s.N), s.Min, s.P50, s.P90, s.P99, s.Max, s.Mean, s.TailRatio); err != nil {
+		return nil, err
+	}
+	hist := report.NewTable("Binding-ceiling histogram", "ceiling", "scenarios")
+	for _, bin := range agg.Hist() {
+		if err := hist.AddRowf(bin.Label, fmt.Sprint(bin.Count)); err != nil {
+			return nil, err
+		}
+	}
+	return []*report.Table{famTbl, dist, hist}, nil
 }
 
 // work converts the unit strings into a workflow work vector.
@@ -545,7 +687,12 @@ func Example(kind string) (*Spec, error) {
 				Retry:        &failure.RetrySpec{MaxAttempts: 5, BackoffSeconds: 1, BackoffFactor: 2},
 			},
 		}, nil
+	case "corpus":
+		return &Spec{
+			Kind: "corpus", Machine: "perlmutter-numa", Count: 1000, Seed: 11,
+			Template: &wfgen.Spec{Width: 8, Depth: 4, CV: 0.4, Payload: "1 GB"},
+		}, nil
 	default:
-		return nil, fmt.Errorf("unknown example %q (want montecarlo, grid, survey, or failures)", kind)
+		return nil, fmt.Errorf("unknown example %q (want montecarlo, grid, survey, failures, or corpus)", kind)
 	}
 }

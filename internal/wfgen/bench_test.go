@@ -1,0 +1,32 @@
+package wfgen
+
+import "testing"
+
+// BenchmarkWfgen_Montage10k measures generation throughput and allocation
+// pressure on a 10,000-task montage (width 3332 -> 3*3332+4 = 10000 tasks),
+// the corpus generator's hot path.
+func BenchmarkWfgen_Montage10k(b *testing.B) {
+	spec := &Spec{
+		Family: "montage", Width: 3332, Seed: 42, CV: 0.3,
+		Flops: "1 TFLOP", Mem: "100 GB", Net: "1 GB", FS: "10 GB", Payload: "1 GB",
+	}
+	shape, err := spec.Shape()
+	if err != nil {
+		b.Fatal(err)
+	}
+	if shape.Tasks != 10000 {
+		b.Fatalf("tasks = %d, want 10000", shape.Tasks)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		wf, err := Generate(spec)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if wf.TotalTasks() != 10000 {
+			b.Fatal("wrong task count")
+		}
+	}
+	b.ReportMetric(float64(shape.Tasks)*float64(b.N)/b.Elapsed().Seconds(), "tasks/s")
+}

@@ -1,0 +1,39 @@
+package wfgen
+
+import "math"
+
+// rng is a splitmix64 stream: a tiny, platform-independent generator whose
+// output depends only on the seed and the draw index, so generation is
+// bit-reproducible everywhere. The same finalizer backs internal/sweep's
+// trial seeding.
+type rng struct {
+	state uint64
+}
+
+func newRNG(seed uint64) *rng { return &rng{state: seed} }
+
+// next returns the next 64 uniform bits.
+func (r *rng) next() uint64 {
+	r.state += 0x9E3779B97F4A7C15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+// float64 returns a uniform draw in [0,1) with 53 bits of precision.
+func (r *rng) float64() float64 {
+	return float64(r.next()>>11) / (1 << 53)
+}
+
+// normal returns a standard normal draw via Box-Muller. IEEE-754 makes the
+// transcendental calls deterministic per platform/Go version, which is the
+// reproducibility contract the corpus tests pin.
+func (r *rng) normal() float64 {
+	u1 := r.float64()
+	for u1 == 0 {
+		u1 = r.float64()
+	}
+	u2 := r.float64()
+	return math.Sqrt(-2*math.Log(u1)) * math.Cos(2*math.Pi*u2)
+}

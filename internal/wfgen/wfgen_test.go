@@ -1,0 +1,147 @@
+package wfgen
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"wroofline/internal/units"
+)
+
+// Every family's generated DAG matches its closed-form shape at a few
+// hand-picked sizes (the property suite covers the randomized space).
+func TestFamilyShapes(t *testing.T) {
+	for _, tc := range []struct {
+		family        string
+		width, depth  int
+		tasks, levels int
+	}{
+		{"chain", 1, 7, 7, 7},
+		{"fanout", 16, 1, 18, 3},
+		{"diamond", 5, 3, 21, 9},
+		{"montage", 4, 1, 16, 8},
+		{"epigenomics", 3, 4, 16, 8},
+	} {
+		spec := &Spec{Family: tc.family, Width: tc.width, Depth: tc.depth, Seed: 1}
+		shape, err := spec.Shape()
+		if err != nil {
+			t.Fatalf("%s: %v", tc.family, err)
+		}
+		if shape.Tasks != tc.tasks || shape.Levels != tc.levels {
+			t.Errorf("%s shape = %+v, want tasks=%d levels=%d", tc.family, shape, tc.tasks, tc.levels)
+		}
+		wf, err := Generate(spec)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.family, err)
+		}
+		if got := wf.TotalTasks(); got != tc.tasks {
+			t.Errorf("%s tasks = %d, want %d", tc.family, got, tc.tasks)
+		}
+		levels, err := wf.Graph().CriticalPathLength()
+		if err != nil {
+			t.Fatalf("%s: %v", tc.family, err)
+		}
+		if levels != tc.levels {
+			t.Errorf("%s levels = %d, want %d", tc.family, levels, tc.levels)
+		}
+	}
+}
+
+// CV 0 generates exactly the spec means, no randomness consumed.
+func TestConstantWork(t *testing.T) {
+	wf, err := Generate(&Spec{Family: "fanout", Width: 3, Seed: 9,
+		Flops: "2 TFLOP", Mem: "100 GB", Net: "5 GB", FS: "20 GB"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, task := range wf.Tasks() {
+		if task.Work.Flops != 2*units.TFLOP {
+			t.Errorf("task %s flops = %v", task.ID, task.Work.Flops)
+		}
+		if task.Work.FSBytes != 20*units.GB {
+			t.Errorf("task %s fs = %v", task.ID, task.Work.FSBytes)
+		}
+	}
+}
+
+// A positive CV preserves the mean approximately and varies tasks; payloads
+// land on both edge endpoints.
+func TestVariedWorkAndPayloads(t *testing.T) {
+	wf, err := Generate(&Spec{Family: "fanout", Width: 64, Seed: 3, CV: 0.5,
+		Flops: "1 TFLOP", Payload: "4 GB"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum float64
+	distinct := map[units.Flops]bool{}
+	for _, task := range wf.Tasks() {
+		sum += float64(task.Work.Flops)
+		distinct[task.Work.Flops] = true
+	}
+	mean := sum / float64(wf.TotalTasks())
+	if mean < 0.6e12 || mean > 1.6e12 {
+		t.Errorf("mean flops = %v, want ~1e12", mean)
+	}
+	if len(distinct) < 10 {
+		t.Errorf("only %d distinct flop values; CV should vary tasks", len(distinct))
+	}
+	// The source has Width outgoing payload edges: its FSBytes must exceed
+	// the 10 GB per-task default by roughly Width x 4 GB.
+	src, err := wf.Task("source")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if src.Work.FSBytes < 100*units.GB {
+		t.Errorf("source FSBytes = %v, want payload-dominated", src.Work.FSBytes)
+	}
+	work, err := wf.Task("work0000")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if work.Work.FSBytes <= 0 {
+		t.Errorf("worker FSBytes = %v, want positive", work.Work.FSBytes)
+	}
+}
+
+func TestSpecErrors(t *testing.T) {
+	for _, tc := range []struct{ name, spec, want string }{
+		{"bad json", `{`, "decode spec"},
+		{"unknown field", `{"family":"chain","bogus":1}`, "bogus"},
+		{"unknown family", `{"family":"butterfly"}`, "unknown family"},
+		{"negative width", `{"family":"fanout","width":-2}`, "width"},
+		{"montage width 1", `{"family":"montage","width":1}`, "montage"},
+		{"bad units", `{"family":"chain","flops":"5 parsecs"}`, "flops"},
+		{"huge", `{"family":"diamond","width":100000,"depth":100000}`, "cap"},
+		{"overflow width", `{"family":"fanout","width":9223372036854775806}`, "width"},
+		{"overflow product", `{"family":"epigenomics","width":4294967296,"depth":4294967296}`, "width"},
+		{"bad cv", `{"family":"chain","cv":9}`, "cv"},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := ParseSpec([]byte(tc.spec))
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("err = %v, want substring %q", err, tc.want)
+			}
+		})
+	}
+}
+
+// Specs round-trip through JSON without drift: what ParseSpec accepts,
+// Marshal re-emits equivalently.
+func TestSpecRoundTrip(t *testing.T) {
+	in := `{"family":"epigenomics","seed":42,"width":8,"depth":5,"cv":0.3,"payload":"1 GB"}`
+	s, err := ParseSpec([]byte(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc, err := json.Marshal(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := ParseSpec(enc)
+	if err != nil {
+		t.Fatalf("re-parse: %v", err)
+	}
+	if *s != *s2 {
+		t.Errorf("round trip drifted: %+v vs %+v", s, s2)
+	}
+}

@@ -1,0 +1,196 @@
+package workloads
+
+import (
+	"encoding/json"
+	"testing"
+
+	"wroofline/internal/core"
+	"wroofline/internal/machine"
+	"wroofline/internal/sim"
+	"wroofline/internal/units"
+	"wroofline/internal/wfgen"
+)
+
+// zeroPenaltyNUMA clones a machine and re-expresses every partition's flat
+// memory bandwidth as a NUMA topology with no remote traffic: two sockets at
+// half the bandwidth each. Halving and doubling are exact in IEEE 754, so
+// the effective bandwidth — and everything downstream of it — must reproduce
+// the flat model bit for bit.
+func zeroPenaltyNUMA(m *machine.Machine) *machine.Machine {
+	c := m.Clone()
+	for _, p := range c.Partitions {
+		p.NUMA = &machine.NUMA{Sockets: 2, SocketMemBW: p.NodeMemBW / 2}
+	}
+	return c
+}
+
+// genScenarios yields a modest wfgen corpus spanning every family, used by
+// both differential tests below.
+func genScenarios(t *testing.T) []*wfgen.Spec {
+	t.Helper()
+	var specs []*wfgen.Spec
+	for i, fam := range wfgen.Families() {
+		specs = append(specs, &wfgen.Spec{
+			Family: fam, Width: 5, Depth: 3, Seed: uint64(100 + i), CV: 0.4,
+			NodesPerTask: 2, Net: "5 GB", Payload: "512 MB",
+		})
+	}
+	return specs
+}
+
+// mustJSON marshals for byte comparison.
+func mustJSON(t *testing.T, v any) string {
+	t.Helper()
+	data, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(data)
+}
+
+// TestZeroPenaltyNUMAByteIdenticalToFlat is the NUMA differential: a machine
+// whose NUMA blocks carry zero inter-socket penalty must produce
+// byte-identical roofline models, analyses, and simulation results to the
+// flat machine, for every generated topology family. This pins the invariant
+// that adding the NUMA subsystem changed nothing for flat machines (the
+// checked-in goldens stay valid) and that the NUMA path is exact, not
+// approximately equal.
+func TestZeroPenaltyNUMAByteIdenticalToFlat(t *testing.T) {
+	flat := machine.Perlmutter()
+	numa := zeroPenaltyNUMA(flat)
+	for _, spec := range genScenarios(t) {
+		wf, err := wfgen.Generate(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fm, err := core.Build(flat, wf, core.BuildOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		nm, err := core.Build(numa, wf, core.BuildOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a, b := mustJSON(t, fm), mustJSON(t, nm); a != b {
+			t.Errorf("%s: models differ:\nflat: %s\nnuma: %s", wf.Name, a, b)
+		}
+		fa, err := fm.Analyze(nil, 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		na, err := nm.Analyze(nil, 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a, b := mustJSON(t, fa), mustJSON(t, na); a != b {
+			t.Errorf("%s: analyses differ", wf.Name)
+		}
+		fr, err := sim.Run(wf, nil, sim.Config{Machine: flat})
+		if err != nil {
+			t.Fatal(err)
+		}
+		nr, err := sim.Run(wf, nil, sim.Config{Machine: numa})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fr.Makespan != nr.Makespan {
+			t.Errorf("%s: makespan %v (flat) vs %v (numa)", wf.Name, fr.Makespan, nr.Makespan)
+		}
+		if a, b := mustJSON(t, fr.Tasks), mustJSON(t, nr.Tasks); a != b {
+			t.Errorf("%s: per-task windows differ", wf.Name)
+		}
+	}
+}
+
+// TestInfiniteBisectionMatchesFlatSim is the Ridgeline differential: a fabric
+// with an absurdly large bisection bandwidth adds a ceiling to the model but
+// must never bind, and the shared bisection link in the simulator must finish
+// every transfer before the injection phase does — so makespans and per-task
+// windows reproduce the flat (absent-entry) machine exactly.
+func TestInfiniteBisectionMatchesFlatSim(t *testing.T) {
+	flat := machine.Perlmutter()
+	fat := flat.Clone()
+	fat.BisectionBW = map[string]units.ByteRate{machine.PartCPU: 1e30}
+
+	for _, spec := range genScenarios(t) {
+		wf, err := wfgen.Generate(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fm, err := core.Build(flat, wf, core.BuildOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		bm, err := core.Build(fat, wf, core.BuildOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		fb, fl := fm.BoundAtWall()
+		bb, bl := bm.BoundAtWall()
+		if fb != bb {
+			t.Errorf("%s: bound %v (flat) vs %v (fat bisection)", wf.Name, fb, bb)
+		}
+		if fl.Name != bl.Name {
+			t.Errorf("%s: limiting ceiling %q vs %q", wf.Name, fl.Name, bl.Name)
+		}
+		found := false
+		for _, c := range bm.Ceilings {
+			if c.Resource == core.ResBisection {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("%s: fat-bisection model has no bisection ceiling", wf.Name)
+		}
+		fr, err := sim.Run(wf, nil, sim.Config{Machine: flat})
+		if err != nil {
+			t.Fatal(err)
+		}
+		br, err := sim.Run(wf, nil, sim.Config{Machine: fat})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fr.Makespan != br.Makespan {
+			t.Errorf("%s: makespan %v (flat) vs %v (fat bisection)", wf.Name, fr.Makespan, br.Makespan)
+		}
+		if a, b := mustJSON(t, fr.Tasks), mustJSON(t, br.Tasks); a != b {
+			t.Errorf("%s: per-task windows differ", wf.Name)
+		}
+	}
+}
+
+// TestConstrictedBisectionSlowsSim is the positive control for the
+// differential above: with a bisection thinner than the aggregate injection
+// demand, the shared link must actually stretch the simulated makespan, and
+// the tight bisection must become the model's binding ceiling.
+func TestConstrictedBisectionSlowsSim(t *testing.T) {
+	flat := machine.Perlmutter()
+	thin := flat.Clone()
+	thin.BisectionBW = map[string]units.ByteRate{machine.PartCPU: 5 * units.GBPS}
+
+	spec := &wfgen.Spec{Family: "fanout", Width: 8, Seed: 21, CV: 0.3,
+		NodesPerTask: 2, Net: "5 GB"}
+	wf, err := wfgen.Generate(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tm, err := core.Build(thin, wf, core.BuildOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, limit := tm.BoundAtWall(); limit.Resource != core.ResBisection {
+		t.Errorf("thin bisection not binding: limited by %v (%s)", limit.Resource, limit.Name)
+	}
+	fr, err := sim.Run(wf, nil, sim.Config{Machine: flat})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := sim.Run(wf, nil, sim.Config{Machine: thin})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Makespan <= fr.Makespan {
+		t.Errorf("thin bisection did not stretch the makespan: %v vs flat %v",
+			tr.Makespan, fr.Makespan)
+	}
+}

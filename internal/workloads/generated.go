@@ -1,0 +1,64 @@
+package workloads
+
+import (
+	"fmt"
+
+	"wroofline/internal/core"
+	"wroofline/internal/machine"
+	"wroofline/internal/sim"
+	"wroofline/internal/wfgen"
+)
+
+// Generated wraps a wfgen scenario into a first-class case study: the
+// generated workflow on a named built-in machine, with the roofline model
+// derived by core.Build and the simulator using the default per-task
+// programs. The result flows through every consumer a hand-built case does
+// — the CLIs, the study kinds, and the wfserved endpoints.
+func Generated(spec *wfgen.Spec, machineName string) (*CaseStudy, error) {
+	m, err := machine.ByName(machineName)
+	if err != nil {
+		return nil, err
+	}
+	wf, err := wfgen.Generate(spec)
+	if err != nil {
+		return nil, err
+	}
+	model, err := core.Build(m, wf, core.BuildOptions{})
+	if err != nil {
+		return nil, fmt.Errorf("workloads: model for %s: %w", wf.Name, err)
+	}
+	return &CaseStudy{
+		Name:      wf.Name,
+		Figure:    "generated",
+		Machine:   m,
+		Workflow:  wf,
+		Model:     model,
+		SimConfig: sim.Config{Machine: m},
+	}, nil
+}
+
+// generatedCases are the registry's fixed generated scenarios: one per
+// topology family, pinned seeds, spanning the flat, NUMA, and Ridgeline
+// machine models so every machine variant stays exercised end to end.
+var generatedCases = map[string]func() (*CaseStudy, error){
+	"gen-chain": func() (*CaseStudy, error) {
+		return Generated(&wfgen.Spec{Family: "chain", Depth: 12, Seed: 1, CV: 0.3,
+			Flops: "2 TFLOP", Mem: "500 GB", FS: "50 GB"}, "perlmutter")
+	},
+	"gen-fanout": func() (*CaseStudy, error) {
+		return Generated(&wfgen.Spec{Family: "fanout", Width: 64, Seed: 2, CV: 0.3,
+			Flops: "500 GFLOP", Mem: "100 GB", FS: "20 GB", Payload: "2 GB"}, "perlmutter")
+	},
+	"gen-diamond": func() (*CaseStudy, error) {
+		return Generated(&wfgen.Spec{Family: "diamond", Width: 8, Depth: 4, Seed: 3, CV: 0.3,
+			Flops: "1 TFLOP", Mem: "200 GB", FS: "10 GB", Payload: "1 GB"}, "perlmutter-numa")
+	},
+	"gen-montage": func() (*CaseStudy, error) {
+		return Generated(&wfgen.Spec{Family: "montage", Width: 16, Seed: 4, CV: 0.3,
+			Flops: "300 GFLOP", Mem: "800 GB", FS: "15 GB", Payload: "3 GB"}, "perlmutter-numa")
+	},
+	"gen-epigenomics": func() (*CaseStudy, error) {
+		return Generated(&wfgen.Spec{Family: "epigenomics", Width: 8, Depth: 4, Seed: 5, CV: 0.3,
+			NodesPerTask: 4, Flops: "2 TFLOP", Mem: "400 GB", Net: "20 GB", FS: "25 GB"}, "ridgeline")
+	},
+}

@@ -14,7 +14,20 @@ type Builder func() (*CaseStudy, error)
 // set is shared by cmd/wroofline, cmd/wfsim, cmd/wfsweep (via
 // internal/study), and the wfserved endpoints, so a spec written for one
 // tool is valid in all of them.
-var registry = map[string]Builder{
+var registry = func() map[string]Builder {
+	r := map[string]Builder{}
+	for name, b := range generatedCases {
+		r[name] = b
+	}
+	for name, b := range handBuilt {
+		r[name] = b
+	}
+	return r
+}()
+
+// handBuilt are the paper's hand-characterized case studies; generated
+// scenarios (gen-*) join them in the registry from generated.go.
+var handBuilt = map[string]Builder{
 	"lcls-cori":         LCLSCori,
 	"lcls-cori-bad":     LCLSCoriBadDay,
 	"lcls-cori-faulty":  LCLSCoriFaulty,

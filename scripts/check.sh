@@ -37,8 +37,12 @@ fi
 if [ "${1:-}" = "-fuzz" ]; then
     fuzztime="${FUZZTIME:-30s}"
     echo "== fuzz ($fuzztime per target) =="
-    for pkg in ./internal/wdl ./internal/sbatch ./internal/machine ./internal/failure; do
-        if ! go test "$pkg" -fuzz=FuzzParse -fuzztime="$fuzztime"; then
+    for target in ./internal/wdl:FuzzParse ./internal/sbatch:FuzzParse \
+                  ./internal/machine:FuzzParse ./internal/failure:FuzzParse \
+                  ./internal/wfgen:FuzzWfgenSpec; do
+        pkg="${target%%:*}"
+        fuzz="${target##*:}"
+        if ! go test "$pkg" -fuzz="$fuzz" -fuzztime="$fuzztime"; then
             fail=1
         fi
     done
