@@ -31,6 +31,14 @@ func TestGoldenCorpusTranscript(t *testing.T) {
 			"count": 10, "seed": 3, "families": ["fanout", "epigenomics"],
 			"template": {"width": 6, "depth": 3, "nodes_per_task": 4,
 				"net": "20 GB", "cv": 0.3, "payload": "1 GB"}}`},
+		// A batched corpus with no payload or FS traffic: every scenario's
+		// plan is contention-free, so the batch executor serves each through
+		// the analytic fast path. The transcript must be identical to an
+		// unbatched run (the batch knob never changes bytes), so this golden
+		// pins the analytic makespans against the event loop's.
+		{"corpus-batched-analytic", `{"kind": "corpus", "machine": "perlmutter-numa",
+			"count": 12, "seed": 9, "batch": 4,
+			"template": {"width": 3, "depth": 2, "cv": 0.3, "fs": "0", "payload": "0"}}`},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

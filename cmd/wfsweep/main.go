@@ -15,6 +15,7 @@
 //	wfsweep -spec sweep.json              # run the spec
 //	wfsweep -spec - < sweep.json          # read the spec from stdin
 //	wfsweep -spec sweep.json -workers 4   # override the pool size
+//	wfsweep -spec sweep.json -batch 256   # trials per batch-executor call
 //	wfsweep -spec sweep.json -format csv  # table (default), csv, markdown
 //	wfsweep -example montecarlo           # print a template spec and exit
 //
@@ -65,6 +66,7 @@ func run(ctx context.Context, args []string, stdin io.Reader, out io.Writer) err
 	fs := flag.NewFlagSet("wfsweep", flag.ContinueOnError)
 	specPath := fs.String("spec", "", "JSON spec file ('-' reads stdin)")
 	workers := fs.Int("workers", -1, "worker pool size (overrides the spec; 0 = GOMAXPROCS)")
+	batch := fs.Int("batch", -1, "trials per batch-executor call (overrides the spec; 0 = auto)")
 	format := fs.String("format", "table", "output format: table, csv, or markdown")
 	example := fs.String("example", "", "print a template spec (montecarlo, grid, survey, failures, corpus) and exit")
 	fs.SetOutput(out)
@@ -93,6 +95,9 @@ func run(ctx context.Context, args []string, stdin io.Reader, out io.Writer) err
 	}
 	if *workers >= 0 {
 		spec.Workers = *workers
+	}
+	if *batch >= 0 {
+		spec.Batch = *batch
 	}
 	tables, err := study.Run(ctx, spec)
 	if err != nil {

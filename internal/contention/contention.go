@@ -237,3 +237,40 @@ func MonteCarloEnsemble(ctx context.Context, n int, seed uint64, workers int, s 
 	}
 	return NewDistribution(samples)
 }
+
+// MonteCarloEnsembleBatch is MonteCarloEnsemble with chunked evaluation: the
+// n day trials are split into contiguous chunks of sweep.ChunkSize(n,
+// workers, batch) days and run delivers each chunk's day rates in one call,
+// filling one makespan per day — the shape a batch simulator executor
+// (sim.Plan.RunBatch) consumes without per-day dispatch overhead.
+//
+// Day sampling is unchanged: day i's RNG is still seeded from (seed, i) via
+// sweep.TrialSeed regardless of chunk geometry, so the distribution is
+// bit-identical to MonteCarloEnsemble at any worker count and batch size.
+func MonteCarloEnsembleBatch(ctx context.Context, n int, seed uint64, workers, batch int, s Sampler, run func(days []units.ByteRate, out []float64) error) (*Distribution, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("contention: need a positive sample count, got %d", n)
+	}
+	if s == nil || run == nil {
+		return nil, fmt.Errorf("contention: nil sampler or run function")
+	}
+	samples, err := sweep.MapChunks(ctx, n, workers, batch, func(_ context.Context, lo, hi int, out []float64) error {
+		days := make([]units.ByteRate, hi-lo)
+		for i := range days {
+			rng := NewRNG(sweep.TrialSeed(seed, lo+i))
+			rate := s.Sample(rng)
+			if rate <= 0 {
+				return fmt.Errorf("contention: sampler produced non-positive rate %v", float64(rate))
+			}
+			days[i] = rate
+		}
+		if err := run(days, out); err != nil {
+			return fmt.Errorf("contention: days [%d,%d): %w", lo, hi, err)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return NewDistribution(samples)
+}

@@ -1,0 +1,51 @@
+package serve
+
+import (
+	"bytes"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+// TestSweepBatchIsCacheTransparent proves the batch knob rides through
+// /v1/sweep as a pure performance setting: the spec parser accepts it
+// (DisallowUnknownFields would 400 otherwise), and batch variants of one
+// study normalize to the same content address — a re-POST with a different
+// batch size is a byte-identical cache hit, exactly like a worker-count
+// change.
+func TestSweepBatchIsCacheTransparent(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	spec := `{"kind":"montecarlo","case":"lcls-cori","trials":64,"seed":7,"streams":5,
+		"workers":2,"batch":8,
+		"sampler":{"model":"twostate","base":"1 GB/s","degraded":"0.2 GB/s","p_bad":0.4}}`
+	status, cold, hdr := post(t, ts.URL+"/v1/sweep", spec)
+	if status != http.StatusOK {
+		t.Fatalf("status = %d, body %s", status, cold)
+	}
+	if hdr.Get("X-Cache") != "cold" {
+		t.Errorf("first request X-Cache = %q", hdr.Get("X-Cache"))
+	}
+
+	// A different batch size (and worker count) is the same content address.
+	rebatched := strings.Replace(
+		strings.Replace(spec, `"batch":8`, `"batch":1000`, 1),
+		`"workers":2`, `"workers":7`, 1)
+	_, cached, hdr := post(t, ts.URL+"/v1/sweep", rebatched)
+	if hdr.Get("X-Cache") != "hit" {
+		t.Errorf("rebatched request X-Cache = %q, want hit", hdr.Get("X-Cache"))
+	}
+	if !bytes.Equal(cold, cached) {
+		t.Error("rebatched response bytes differ from cold")
+	}
+
+	// Dropping the knob entirely also hits: omitted and zero batch are one key.
+	plain := strings.Replace(
+		strings.Replace(spec, `"batch":8,`, ``, 1), `"workers":2,`, ``, 1)
+	_, cached, hdr = post(t, ts.URL+"/v1/sweep", plain)
+	if hdr.Get("X-Cache") != "hit" {
+		t.Errorf("plain request X-Cache = %q, want hit", hdr.Get("X-Cache"))
+	}
+	if !bytes.Equal(cold, cached) {
+		t.Error("plain response bytes differ from cold")
+	}
+}

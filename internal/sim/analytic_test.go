@@ -1,0 +1,332 @@
+package sim
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+	"testing/quick"
+
+	"wroofline/internal/failure"
+	"wroofline/internal/machine"
+	"wroofline/internal/units"
+	"wroofline/internal/wfgen"
+	"wroofline/internal/workflow"
+)
+
+// This file pins the analytic fast path's eligibility predicate to its spec
+// (see the computeAnalytic comment): a plan it accepts must reproduce the
+// event loop's scalars bit for bit, and a plan with any contention channel,
+// compiled failure model, or allocation queueing must be rejected. Quick
+// counterexamples are committed to testdata/analytic_corpus.json so a
+// failure becomes a permanent regression case.
+
+// analyticWitness names the first structural disqualifier the predicate
+// must honor, or "" when none applies. wfgen-generated plans cannot trip
+// the remaining rejection causes (event budget, invalid durations,
+// unreachable tasks), so for them "" means "must be analytic".
+func analyticWitness(p *Plan) string {
+	switch {
+	case p.cfg.Failures.Enabled():
+		return "compiled failure model"
+	case p.needExternal:
+		return "external link contention"
+	case p.needFS:
+		return "file-system link contention"
+	case p.needBis:
+		return "bisection link contention"
+	case p.sumNodes > p.nodes:
+		return "allocation queueing"
+	}
+	return ""
+}
+
+// analyticCheck is the predicate property for one generated case, returned
+// as an error so quick failures can be committed to the corpus before the
+// test dies.
+func (c diffCase) analyticCheck() error {
+	m, err := machine.ByName(diffMachines[int(c.MachIdx)%len(diffMachines)])
+	if err != nil {
+		return err
+	}
+	wf, err := wfgen.Generate(c.spec())
+	if err != nil {
+		return fmt.Errorf("generate: %w", err)
+	}
+	cfg := Config{Machine: m}
+	if c.Avail%4 != 0 {
+		cfg.AvailableNodes = 2 + int(c.Avail)%3
+	}
+	p, err := Compile(wf, nil, cfg)
+	if err != nil {
+		return fmt.Errorf("compile: %w", err)
+	}
+
+	witness := analyticWitness(p)
+	if !p.Analytic() {
+		if witness == "" {
+			return fmt.Errorf("contention-free, failure-free, queue-free plan rejected by the analytic predicate")
+		}
+		return nil
+	}
+	if witness != "" {
+		return fmt.Errorf("plan accepted analytically despite %s", witness)
+	}
+
+	// Accepted: the cached result must equal the event loop bit for bit.
+	res, err := p.Run(Trial{})
+	if err != nil {
+		return fmt.Errorf("event loop: %w", err)
+	}
+	want := res.Scalars()
+	if got := *p.analytic; got != want {
+		return fmt.Errorf("analytic %+v != event loop %+v", got, want)
+	}
+	br, err := p.RunScalar(Trial{})
+	if err != nil {
+		return fmt.Errorf("RunScalar: %w", err)
+	}
+	if br != want {
+		return fmt.Errorf("RunScalar %+v != event loop %+v", br, want)
+	}
+	return nil
+}
+
+const analyticCorpusPath = "testdata/analytic_corpus.json"
+
+// readAnalyticCorpus loads the committed counterexample corpus.
+func readAnalyticCorpus(t *testing.T) []diffCase {
+	t.Helper()
+	data, err := os.ReadFile(analyticCorpusPath)
+	if err != nil {
+		t.Fatalf("read corpus: %v", err)
+	}
+	var cases []diffCase
+	if err := json.Unmarshal(data, &cases); err != nil {
+		t.Fatalf("parse corpus: %v", err)
+	}
+	return cases
+}
+
+// commitCounterexample appends a failing quick case to the corpus file so
+// it is replayed by TestAnalyticCorpus forever after.
+func commitCounterexample(t *testing.T, c diffCase) {
+	t.Helper()
+	cases := readAnalyticCorpus(t)
+	cases = append(cases, c)
+	data, err := json.MarshalIndent(cases, "", "  ")
+	if err != nil {
+		t.Fatalf("marshal corpus: %v", err)
+	}
+	if err := os.WriteFile(filepath.Clean(analyticCorpusPath), append(data, '\n'), 0o644); err != nil {
+		t.Fatalf("write corpus: %v", err)
+	}
+	t.Logf("counterexample committed to %s: %+v", analyticCorpusPath, c)
+}
+
+// TestAnalyticPredicateQuick fuzzes the eligibility predicate over
+// randomized plans. A failing case is appended to the committed corpus
+// before the test fails.
+func TestAnalyticPredicateQuick(t *testing.T) {
+	cfg := &quick.Config{
+		MaxCount: 120,
+		Rand:     rand.New(rand.NewSource(11)),
+	}
+	var failing *diffCase
+	var failErr error
+	if err := quick.Check(func(c diffCase) bool {
+		if err := c.analyticCheck(); err != nil {
+			if failing == nil {
+				cc := c
+				failing, failErr = &cc, err
+			}
+			return false
+		}
+		return true
+	}, cfg); err != nil {
+		if failing != nil {
+			commitCounterexample(t, *failing)
+			t.Fatalf("predicate property failed for %+v: %v", *failing, failErr)
+		}
+		t.Fatal(err)
+	}
+}
+
+// TestAnalyticCorpus replays every committed case — seed cases covering
+// both sides of the predicate plus any quick counterexamples committed
+// since.
+func TestAnalyticCorpus(t *testing.T) {
+	cases := readAnalyticCorpus(t)
+	if len(cases) == 0 {
+		t.Fatal("empty corpus")
+	}
+	for i, c := range cases {
+		if err := c.analyticCheck(); err != nil {
+			t.Errorf("corpus case %d %+v: %v", i, c, err)
+		}
+	}
+}
+
+// TestAnalyticRejects pins each rejection clause with a directed witness.
+func TestAnalyticRejects(t *testing.T) {
+	base := func() (*workflow.Workflow, map[string]Program) {
+		wf := workflow.New("pin", machine.PartCPU)
+		for _, id := range []string{"a", "b"} {
+			if err := wf.AddTask(&workflow.Task{ID: id, Nodes: 1}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := wf.AddDep("a", "b"); err != nil {
+			t.Fatal(err)
+		}
+		progs := map[string]Program{
+			"a": {{Kind: PhaseFixed, Seconds: 3, Name: "a"}},
+			"b": {{Kind: PhaseFixed, Seconds: 5, Name: "b"}},
+		}
+		return wf, progs
+	}
+
+	t.Run("accepted-baseline", func(t *testing.T) {
+		wf, progs := base()
+		p, err := Compile(wf, progs, Config{Machine: machine.Perlmutter()})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !p.Analytic() {
+			t.Fatal("baseline plan should take the analytic path")
+		}
+		br, err := p.RunScalar(Trial{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if br.Makespan != 8 {
+			t.Fatalf("makespan %v, want 8", br.Makespan)
+		}
+	})
+
+	t.Run("external-contention", func(t *testing.T) {
+		wf, progs := base()
+		progs["a"] = append(Program{{Kind: PhaseExternal, Bytes: units.Bytes(1e9), Name: "stage"}}, progs["a"]...)
+		p, err := Compile(wf, progs, Config{Machine: machine.Perlmutter(), ExternalBW: units.ByteRate(1e9)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p.Analytic() {
+			t.Fatal("external flow must disqualify the analytic path")
+		}
+	})
+
+	t.Run("fs-contention", func(t *testing.T) {
+		wf, progs := base()
+		progs["b"] = append(progs["b"], Phase{Kind: PhaseFS, Bytes: units.Bytes(1e9), Name: "write"})
+		p, err := Compile(wf, progs, Config{Machine: machine.Perlmutter()})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p.Analytic() {
+			t.Fatal("file-system flow must disqualify the analytic path")
+		}
+	})
+
+	t.Run("failure-model", func(t *testing.T) {
+		wf, progs := base()
+		fs := failure.Spec{
+			TaskFailProb: 0.1,
+			Seed:         3,
+			Retry:        &failure.RetrySpec{MaxAttempts: 3},
+		}
+		fm, err := fs.Compile()
+		if err != nil {
+			t.Fatal(err)
+		}
+		p, err := Compile(wf, progs, Config{Machine: machine.Perlmutter(), Failures: fm})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p.Analytic() {
+			t.Fatal("a compiled failure model must disqualify the analytic path")
+		}
+	})
+
+	t.Run("disabled-failure-model-accepted", func(t *testing.T) {
+		wf, progs := base()
+		p, err := Compile(wf, progs, Config{Machine: machine.Perlmutter(), Failures: &failure.Model{}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !p.Analytic() {
+			t.Fatal("a disabled failure model simulates a failure-free system and must stay analytic")
+		}
+	})
+
+	t.Run("allocation-queueing", func(t *testing.T) {
+		wf, progs := base()
+		p, err := Compile(wf, progs, Config{Machine: machine.Perlmutter(), AvailableNodes: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p.Analytic() {
+			t.Fatal("a pool narrower than the workflow can queue and must disqualify the analytic path")
+		}
+	})
+
+	t.Run("event-budget", func(t *testing.T) {
+		wf, progs := base()
+		p, err := Compile(wf, progs, Config{Machine: machine.Perlmutter(), MaxEvents: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p.Analytic() {
+			t.Fatal("a plan over the event budget must stay on the event loop so the budget error is reported")
+		}
+		if _, err := p.Run(Trial{}); err == nil {
+			t.Fatal("the event loop should reject the run over its event budget")
+		}
+	})
+
+	t.Run("trial-failure-model-falls-back", func(t *testing.T) {
+		wf, progs := base()
+		p, err := Compile(wf, progs, Config{Machine: machine.Perlmutter()})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !p.Analytic() {
+			t.Fatal("baseline plan should take the analytic path")
+		}
+		// Scan seeds for a trial that retries and still completes: a nonzero
+		// retry count proves the event loop ran instead of the cached result.
+		proven := false
+		for seed := uint64(1); seed <= 64; seed++ {
+			fs := failure.Spec{
+				TaskFailProb: 0.5,
+				Seed:         seed,
+				Retry:        &failure.RetrySpec{MaxAttempts: 8, BackoffSeconds: 1},
+			}
+			fm, err := fs.Compile()
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := p.Run(Trial{Failures: fm})
+			if err != nil {
+				continue // permanent failure: both paths must agree on the error too,
+				// but that's the differential wall's job
+			}
+			br, err := p.RunScalar(Trial{Failures: fm})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if br != res.Scalars() {
+				t.Fatalf("seed %d: trial-model scalar %+v != event loop %+v", seed, br, res.Scalars())
+			}
+			if br.Retries > 0 {
+				proven = true
+				break
+			}
+		}
+		if !proven {
+			t.Fatal("no seed in [1,64] produced a retried, completed trial; the fallback is unproven")
+		}
+	})
+}

@@ -1,0 +1,166 @@
+package sim
+
+import (
+	"fmt"
+
+	"wroofline/internal/failure"
+)
+
+// BatchResult is the scalar slice of a trial Result: exactly the fields the
+// ensemble aggregators consume (makespan, throughput, retry counts, the
+// dominant retry label). The batch executor produces it without building the
+// span Recorder or the per-task maps a full Result carries, which is where
+// most of the per-trial allocation went.
+//
+// Every field is bit-identical to the corresponding full-Result value for
+// the same plan and trial; Result.Scalars is the bridge the differential
+// tests compare against.
+type BatchResult struct {
+	// Makespan is the end-to-end virtual time (first start to last end).
+	Makespan float64
+	// Throughput is total tasks divided by makespan (0 when makespan is 0).
+	Throughput float64
+	// Retries counts failed attempts across the run (0 without a fault
+	// model).
+	Retries int
+	// NodeFailures counts node outages injected by the fault process.
+	NodeFailures int
+	// DominantRetry is Result.DominantRetryLabel: the phase label with the
+	// most retry seconds, "none" when the run had none.
+	DominantRetry string
+}
+
+// Scalars projects a full Result onto the batch executor's output surface.
+func (r *Result) Scalars() BatchResult {
+	return BatchResult{
+		Makespan:      r.Makespan,
+		Throughput:    r.Throughput,
+		Retries:       r.Retries,
+		NodeFailures:  r.NodeFailures,
+		DominantRetry: r.DominantRetryLabel(),
+	}
+}
+
+// Analytic reports whether the compiled plan is eligible for the analytic
+// fast path: contention-free and failure-free, so scalar trials skip the
+// event loop entirely (see analytic.go for the predicate).
+func (p *Plan) Analytic() bool { return p.analytic != nil }
+
+// RunBatch executes len(trials) trials sequentially on one checked-out
+// scratch, writing the i-th trial's scalars to out[i]. This is the bulk
+// counterpart of Plan.Run for ensemble sweeps: the engine, node pool, links,
+// state tables, and callback tables are set up once and reset between
+// trials, and no Recorder or Result maps are built, so the steady state
+// allocates nothing per trial.
+//
+// Results are bit-identical to calling Run per trial and reading
+// Result.Scalars(), in any batching: a trial's outcome depends only on the
+// plan and the Trial value (all randomness is the failure model's seeded
+// streams), never on its neighbors in the batch. That determinism also
+// licenses the executor's trial memo: failure-free trials with identical
+// resolved inputs are evaluated once per batch and copied.
+//
+// Concurrent RunBatch calls (and mixes with Run) are safe. The first trial
+// error aborts the batch; out holds valid results for every index before
+// the failing one.
+func (p *Plan) RunBatch(trials []Trial, out []BatchResult) error {
+	if len(out) < len(trials) {
+		return fmt.Errorf("sim: batch of %d trials needs %d result slots, got %d",
+			len(trials), len(trials), len(out))
+	}
+	if len(trials) == 0 {
+		return nil
+	}
+	r := p.scratch.Get().(*trialRun)
+	err := r.runBatch(p, trials, out)
+	r.release(p)
+	return err
+}
+
+func (r *trialRun) runBatch(p *Plan, trials []Trial, out []BatchResult) error {
+	// memo caches failure-free trials by their resolved inputs. Trial is
+	// comparable once Failures is dropped; when the plan stages no external
+	// data the external override is inert too, so every failure-free trial
+	// shares one key.
+	var memo map[Trial]BatchResult
+	for idx, trial := range trials {
+		fm, externalBW, externalCap, err := p.resolveTrial(trial)
+		if err != nil {
+			return fmt.Errorf("sim: trial %d: %w", idx, err)
+		}
+		var key Trial
+		if fm == nil {
+			if p.analytic != nil {
+				out[idx] = *p.analytic
+				continue
+			}
+			if p.needExternal && trial.OverrideExternal {
+				key = Trial{
+					OverrideExternal:   true,
+					ExternalBW:         trial.ExternalBW,
+					ExternalPerFlowCap: trial.ExternalPerFlowCap,
+				}
+			}
+			if br, ok := memo[key]; ok {
+				out[idx] = br
+				continue
+			}
+		}
+		br, err := r.runScalar(p, fm, externalBW, externalCap)
+		if err != nil {
+			return fmt.Errorf("sim: trial %d: %w", idx, err)
+		}
+		out[idx] = br
+		if fm == nil {
+			if memo == nil {
+				memo = make(map[Trial]BatchResult)
+			}
+			memo[key] = br
+		}
+	}
+	return nil
+}
+
+// RunScalar executes one trial and returns only its scalars — Plan.Run
+// without the Result construction, taking the analytic fast path when the
+// plan allows it. It reports the same errors as Run.
+func (p *Plan) RunScalar(trial Trial) (BatchResult, error) {
+	fm, externalBW, externalCap, err := p.resolveTrial(trial)
+	if err != nil {
+		return BatchResult{}, err
+	}
+	if fm == nil && p.analytic != nil {
+		return *p.analytic, nil
+	}
+	r := p.scratch.Get().(*trialRun)
+	br, err := r.runScalar(p, fm, externalBW, externalCap)
+	r.release(p)
+	return br, err
+}
+
+// runScalar drains one trial in scalar mode and assembles its BatchResult,
+// mirroring exactly how trialRun.run derives the same fields for a full
+// Result.
+func (r *trialRun) runScalar(p *Plan, fm *failure.Model, externalBW, externalCap float64) (BatchResult, error) {
+	if err := r.simulate(p, fm, externalBW, externalCap, true); err != nil {
+		return BatchResult{}, err
+	}
+	mk := 0.0
+	if r.spans > 0 {
+		mk = r.maxEnd - r.minStart
+	}
+	br := BatchResult{
+		Makespan:      mk,
+		DominantRetry: dominantRetryLabel(r.retrySeconds),
+	}
+	if mk > 0 {
+		br.Throughput = float64(p.total) / mk
+	}
+	if r.fm != nil {
+		br.Retries = r.retries
+		if r.faults != nil {
+			br.NodeFailures = r.faults.failures
+		}
+	}
+	return br, nil
+}

@@ -1,0 +1,75 @@
+package sim
+
+import (
+	"fmt"
+	"testing"
+
+	"wroofline/internal/machine"
+	"wroofline/internal/units"
+	"wroofline/internal/workflow"
+)
+
+// benchPlanExternal compiles an LCLS-shaped staged fan-in whose external
+// flows keep every trial on the event loop (the analytic path never fires).
+func benchPlanExternal(b *testing.B) *Plan {
+	b.Helper()
+	wf := workflow.New("staged", machine.PartCPU)
+	progs := map[string]Program{
+		"merge": {{Kind: PhaseFixed, Seconds: 1, Name: "merge"}},
+	}
+	if err := wf.AddTask(&workflow.Task{ID: "merge", Nodes: 1}); err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		id := fmt.Sprintf("t%d", i)
+		if err := wf.AddTask(&workflow.Task{ID: id, Nodes: 1}); err != nil {
+			b.Fatal(err)
+		}
+		if err := wf.AddDep(id, "merge"); err != nil {
+			b.Fatal(err)
+		}
+		progs[id] = Program{
+			{Kind: PhaseExternal, Bytes: units.Bytes(1e12), Name: "loading"},
+			{Kind: PhaseFixed, Seconds: 120, Name: "analysis"},
+		}
+	}
+	p, err := Compile(wf, progs, Config{
+		Machine:            machine.Perlmutter(),
+		ExternalBW:         units.ByteRate(5e9),
+		ExternalPerFlowCap: units.ByteRate(1e9),
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return p
+}
+
+// benchmarkSimBatch measures the batch executor at batch size k with a
+// distinct external rate per trial, which defeats the trial memo — every
+// trial runs the full event loop, so ns/op per trial isolates what scratch
+// reuse across the batch buys (compare Batch1 against Batch64/Batch1024;
+// allocs/op shrinks toward zero per trial as k grows).
+func benchmarkSimBatch(b *testing.B, k int) {
+	p := benchPlanExternal(b)
+	trials := make([]Trial, k)
+	for i := range trials {
+		trials[i] = Trial{
+			OverrideExternal:   true,
+			ExternalBW:         units.ByteRate(5e9 + float64(i)*1e6),
+			ExternalPerFlowCap: units.ByteRate(1e9),
+		}
+	}
+	out := make([]BatchResult, k)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := p.RunBatch(trials, out); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(k)*float64(b.N)/b.Elapsed().Seconds(), "trials/s")
+}
+
+func BenchmarkSim_Batch1(b *testing.B)    { benchmarkSimBatch(b, 1) }
+func BenchmarkSim_Batch64(b *testing.B)   { benchmarkSimBatch(b, 64) }
+func BenchmarkSim_Batch1024(b *testing.B) { benchmarkSimBatch(b, 1024) }

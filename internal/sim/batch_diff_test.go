@@ -1,0 +1,292 @@
+package sim
+
+import (
+	"context"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"wroofline/internal/failure"
+	"wroofline/internal/machine"
+	"wroofline/internal/sweep"
+	"wroofline/internal/units"
+	"wroofline/internal/wfgen"
+	"wroofline/internal/workflow"
+)
+
+// The batch-executor differential wall: RunBatch and RunScalar must produce
+// results byte-identical to per-trial Plan.Run across randomized plans
+// drawn from every wfgen topology family, flat/NUMA/bisection machines, and
+// failure configurations — including the analytic fast path, trial
+// memoization, and every batch/worker geometry.
+
+// diffCase is the raw material testing/quick mutates; diffPlan interprets
+// it into a compiled plan plus a trial set.
+type diffCase struct {
+	FamIdx  uint8
+	MachIdx uint8
+	Width   uint8
+	Depth   uint8
+	Seed    uint64
+	CV      uint8
+	Payload bool
+	NoFS    bool
+	Avail   uint8 // 0 = full partition, else a small pool that forces queueing
+	Fail    uint8 // failure mix selector per trial block
+	Trials  uint8
+}
+
+var diffMachines = []string{"perlmutter", "perlmutter-numa", "ridgeline"}
+
+// spec renders the wfgen spec for the case.
+func (c diffCase) spec() *wfgen.Spec {
+	s := &wfgen.Spec{
+		Family: wfgen.Families()[int(c.FamIdx)%len(wfgen.Families())],
+		Seed:   c.Seed,
+		Width:  1 + int(c.Width)%5,
+		Depth:  1 + int(c.Depth)%4,
+		CV:     float64(c.CV%5) / 10,
+	}
+	if s.Family == "montage" && s.Width < 2 {
+		s.Width = 2
+	}
+	if c.Payload {
+		s.Payload = "64 MB"
+	}
+	if c.NoFS {
+		s.FS = "0"
+		s.Payload = "0"
+	}
+	return s
+}
+
+// compile builds the plan for the case (skipping impossible geometries).
+func (c diffCase) compile(t testing.TB) *Plan {
+	t.Helper()
+	m, err := machine.ByName(diffMachines[int(c.MachIdx)%len(diffMachines)])
+	if err != nil {
+		t.Fatalf("machine: %v", err)
+	}
+	wf, err := wfgen.Generate(c.spec())
+	if err != nil {
+		t.Fatalf("generate %+v: %v", c, err)
+	}
+	cfg := Config{Machine: m}
+	if c.Avail%4 != 0 {
+		// A pool narrower than the workflow forces allocation queueing (and
+		// disqualifies the analytic path); keep it at least 2 wide so node
+		// faults have headroom.
+		cfg.AvailableNodes = 2 + int(c.Avail)%3
+	}
+	p, err := Compile(wf, nil, cfg)
+	if err != nil {
+		t.Fatalf("compile %+v: %v", c, err)
+	}
+	return p
+}
+
+// trials builds the case's trial set: failure-free trials first (so the
+// memo and analytic paths get coverage), then per-trial seeded failure
+// models of increasing severity.
+func (c diffCase) trials() []Trial {
+	n := 1 + int(c.Trials)%5
+	out := make([]Trial, 0, n)
+	for i := 0; i < n; i++ {
+		switch (int(c.Fail) + i) % 4 {
+		case 0:
+			out = append(out, Trial{})
+		case 1:
+			// A disabled model must behave exactly like no model.
+			out = append(out, Trial{Failures: &failure.Model{}})
+		case 2:
+			fs := failure.Spec{
+				TaskFailProb: 0.25,
+				RestageRate:  "1 GB/s",
+				Seed:         sweep.TrialSeed(c.Seed, i),
+				Retry:        &failure.RetrySpec{MaxAttempts: 4, JitterFrac: 0.3},
+			}
+			fm, err := fs.Compile()
+			if err != nil {
+				panic(err)
+			}
+			out = append(out, Trial{Failures: fm})
+		default:
+			fs := failure.Spec{
+				TaskFailProb:      0.15,
+				NodeMTBFSeconds:   80,
+				NodeRepairSeconds: 15,
+				Seed:              sweep.TrialSeed(c.Seed, i),
+				Retry:             &failure.RetrySpec{MaxAttempts: 6, Checkpoint: true},
+			}
+			fm, err := fs.Compile()
+			if err != nil {
+				panic(err)
+			}
+			out = append(out, Trial{Failures: fm})
+		}
+	}
+	return out
+}
+
+// reference runs each trial through the full per-trial executor and
+// projects the scalars; a trial error truncates the reference at that
+// index.
+func reference(p *Plan, trials []Trial) ([]BatchResult, int, error) {
+	out := make([]BatchResult, 0, len(trials))
+	for i, tr := range trials {
+		res, err := p.Run(tr)
+		if err != nil {
+			return out, i, err
+		}
+		out = append(out, res.Scalars())
+	}
+	return out, -1, nil
+}
+
+// checkBatchAgainstReference asserts RunBatch over the trial set matches
+// the per-trial reference bit for bit, including the error behavior.
+func checkBatchAgainstReference(t *testing.T, p *Plan, trials []Trial, tag string) {
+	t.Helper()
+	refs, errIdx, refErr := reference(p, trials)
+
+	got := make([]BatchResult, len(trials))
+	err := p.RunBatch(trials, got)
+	if refErr != nil {
+		if err == nil {
+			t.Fatalf("%s: reference failed at trial %d (%v) but RunBatch succeeded", tag, errIdx, refErr)
+		}
+		if !strings.Contains(err.Error(), refErr.Error()) {
+			t.Fatalf("%s: RunBatch error %q does not carry reference error %q", tag, err, refErr)
+		}
+	} else if err != nil {
+		t.Fatalf("%s: RunBatch: %v", tag, err)
+	}
+	for i, want := range refs {
+		if got[i] != want {
+			t.Fatalf("%s: trial %d: batch %+v != reference %+v", tag, i, got[i], want)
+		}
+	}
+
+	// RunScalar is the one-trial slice of the same contract.
+	for i, tr := range trials {
+		if errIdx >= 0 && i >= errIdx {
+			break
+		}
+		br, err := p.RunScalar(tr)
+		if err != nil {
+			t.Fatalf("%s: RunScalar trial %d: %v", tag, i, err)
+		}
+		if br != refs[i] {
+			t.Fatalf("%s: trial %d: scalar %+v != reference %+v", tag, i, br, refs[i])
+		}
+	}
+}
+
+// TestBatchDifferentialQuick is the randomized wall: plans from all five
+// wfgen families on flat, NUMA, and bisection machines, with and without
+// payloads/file-system traffic/pool queueing, against mixed failure-free
+// and failure-carrying trial sets.
+func TestBatchDifferentialQuick(t *testing.T) {
+	cfg := &quick.Config{
+		MaxCount: 60,
+		Rand:     rand.New(rand.NewSource(7)),
+	}
+	analyticHits := 0
+	if err := quick.Check(func(c diffCase) bool {
+		p := c.compile(t)
+		if p.Analytic() {
+			analyticHits++
+		}
+		checkBatchAgainstReference(t, p, c.trials(), "quick")
+		return true
+	}, cfg); err != nil {
+		t.Fatal(err)
+	}
+	if analyticHits == 0 {
+		t.Fatal("no generated plan took the analytic fast path; the differential wall is not covering it")
+	}
+}
+
+// TestBatchDifferentialExternal covers the external-link override path the
+// Monte Carlo ensemble uses (wfgen workflows stage no external data, so
+// this builds an LCLS-shaped fan-in: five staged analyses into a merge).
+func TestBatchDifferentialExternal(t *testing.T) {
+	wf := workflow.New("staged", machine.PartCPU)
+	for _, id := range []string{"a", "b", "c", "d", "e", "merge"} {
+		if err := wf.AddTask(&workflow.Task{ID: id, Nodes: 1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	progs := map[string]Program{
+		"merge": {{Kind: PhaseFixed, Seconds: 1, Name: "merge"}},
+	}
+	for _, id := range []string{"a", "b", "c", "d", "e"} {
+		if err := wf.AddDep(id, "merge"); err != nil {
+			t.Fatal(err)
+		}
+		progs[id] = Program{
+			{Kind: PhaseExternal, Bytes: units.Bytes(1e12), Name: "loading"},
+			{Kind: PhaseFixed, Seconds: 120, Name: "analysis"},
+		}
+	}
+	p, err := Compile(wf, progs, Config{
+		Machine:            machine.Perlmutter(),
+		ExternalBW:         units.ByteRate(5e9),
+		ExternalPerFlowCap: units.ByteRate(1e9),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gb := units.ByteRate(1e9)
+	trials := []Trial{
+		{},
+		{OverrideExternal: true, ExternalBW: 5 * gb, ExternalPerFlowCap: gb},
+		{OverrideExternal: true, ExternalBW: gb, ExternalPerFlowCap: gb / 5},
+		{OverrideExternal: true, ExternalBW: 5 * gb, ExternalPerFlowCap: gb}, // repeat: memo hit
+		{OverrideExternal: true, ExternalBW: 2 * gb},
+	}
+	checkBatchAgainstReference(t, p, trials, "external")
+}
+
+// TestBatchDifferentialGeometry pins the batching geometries the ensembles
+// use: K=1, K mid-range, and K larger than the trial count, each fanned
+// over the chunked worker pool at 1 and 4 workers. Run under -race this is
+// also the concurrency proof for mixed RunBatch calls on one shared plan.
+func TestBatchDifferentialGeometry(t *testing.T) {
+	cases := []diffCase{
+		{FamIdx: 0, MachIdx: 0, Width: 2, Depth: 2, Seed: 3, NoFS: true},          // analytic
+		{FamIdx: 3, MachIdx: 1, Width: 3, Depth: 2, Seed: 5, Payload: true},       // event loop, FS link
+		{FamIdx: 2, MachIdx: 2, Width: 4, Depth: 1, Seed: 9, Avail: 1, Fail: 2},   // bisection + queueing + failures
+		{FamIdx: 4, MachIdx: 1, Width: 2, Depth: 3, Seed: 11, Fail: 3, Trials: 4}, // node faults
+	}
+	for _, c := range cases {
+		p := c.compile(t)
+		trials := c.trials()
+		// Extend the trial set so K spans below and above it.
+		for orig := len(trials); len(trials) < 6; {
+			trials = append(trials, trials[len(trials)%orig])
+		}
+		refs, errIdx, refErr := reference(p, trials)
+		if refErr != nil {
+			t.Fatalf("case %+v: reference trial %d: %v", c, errIdx, refErr)
+		}
+		for _, workers := range []int{1, 4} {
+			for _, k := range []int{1, 3, len(trials) + 10} {
+				got, err := sweep.MapChunks(context.Background(), len(trials), workers, k,
+					func(_ context.Context, lo, hi int, out []BatchResult) error {
+						return p.RunBatch(trials[lo:hi], out)
+					})
+				if err != nil {
+					t.Fatalf("case %+v workers=%d k=%d: %v", c, workers, k, err)
+				}
+				for i, want := range refs {
+					if got[i] != want {
+						t.Fatalf("case %+v workers=%d k=%d trial %d: %+v != %+v",
+							c, workers, k, i, got[i], want)
+					}
+				}
+			}
+		}
+	}
+}

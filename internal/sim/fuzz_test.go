@@ -1,0 +1,49 @@
+package sim
+
+import (
+	"testing"
+
+	"wroofline/internal/machine"
+	"wroofline/internal/wfgen"
+)
+
+// FuzzBatchPlan drives the batch executor against the per-trial reference
+// with fuzzer-chosen plan geometry: wfgen family, machine, DAG shape, work
+// variation, link traffic, pool width, and the failure mix of the trial
+// set. For every input that compiles, RunBatch and RunScalar must be
+// bit-identical to per-trial Plan.Run — the fuzz extension of the
+// differential wall in batch_diff_test.go.
+func FuzzBatchPlan(f *testing.F) {
+	// Seed corpus: every wfgen family, all three machine models, analytic
+	// and event-loop plans, queueing pools, and failure-carrying trials.
+	f.Add(uint8(0), uint8(0), uint8(1), uint8(1), uint64(3), uint8(2), false, true, uint8(0), uint8(0), uint8(2))
+	f.Add(uint8(1), uint8(1), uint8(2), uint8(0), uint64(7), uint8(0), false, true, uint8(0), uint8(1), uint8(3))
+	f.Add(uint8(2), uint8(2), uint8(3), uint8(1), uint64(9), uint8(1), false, false, uint8(1), uint8(2), uint8(4))
+	f.Add(uint8(3), uint8(0), uint8(2), uint8(1), uint64(5), uint8(3), true, false, uint8(0), uint8(3), uint8(2))
+	f.Add(uint8(4), uint8(1), uint8(1), uint8(2), uint64(11), uint8(0), false, false, uint8(2), uint8(0), uint8(4))
+	f.Fuzz(func(t *testing.T, famIdx, machIdx, width, depth uint8, seed uint64,
+		cv uint8, payload, noFS bool, avail, fail, trials uint8) {
+		c := diffCase{
+			FamIdx: famIdx, MachIdx: machIdx, Width: width, Depth: depth,
+			Seed: seed, CV: cv, Payload: payload, NoFS: noFS,
+			Avail: avail, Fail: fail, Trials: trials,
+		}
+		m, err := machine.ByName(diffMachines[int(c.MachIdx)%len(diffMachines)])
+		if err != nil {
+			t.Fatal(err)
+		}
+		wf, err := wfgen.Generate(c.spec())
+		if err != nil {
+			return // the interpreted spec is invalid; nothing to differentiate
+		}
+		cfg := Config{Machine: m}
+		if c.Avail%4 != 0 {
+			cfg.AvailableNodes = 2 + int(c.Avail)%3
+		}
+		p, err := Compile(wf, nil, cfg)
+		if err != nil {
+			return
+		}
+		checkBatchAgainstReference(t, p, c.trials(), "fuzz")
+	})
+}

@@ -18,8 +18,9 @@ import (
 // validates everything that is identical across Monte Carlo trials — phase
 // programs, the dependency structure as index slices, link bandwidths, the
 // partition — so each Run only touches per-trial mutable state, drawn from
-// an internal sync.Pool of scratch runs (engine, node pool, links, and the
-// per-task state table are all reused across trials).
+// an internal sync.Pool of scratch runs (engine, node pool, links, the
+// per-task state table, and the per-phase callback tables are all reused
+// across trials).
 //
 // A Plan is immutable after Compile and safe for concurrent Run calls from
 // multiple goroutines; each call checks out its own scratch.
@@ -30,6 +31,7 @@ type Plan struct {
 
 	nodes        int
 	maxTaskNodes int
+	sumNodes     int
 	total        int
 
 	tasks    []*workflow.Task // ID-sorted, same order wf.Tasks() returns
@@ -38,6 +40,8 @@ type Plan struct {
 	preds    []int     // dependency counts by task index
 	succs    [][]int   // successor indices, in Succs' (ID-sorted) order
 	staged   []float64 // per-task external+FS payload of the nominal program
+	phOff    []int     // phase slot offsets: task i's phase j is slot phOff[i]+j
+	slots    int       // total phase slots (phOff[len(tasks)])
 
 	needExternal bool
 	needFS       bool
@@ -49,6 +53,11 @@ type Plan struct {
 	bisBW        float64
 	memBW        units.ByteRate // partition EffectiveMemBW, resolved once
 	maxEvents    uint64
+
+	// analytic is the precomputed longest-path result for plans the analytic
+	// fast path accepts (contention-free, failure-free — see analytic.go);
+	// nil when the plan needs the event loop.
+	analytic *BatchResult
 
 	scratch sync.Pool // of *trialRun
 }
@@ -130,6 +139,7 @@ func Compile(wf *workflow.Workflow, programs map[string]Program, cfg Config) (*P
 	}
 	p.programs = make([]Program, len(p.tasks))
 	p.staged = make([]float64, len(p.tasks))
+	p.phOff = make([]int, len(p.tasks)+1)
 	for i, t := range p.tasks {
 		prog, ok := programs[t.ID]
 		if !ok {
@@ -156,7 +166,11 @@ func Compile(wf *workflow.Workflow, programs map[string]Program, cfg Config) (*P
 		}
 		p.programs[i] = prog
 		p.staged[i] = stagedBytes(prog)
+		p.phOff[i] = p.slots
+		p.slots += len(prog)
+		p.sumNodes += t.Nodes
 	}
+	p.phOff[len(p.tasks)] = p.slots
 
 	if p.needExternal {
 		ext := cfg.Machine.ExternalBW
@@ -210,14 +224,49 @@ func Compile(wf *workflow.Workflow, programs map[string]Program, cfg Config) (*P
 	if p.maxEvents == 0 {
 		p.maxEvents = 10_000_000
 	}
+	p.computeAnalytic()
 	n := len(p.tasks)
 	p.scratch.New = func() any {
-		return &trialRun{
+		r := &trialRun{
+			plan:    p,
 			eng:     engine.New(),
 			deps:    make([]int, n),
 			states:  make([]taskState, n),
 			results: make([]TaskResult, n),
+			startcb: make([]func(), n),
+			retrycb: make([]func(), n),
+			donecb:  make([]func(), p.slots),
+			begins:  make([]float64, p.slots),
 		}
+		if p.needExternal || p.needFS || p.needBis {
+			r.flowcb = make([]func(float64, float64), p.slots)
+		}
+		if p.needBis {
+			r.joincb = make([]func(), p.slots)
+			r.joins = make([]int32, p.slots)
+		}
+		for i := range p.tasks {
+			i := i
+			r.startcb[i] = func() { r.startAttempt(i) }
+			r.retrycb[i] = func() { r.submit(i) }
+			off := p.phOff[i]
+			for j, ph := range p.programs[i] {
+				j, k := j, off+j
+				r.donecb[k] = func() { r.phaseDone(i, j, k) }
+				switch ph.Kind {
+				case PhaseExternal, PhaseFS:
+					if r.flowcb != nil {
+						r.flowcb[k] = func(_, _ float64) { r.phaseDone(i, j, k) }
+					}
+				case PhaseNetwork:
+					if p.needBis {
+						r.joincb[k] = func() { r.joinDone(i, j, k) }
+						r.flowcb[k] = func(_, _ float64) { r.joinDone(i, j, k) }
+					}
+				}
+			}
+		}
+		return r
 	}
 	return p, nil
 }
@@ -225,47 +274,67 @@ func Compile(wf *workflow.Workflow, programs map[string]Program, cfg Config) (*P
 // Workflow returns the compiled workflow.
 func (p *Plan) Workflow() *workflow.Workflow { return p.wf }
 
-// Run executes one trial of the compiled plan. Concurrent calls are safe;
-// per-trial state comes from the plan's scratch pool.
-func (p *Plan) Run(trial Trial) (*Result, error) {
-	fm := p.cfg.Failures
+// resolveTrial applies a Trial's overrides to the compiled configuration:
+// the effective failure model (nil when disabled) and the external link
+// geometry for this trial. It reports the same errors for both the full and
+// the batch executor.
+func (p *Plan) resolveTrial(trial Trial) (fm *failure.Model, externalBW, externalCap float64, err error) {
+	fm = p.cfg.Failures
 	if trial.Failures != nil {
 		fm = trial.Failures
 	}
 	if !fm.Enabled() {
 		fm = nil
 	} else if fm.Retry.MaxAttempts <= 0 {
-		return nil, fmt.Errorf("sim: failure model needs positive max attempts, got %d", fm.Retry.MaxAttempts)
+		return nil, 0, 0, fmt.Errorf("sim: failure model needs positive max attempts, got %d", fm.Retry.MaxAttempts)
 	}
 
-	externalBW, externalCap := p.externalBW, p.externalCap
+	externalBW, externalCap = p.externalBW, p.externalCap
 	if trial.OverrideExternal {
 		ext := p.cfg.Machine.ExternalBW
 		if trial.ExternalBW > 0 {
 			ext = trial.ExternalBW
 		}
 		if p.needExternal && ext <= 0 {
-			return nil, fmt.Errorf("sim: workflow %s stages external data but no external bandwidth is configured", p.wf.Name)
+			return nil, 0, 0, fmt.Errorf("sim: workflow %s stages external data but no external bandwidth is configured", p.wf.Name)
 		}
 		externalBW = float64(ext)
 		externalCap = float64(trial.ExternalPerFlowCap)
 	}
+	return fm, externalBW, externalCap, nil
+}
+
+// Run executes one trial of the compiled plan. Concurrent calls are safe;
+// per-trial state comes from the plan's scratch pool.
+func (p *Plan) Run(trial Trial) (*Result, error) {
+	fm, externalBW, externalCap, err := p.resolveTrial(trial)
+	if err != nil {
+		return nil, err
+	}
 
 	r := p.scratch.Get().(*trialRun)
 	res, err := r.run(p, fm, externalBW, externalCap)
-	// Detach everything that escaped into the Result (or is per-trial) and
-	// return the scratch for the next trial.
+	r.release(p)
+	return res, err
+}
+
+// release detaches everything that escaped into a Result (or is per-trial)
+// and returns the scratch to the pool.
+func (r *trialRun) release(p *Plan) {
 	r.rec = nil
 	r.retrySeconds = nil
 	r.fm = nil
 	r.faults = nil
 	r.failure = nil
 	p.scratch.Put(r)
-	return res, err
 }
 
 // trialRun is the mutable per-trial state: the pooled counterpart of a
-// compiled Plan. All task-keyed state is indexed by the plan's task order.
+// compiled Plan. All task-keyed state is indexed by the plan's task order;
+// all phase-keyed state by the plan's flat phase-slot numbering
+// (phOff[i]+j). The callback tables (startcb/retrycb/donecb/flowcb/joincb)
+// are built once when the scratch is created and reused by every trial, so
+// the steady-state event loop allocates no closures at all.
 type trialRun struct {
 	plan     *Plan
 	eng      *engine.Engine
@@ -273,7 +342,14 @@ type trialRun struct {
 	external *resources.Link // nil when the plan stages no external data
 	fs       *resources.Link // nil when the plan touches no file system
 	bis      *resources.Link // nil unless the fabric has a bisection limit
+
+	// rec stores spans for the full Result path; nil in scalar (batch) mode,
+	// where only the aggregates below are tracked. Both modes validate every
+	// span with trace.Validate, so errors are identical.
 	rec      *trace.Recorder
+	minStart float64
+	maxEnd   float64
+	spans    int
 
 	deps      []int
 	states    []taskState
@@ -286,18 +362,34 @@ type trialRun struct {
 	faults       *nodeFaults
 	retries      int
 	retrySeconds map[string]float64
+	scalarRetry  map[string]float64 // reused retrySeconds storage for scalar trials
+
+	// Persistent callback tables, indexed by task (startcb/retrycb) or phase
+	// slot (the rest). begins holds each in-flight phase's start time; joins
+	// counts a bisection network phase's outstanding completions.
+	startcb []func()
+	retrycb []func()
+	donecb  []func()
+	flowcb  []func(float64, float64)
+	joincb  []func()
+	begins  []float64
+	joins   []int32
 }
 
 // taskState tracks a task's in-flight background phases and whether the
 // foreground chain has finished, plus the failure-model bookkeeping
 // (attempt counts, checkpoint progress, the task's fault stream). Without a
-// fault model only started/background/chainDone ever change.
+// fault model only started/background/chainDone/prog ever change.
 type taskState struct {
 	// started distinguishes the zero value from an initialized state; the
 	// first attempt initializes on demand.
 	started    bool
 	background int
 	chainDone  bool
+
+	// prog is the current attempt's program: the plan's nominal program, or
+	// the scaled buffer for partial (failed/checkpoint-resumed) attempts.
+	prog Program
 
 	// attempt counts attempts so far (1 on the first run).
 	attempt int
@@ -332,51 +424,53 @@ func (st *taskState) scaleInto(p Program, factor float64) Program {
 	return buf
 }
 
-// run executes one trial on checked-out scratch.
-func (r *trialRun) run(p *Plan, fm *failure.Model, externalBW, externalCap float64) (*Result, error) {
+// simulate prepares the scratch and drains one trial's event loop. In
+// scalar mode no Recorder is attached: spans collapse into min-start /
+// max-end / count as they are recorded.
+func (r *trialRun) simulate(p *Plan, fm *failure.Model, externalBW, externalCap float64, scalar bool) error {
 	r.plan = p
 	r.eng.Reset()
 	r.eng.MaxEvents = p.maxEvents
 	if r.pool == nil {
 		pool, err := resources.NewPool(r.eng, p.part.Name, p.nodes)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		r.pool = pool
 	} else if err := r.pool.Reset(p.nodes); err != nil {
-		return nil, err
+		return err
 	}
 	if p.needExternal {
 		if r.external == nil {
 			l, err := resources.NewLink(r.eng, "external", externalBW, externalCap)
 			if err != nil {
-				return nil, err
+				return err
 			}
 			r.external = l
 		} else if err := r.external.Reset(externalBW, externalCap); err != nil {
-			return nil, err
+			return err
 		}
 	}
 	if p.needFS {
 		if r.fs == nil {
 			l, err := resources.NewLink(r.eng, "filesystem", p.fsBW, p.fsCap)
 			if err != nil {
-				return nil, err
+				return err
 			}
 			r.fs = l
 		} else if err := r.fs.Reset(p.fsBW, p.fsCap); err != nil {
-			return nil, err
+			return err
 		}
 	}
 	if p.needBis {
 		if r.bis == nil {
 			l, err := resources.NewLink(r.eng, "bisection", p.bisBW, 0)
 			if err != nil {
-				return nil, err
+				return err
 			}
 			r.bis = l
 		} else if err := r.bis.Reset(p.bisBW, 0); err != nil {
-			return nil, err
+			return err
 		}
 	}
 
@@ -387,12 +481,27 @@ func (r *trialRun) run(p *Plan, fm *failure.Model, externalBW, externalCap float
 	r.completed = 0
 	r.failure = nil
 	r.retries = 0
-	r.rec = trace.NewRecorder()
+	if scalar {
+		r.rec = nil
+		r.minStart = math.Inf(1)
+		r.maxEnd = math.Inf(-1)
+		r.spans = 0
+	} else {
+		r.rec = trace.NewRecorder()
+	}
 	r.fm = fm
 	r.faults = nil
 	r.retrySeconds = nil
 	if fm != nil {
-		r.retrySeconds = make(map[string]float64)
+		if scalar {
+			if r.scalarRetry == nil {
+				r.scalarRetry = make(map[string]float64)
+			}
+			clear(r.scalarRetry)
+			r.retrySeconds = r.scalarRetry
+		} else {
+			r.retrySeconds = make(map[string]float64)
+		}
 		if fm.NodeMTBF > 0 {
 			r.faults = newNodeFaults(r, p.nodes, p.maxTaskNodes)
 		}
@@ -408,14 +517,22 @@ func (r *trialRun) run(p *Plan, fm *failure.Model, externalBW, externalCap float
 	}
 
 	if err := r.eng.Run(); err != nil {
-		return nil, err
+		return err
 	}
 	if r.failure != nil {
-		return nil, r.failure
+		return r.failure
 	}
 	if r.completed != p.total {
-		return nil, fmt.Errorf("sim: only %d of %d tasks completed (dependency deadlock?)",
+		return fmt.Errorf("sim: only %d of %d tasks completed (dependency deadlock?)",
 			r.completed, p.total)
+	}
+	return nil
+}
+
+// run executes one trial on checked-out scratch and builds the full Result.
+func (r *trialRun) run(p *Plan, fm *failure.Model, externalBW, externalCap float64) (*Result, error) {
+	if err := r.simulate(p, fm, externalBW, externalCap, false); err != nil {
+		return nil, err
 	}
 
 	mk := r.rec.Makespan()
@@ -458,12 +575,34 @@ func (r *trialRun) fail(err error) {
 	}
 }
 
+// record validates and accounts one span: appended to the Recorder on the
+// full path, collapsed into the min/max aggregates in scalar mode.
+func (r *trialRun) record(task, phase string, start, end float64) bool {
+	s := trace.Span{Task: task, Phase: phase, Start: start, End: end}
+	if r.rec != nil {
+		if err := r.rec.Record(s); err != nil {
+			r.fail(err)
+			return false
+		}
+		return true
+	}
+	if err := trace.Validate(s); err != nil {
+		r.fail(err)
+		return false
+	}
+	if start < r.minStart {
+		r.minStart = start
+	}
+	if end > r.maxEnd {
+		r.maxEnd = end
+	}
+	r.spans++
+	return true
+}
+
 // submit queues the task for node allocation.
 func (r *trialRun) submit(i int) {
-	task := r.plan.tasks[i]
-	if err := r.pool.Acquire(task.Nodes, func() {
-		r.startAttempt(i)
-	}); err != nil {
+	if err := r.pool.Acquire(r.plan.tasks[i].Nodes, r.startcb[i]); err != nil {
 		r.fail(err)
 	}
 }
@@ -510,81 +649,86 @@ func (r *trialRun) startAttempt(i int) {
 			prog = st.scaleInto(prog, factor)
 		}
 	}
-	r.execPhases(i, prog, 0, start)
+	st.prog = prog
+	r.execFrom(i, 0)
 }
 
-// execPhases runs program[idx:] for the task, then completes it once the
+// execFrom runs the current attempt's program from phase j: dispatching
+// background phases inline and stopping at the first foreground phase (its
+// completion re-enters here at j+1), then completing the task once the
 // foreground chain and every background phase are done.
-func (r *trialRun) execPhases(i int, prog Program, idx int, taskStart float64) {
+func (r *trialRun) execFrom(i, j int) {
 	st := &r.states[i]
-	if idx >= len(prog) {
-		st.chainDone = true
-		r.maybeComplete(i, taskStart)
+	for {
+		prog := st.prog
+		if j >= len(prog) {
+			st.chainDone = true
+			r.maybeComplete(i)
+			return
+		}
+		ph := prog[j]
+		k := r.plan.phOff[i] + j
+		r.begins[k] = r.eng.Now()
+		if ph.Background {
+			st.background++
+			r.dispatch(i, ph, k)
+			// The foreground chain continues immediately.
+			j++
+			continue
+		}
+		r.dispatch(i, ph, k)
 		return
 	}
-	task := r.plan.tasks[i]
-	ph := prog[idx]
-	begin := r.eng.Now()
-	record := func() bool {
-		if err := r.rec.Record(trace.Span{
-			Task: task.ID, Phase: ph.label(), Start: begin, End: r.eng.Now(),
-		}); err != nil {
-			r.fail(err)
-			return false
-		}
-		if st.doomed {
-			// The whole attempt is wasted work; charge it to the phase label.
-			r.retrySeconds[ph.label()] += r.eng.Now() - begin
-		}
-		return true
-	}
+}
 
-	var done func()
-	if ph.Background {
-		st.background++
-		done = func() {
-			if !record() {
-				return
-			}
-			st.background--
-			r.maybeComplete(i, taskStart)
-		}
-	} else {
-		done = func() {
-			if !record() {
-				return
-			}
-			r.execPhases(i, prog, idx+1, taskStart)
-		}
-	}
-
+// dispatch starts phase slot k; its completion lands in phaseDone (possibly
+// synchronously, for zero-byte transfers).
+func (r *trialRun) dispatch(i int, ph Phase, k int) {
 	switch ph.Kind {
 	case PhaseExternal:
-		r.transfer(r.external, ph, done)
+		r.transfer(r.external, ph, k)
 	case PhaseFS:
-		r.transfer(r.fs, ph, done)
+		r.transfer(r.fs, ph, k)
 	case PhaseNetwork:
-		r.network(task, ph, done)
+		r.network(i, ph, k)
 	default:
-		d, err := r.nodePhaseSeconds(task, ph)
+		d, err := r.plan.nodePhaseSeconds(r.plan.tasks[i], ph)
 		if err != nil {
 			r.fail(err)
-			break
+			return
 		}
-		if _, err := r.eng.Schedule(d, done); err != nil {
+		if _, err := r.eng.Schedule(d, r.donecb[k]); err != nil {
 			r.fail(err)
 		}
 	}
-	if ph.Background {
-		// The foreground chain continues immediately.
-		r.execPhases(i, prog, idx+1, taskStart)
+}
+
+// phaseDone finishes phase j (slot k) of task i: record the span, charge
+// doomed time, then either settle the background count or continue the
+// foreground chain.
+func (r *trialRun) phaseDone(i, j, k int) {
+	st := &r.states[i]
+	ph := st.prog[j]
+	begin, end := r.begins[k], r.eng.Now()
+	if !r.record(r.plan.tasks[i].ID, ph.label(), begin, end) {
+		return
 	}
+	if st.doomed {
+		// The whole attempt is wasted work; charge it to the phase label.
+		r.retrySeconds[ph.label()] += end - begin
+	}
+	if ph.Background {
+		st.background--
+		r.maybeComplete(i)
+		return
+	}
+	r.execFrom(i, j+1)
 }
 
 // maybeComplete finishes the attempt once nothing is outstanding: a doomed
 // attempt re-enters the queue after restage + backoff, a clean one completes
 // the task.
-func (r *trialRun) maybeComplete(i int, taskStart float64) {
+func (r *trialRun) maybeComplete(i int) {
 	st := &r.states[i]
 	if !st.chainDone || st.background != 0 {
 		return
@@ -593,7 +737,7 @@ func (r *trialRun) maybeComplete(i int, taskStart float64) {
 		r.failAttempt(i, st)
 		return
 	}
-	r.complete(i, st.firstStart)
+	r.complete(i)
 }
 
 // failAttempt handles a failed attempt: release the nodes, pay the
@@ -626,42 +770,36 @@ func (r *trialRun) failAttempt(i int, st *taskState) {
 	}
 	backoff := r.fm.Retry.Delay(st.attempt, u)
 	if restage > 0 {
-		if err := r.rec.Record(trace.Span{Task: task.ID, Phase: "restage", Start: now, End: now + restage}); err != nil {
-			r.fail(err)
+		if !r.record(task.ID, "restage", now, now+restage) {
 			return
 		}
 		r.retrySeconds["restage"] += restage
 	}
 	if backoff > 0 {
-		if err := r.rec.Record(trace.Span{Task: task.ID, Phase: "backoff", Start: now + restage, End: now + restage + backoff}); err != nil {
-			r.fail(err)
+		if !r.record(task.ID, "backoff", now+restage, now+restage+backoff) {
 			return
 		}
 		r.retrySeconds["backoff"] += backoff
 	}
-	if _, err := r.eng.Schedule(restage+backoff, func() {
-		if err := r.pool.Acquire(task.Nodes, func() { r.startAttempt(i) }); err != nil {
-			r.fail(err)
-		}
-	}); err != nil {
+	if _, err := r.eng.Schedule(restage+backoff, r.retrycb[i]); err != nil {
 		r.fail(err)
 	}
 }
 
 // transfer moves the phase bytes over a shared link, scaled by efficiency
 // (an 0.5-efficient transfer moves bytes/0.5 effective volume).
-func (r *trialRun) transfer(link *resources.Link, ph Phase, done func()) {
+func (r *trialRun) transfer(link *resources.Link, ph Phase, k int) {
 	if link == nil {
 		// Zero-byte phases on an absent link complete immediately.
 		if ph.Bytes == 0 {
-			done()
+			r.donecb[k]()
 			return
 		}
 		r.fail(fmt.Errorf("sim: phase %q needs a link that was not configured", ph.label()))
 		return
 	}
 	effective := float64(ph.Bytes) / ph.eff()
-	if err := link.Transfer(effective, func(_, _ float64) { done() }); err != nil {
+	if err := link.Transfer(effective, r.flowcb[k]); err != nil {
 		r.fail(err)
 	}
 }
@@ -673,14 +811,15 @@ func (r *trialRun) transfer(link *resources.Link, ph Phase, done func()) {
 // link, and completes only when both the injection delay and the fabric
 // transfer have finished — concurrent wide phases contend for the fabric
 // even when each node's NIC has headroom.
-func (r *trialRun) network(task *workflow.Task, ph Phase, done func()) {
-	d, err := r.nodePhaseSeconds(task, ph)
+func (r *trialRun) network(i int, ph Phase, k int) {
+	task := r.plan.tasks[i]
+	d, err := r.plan.nodePhaseSeconds(task, ph)
 	if err != nil {
 		r.fail(err)
 		return
 	}
 	if r.bis == nil || ph.Bytes == 0 {
-		if _, err := r.eng.Schedule(d, done); err != nil {
+		if _, err := r.eng.Schedule(d, r.donecb[k]); err != nil {
 			r.fail(err)
 		}
 		return
@@ -689,34 +828,37 @@ func (r *trialRun) network(task *workflow.Task, ph Phase, done func()) {
 	// BisectionShare crosses the cut, inflated by the phase efficiency like
 	// every other transfer.
 	vol := float64(ph.Bytes) / ph.eff() * float64(task.Nodes) * machine.BisectionShare
-	outstanding := 2
-	join := func() {
-		if outstanding--; outstanding == 0 {
-			done()
-		}
-	}
-	if _, err := r.eng.Schedule(d, join); err != nil {
+	r.joins[k] = 2
+	if _, err := r.eng.Schedule(d, r.joincb[k]); err != nil {
 		r.fail(err)
 		return
 	}
-	if err := r.bis.Transfer(vol, func(_, _ float64) { join() }); err != nil {
+	if err := r.bis.Transfer(vol, r.flowcb[k]); err != nil {
 		r.fail(err)
+	}
+}
+
+// joinDone settles one leg of a bisection network phase (NIC injection or
+// fabric transfer); the phase finishes when both have landed.
+func (r *trialRun) joinDone(i, j, k int) {
+	if r.joins[k]--; r.joins[k] == 0 {
+		r.phaseDone(i, j, k)
 	}
 }
 
 // nodePhaseSeconds computes a node-local phase duration from the machine
 // peaks and the phase efficiency.
-func (r *trialRun) nodePhaseSeconds(task *workflow.Task, ph Phase) (float64, error) {
+func (p *Plan) nodePhaseSeconds(task *workflow.Task, ph Phase) (float64, error) {
 	var peakTime float64
 	switch ph.Kind {
 	case PhaseNetwork:
-		peakTime = units.TimeToMove(ph.Bytes, r.plan.part.NodeNICBW)
+		peakTime = units.TimeToMove(ph.Bytes, p.part.NodeNICBW)
 	case PhasePCIe:
-		peakTime = units.TimeToMove(ph.Bytes, r.plan.part.NodePCIeBW)
+		peakTime = units.TimeToMove(ph.Bytes, p.part.NodePCIeBW)
 	case PhaseMemory:
-		peakTime = units.TimeToMove(ph.Bytes, r.plan.memBW)
+		peakTime = units.TimeToMove(ph.Bytes, p.memBW)
 	case PhaseCompute:
-		peakTime = units.TimeToCompute(ph.Flops, r.plan.part.NodeFlops)
+		peakTime = units.TimeToCompute(ph.Flops, p.part.NodeFlops)
 	case PhaseFixed:
 		return ph.Seconds, nil
 	default:
@@ -724,22 +866,22 @@ func (r *trialRun) nodePhaseSeconds(task *workflow.Task, ph Phase) (float64, err
 	}
 	if math.IsInf(peakTime, 1) {
 		return 0, fmt.Errorf("sim: task %q phase %q uses a resource with zero peak on partition %q",
-			task.ID, ph.label(), r.plan.part.Name)
+			task.ID, ph.label(), p.part.Name)
 	}
 	return peakTime / ph.eff(), nil
 }
 
 // complete releases nodes, records the window, and unblocks successors.
-func (r *trialRun) complete(i int, taskStart float64) {
+func (r *trialRun) complete(i int) {
 	task := r.plan.tasks[i]
+	st := &r.states[i]
 	end := r.eng.Now()
-	r.results[i] = TaskResult{Start: taskStart, End: end}
+	r.results[i] = TaskResult{Start: st.firstStart, End: end}
 	r.completed++
 	// A task with an empty program still leaves a marker span so makespan
 	// and Gantt output include it.
 	if len(r.plan.programs[i]) == 0 {
-		if err := r.rec.Record(trace.Span{Task: task.ID, Phase: "noop", Start: taskStart, End: end}); err != nil {
-			r.fail(err)
+		if !r.record(task.ID, "noop", st.firstStart, end) {
 			return
 		}
 	}

@@ -226,9 +226,15 @@ func (r *Result) RetryTotalSeconds() float64 {
 // DominantRetryLabel returns the phase label with the most retry seconds
 // (ties broken by name), or "none" when the run had no retries — the label
 // the failure-ensemble histogram aggregates.
-func (r *Result) DominantRetryLabel() string {
+func (r *Result) DominantRetryLabel() string { return dominantRetryLabel(r.RetrySeconds) }
+
+// dominantRetryLabel implements DominantRetryLabel over a raw retry-seconds
+// map so the batch executor shares the exact selection rule. The result does
+// not depend on map iteration order: the maximum value wins, ties go to the
+// lexicographically smallest label.
+func dominantRetryLabel(m map[string]float64) string {
 	best, bestV := "none", 0.0
-	for label, v := range r.RetrySeconds {
+	for label, v := range m {
 		if v > bestV || (v == bestV && v > 0 && label < best) {
 			best, bestV = label, v
 		}

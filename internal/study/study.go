@@ -39,6 +39,11 @@ type Spec struct {
 	// result bytes, only the wall-clock time, so Canonical normalizes it
 	// away.
 	Workers int `json:"workers,omitempty"`
+	// Batch sets how many trials each worker runs per batch-executor call in
+	// the montecarlo/failures kinds (0 = sweep.ChunkSize default). Like
+	// Workers it is a pure performance knob — per-trial seeding ignores the
+	// chunk geometry — so Canonical normalizes it away too.
+	Batch int `json:"batch,omitempty"`
 
 	// Case names a built-in case study (montecarlo and grid kinds).
 	Case string `json:"case,omitempty"`
@@ -133,13 +138,15 @@ func ParseSpec(data []byte) (*Spec, error) {
 }
 
 // Canonical renders the spec in its content-addressable form: a single JSON
-// encoding with fixed field order and the worker count normalized to zero.
-// Two specs with equal Canonical bytes produce byte-identical study output,
-// because the sweep engine is deterministic at any worker count — this is
-// the cache key the analysis service hashes.
+// encoding with fixed field order and the worker count and batch size
+// normalized to zero. Two specs with equal Canonical bytes produce
+// byte-identical study output, because the sweep engine is deterministic at
+// any worker count and batch size — this is the cache key the analysis
+// service hashes.
 func (s *Spec) Canonical() ([]byte, error) {
 	c := *s
 	c.Workers = 0
+	c.Batch = 0
 	return json.Marshal(&c)
 }
 
@@ -211,20 +218,31 @@ func runMonteCarlo(ctx context.Context, spec *Spec) ([]*report.Table, error) {
 	if streams <= 0 {
 		streams = 1
 	}
-	d, err := contention.MonteCarloEnsemble(ctx, spec.Trials, spec.Seed, spec.Workers, s,
-		func(rate units.ByteRate) (float64, error) {
-			trial := sim.Trial{
-				OverrideExternal: true,
-				ExternalBW:       units.ByteRate(streams) * rate,
+	// Each chunk of days becomes one batch-executor call: the worker reuses a
+	// single scratch trial state for the whole chunk and the executor dedupes
+	// repeated day rates (a two-state sampler yields two distinct trials per
+	// batch). Day seeding is chunk-independent, so the distribution is
+	// bit-identical to the per-trial path at any worker count or batch size.
+	d, err := contention.MonteCarloEnsembleBatch(ctx, spec.Trials, spec.Seed, spec.Workers, spec.Batch, s,
+		func(days []units.ByteRate, out []float64) error {
+			trials := make([]sim.Trial, len(days))
+			for i, rate := range days {
+				trials[i] = sim.Trial{
+					OverrideExternal: true,
+					ExternalBW:       units.ByteRate(streams) * rate,
+				}
+				if streams > 1 {
+					trials[i].ExternalPerFlowCap = rate
+				}
 			}
-			if streams > 1 {
-				trial.ExternalPerFlowCap = rate
+			brs := make([]sim.BatchResult, len(days))
+			if err := plan.RunBatch(trials, brs); err != nil {
+				return err
 			}
-			res, err := plan.Run(trial)
-			if err != nil {
-				return 0, err
+			for i, br := range brs {
+				out[i] = br.Makespan
 			}
-			return res.Makespan, nil
+			return nil
 		})
 	if err != nil {
 		return nil, err
@@ -290,23 +308,34 @@ func runFailures(ctx context.Context, spec *Spec) ([]*report.Table, error) {
 		return nil, fmt.Errorf("baseline simulation: %w", err)
 	}
 
-	trials, err := sweep.Map(ctx, spec.Trials, spec.Workers,
-		func(ctx context.Context, trial int) (failureTrial, error) {
-			fs := *spec.Failure
-			fs.Seed = sweep.TrialSeed(spec.Seed, trial)
-			fm, err := fs.Compile()
-			if err != nil {
-				return failureTrial{}, err
+	// Trials run through the batch executor in chunks: one scratch per chunk,
+	// no per-trial Recorder or Result maps. Each trial still carries its own
+	// fault model seeded from (Seed, trial) — chunk geometry never touches
+	// the random streams, so outcomes match the per-trial path bit for bit.
+	trials, err := sweep.MapChunks(ctx, spec.Trials, spec.Workers, spec.Batch,
+		func(ctx context.Context, lo, hi int, out []failureTrial) error {
+			st := make([]sim.Trial, hi-lo)
+			for i := range st {
+				fs := *spec.Failure
+				fs.Seed = sweep.TrialSeed(spec.Seed, lo+i)
+				fm, err := fs.Compile()
+				if err != nil {
+					return err
+				}
+				st[i] = sim.Trial{Failures: fm}
 			}
-			res, err := plan.Run(sim.Trial{Failures: fm})
-			if err != nil {
-				return failureTrial{}, err
+			brs := make([]sim.BatchResult, hi-lo)
+			if err := plan.RunBatch(st, brs); err != nil {
+				return err
 			}
-			return failureTrial{
-				makespan: res.Makespan,
-				retries:  res.Retries,
-				label:    res.DominantRetryLabel(),
-			}, nil
+			for i, br := range brs {
+				out[i] = failureTrial{
+					makespan: br.Makespan,
+					retries:  br.Retries,
+					label:    br.DominantRetry,
+				}
+			}
+			return nil
 		})
 	if err != nil {
 		return nil, err
@@ -548,7 +577,14 @@ func runCorpus(ctx context.Context, spec *Spec) ([]*report.Table, error) {
 				return corpusScenario{}, fmt.Errorf("scenario %d (%s): %w", i, s.Family, err)
 			}
 			bound, limit := model.BoundAtWall()
-			res, err := sim.Run(wf, nil, sim.Config{Machine: m})
+			// Compile + RunScalar instead of sim.Run: the corpus only needs
+			// the makespan, and contention-free scenarios resolve through the
+			// plan's analytic longest-path pass without an event loop.
+			plan, err := sim.Compile(wf, nil, sim.Config{Machine: m})
+			if err != nil {
+				return corpusScenario{}, fmt.Errorf("scenario %d (%s): %w", i, s.Family, err)
+			}
+			br, err := plan.RunScalar(sim.Trial{})
 			if err != nil {
 				return corpusScenario{}, fmt.Errorf("scenario %d (%s): %w", i, s.Family, err)
 			}
@@ -560,7 +596,7 @@ func runCorpus(ctx context.Context, spec *Spec) ([]*report.Table, error) {
 				// would be its own bin.
 				boundTPS: bound,
 				limiting: limit.Resource.String(),
-				makespan: res.Makespan,
+				makespan: br.Makespan,
 			}, nil
 		})
 	if err != nil {

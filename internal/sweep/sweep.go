@@ -126,6 +126,108 @@ func Map[T any](ctx context.Context, n, workers int, fn func(ctx context.Context
 	return out, nil
 }
 
+// ChunkSize normalizes a batch-size request for MapChunks. A positive
+// request is used as-is; otherwise the default aims at ~8 chunks per worker
+// (so the pool load-balances across uneven chunk costs) clamped to [1, 1024]
+// (so per-chunk state like a batch executor's scratch stays cache-resident
+// and is still amortized over many trials).
+func ChunkSize(n, workers, requested int) int {
+	if requested > 0 {
+		return requested
+	}
+	c := n / (Workers(workers) * 8)
+	if c < 1 {
+		return 1
+	}
+	if c > 1024 {
+		return 1024
+	}
+	return c
+}
+
+// MapChunks evaluates fn over [0, n) in contiguous chunks of ChunkSize(n,
+// workers, chunk) trials: fn(ctx, lo, hi, out[lo:hi]) must fill one result
+// per trial index in [lo, hi). Chunks are distributed across up to workers
+// goroutines exactly like Map distributes trials, and results land by index,
+// so outputs are identical at any worker count AND any chunk size — clients
+// derive per-trial randomness from TrialSeed(base, lo+i), never from chunk
+// geometry.
+//
+// The first chunk error cancels the remaining chunks and is returned wrapped
+// with the chunk's trial range; concurrent failures resolve to the
+// lowest-indexed chunk, keeping failure reports deterministic.
+func MapChunks[T any](ctx context.Context, n, workers, chunk int, fn func(ctx context.Context, lo, hi int, out []T) error) ([]T, error) {
+	if n < 0 {
+		return nil, fmt.Errorf("sweep: trial count must be non-negative, got %d", n)
+	}
+	if fn == nil {
+		return nil, fmt.Errorf("sweep: nil chunk function")
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if n == 0 {
+		return []T{}, nil
+	}
+	workers = Workers(workers)
+	chunk = ChunkSize(n, workers, chunk)
+	nchunks := (n + chunk - 1) / chunk
+	if workers > nchunks {
+		workers = nchunks
+	}
+
+	runCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	out := make([]T, n)
+	var (
+		next    atomic.Int64
+		mu      sync.Mutex
+		errLo   = -1
+		errHi   = -1
+		firstEr error
+		wg      sync.WaitGroup
+	)
+	next.Store(-1)
+	fail := func(lo, hi int, err error) {
+		mu.Lock()
+		if firstEr == nil || lo < errLo {
+			errLo, errHi, firstEr = lo, hi, err
+		}
+		mu.Unlock()
+		cancel()
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				c := int(next.Add(1))
+				if c >= nchunks || runCtx.Err() != nil {
+					return
+				}
+				lo := c * chunk
+				hi := lo + chunk
+				if hi > n {
+					hi = n
+				}
+				if err := fn(runCtx, lo, hi, out[lo:hi]); err != nil {
+					fail(lo, hi, err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if firstEr != nil {
+		return nil, fmt.Errorf("sweep: trials [%d,%d): %w", errLo, errHi, firstEr)
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("sweep: cancelled: %w", err)
+	}
+	return out, nil
+}
+
 // GridSize returns the cell count of a cartesian product with the given
 // per-dimension sizes. Every dimension must be positive.
 func GridSize(dims []int) (int, error) {

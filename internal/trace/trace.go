@@ -37,9 +37,12 @@ type Recorder struct {
 // NewRecorder returns an empty recorder.
 func NewRecorder() *Recorder { return &Recorder{} }
 
-// Record appends a span. Spans with negative duration or NaN endpoints are
-// rejected.
-func (r *Recorder) Record(s Span) error {
+// Validate reports whether the span is well-formed: finite non-NaN
+// endpoints in order and a non-empty task id. Recorder.Record applies it to
+// every appended span; metrics-only consumers (the simulator's batch
+// executor) apply it directly so accepting or rejecting a span never depends
+// on whether spans are being stored.
+func Validate(s Span) error {
 	if math.IsNaN(s.Start) || math.IsNaN(s.End) {
 		return fmt.Errorf("trace: span %s/%s has NaN endpoints", s.Task, s.Phase)
 	}
@@ -48,6 +51,15 @@ func (r *Recorder) Record(s Span) error {
 	}
 	if s.Task == "" {
 		return fmt.Errorf("trace: span with empty task id")
+	}
+	return nil
+}
+
+// Record appends a span. Spans with negative duration or NaN endpoints are
+// rejected.
+func (r *Recorder) Record(s Span) error {
+	if err := Validate(s); err != nil {
+		return err
 	}
 	r.mu.Lock()
 	defer r.mu.Unlock()

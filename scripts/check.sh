@@ -34,12 +34,22 @@ else
     fail=1
 fi
 
+# The batch-executor differential wall is the correctness proof for the
+# Monte Carlo fast path; run it as a named gate (race + quick) so a
+# regression is attributed immediately rather than buried in the full run.
+echo "== batch differential wall (race) =="
+if go test -race ./internal/sim -run 'TestBatchDifferential|TestAnalytic' -count=1; then
+    echo "ok"
+else
+    fail=1
+fi
+
 if [ "${1:-}" = "-fuzz" ]; then
     fuzztime="${FUZZTIME:-30s}"
     echo "== fuzz ($fuzztime per target) =="
     for target in ./internal/wdl:FuzzParse ./internal/sbatch:FuzzParse \
                   ./internal/machine:FuzzParse ./internal/failure:FuzzParse \
-                  ./internal/wfgen:FuzzWfgenSpec; do
+                  ./internal/wfgen:FuzzWfgenSpec ./internal/sim:FuzzBatchPlan; do
         pkg="${target%%:*}"
         fuzz="${target##*:}"
         if ! go test "$pkg" -fuzz="$fuzz" -fuzztime="$fuzztime"; then
