@@ -1,0 +1,118 @@
+// Command wfgate fronts a cluster of wfserved replicas: it consistent-
+// hashes each request's content address to an owner replica (rendezvous
+// hashing over the replica URLs), coalesces identical concurrent requests
+// cluster-wide, health-checks the backends, and reroutes around dead ones
+// fail-open — rehashing, not 502s. See internal/cluster.
+//
+// Usage:
+//
+//	wfgate -backends http://a:8080,http://b:8080,http://c:8080
+//	wfgate -addr :8070 -backends ... -probe-interval 250ms
+//
+// The process drains cleanly on SIGINT/SIGTERM: in-flight requests finish
+// (up to -drain), new connections are refused.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"log/slog"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"wroofline/internal/cluster"
+)
+
+func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stderr, nil); err != nil {
+		fmt.Fprintln(os.Stderr, "wfgate:", err)
+		os.Exit(1)
+	}
+}
+
+// run is the testable entry point: it serves until ctx is cancelled, then
+// drains. If ready is non-nil it receives the bound address once listening
+// (tests pass ":0" and read the port from here).
+func run(ctx context.Context, args []string, logOut io.Writer, ready chan<- string) error {
+	fs := flag.NewFlagSet("wfgate", flag.ContinueOnError)
+	var (
+		addr      = fs.String("addr", ":8070", "listen address")
+		backends  = fs.String("backends", "", "comma-separated wfserved replica base URLs (required)")
+		probeIvl  = fs.Duration("probe-interval", 500*time.Millisecond, "health-probe cadence")
+		failAfter = fs.Int("fail-after", 1, "consecutive probe failures before a replica leaves rotation")
+		timeout   = fs.Duration("timeout", 30*time.Second, "per-request upstream budget")
+		drain     = fs.Duration("drain", 15*time.Second, "shutdown drain budget for in-flight requests")
+	)
+	fs.SetOutput(logOut)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	var urls []string
+	for _, b := range strings.Split(*backends, ",") {
+		if b = strings.TrimSpace(b); b != "" {
+			urls = append(urls, b)
+		}
+	}
+	if len(urls) == 0 {
+		return fmt.Errorf("-backends is required (comma-separated replica base URLs)")
+	}
+
+	logger := slog.New(slog.NewJSONHandler(logOut, nil))
+	g, err := cluster.New(cluster.Config{
+		Backends:      urls,
+		ProbeInterval: *probeIvl,
+		FailAfter:     *failAfter,
+		Timeout:       *timeout,
+		Logger:        logger,
+	})
+	if err != nil {
+		return err
+	}
+	probeCtx, stopProbes := context.WithCancel(context.Background())
+	defer stopProbes()
+	g.Start(probeCtx)
+
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           g.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	logger.Info("listening", "addr", ln.Addr().String(), "backends", urls)
+	if ready != nil {
+		ready <- ln.Addr().String()
+	}
+
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.Serve(ln) }()
+
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	logger.Info("draining", "budget", drain.String())
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutdownCtx); err != nil {
+		return fmt.Errorf("drain: %w", err)
+	}
+	if err := <-errc; !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	logger.Info("stopped")
+	return nil
+}

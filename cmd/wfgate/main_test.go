@@ -1,0 +1,99 @@
+package main
+
+import (
+	"context"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"wroofline/internal/serve"
+)
+
+// TestRunServesAndDrains boots the gate on an ephemeral port in front of a
+// real in-process replica, checks it proxies, then cancels the context and
+// requires a clean drain.
+func TestRunServesAndDrains(t *testing.T) {
+	replica := httptest.NewServer(serve.New(serve.Config{}).Handler())
+	defer replica.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	ready := make(chan string, 1)
+	done := make(chan error, 1)
+	go func() {
+		done <- run(ctx, []string{
+			"-addr", "127.0.0.1:0", "-backends", replica.URL, "-drain", "5s",
+		}, io.Discard, ready)
+	}()
+
+	var addr string
+	select {
+	case addr = <-ready:
+	case err := <-done:
+		t.Fatalf("run exited before listening: %v", err)
+	case <-time.After(10 * time.Second):
+		t.Fatal("gate never became ready")
+	}
+
+	resp, err := http.Get("http://" + addr + "/healthz")
+	if err != nil {
+		t.Fatalf("healthz: %v", err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || !strings.Contains(string(body), "ok") {
+		t.Errorf("healthz: status %d, body %s", resp.StatusCode, body)
+	}
+
+	resp, err = http.Post("http://"+addr+"/v1/model", "application/json",
+		strings.NewReader(`{"case":"example"}`))
+	if err != nil {
+		t.Fatalf("model via gate: %v", err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	backendHdr := resp.Header.Get("X-Backend")
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("model via gate: status %d", resp.StatusCode)
+	}
+	if backendHdr != replica.URL {
+		t.Errorf("X-Backend = %q, want %q", backendHdr, replica.URL)
+	}
+
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Errorf("run returned %v after cancel, want clean shutdown", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("gate did not drain after cancel")
+	}
+}
+
+// TestRunRequiresBackends rejects a missing -backends flag before binding.
+func TestRunRequiresBackends(t *testing.T) {
+	err := run(context.Background(), nil, io.Discard, nil)
+	if err == nil || !strings.Contains(err.Error(), "-backends") {
+		t.Errorf("err = %v, want missing -backends error", err)
+	}
+}
+
+// TestRunBadBackendURL surfaces cluster config validation.
+func TestRunBadBackendURL(t *testing.T) {
+	err := run(context.Background(), []string{"-backends", "not-a-url"}, io.Discard, nil)
+	if err == nil || !strings.Contains(err.Error(), "base URL") {
+		t.Errorf("err = %v, want base-URL validation error", err)
+	}
+}
+
+// TestRunBadFlags rejects unknown flags without starting a listener.
+func TestRunBadFlags(t *testing.T) {
+	err := run(context.Background(), []string{"-bogus"}, io.Discard, nil)
+	if err == nil {
+		t.Fatal("unknown flag accepted")
+	}
+}

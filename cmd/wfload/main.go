@@ -17,6 +17,12 @@
 //
 //	wfload -url http://localhost:8080 -mix hit-heavy -workers 8 -duration 10s
 //	wfload -mix miss-heavy -rps 500 -duration 30s
+//	wfload -targets http://a:8080,http://b:8080,http://c:8080 -duration 10s
+//
+// With -targets, each request is consistent-hashed to the replica owning
+// its content (the same rendezvous ring wfgate uses), and the report adds a
+// per-target table of requests, errors, cache hits, and peer fills — the
+// skew view for judging a cluster's balance and cache partitioning.
 package main
 
 import (
@@ -26,6 +32,7 @@ import (
 	"io"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -46,7 +53,8 @@ func main() {
 func run(ctx context.Context, args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("wfload", flag.ContinueOnError)
 	var (
-		url      = fs.String("url", "http://localhost:8080", "wfserved base URL")
+		url      = fs.String("url", "http://localhost:8080", "wfserved base URL (single-target mode)")
+		targets  = fs.String("targets", "", "comma-separated replica base URLs: consistent-hash each request to its owner and report per-target skew (overrides -url)")
 		mixName  = fs.String("mix", "hit-heavy", "request mix: hit-heavy, miss-heavy, or corpus")
 		duration = fs.Duration("duration", 10*time.Second, "how long to drive load")
 		workers  = fs.Int("workers", 8, "closed-loop concurrency (open-loop: in-flight cap)")
@@ -68,16 +76,36 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	if err != nil {
 		return err
 	}
+	var targetList []string
+	if *targets != "" {
+		for _, tgt := range strings.Split(*targets, ",") {
+			tgt = strings.TrimSpace(tgt)
+			if tgt == "" {
+				continue
+			}
+			if !strings.HasPrefix(tgt, "http://") && !strings.HasPrefix(tgt, "https://") {
+				return fmt.Errorf("-targets entries must be base URLs, got %q", tgt)
+			}
+			targetList = append(targetList, tgt)
+		}
+	}
 
+	against := *url
+	base := *url
+	if len(targetList) > 0 {
+		against = fmt.Sprintf("%d targets (hash-routed)", len(targetList))
+		base = ""
+	}
 	if *rps > 0 {
 		fmt.Fprintf(out, "wfload: open loop, %.0f RPS target, mix=%s, %s against %s\n",
-			*rps, mix.Name, *duration, *url)
+			*rps, mix.Name, *duration, against)
 	} else {
 		fmt.Fprintf(out, "wfload: closed loop, %d workers, mix=%s, %s against %s\n",
-			*workers, mix.Name, *duration, *url)
+			*workers, mix.Name, *duration, against)
 	}
 	rep, err := loadgen.Run(ctx, loadgen.Options{
-		BaseURL:  *url,
+		BaseURL:  base,
+		Targets:  targetList,
 		Mix:      mix,
 		Duration: *duration,
 		Workers:  *workers,

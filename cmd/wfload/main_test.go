@@ -64,12 +64,37 @@ func TestSmokeOpenLoopMissHeavy(t *testing.T) {
 	}
 }
 
+// TestSmokeMultiTarget drives -targets against two in-process replicas and
+// checks the per-target skew table renders with every request accounted
+// for.
+func TestSmokeMultiTarget(t *testing.T) {
+	a := httptest.NewServer(serve.New(serve.Config{}).Handler())
+	defer a.Close()
+	b := httptest.NewServer(serve.New(serve.Config{}).Handler())
+	defer b.Close()
+
+	var sb strings.Builder
+	err := run(context.Background(), []string{
+		"-targets", a.URL + "," + b.URL, "-mix", "hit-heavy", "-workers", "4", "-duration", "400ms",
+	}, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"2 targets (hash-routed)", "target", "hit%", a.URL, b.URL} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
 // TestFlagValidation pins the error paths without touching the network.
 func TestFlagValidation(t *testing.T) {
 	for _, args := range [][]string{
 		{"-mix", "bogus"},
 		{"-workers", "0"},
 		{"-rps", "-5"},
+		{"-targets", "not-a-url"},
 	} {
 		var sb strings.Builder
 		if err := run(context.Background(), args, &sb); err == nil {

@@ -29,6 +29,7 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -58,6 +59,7 @@ func run(ctx context.Context, args []string, logOut io.Writer, ready chan<- stri
 		timeout = fs.Duration("timeout", 30*time.Second, "per-request evaluation budget")
 		drain   = fs.Duration("drain", 15*time.Second, "shutdown drain budget for in-flight requests")
 		pprofAt = fs.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060); empty disables")
+		peers   = fs.String("peers", "", "comma-separated base URLs of sibling replicas for peer cache-fill (cluster mode); empty disables outbound fills")
 	)
 	fs.SetOutput(logOut)
 	if err := fs.Parse(args); err != nil {
@@ -65,6 +67,20 @@ func run(ctx context.Context, args []string, logOut io.Writer, ready chan<- stri
 	}
 	if *shards < 1 || *shards > 256 || *shards&(*shards-1) != 0 {
 		return fmt.Errorf("-shards must be a power of two in [1, 256], got %d", *shards)
+	}
+
+	var peerList []string
+	if *peers != "" {
+		for _, p := range strings.Split(*peers, ",") {
+			p = strings.TrimSpace(p)
+			if p == "" {
+				continue
+			}
+			if !strings.HasPrefix(p, "http://") && !strings.HasPrefix(p, "https://") {
+				return fmt.Errorf("-peers entries must be base URLs, got %q", p)
+			}
+			peerList = append(peerList, p)
+		}
 	}
 
 	logger := slog.New(slog.NewJSONHandler(logOut, nil))
@@ -75,7 +91,11 @@ func run(ctx context.Context, args []string, logOut io.Writer, ready chan<- stri
 		Timeout:      *timeout,
 		Shards:       *shards,
 		Logger:       logger,
+		Peers:        peerList,
 	})
+	if len(peerList) > 0 {
+		logger.Info("peer cache-fill enabled", "peers", peerList)
+	}
 	// The server may degrade the shard count for small caches (a shard must
 	// own at least two entries); log the effective geometry, not the flag.
 	entries, effShards := s.CacheGeometry()

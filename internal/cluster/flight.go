@@ -1,0 +1,102 @@
+package cluster
+
+import (
+	"context"
+	"sync"
+
+	"wroofline/internal/serve"
+)
+
+// flightGroup is the gate's cluster-wide singleflight: while one request
+// fetches a content address from the backends, identical concurrent
+// requests park and share the fetched response instead of multiplying
+// upstream round-trips. Combined with hash routing this pins a thundering
+// herd spread across gate clients to one upstream request — and, because
+// every member of the herd routes to the same owner replica, to exactly
+// one evaluation cluster-wide. Sharded by the first key byte like the
+// serve layer's tables; waiters are context-aware from birth (the serve
+// layer learned that the hard way).
+type flightGroup struct {
+	mask   byte
+	shards []flightShard
+}
+
+// flightShard is one independently locked slice of the call table, padded
+// apart so neighbouring shard mutexes do not share a cache line.
+type flightShard struct {
+	mu    sync.Mutex
+	calls map[serve.Key]*flightCall
+	_     [88]byte
+}
+
+// flightCall is one in-progress upstream fetch.
+type flightCall struct {
+	done    chan struct{}
+	waiters int
+	res     *upstreamResult
+	err     error
+}
+
+// newFlightGroup creates an empty group with the given shard count
+// (normalized to a power of two in [1, 256]).
+func newFlightGroup(shards int) *flightGroup {
+	n := 1
+	for n < shards && n < 256 {
+		n <<= 1
+	}
+	g := &flightGroup{mask: byte(n - 1), shards: make([]flightShard, n)}
+	for i := range g.shards {
+		g.shards[i].calls = make(map[serve.Key]*flightCall)
+	}
+	return g
+}
+
+// shard maps a key to its home shard.
+func (g *flightGroup) shard(k serve.Key) *flightShard {
+	return &g.shards[k[0]&g.mask]
+}
+
+// do runs fn for the key unless a fetch for the same key is in flight, in
+// which case it waits and shares that result. ctx covers only the wait: a
+// cancelled waiter returns immediately while the fetch runs on for the
+// survivors. Errors are shared — N identical requests against a dead
+// cluster cost one connection storm, not N.
+func (g *flightGroup) do(ctx context.Context, k serve.Key, fn func() (*upstreamResult, error)) (res *upstreamResult, err error, shared bool) {
+	sh := g.shard(k)
+	sh.mu.Lock()
+	if c, ok := sh.calls[k]; ok {
+		c.waiters++
+		sh.mu.Unlock()
+		select {
+		case <-c.done:
+			return c.res, c.err, true
+		case <-ctx.Done():
+			sh.mu.Lock()
+			c.waiters--
+			sh.mu.Unlock()
+			return nil, ctx.Err(), true
+		}
+	}
+	c := &flightCall{done: make(chan struct{})}
+	sh.calls[k] = c
+	sh.mu.Unlock()
+
+	c.res, c.err = fn()
+	sh.mu.Lock()
+	delete(sh.calls, k)
+	sh.mu.Unlock()
+	close(c.done)
+	return c.res, c.err, false
+}
+
+// waiting reports how many callers are parked on the key's in-flight fetch
+// (0 when none). Tests use it to sequence coalescing races.
+func (g *flightGroup) waiting(k serve.Key) int {
+	sh := g.shard(k)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if c, ok := sh.calls[k]; ok {
+		return c.waiters
+	}
+	return 0
+}

@@ -1,0 +1,480 @@
+// Package cluster is the horizontal scaling layer over wfserved: wfgate, an
+// HTTP router that consistent-hashes each request's content address to an
+// owner replica among N backends.
+//
+// The design rides on the toolkit's end-to-end determinism the same way the
+// single-process cache does. Every cacheable request canonicalizes to a
+// SHA-256 content address (the exact key a replica caches under, via the
+// exported helpers in internal/serve), so routing by that hash sends every
+// formatting variant of one spec to one owner — the cluster holds one copy
+// of each rendered response instead of N, and a replica's hit ratio is
+// independent of which clients talk to it. A gate-level singleflight
+// coalesces identical concurrent requests cluster-wide, so a thundering
+// herd costs one upstream round-trip and (because all members route to the
+// same owner, whose own cache and singleflight dedupe sequential stragglers)
+// exactly one evaluation across the cluster.
+//
+// Failure handling is fail-open: replicas are health-checked actively (a
+// /healthz probe loop) and passively (a transport error marks the backend
+// down on the spot), and a request whose owner is down reroutes to the
+// key's next-highest rendezvous score — rehashing, not 502s. Rerouted
+// requests carry an X-Peer-Owner header naming the primary owner, so the
+// handling replica can try a peer cache-fill before evaluating locally
+// (see internal/serve's peer API).
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"wroofline/internal/serve"
+)
+
+// Config tunes the gate.
+type Config struct {
+	// Backends lists the wfserved replica base URLs (at least one).
+	Backends []string
+	// ProbeInterval paces the health-check loop (default 500ms).
+	ProbeInterval time.Duration
+	// ProbeTimeout bounds one /healthz probe (default 1s).
+	ProbeTimeout time.Duration
+	// FailAfter is how many consecutive probe failures mark a replica down
+	// (default 1: one failed probe window and traffic reroutes). Passive
+	// detection is immediate regardless — a transport error on a live
+	// request marks the backend down on the spot.
+	FailAfter int
+	// Timeout bounds one upstream fetch, shared by every rider of the
+	// flight (default 30s, matching the replica evaluation budget).
+	Timeout time.Duration
+	// MaxBodyBytes caps request bodies (default 1 MiB, matching wfserved).
+	MaxBodyBytes int64
+	// Shards sets the singleflight shard count (default 16).
+	Shards int
+	// Client overrides the upstream HTTP client (tests and benchmarks
+	// inject in-process transports); nil builds a default.
+	Client *http.Client
+	// Logger receives one structured record per backend state change; nil
+	// discards.
+	Logger *slog.Logger
+}
+
+// withDefaults fills zero fields.
+func (c Config) withDefaults() Config {
+	if c.ProbeInterval <= 0 {
+		c.ProbeInterval = 500 * time.Millisecond
+	}
+	if c.ProbeTimeout <= 0 {
+		c.ProbeTimeout = time.Second
+	}
+	if c.FailAfter <= 0 {
+		c.FailAfter = 1
+	}
+	if c.Timeout <= 0 {
+		c.Timeout = 30 * time.Second
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 1 << 20
+	}
+	if c.Shards <= 0 {
+		c.Shards = 16
+	}
+	if c.Logger == nil {
+		c.Logger = slog.New(slog.DiscardHandler)
+	}
+	return c
+}
+
+// backend is one replica's live state.
+type backend struct {
+	url string
+	// up is the routing bit: probes and passive transport errors clear it,
+	// a successful probe sets it. Starts true — optimistic, corrected
+	// within one probe window or one failed request.
+	up atomic.Bool
+	// probeFails counts consecutive failed probes.
+	probeFails atomic.Int32
+	// requests counts successfully proxied requests (the skew numerator).
+	requests atomic.Uint64
+}
+
+// upstreamResult is one fetched response, shared across a flight's riders.
+type upstreamResult struct {
+	status  int
+	ctype   string
+	etag    string
+	xcache  string
+	backend string
+	body    []byte
+}
+
+// Gate is the cluster router. Create with New, mount via Handler, start
+// health probes with Start.
+type Gate struct {
+	cfg      Config
+	backends []*backend
+	ring     *Ring
+	flight   *flightGroup
+	client   *http.Client
+	mux      *http.ServeMux
+
+	rerouted       atomic.Uint64
+	coalesced      atomic.Uint64
+	upstreamErrors atomic.Uint64
+	notModified    atomic.Uint64
+}
+
+// New builds a gate over the configured backends.
+func New(cfg Config) (*Gate, error) {
+	cfg = cfg.withDefaults()
+	if len(cfg.Backends) == 0 {
+		return nil, fmt.Errorf("cluster: no backends configured")
+	}
+	urls := make([]string, len(cfg.Backends))
+	seen := make(map[string]bool, len(cfg.Backends))
+	for i, u := range cfg.Backends {
+		u = strings.TrimSuffix(strings.TrimSpace(u), "/")
+		if !strings.HasPrefix(u, "http://") && !strings.HasPrefix(u, "https://") {
+			return nil, fmt.Errorf("cluster: backend %q is not a base URL", u)
+		}
+		if seen[u] {
+			return nil, fmt.Errorf("cluster: duplicate backend %q", u)
+		}
+		seen[u] = true
+		urls[i] = u
+	}
+	g := &Gate{
+		cfg:    cfg,
+		ring:   NewRing(urls),
+		flight: newFlightGroup(cfg.Shards),
+		client: cfg.Client,
+		mux:    http.NewServeMux(),
+	}
+	if g.client == nil {
+		g.client = &http.Client{Timeout: cfg.Timeout}
+	}
+	g.backends = make([]*backend, len(urls))
+	for i, u := range urls {
+		g.backends[i] = &backend{url: u}
+		g.backends[i].up.Store(true)
+	}
+	g.mux.HandleFunc("POST /v1/model", func(w http.ResponseWriter, r *http.Request) {
+		g.proxy(w, r, keyOrRaw(serve.ModelKey))
+	})
+	g.mux.HandleFunc("POST /v1/sweep", func(w http.ResponseWriter, r *http.Request) {
+		g.proxy(w, r, keyOrRaw(serve.SweepKey))
+	})
+	g.mux.HandleFunc("GET /v1/figures/{name}", func(w http.ResponseWriter, r *http.Request) {
+		g.proxy(w, r, func([]byte) serve.Key { return serve.FigureKey(r.PathValue("name")) })
+	})
+	g.mux.HandleFunc("GET /healthz", g.handleHealthz)
+	g.mux.HandleFunc("GET /metrics", g.handleMetrics)
+	return g, nil
+}
+
+// keyOrRaw adapts a canonicalizing key function: a body the canonicalizer
+// rejects is still routed (and coalesced) deterministically by its raw
+// hash, so the owning replica renders the 400 exactly once per herd.
+func keyOrRaw(keyFn func([]byte) (serve.Key, error)) func([]byte) serve.Key {
+	return func(body []byte) serve.Key {
+		if k, err := keyFn(body); err == nil {
+			return k
+		}
+		return serve.ContentKey("raw-route", body)
+	}
+}
+
+// Handler returns the routed HTTP handler.
+func (g *Gate) Handler() http.Handler { return g.mux }
+
+// Start launches the health-probe loop; it stops when ctx is cancelled.
+func (g *Gate) Start(ctx context.Context) {
+	go func() {
+		t := time.NewTicker(g.cfg.ProbeInterval)
+		defer t.Stop()
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case <-t.C:
+				g.ProbeNow(ctx)
+			}
+		}
+	}()
+}
+
+// ProbeNow runs one synchronous health sweep over every backend (the probe
+// loop's body; exported so tests can step the clock deterministically).
+func (g *Gate) ProbeNow(ctx context.Context) {
+	for _, b := range g.backends {
+		probeCtx, cancel := context.WithTimeout(ctx, g.cfg.ProbeTimeout)
+		ok := g.probe(probeCtx, b)
+		cancel()
+		switch {
+		case ok:
+			b.probeFails.Store(0)
+			if !b.up.Swap(true) {
+				g.cfg.Logger.Info("backend recovered", "backend", b.url)
+			}
+		case int(b.probeFails.Add(1)) >= g.cfg.FailAfter:
+			if b.up.Swap(false) {
+				g.cfg.Logger.Warn("backend down", "backend", b.url,
+					"consecutive_failures", b.probeFails.Load())
+			}
+		}
+	}
+}
+
+// probe checks one backend's liveness.
+func (g *Gate) probe(ctx context.Context, b *backend) bool {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, b.url+"/healthz", nil)
+	if err != nil {
+		return false
+	}
+	resp, err := g.client.Do(req)
+	if err != nil {
+		return false
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	return resp.StatusCode == http.StatusOK
+}
+
+// markDown records a passive failure: the backend dropped a live request,
+// so it leaves the rotation immediately rather than waiting for a probe.
+func (g *Gate) markDown(b *backend) {
+	if b.up.Swap(false) {
+		g.cfg.Logger.Warn("backend down (transport error)", "backend", b.url)
+	}
+}
+
+// isUp is the ring filter for live routing.
+func (g *Gate) isUp(i int) bool { return g.backends[i].up.Load() }
+
+// proxy is the shared request path: read the body, canonicalize to the
+// routing key, coalesce identical concurrent requests onto one upstream
+// fetch, and write the shared result — applying If-None-Match per client,
+// since coalesced riders may each hold different validators.
+func (g *Gate) proxy(w http.ResponseWriter, r *http.Request, keyFn func([]byte) serve.Key) {
+	var body []byte
+	if r.Body != nil {
+		var err error
+		body, err = io.ReadAll(io.LimitReader(r.Body, g.cfg.MaxBodyBytes+1))
+		if err != nil {
+			writeProblem(w, http.StatusBadRequest, fmt.Sprintf("read body: %v", err))
+			return
+		}
+		if int64(len(body)) > g.cfg.MaxBodyBytes {
+			writeProblem(w, http.StatusRequestEntityTooLarge,
+				fmt.Sprintf("request body exceeds %d bytes", g.cfg.MaxBodyBytes))
+			return
+		}
+	}
+	key := keyFn(body)
+	res, err, shared := g.flight.do(r.Context(), key, func() (*upstreamResult, error) {
+		return g.fetch(key, r.Method, r.URL.Path, body, r.Header.Get("Content-Type"))
+	})
+	if shared {
+		g.coalesced.Add(1)
+	}
+	if err != nil {
+		if r.Context().Err() != nil {
+			// The client hung up; the connection is gone, so the status is
+			// bookkeeping only.
+			return
+		}
+		writeProblem(w, http.StatusBadGateway, err.Error())
+		return
+	}
+	g.writeResult(w, r, res)
+}
+
+// fetch routes one upstream request: the key's highest-scoring live
+// replica first, then down the rendezvous order as transport errors
+// (connection refused, resets, timeouts) knock replicas out. HTTP error
+// statuses are not failures — a replica's 400 or 503 is its answer and
+// passes through verbatim. When every replica looks down the gate fails
+// open to the primary owner: if the whole cluster bounced, optimism
+// recovers faster than refusing traffic.
+func (g *Gate) fetch(key serve.Key, method, path string, body []byte, ctype string) (*upstreamResult, error) {
+	primary := g.ring.Owner(key, nil)
+	tried := make([]bool, len(g.backends))
+	for range g.backends {
+		idx := g.ring.Owner(key, func(i int) bool { return !tried[i] && g.isUp(i) })
+		if idx < 0 {
+			idx = g.ring.Owner(key, func(i int) bool { return !tried[i] })
+		}
+		if idx < 0 {
+			break
+		}
+		tried[idx] = true
+		b := g.backends[idx]
+		ownerURL := ""
+		if idx != primary {
+			ownerURL = g.backends[primary].url
+		}
+		res, err := g.roundTrip(b, method, path, body, ctype, ownerURL)
+		if err != nil {
+			g.upstreamErrors.Add(1)
+			g.markDown(b)
+			continue
+		}
+		if idx != primary {
+			g.rerouted.Add(1)
+		}
+		b.requests.Add(1)
+		res.backend = b.url
+		return res, nil
+	}
+	return nil, fmt.Errorf("all %d backends unreachable", len(g.backends))
+}
+
+// roundTrip issues one upstream request and buffers the response. ownerURL
+// names the primary owner when the request was rerouted away from it
+// (empty otherwise). The context is detached from any single client — the
+// result is shared by every rider of the flight, so the first client
+// hanging up must not cancel it (the same contract as the replica's
+// evaluate).
+func (g *Gate) roundTrip(b *backend, method, path string, body []byte, ctype, ownerURL string) (*upstreamResult, error) {
+	ctx, cancel := context.WithTimeout(context.Background(), g.cfg.Timeout)
+	defer cancel()
+	var rd io.Reader
+	if len(body) > 0 {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, b.url+path, rd)
+	if err != nil {
+		return nil, err
+	}
+	if ctype != "" {
+		req.Header.Set("Content-Type", ctype)
+	}
+	if ownerURL != "" {
+		// Name the primary owner so the handling replica can try a peer
+		// cache-fill before evaluating locally.
+		req.Header.Set(serve.PeerOwnerHeader, ownerURL)
+	}
+	resp, err := g.client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	return &upstreamResult{
+		status: resp.StatusCode,
+		ctype:  resp.Header.Get("Content-Type"),
+		etag:   resp.Header.Get("ETag"),
+		xcache: resp.Header.Get("X-Cache"),
+		body:   data,
+	}, nil
+}
+
+// writeResult renders a shared upstream result to one client, applying
+// that client's conditional headers against the shared validator.
+func (g *Gate) writeResult(w http.ResponseWriter, r *http.Request, res *upstreamResult) {
+	h := w.Header()
+	if res.ctype != "" {
+		h.Set("Content-Type", res.ctype)
+	}
+	if res.etag != "" {
+		h.Set("ETag", res.etag)
+	}
+	if res.xcache != "" {
+		h.Set("X-Cache", res.xcache)
+	}
+	h.Set("X-Backend", res.backend)
+	if res.status == http.StatusOK && res.etag != "" {
+		if match := r.Header.Get("If-None-Match"); match != "" && serve.ETagMatch(match, res.etag) {
+			g.notModified.Add(1)
+			w.WriteHeader(http.StatusNotModified)
+			return
+		}
+	}
+	h.Set("Content-Length", strconv.Itoa(len(res.body)))
+	w.WriteHeader(res.status)
+	w.Write(res.body)
+}
+
+// writeProblem renders a gate-originated error in the same JSON problem
+// shape the replicas use, so clients parse one error format.
+func writeProblem(w http.ResponseWriter, status int, msg string) {
+	body, _ := json.Marshal(map[string]any{"error": msg, "status": status})
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	w.Write(append(body, '\n'))
+}
+
+// handleHealthz reports the gate's own liveness plus each backend's
+// routing state.
+func (g *Gate) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	type be struct {
+		URL string `json:"url"`
+		Up  bool   `json:"up"`
+	}
+	out := struct {
+		Status   string `json:"status"`
+		Backends []be   `json:"backends"`
+	}{Status: "ok"}
+	for _, b := range g.backends {
+		out.Backends = append(out.Backends, be{URL: b.url, Up: b.up.Load()})
+	}
+	data, _ := json.Marshal(out)
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(append(data, '\n'))
+}
+
+// BackendSnapshot is one replica's slice of the gate counters.
+type BackendSnapshot struct {
+	URL      string `json:"url"`
+	Up       bool   `json:"up"`
+	Requests uint64 `json:"requests"`
+}
+
+// Snapshot is the gate's /metrics payload: per-backend routing counts (the
+// request-skew table) plus the cluster-level coalescing and failover
+// counters.
+type Snapshot struct {
+	Backends       []BackendSnapshot `json:"backends"`
+	Rerouted       uint64            `json:"rerouted"`
+	Coalesced      uint64            `json:"coalesced"`
+	UpstreamErrors uint64            `json:"upstream_errors"`
+	NotModified    uint64            `json:"not_modified"`
+}
+
+// MetricsSnapshot returns the current counters.
+func (g *Gate) MetricsSnapshot() Snapshot {
+	snap := Snapshot{
+		Rerouted:       g.rerouted.Load(),
+		Coalesced:      g.coalesced.Load(),
+		UpstreamErrors: g.upstreamErrors.Load(),
+		NotModified:    g.notModified.Load(),
+	}
+	for _, b := range g.backends {
+		snap.Backends = append(snap.Backends, BackendSnapshot{
+			URL: b.url, Up: b.up.Load(), Requests: b.requests.Load(),
+		})
+	}
+	return snap
+}
+
+// handleMetrics renders the counter snapshot as JSON.
+func (g *Gate) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	data, err := json.MarshalIndent(g.MetricsSnapshot(), "", "  ")
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(append(data, '\n'))
+}

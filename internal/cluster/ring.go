@@ -1,0 +1,67 @@
+package cluster
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+
+	"wroofline/internal/serve"
+)
+
+// Ring assigns content addresses to replicas with rendezvous (highest-
+// random-weight) hashing: every key scores each replica and the highest
+// score owns it. This generalizes the serve layer's shard-by-first-byte to
+// route-by-hash, with two properties a modulo ring lacks — removing a
+// replica reassigns only that replica's keys (every surviving replica's
+// scores are unchanged), and failover order is deterministic per key (the
+// score ranking), so a dead owner's keys spread evenly across the
+// survivors rather than piling onto one neighbour.
+type Ring struct {
+	// seeds are per-replica hash seeds derived from the replica identity
+	// once at construction; scoring a key is then one 64-bit mix per
+	// replica, allocation-free.
+	seeds []uint64
+}
+
+// NewRing builds a ring over the given replica identities (base URLs).
+// Identities should be distinct; duplicates would shadow each other for
+// every key.
+func NewRing(ids []string) *Ring {
+	seeds := make([]uint64, len(ids))
+	for i, id := range ids {
+		sum := sha256.Sum256([]byte(id))
+		seeds[i] = binary.BigEndian.Uint64(sum[:8])
+	}
+	return &Ring{seeds: seeds}
+}
+
+// Len reports the replica count.
+func (r *Ring) Len() int { return len(r.seeds) }
+
+// Owner returns the index of the highest-scoring replica for the key among
+// those the filter admits (nil admits all), or -1 when the filter rejects
+// every replica. The key's first 8 bytes carry the entropy — it is a
+// SHA-256 content address, so any window is uniform.
+func (r *Ring) Owner(key serve.Key, admit func(int) bool) int {
+	k := binary.BigEndian.Uint64(key[:8])
+	best, bestScore := -1, uint64(0)
+	for i, seed := range r.seeds {
+		if admit != nil && !admit(i) {
+			continue
+		}
+		if s := mix64(k ^ seed); best < 0 || s > bestScore {
+			best, bestScore = i, s
+		}
+	}
+	return best
+}
+
+// mix64 is the splitmix64 finalizer: a full-avalanche 64-bit permutation,
+// so equal inputs in any bit produce uncorrelated scores.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}

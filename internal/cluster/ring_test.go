@@ -1,0 +1,126 @@
+package cluster
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"testing"
+
+	"wroofline/internal/serve"
+)
+
+// testKeys generates n distinct content-address-shaped keys.
+func testKeys(n int) []serve.Key {
+	keys := make([]serve.Key, n)
+	for i := range keys {
+		var seed [8]byte
+		binary.BigEndian.PutUint64(seed[:], uint64(i))
+		keys[i] = serve.Key(sha256.Sum256(seed[:]))
+	}
+	return keys
+}
+
+// TestRingBalance checks rendezvous hashing spreads content addresses
+// roughly evenly: over 4096 keys and 3 replicas, every replica owns at
+// least half its fair share. (SHA-256 keys are uniform; a replica far
+// below fair share would mean the seed mixing is broken.)
+func TestRingBalance(t *testing.T) {
+	ids := []string{"http://a:8080", "http://b:8080", "http://c:8080"}
+	r := NewRing(ids)
+	counts := make([]int, len(ids))
+	keys := testKeys(4096)
+	for _, k := range keys {
+		idx := r.Owner(k, nil)
+		if idx < 0 || idx >= len(ids) {
+			t.Fatalf("Owner returned %d", idx)
+		}
+		counts[idx]++
+	}
+	fair := len(keys) / len(ids)
+	for i, c := range counts {
+		if c < fair/2 {
+			t.Errorf("replica %d owns %d of %d keys, fair share %d", i, c, len(keys), fair)
+		}
+	}
+	t.Logf("ownership: %v (fair %d)", counts, fair)
+}
+
+// TestRingStability pins determinism: the same key always routes to the
+// same replica, across rings built from the same identity list.
+func TestRingStability(t *testing.T) {
+	ids := []string{"http://a:8080", "http://b:8080", "http://c:8080"}
+	r1, r2 := NewRing(ids), NewRing(ids)
+	for _, k := range testKeys(256) {
+		if r1.Owner(k, nil) != r2.Owner(k, nil) {
+			t.Fatal("identical rings disagree on an owner")
+		}
+	}
+}
+
+// TestRingMinimalDisruption is the property that justifies rendezvous over
+// modulo hashing: excluding one replica reassigns ONLY that replica's keys.
+// Every key owned by a surviving replica keeps its owner, and the dead
+// replica's keys spread across BOTH survivors rather than piling onto one.
+func TestRingMinimalDisruption(t *testing.T) {
+	ids := []string{"http://a:8080", "http://b:8080", "http://c:8080"}
+	r := NewRing(ids)
+	const dead = 1
+	alive := func(i int) bool { return i != dead }
+	inherited := make([]int, len(ids))
+	for _, k := range testKeys(4096) {
+		before := r.Owner(k, nil)
+		after := r.Owner(k, alive)
+		if before != dead {
+			if after != before {
+				t.Fatalf("key owned by surviving replica %d moved to %d", before, after)
+			}
+			continue
+		}
+		if after == dead {
+			t.Fatal("excluded replica still owns a key")
+		}
+		inherited[after]++
+	}
+	for i, c := range inherited {
+		if i == dead {
+			continue
+		}
+		if c == 0 {
+			t.Errorf("survivor %d inherited no keys; failover piles onto one neighbour: %v", i, inherited)
+		}
+	}
+	t.Logf("keys inherited from dead replica: %v", inherited)
+}
+
+// TestRingFilterExhausted returns -1 only when the filter rejects everyone.
+func TestRingFilterExhausted(t *testing.T) {
+	r := NewRing([]string{"http://a:8080", "http://b:8080"})
+	k := testKeys(1)[0]
+	if got := r.Owner(k, func(int) bool { return false }); got != -1 {
+		t.Errorf("Owner with all-rejecting filter = %d, want -1", got)
+	}
+	if got := r.Owner(k, func(i int) bool { return i == 1 }); got != 1 {
+		t.Errorf("Owner with only replica 1 admitted = %d, want 1", got)
+	}
+}
+
+// TestRingScalesEvenly sanity-checks larger clusters: with 8 replicas and
+// 8192 keys, no replica is starved (each owns at least half fair share).
+func TestRingScalesEvenly(t *testing.T) {
+	ids := make([]string, 8)
+	for i := range ids {
+		ids[i] = fmt.Sprintf("http://replica-%d:8080", i)
+	}
+	r := NewRing(ids)
+	counts := make([]int, len(ids))
+	keys := testKeys(8192)
+	for _, k := range keys {
+		counts[r.Owner(k, nil)]++
+	}
+	fair := len(keys) / len(ids)
+	for i, c := range counts {
+		if c < fair/2 {
+			t.Errorf("replica %d owns %d, fair share %d: %v", i, c, fair, counts)
+		}
+	}
+}

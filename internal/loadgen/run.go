@@ -11,12 +11,20 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"wroofline/internal/cluster"
 )
 
 // Options configures a load run.
 type Options struct {
-	// BaseURL is the wfserved root, e.g. "http://localhost:8080".
+	// BaseURL is the wfserved root, e.g. "http://localhost:8080". Exactly
+	// one of BaseURL and Targets must be set.
 	BaseURL string
+	// Targets switches to multi-target mode: each request is consistent-
+	// hashed to one of these base URLs (the same rendezvous ring wfgate
+	// routes with), and the report gains a per-target request/hit skew
+	// table.
+	Targets []string
 	// Mix is the request blend (see MixByName).
 	Mix *Mix
 	// Duration is how long to drive load.
@@ -58,6 +66,9 @@ type Report struct {
 	// Endpoints maps "model"/"sweep"/"figure" to results; Total aggregates.
 	Endpoints map[string]*EndpointResult
 	Total     *EndpointResult
+	// Targets holds the per-target skew results of a multi-target run, in
+	// Options.Targets order; nil for single-target runs.
+	Targets []*TargetResult
 }
 
 // endpointStats accumulates one endpoint's observations during the run.
@@ -73,6 +84,9 @@ type runner struct {
 	stats  map[string]*endpointStats
 	total  endpointStats
 	seq    atomic.Uint64
+	// ring and tstats drive multi-target routing; nil in single-target mode.
+	ring   *cluster.Ring
+	tstats []*targetStats
 }
 
 // Run drives the configured load until Duration elapses or ctx is
@@ -81,8 +95,11 @@ func Run(ctx context.Context, opts Options) (*Report, error) {
 	if opts.Mix == nil {
 		return nil, fmt.Errorf("loadgen: nil mix")
 	}
-	if opts.BaseURL == "" {
-		return nil, fmt.Errorf("loadgen: empty base URL")
+	if opts.BaseURL == "" && len(opts.Targets) == 0 {
+		return nil, fmt.Errorf("loadgen: need a base URL or a target list")
+	}
+	if opts.BaseURL != "" && len(opts.Targets) > 0 {
+		return nil, fmt.Errorf("loadgen: BaseURL and Targets are mutually exclusive")
 	}
 	if opts.Duration <= 0 {
 		return nil, fmt.Errorf("loadgen: duration must be positive")
@@ -102,7 +119,20 @@ func Run(ctx context.Context, opts Options) (*Report, error) {
 		stats:  map[string]*endpointStats{},
 	}
 	if r.client == nil {
-		r.client = &http.Client{Timeout: opts.Timeout}
+		// A dedicated transport sized to the worker count: the shared
+		// http.DefaultTransport keeps only 2 idle conns per host, so a
+		// worker pool alternating across hosts (multi-target mode
+		// especially) would churn TCP connections instead of reusing them.
+		r.client = &http.Client{
+			Timeout: opts.Timeout,
+			Transport: &http.Transport{
+				MaxIdleConnsPerHost: opts.Workers,
+				IdleConnTimeout:     90 * time.Second,
+			},
+		}
+	}
+	if len(opts.Targets) > 0 {
+		r.ring, r.tstats = newTargetRouter(opts.Targets)
 	}
 	for _, sh := range opts.Mix.shapes {
 		if _, ok := r.stats[sh.endpoint]; !ok {
@@ -129,6 +159,9 @@ func Run(ctx context.Context, opts Options) (*Report, error) {
 		rep.Endpoints[name] = st.result(elapsed)
 	}
 	rep.Total = r.total.result(elapsed)
+	for i, st := range r.tstats {
+		rep.Targets = append(rep.Targets, st.result(opts.Targets[i]))
+	}
 	return rep, nil
 }
 
@@ -195,17 +228,30 @@ func (r *runner) openLoop(ctx context.Context) {
 	wg.Wait()
 }
 
-// do issues one request and records its latency and disposition.
+// do issues one request and records its latency and disposition. In
+// multi-target mode the request first routes through the rendezvous ring
+// to the target owning its content address, and that target's skew
+// counters record the outcome alongside the endpoint histograms.
 func (r *runner) do(ctx context.Context, req request, from time.Time) {
 	st := r.stats[req.endpoint]
+	base := r.opts.BaseURL
+	var ts *targetStats
+	if r.ring != nil {
+		idx := r.ring.Owner(routeKey(req), nil)
+		base = r.opts.Targets[idx]
+		ts = r.tstats[idx]
+	}
 	var body io.Reader
 	if req.body != "" {
 		body = strings.NewReader(req.body)
 	}
-	hreq, err := http.NewRequestWithContext(ctx, req.method, r.opts.BaseURL+req.path, body)
+	hreq, err := http.NewRequestWithContext(ctx, req.method, base+req.path, body)
 	if err != nil {
 		st.errors.Add(1)
 		r.total.errors.Add(1)
+		if ts != nil {
+			ts.errors.Add(1)
+		}
 		return
 	}
 	if req.body != "" {
@@ -213,10 +259,12 @@ func (r *runner) do(ctx context.Context, req request, from time.Time) {
 	}
 	resp, err := r.client.Do(hreq)
 	failed := err != nil
+	xcache := ""
 	if err == nil {
 		_, _ = io.Copy(io.Discard, resp.Body)
 		resp.Body.Close()
 		failed = resp.StatusCode >= 400
+		xcache = resp.Header.Get("X-Cache")
 	}
 	if ctx.Err() != nil && err != nil {
 		// The run deadline cancelled this request mid-flight; it is not a
@@ -226,9 +274,21 @@ func (r *runner) do(ctx context.Context, req request, from time.Time) {
 	d := time.Since(from)
 	st.hist.record(d)
 	r.total.hist.record(d)
+	if ts != nil {
+		ts.requests.Add(1)
+		switch xcache {
+		case "hit":
+			ts.hits.Add(1)
+		case "peer":
+			ts.peerFills.Add(1)
+		}
+	}
 	if failed {
 		st.errors.Add(1)
 		r.total.errors.Add(1)
+		if ts != nil {
+			ts.errors.Add(1)
+		}
 	}
 }
 
@@ -263,6 +323,10 @@ func (r *Report) WriteText(w io.Writer) {
 		writeResultRow(w, name, r.Endpoints[name])
 	}
 	writeResultRow(w, "total", r.Total)
+	if len(r.Targets) > 0 {
+		fmt.Fprintln(w)
+		writeTargetTable(w, r.Targets)
+	}
 }
 
 func writeResultRow(w io.Writer, name string, res *EndpointResult) {

@@ -1,0 +1,92 @@
+package loadgen
+
+import (
+	"fmt"
+	"io"
+	"sync/atomic"
+
+	"wroofline/internal/cluster"
+	"wroofline/internal/serve"
+)
+
+// Multi-target mode drives a replica fleet the way wfgate routes it:
+// each generated request is consistent-hashed (rendezvous over the target
+// URLs, the same ring the gate uses) to the replica owning its content,
+// and the report breaks requests, errors, and cache hits out per target —
+// the skew table that shows whether hash routing kept the fleet's caches
+// disjoint and its load balanced.
+
+// TargetResult is one target's slice of a multi-target run.
+type TargetResult struct {
+	// URL is the target base URL, in Options.Targets order.
+	URL string
+	// Requests counts completed requests routed to this target; Errors the
+	// subset that failed in transport or returned a status >= 400.
+	Requests uint64
+	Errors   uint64
+	// Hits counts responses the target answered from its local cache
+	// (X-Cache: hit); PeerFills those it filled from a sibling replica
+	// (X-Cache: peer).
+	Hits      uint64
+	PeerFills uint64
+	// HitRate is Hits over Requests (0 when no requests landed).
+	HitRate float64
+}
+
+// targetStats accumulates one target's counters during the run.
+type targetStats struct {
+	requests  atomic.Uint64
+	errors    atomic.Uint64
+	hits      atomic.Uint64
+	peerFills atomic.Uint64
+}
+
+// result snapshots the counters into a TargetResult.
+func (st *targetStats) result(url string) *TargetResult {
+	res := &TargetResult{
+		URL:       url,
+		Requests:  st.requests.Load(),
+		Errors:    st.errors.Load(),
+		Hits:      st.hits.Load(),
+		PeerFills: st.peerFills.Load(),
+	}
+	if res.Requests > 0 {
+		res.HitRate = float64(res.Hits) / float64(res.Requests)
+	}
+	return res
+}
+
+// routeKey hashes a generated request to its routing content address. The
+// mixes emit byte-identical bodies for recurring specs, so hashing the raw
+// request text routes repeats to the same target — the property hit-skew
+// measurement needs — without re-running the server's canonicalizer
+// client-side.
+func routeKey(req request) serve.Key {
+	buf := make([]byte, 0, len(req.method)+len(req.path)+len(req.body)+2)
+	buf = append(buf, req.method...)
+	buf = append(buf, ' ')
+	buf = append(buf, req.path...)
+	buf = append(buf, 0)
+	buf = append(buf, req.body...)
+	return serve.ContentKey("route", buf)
+}
+
+// newTargetRouter builds the rendezvous ring and per-target counters for a
+// multi-target run.
+func newTargetRouter(targets []string) (*cluster.Ring, []*targetStats) {
+	stats := make([]*targetStats, len(targets))
+	for i := range stats {
+		stats[i] = &targetStats{}
+	}
+	return cluster.NewRing(targets), stats
+}
+
+// writeTargetTable renders the per-target skew table.
+func writeTargetTable(w io.Writer, targets []*TargetResult) {
+	fmt.Fprintf(w, "%-36s %10s %8s %10s %8s %7s\n",
+		"target", "requests", "errors", "hits", "peer", "hit%")
+	for _, res := range targets {
+		fmt.Fprintf(w, "%-36s %10d %8d %10d %8d %7.1f\n",
+			res.URL, res.Requests, res.Errors, res.Hits, res.PeerFills, 100*res.HitRate)
+	}
+}

@@ -1,0 +1,127 @@
+package loadgen
+
+import (
+	"context"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"wroofline/internal/serve"
+)
+
+// TestRouteKeyDeterministic pins the routing invariant multi-target mode
+// rests on: identical requests always produce identical routing keys, and
+// distinct requests (path or body) diverge.
+func TestRouteKeyDeterministic(t *testing.T) {
+	a := request{endpoint: "model", method: "POST", path: "/v1/model", body: `{"case":"example"}`}
+	if routeKey(a) != routeKey(a) {
+		t.Error("identical requests produced different routing keys")
+	}
+	b := a
+	b.body = `{"case":"lcls-cori"}`
+	if routeKey(a) == routeKey(b) {
+		t.Error("different bodies share a routing key")
+	}
+	c := a
+	c.path = "/v1/sweep"
+	if routeKey(a) == routeKey(c) {
+		t.Error("different paths share a routing key")
+	}
+}
+
+// TestRunMultiTarget drives the hit-heavy mix against three in-process
+// replicas with client-side hash routing and checks the skew table: every
+// request lands somewhere, per-target counts sum to the total, repeats hit
+// the owner's cache, and the same key never lands on two targets.
+func TestRunMultiTarget(t *testing.T) {
+	servers := make([]*serve.Server, 3)
+	urls := make([]string, 3)
+	for i := range servers {
+		servers[i] = serve.New(serve.Config{})
+		ts := httptest.NewServer(servers[i].Handler())
+		t.Cleanup(ts.Close)
+		urls[i] = ts.URL
+	}
+	mix, _ := MixByName("hit-heavy")
+	rep, err := Run(context.Background(), Options{
+		Targets:  urls,
+		Mix:      mix,
+		Duration: 400 * time.Millisecond,
+		Workers:  4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Targets) != 3 {
+		t.Fatalf("report has %d targets, want 3", len(rep.Targets))
+	}
+	var sum, hits uint64
+	for i, res := range rep.Targets {
+		if res.URL != urls[i] {
+			t.Errorf("target %d URL = %q, want %q (order must match Options.Targets)", i, res.URL, urls[i])
+		}
+		if res.Errors != 0 {
+			t.Errorf("target %s: %d errors on hit-heavy mix", res.URL, res.Errors)
+		}
+		sum += res.Requests
+		hits += res.Hits
+	}
+	if sum != rep.Total.Requests {
+		t.Errorf("per-target requests sum to %d, total says %d", sum, rep.Total.Requests)
+	}
+	if rep.Total.Requests == 0 {
+		t.Fatal("no throughput")
+	}
+	// The hit-heavy working set is small and fixed: after each target's one
+	// warm pass everything is a local hit, so the fleet hit count dwarfs
+	// the working-set size.
+	if hits < rep.Total.Requests/2 {
+		t.Errorf("fleet hits = %d of %d requests; hash routing is not concentrating repeats", hits, rep.Total.Requests)
+	}
+
+	// Hash partitioning: each replica evaluated only its own keys, so the
+	// fleet-wide evaluation count equals the number of distinct specs, not
+	// specs x replicas. hit-heavy has a handful of fixed shapes; allow the
+	// figure route (not cached per spec? it is) — simply require the sum of
+	// evaluations to be well below one warm pass per replica.
+	var evals uint64
+	for _, s := range servers {
+		evals += s.Evaluations()
+	}
+	if evals == 0 || evals > 16 {
+		t.Errorf("fleet evaluations = %d, want one per distinct spec (a handful)", evals)
+	}
+}
+
+// TestRunTargetOptionValidation pins the mutual-exclusion rule.
+func TestRunTargetOptionValidation(t *testing.T) {
+	mix, _ := MixByName("hit-heavy")
+	if _, err := Run(context.Background(), Options{
+		BaseURL: "http://x", Targets: []string{"http://y"}, Mix: mix, Duration: time.Second,
+	}); err == nil {
+		t.Error("BaseURL+Targets accepted together")
+	}
+}
+
+// TestReportWriteTextTargets checks the skew table renders.
+func TestReportWriteTextTargets(t *testing.T) {
+	rep := &Report{
+		Mode:      "closed",
+		Elapsed:   time.Second,
+		Endpoints: map[string]*EndpointResult{},
+		Total:     &EndpointResult{Requests: 10, RPS: 10},
+		Targets: []*TargetResult{
+			{URL: "http://a:8080", Requests: 6, Hits: 3, PeerFills: 1, HitRate: 0.5},
+			{URL: "http://b:8080", Requests: 4, Hits: 4, HitRate: 1},
+		},
+	}
+	var sb strings.Builder
+	rep.WriteText(&sb)
+	out := sb.String()
+	for _, want := range []string{"target", "hit%", "http://a:8080", "http://b:8080", "50.0", "100.0"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("target table missing %q:\n%s", want, out)
+		}
+	}
+}

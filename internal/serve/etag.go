@@ -1,0 +1,44 @@
+package serve
+
+import "strings"
+
+// ETagMatch reports whether an If-None-Match header field matches a
+// response's entity-tag per RFC 9110 §13.1.2. The field is either "*"
+// (matches any current representation) or a comma-separated list of
+// entity-tags, each optionally weak (a "W/" prefix); the comparison is
+// member-wise and weak, so a W/ prefix on either side is ignored. Commas
+// inside a quoted opaque-tag are part of the tag, not separators, which is
+// why this scans entity-tags instead of splitting on commas.
+//
+// A malformed member stops the scan without matching: the conservative
+// failure mode is to return the full 200 response rather than a wrong 304.
+// The gate applies the same matching to coalesced upstream responses, so it
+// is exported alongside the key helpers.
+func ETagMatch(header, etag string) bool {
+	if etag == "" {
+		return false
+	}
+	etag = strings.TrimPrefix(etag, "W/")
+	rest := header
+	for {
+		rest = strings.TrimLeft(rest, " \t,")
+		if rest == "" {
+			return false
+		}
+		if rest[0] == '*' {
+			return true
+		}
+		member := strings.TrimPrefix(rest, "W/")
+		if member == "" || member[0] != '"' {
+			return false
+		}
+		end := strings.IndexByte(member[1:], '"')
+		if end < 0 {
+			return false
+		}
+		if member[:end+2] == etag {
+			return true
+		}
+		rest = member[end+2:]
+	}
+}

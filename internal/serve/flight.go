@@ -1,6 +1,9 @@
 package serve
 
-import "sync"
+import (
+	"context"
+	"sync"
+)
 
 // flightGroup coalesces concurrent work on the same content address: while
 // one goroutine computes a key, later arrivals for that key block and share
@@ -53,14 +56,27 @@ func (g *flightGroup) shard(k Key) *flightShard {
 // flight, in which case it waits for that call and shares its result.
 // shared reports whether this caller rode an existing flight. Errors are
 // shared too: N identical malformed requests cost one failed evaluation.
-func (g *flightGroup) do(k Key, fn func() (Response, error)) (resp Response, err error, shared bool) {
+//
+// ctx covers only the wait: a waiter whose client hangs up returns
+// ctx.Err() immediately instead of staying pinned to its goroutine for the
+// leader's full evaluation budget. The flight itself keeps running — the
+// leader is detached from any one client, so the survivors (and the cache)
+// still get the result.
+func (g *flightGroup) do(ctx context.Context, k Key, fn func() (Response, error)) (resp Response, err error, shared bool) {
 	sh := g.shard(k)
 	sh.mu.Lock()
 	if c, ok := sh.calls[k]; ok {
 		c.waiters++
 		sh.mu.Unlock()
-		<-c.done
-		return c.resp, c.err, true
+		select {
+		case <-c.done:
+			return c.resp, c.err, true
+		case <-ctx.Done():
+			sh.mu.Lock()
+			c.waiters--
+			sh.mu.Unlock()
+			return Response{}, ctx.Err(), true
+		}
 	}
 	c := &flightCall{done: make(chan struct{})}
 	sh.calls[k] = c

@@ -45,6 +45,7 @@ type metrics struct {
 	cacheMisses atomic.Uint64
 	coalesced   atomic.Uint64
 	evaluations atomic.Uint64
+	peerFills   atomic.Uint64
 
 	queueTimeouts atomic.Uint64
 	evalTimeouts  atomic.Uint64
@@ -103,6 +104,10 @@ type Snapshot struct {
 	Evaluations   uint64                      `json:"evaluations"`
 	QueueTimeouts uint64                      `json:"queue_timeouts"`
 	EvalTimeouts  uint64                      `json:"eval_timeouts"`
+	// PeerFills counts misses satisfied from a peer replica's cache instead
+	// of a local evaluation (cluster mode; omitted when zero so the
+	// single-process snapshot shape is unchanged).
+	PeerFills uint64 `json:"peer_fills,omitempty"`
 }
 
 // EndpointSnapshot summarizes one route.
@@ -192,6 +197,7 @@ func (m *metrics) snapshot(cacheEntries int) Snapshot {
 		Evaluations:   m.evaluations.Load(),
 		QueueTimeouts: m.queueTimeouts.Load(),
 		EvalTimeouts:  m.evalTimeouts.Load(),
+		PeerFills:     m.peerFills.Load(),
 	}
 	if total := hits + misses; total > 0 {
 		snap.Cache.HitRatio = float64(hits) / float64(total)

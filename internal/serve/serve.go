@@ -43,6 +43,7 @@ import (
 	"net/http"
 	"slices"
 	"strconv"
+	"strings"
 	"sync"
 	"time"
 
@@ -85,6 +86,21 @@ type Config struct {
 	CurveSamples int
 	// Logger receives one structured record per request; nil discards.
 	Logger *slog.Logger
+	// Peers lists the base URLs of sibling replicas this server may fetch
+	// cache fills from over the internal /peer/v1/fill API. Outbound fills
+	// only ever target a listed peer (the X-Peer-Owner request header is
+	// checked against this allowlist, so clients cannot steer the server at
+	// arbitrary origins); empty disables outbound fills. The inbound fill
+	// endpoint is always mounted — it only serves already-rendered cached
+	// bytes by content address.
+	Peers []string
+	// PeerTimeout bounds one outbound peer cache-fill fetch (default 2s).
+	// A fill is an optimization: on timeout or error the server just
+	// evaluates locally.
+	PeerTimeout time.Duration
+	// PeerClient overrides the HTTP client for outbound fills (tests inject
+	// the in-process transport); nil builds one from PeerTimeout.
+	PeerClient *http.Client
 }
 
 // withDefaults fills zero fields.
@@ -110,6 +126,9 @@ func (c Config) withDefaults() Config {
 	if c.Logger == nil {
 		c.Logger = slog.New(slog.DiscardHandler)
 	}
+	if c.PeerTimeout <= 0 {
+		c.PeerTimeout = 2 * time.Second
+	}
 	return c
 }
 
@@ -130,6 +149,11 @@ type Server struct {
 	errTooLarge  *httpError
 	figureNames  []string
 
+	// peerAllowed is the outbound cache-fill allowlist resolved from
+	// Config.Peers; peerClient the client those fills go out on.
+	peerAllowed map[string]bool
+	peerClient  *http.Client
+
 	// evalDelay is a test hook: it stretches every evaluation so tests can
 	// provoke request pile-ups deterministically. Zero in production.
 	evalDelay time.Duration
@@ -148,9 +172,19 @@ func New(cfg Config) *Server {
 		rawKeys: newShardedLRU[Key](4*cfg.CacheEntries, cfg.Shards),
 		flight:  newFlightGroup(cfg.Shards),
 		queue:   make(chan struct{}, cfg.QueueDepth),
-		metrics: newMetrics("healthz", "metrics", "model", "sweep", "figures"),
+		metrics: newMetrics("healthz", "metrics", "model", "sweep", "figures", "peer"),
 	}
 	s.figureNames = figures.Names()
+	if len(cfg.Peers) > 0 {
+		s.peerAllowed = make(map[string]bool, len(cfg.Peers))
+		for _, p := range cfg.Peers {
+			s.peerAllowed[strings.TrimSuffix(p, "/")] = true
+		}
+		s.peerClient = cfg.PeerClient
+		if s.peerClient == nil {
+			s.peerClient = &http.Client{Timeout: cfg.PeerTimeout}
+		}
+	}
 	s.errQueueFull = precomputedError(http.StatusServiceUnavailable,
 		fmt.Sprintf("evaluation queue full for %v", cfg.Timeout))
 	s.errTooLarge = precomputedError(http.StatusRequestEntityTooLarge,
@@ -160,6 +194,7 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("POST /v1/model", s.instrument("model", s.handleModel))
 	s.mux.HandleFunc("POST /v1/sweep", s.instrument("sweep", s.handleSweep))
 	s.mux.HandleFunc("GET /v1/figures/{name}", s.instrument("figures", s.handleFigure))
+	s.mux.HandleFunc("GET "+PeerFillPath+"{key}", s.instrument("peer", s.handlePeerFill))
 	return s
 }
 
@@ -219,6 +254,12 @@ func precomputedError(status int, msg string) *httpError {
 	return &httpError{status: status, msg: msg, body: problemBody(status, msg)}
 }
 
+// statusClientClosedRequest is the nginx-convention status for a client
+// that hung up before the response was ready. It never reaches the wire
+// (the connection is gone) but keeps the metrics honest: a cancelled
+// waiter is not a client error and not a server fault.
+const statusClientClosedRequest = 499
+
 // statusOf maps an evaluation error to its HTTP status. Everything the
 // evaluators reject is a property of the submitted spec, so unrecognized
 // errors default to 400 rather than 500 — the server's own invariants are
@@ -230,6 +271,9 @@ func statusOf(err error) int {
 	}
 	if errors.Is(err, context.DeadlineExceeded) {
 		return http.StatusGatewayTimeout
+	}
+	if errors.Is(err, context.Canceled) {
+		return statusClientClosedRequest
 	}
 	return http.StatusBadRequest
 }
@@ -258,6 +302,33 @@ func (r *statusRecorder) Write(p []byte) (int, error) {
 	return n, err
 }
 
+// Flush forwards to the underlying writer when it supports mid-response
+// flushing, so streaming handlers (and the gate proxying through this
+// layer) can push partial bodies to the client; wrapping a non-flushing
+// writer makes Flush a no-op rather than a panic.
+func (r *statusRecorder) Flush() {
+	if f, ok := r.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// ReadFrom forwards to the underlying io.ReaderFrom when present (net/http's
+// response writer uses it for sendfile/copy optimizations), counting the
+// copied bytes like Write; a plain writer falls back to io.Copy.
+func (r *statusRecorder) ReadFrom(src io.Reader) (int64, error) {
+	var (
+		n   int64
+		err error
+	)
+	if rf, ok := r.ResponseWriter.(io.ReaderFrom); ok {
+		n, err = rf.ReadFrom(src)
+	} else {
+		n, err = io.Copy(r.ResponseWriter, src)
+	}
+	r.bytes += int(n)
+	return n, err
+}
+
 // instrument wraps a handler with metrics and structured request logging.
 // The route's stats are resolved once here, at registration: the per-request
 // observe path is pure atomics on that pointer.
@@ -267,25 +338,36 @@ func (s *Server) instrument(name string, h http.HandlerFunc) http.HandlerFunc {
 		rec := recorderPool.Get().(*statusRecorder)
 		rec.ResponseWriter, rec.status, rec.bytes = w, http.StatusOK, 0
 		start := time.Now()
+		// Cleanup runs deferred so a panicking handler still returns the
+		// recorder (and its ResponseWriter reference) to the pool and still
+		// observes the request — as the 500 the server's recovery will turn
+		// it into. The panic itself propagates past this frame untouched.
+		panicked := true
+		defer func() {
+			if panicked {
+				rec.status = http.StatusInternalServerError
+			}
+			dur := time.Since(start)
+			st.observe(rec.status, dur)
+			// Building the log record costs more than a cache hit; skip it
+			// entirely when the handler is disabled (the slog.DiscardHandler
+			// default).
+			if s.cfg.Logger.Enabled(r.Context(), slog.LevelInfo) {
+				s.cfg.Logger.Info("request",
+					"endpoint", name,
+					"method", r.Method,
+					"path", r.URL.Path,
+					"status", rec.status,
+					"dur_ms", float64(dur)/float64(time.Millisecond),
+					"bytes", rec.bytes,
+					"cache", rec.Header().Get("X-Cache"),
+				)
+			}
+			rec.ResponseWriter = nil
+			recorderPool.Put(rec)
+		}()
 		h(rec, r)
-		dur := time.Since(start)
-		st.observe(rec.status, dur)
-		// Building the log record costs more than a cache hit; skip it
-		// entirely when the handler is disabled (the slog.DiscardHandler
-		// default).
-		if s.cfg.Logger.Enabled(r.Context(), slog.LevelInfo) {
-			s.cfg.Logger.Info("request",
-				"endpoint", name,
-				"method", r.Method,
-				"path", r.URL.Path,
-				"status", rec.status,
-				"dur_ms", float64(dur)/float64(time.Millisecond),
-				"bytes", rec.bytes,
-				"cache", rec.Header().Get("X-Cache"),
-			)
-		}
-		rec.ResponseWriter = nil
-		recorderPool.Put(rec)
+		panicked = false
 	}
 }
 
@@ -354,6 +436,7 @@ var (
 	xcacheHit       = []string{"hit"}
 	xcacheCold      = []string{"cold"}
 	xcacheCoalesced = []string{"coalesced"}
+	xcachePeer      = []string{"peer"}
 )
 
 // xcacheVals maps a disposition to its shared header value slice.
@@ -365,6 +448,8 @@ func xcacheVals(disposition string) []string {
 		return xcacheCold
 	case "coalesced":
 		return xcacheCoalesced
+	case "peer":
+		return xcachePeer
 	}
 	return []string{disposition}
 }
@@ -384,7 +469,7 @@ func respond(w http.ResponseWriter, r *http.Request, resp Response, disposition 
 		} else {
 			h.Set("ETag", resp.ETag)
 		}
-		if match := r.Header.Get("If-None-Match"); match != "" && match == resp.ETag {
+		if match := r.Header.Get("If-None-Match"); match != "" && ETagMatch(match, resp.ETag) {
 			w.WriteHeader(http.StatusNotModified)
 			return
 		}
@@ -441,11 +526,17 @@ func (s *Server) serveCached(w http.ResponseWriter, r *http.Request, key Key, co
 		return
 	}
 	disposition := "cold"
-	resp, err, shared := s.flight.do(key, func() (Response, error) {
+	resp, err, shared := s.flight.do(r.Context(), key, func() (Response, error) {
 		// Re-check under the flight: a request that lost the race between
 		// its cache miss and its flight entry finds the winner's result.
 		if resp, ok := s.cache.get(key); ok {
 			s.metrics.cacheHits.Add(1)
+			return resp, nil
+		}
+		// A rerouted cluster request names the key's owner replica: ask it
+		// for the rendered bytes before paying for a local evaluation.
+		if resp, ok := s.peerFill(r, key); ok {
+			disposition = "peer"
 			return resp, nil
 		}
 		s.metrics.cacheMisses.Add(1)

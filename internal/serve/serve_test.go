@@ -2,6 +2,7 @@ package serve
 
 import (
 	"bytes"
+	"context"
 	"crypto/sha256"
 	"fmt"
 	"sync"
@@ -81,7 +82,7 @@ func TestFlightCoalesces(t *testing.T) {
 	wg.Add(1)
 	go func() {
 		defer wg.Done()
-		resp, err, shared := g.do(key, func() (Response, error) {
+		resp, err, shared := g.do(context.Background(), key, func() (Response, error) {
 			evals++
 			close(started)
 			<-release
@@ -99,7 +100,7 @@ func TestFlightCoalesces(t *testing.T) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			resp, err, shared := g.do(key, func() (Response, error) {
+			resp, err, shared := g.do(context.Background(), key, func() (Response, error) {
 				t.Error("follower ran the computation")
 				return Response{}, nil
 			})
@@ -131,12 +132,12 @@ func TestFlightSharesErrors(t *testing.T) {
 	g := newFlightGroup(16)
 	key := ContentKey("t", []byte("err"))
 	wantErr := fmt.Errorf("boom")
-	_, err, _ := g.do(key, func() (Response, error) { return Response{}, wantErr })
+	_, err, _ := g.do(context.Background(), key, func() (Response, error) { return Response{}, wantErr })
 	if err != wantErr {
 		t.Errorf("err = %v", err)
 	}
 	// The failed call must not wedge the key: a retry runs fresh.
-	resp, err, shared := g.do(key, func() (Response, error) { return Response{Body: []byte("ok")}, nil })
+	resp, err, shared := g.do(context.Background(), key, func() (Response, error) { return Response{Body: []byte("ok")}, nil })
 	if err != nil || shared || string(resp.Body) != "ok" {
 		t.Errorf("retry after error: resp=%q err=%v shared=%v", resp.Body, err, shared)
 	}

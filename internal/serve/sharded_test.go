@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"context"
 	"encoding/binary"
 	"fmt"
 	"math/rand"
@@ -178,7 +179,7 @@ func TestFlightShardedStress(t *testing.T) {
 			go func(i int) {
 				defer wg.Done()
 				k := testKey(uint64(i))
-				resp, err, _ := g.do(k, func() (Response, error) {
+				resp, err, _ := g.do(context.Background(), k, func() (Response, error) {
 					mu.Lock()
 					evals[i]++
 					mu.Unlock()

@@ -44,6 +44,26 @@ else
     fail=1
 fi
 
+# The cluster equivalence gates are the correctness proof for wfgate: a
+# 3-replica cluster must be byte-identical to a single server, a 64-way
+# herd must cost exactly one evaluation, and a replica kill must reroute
+# without a 5xx window. Named so a failure is attributed immediately.
+echo "== cluster equivalence wall (race) =="
+if go test -race ./internal/cluster -run 'TestCluster|TestGate' -count=1; then
+    echo "ok"
+else
+    fail=1
+fi
+
+# The serve-layer bugfix regressions (If-None-Match list matching, flight
+# waiter cancellation, recorder panic recycling) ride the same wall.
+echo "== serve bugfix wall (race) =="
+if go test -race ./internal/serve -run 'TestETagMatch|TestConditional|TestFlightWaiter|TestServeCancelled|TestInstrument|TestRecorder|TestPeerFill' -count=1; then
+    echo "ok"
+else
+    fail=1
+fi
+
 if [ "${1:-}" = "-fuzz" ]; then
     fuzztime="${FUZZTIME:-30s}"
     echo "== fuzz ($fuzztime per target) =="
