@@ -1,0 +1,88 @@
+// Streaming delivery benchmarks: the time-to-first-result pipeline through
+// wfserved. BenchmarkServe_SweepStreamTTFR runs one cold streaming sweep
+// per iteration and reports, alongside ns/op for the whole stream, the
+// measured time to the first partial aggregate (ttfr_ms/op) against the
+// full-stream wall time (total_ms/op) — the headline claim is that the
+// first snapshot lands in a small fraction of the full-sweep latency.
+// allocs/op is the frozen O(chunk) buffering evidence: the encoder reuses
+// one buffer per stream, so allocations stay flat as the ensemble grows.
+//
+//	go test . -run XXX -bench BenchmarkServe_SweepStreamTTFR -benchmem
+package wroofline
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"wroofline/internal/serve"
+)
+
+// ttfrWriter discards the response body but timestamps the first body
+// byte, which for the streaming endpoint is the first partial aggregate.
+type ttfrWriter struct {
+	h     http.Header
+	code  int
+	n     int
+	first time.Time
+}
+
+func (w *ttfrWriter) Header() http.Header { return w.h }
+func (w *ttfrWriter) Write(p []byte) (int, error) {
+	if w.n == 0 && len(p) > 0 {
+		w.first = time.Now()
+	}
+	w.n += len(p)
+	return len(p), nil
+}
+func (w *ttfrWriter) WriteHeader(code int) { w.code = code }
+func (w *ttfrWriter) Flush()               {}
+
+func (w *ttfrWriter) reset() {
+	clear(w.h)
+	w.code = 0
+	w.n = 0
+	w.first = time.Time{}
+}
+
+// BenchmarkServe_SweepStreamTTFR measures one cold streaming sweep per
+// iteration: a 65536-trial Monte Carlo ensemble delivered over NDJSON.
+// The cache is flushed each iteration so every stream pays the full
+// evaluation; ttfr_ms/op vs total_ms/op is the delivered speedup of
+// streaming over buffered delivery for a dashboard that acts on the first
+// snapshot.
+func BenchmarkServe_SweepStreamTTFR(b *testing.B) {
+	s := serve.New(serve.Config{})
+	h := s.Handler()
+	const spec = `{"kind":"montecarlo","case":"lcls-cori","trials":65536,"seed":11,"batch":256,` +
+		`"sampler":{"model":"twostate","base":"1 GB/s","degraded":"0.2 GB/s","p_bad":0.4}}`
+	w := &ttfrWriter{h: make(http.Header, 8)}
+	var ttfr, total time.Duration
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		s.FlushCache()
+		rd := strings.NewReader(spec)
+		req := httptest.NewRequest("POST", "/v1/sweep/stream", rd)
+		w.reset()
+		b.StartTimer()
+		start := time.Now()
+		h.ServeHTTP(w, req)
+		total += time.Since(start)
+		if w.code != 0 && w.code != http.StatusOK {
+			b.Fatalf("stream status %d", w.code)
+		}
+		if w.first.IsZero() {
+			b.Fatal("stream produced no body")
+		}
+		ttfr += w.first.Sub(start)
+	}
+	b.ReportMetric(float64(ttfr.Milliseconds())/float64(b.N), "ttfr_ms/op")
+	b.ReportMetric(float64(total.Milliseconds())/float64(b.N), "total_ms/op")
+	if total > 0 {
+		b.ReportMetric(100*float64(ttfr)/float64(total), "ttfr_pct")
+	}
+}

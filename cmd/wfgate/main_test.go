@@ -97,3 +97,101 @@ func TestRunBadFlags(t *testing.T) {
 		t.Fatal("unknown flag accepted")
 	}
 }
+
+// TestRunStreamsIncrementally is the end-to-end flush proof over real TCP:
+// an SSE sweep through the gate delivers its first progress frame while
+// the replica is still evaluating — not as part of one buffered write at
+// the end. A buffering gate would make time-to-first-event equal the total
+// stream time; a flushing one makes it a small fraction.
+func TestRunStreamsIncrementally(t *testing.T) {
+	replica := httptest.NewServer(serve.New(serve.Config{}).Handler())
+	defer replica.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	ready := make(chan string, 1)
+	done := make(chan error, 1)
+	go func() {
+		done <- run(ctx, []string{
+			"-addr", "127.0.0.1:0", "-backends", replica.URL, "-drain", "5s",
+		}, io.Discard, ready)
+	}()
+	var addr string
+	select {
+	case addr = <-ready:
+	case err := <-done:
+		t.Fatalf("run exited before listening: %v", err)
+	case <-time.After(10 * time.Second):
+		t.Fatal("gate never became ready")
+	}
+
+	// Big enough that evaluation takes a measurable while relative to the
+	// first snapshot (the throttle emits ~64 snapshots across the run).
+	spec := `{"kind":"montecarlo","case":"lcls-cori","trials":400000,"seed":3,"batch":256,` +
+		`"sampler":{"model":"twostate","base":"1 GB/s","degraded":"0.2 GB/s","p_bad":0.4}}`
+	req, _ := http.NewRequest("POST", "http://"+addr+"/v1/sweep", strings.NewReader(spec))
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set("Accept", serve.ContentTypeSSE)
+	start := time.Now()
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if got := resp.Header.Get("Content-Type"); got != serve.ContentTypeSSE {
+		t.Fatalf("Content-Type = %q, want %q", got, serve.ContentTypeSSE)
+	}
+
+	// Read frame boundaries one byte at a time so arrival timing is the
+	// client's, not a buffered reader's.
+	var firstEvent time.Duration
+	var events int
+	var text strings.Builder
+	buf := make([]byte, 1)
+	blank := 0
+	for {
+		n, err := resp.Body.Read(buf)
+		if n > 0 {
+			text.WriteByte(buf[0])
+			if buf[0] == '\n' {
+				blank++
+				if blank == 2 { // "\n\n" closes an SSE frame
+					events++
+					if events == 1 {
+						firstEvent = time.Since(start)
+					}
+					blank = 0
+				}
+			} else {
+				blank = 0
+			}
+		}
+		if err != nil {
+			break
+		}
+	}
+	total := time.Since(start)
+
+	if events < 2 {
+		t.Fatalf("read %d SSE frames, want progress + result", events)
+	}
+	s := text.String()
+	if !strings.Contains(s, "event: progress") {
+		t.Error("no progress frame in SSE stream through the gate")
+	}
+	ri := strings.Index(s, "event: result")
+	if ri < 0 {
+		t.Fatal("no result frame in SSE stream through the gate")
+	}
+	if pi := strings.Index(s, "event: progress"); pi > ri {
+		t.Error("progress frame arrived after the result frame")
+	}
+	// The incremental-delivery claim: first frame lands well before the
+	// stream completes. A buffering hop collapses this to ~100%.
+	if firstEvent > total/2 {
+		t.Errorf("first SSE frame at %v of %v total — gate is buffering, not flushing",
+			firstEvent, total)
+	}
+	cancel()
+	<-done
+}

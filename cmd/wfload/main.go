@@ -9,20 +9,30 @@
 // The request blend comes from -mix: "hit-heavy" replays a small fixed
 // working set (after one warm pass the server answers from cache),
 // "miss-heavy" varies a spec field per request so nearly every request is a
-// fresh cache key, and "corpus" blends generated gen-* case models with
-// mostly re-seeded corpus sweeps, exercising the DAG generator and NUMA
-// machine models under load.
+// fresh cache key, "corpus" blends generated gen-* case models with mostly
+// re-seeded corpus sweeps, "stream" requests sweeps with Accept:
+// application/x-ndjson so the ttfb50 column shows time-to-first-result,
+// and "eval-heavy"/"eval-light" are the two halves of a fairness probe.
 //
 // Usage:
 //
 //	wfload -url http://localhost:8080 -mix hit-heavy -workers 8 -duration 10s
 //	wfload -mix miss-heavy -rps 500 -duration 30s
+//	wfload -mix stream -workers 4 -duration 10s
 //	wfload -targets http://a:8080,http://b:8080,http://c:8080 -duration 10s
+//	wfload -tenants heavy=eval-heavy,light=eval-light:20:4 -duration 30s
 //
 // With -targets, each request is consistent-hashed to the replica owning
 // its content (the same rendezvous ring wfgate uses), and the report adds a
 // per-target table of requests, errors, cache hits, and peer fills — the
 // skew view for judging a cluster's balance and cache partitioning.
+//
+// With -tenants, each name=mix[:rps[:burst]] entry drives its own loop
+// concurrently with its requests stamped X-Tenant: name (closed-loop
+// unless rps is given), and the report adds a per-tenant table — requests,
+// sheds (503s), p50/p99, and ttfb50 side by side, the view for judging
+// whether weighted-fair admission protects a light tenant from a heavy
+// one. -tenant stamps a single name on a whole single-loop run instead.
 package main
 
 import (
@@ -32,6 +42,7 @@ import (
 	"io"
 	"os"
 	"os/signal"
+	"strconv"
 	"strings"
 	"syscall"
 	"time"
@@ -59,6 +70,9 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		duration = fs.Duration("duration", 10*time.Second, "how long to drive load")
 		workers  = fs.Int("workers", 8, "closed-loop concurrency (open-loop: in-flight cap)")
 		rps      = fs.Float64("rps", 0, "open-loop target rate; 0 selects closed-loop mode")
+		burst    = fs.Int("burst", 0, "open-loop burst size: fire this many requests back to back per tick at the same average rate")
+		tenant   = fs.String("tenant", "", "stamp this X-Tenant header on every request")
+		tenants  = fs.String("tenants", "", "multi-tenant mode: comma-separated name=mix[:rps[:burst]] entries, each driving its own loop (overrides -mix/-rps/-tenant)")
 		timeout  = fs.Duration("timeout", 10*time.Second, "per-request timeout")
 		seed     = fs.Int64("seed", 1, "request-stream seed (reproducible runs)")
 	)
@@ -73,6 +87,10 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		return fmt.Errorf("-rps must be >= 0")
 	}
 	mix, err := loadgen.MixByName(*mixName)
+	if err != nil {
+		return err
+	}
+	tenantList, err := parseTenants(*tenants)
 	if err != nil {
 		return err
 	}
@@ -96,10 +114,14 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		against = fmt.Sprintf("%d targets (hash-routed)", len(targetList))
 		base = ""
 	}
-	if *rps > 0 {
+	switch {
+	case len(tenantList) > 0:
+		fmt.Fprintf(out, "wfload: %d tenants, %s against %s\n",
+			len(tenantList), *duration, against)
+	case *rps > 0:
 		fmt.Fprintf(out, "wfload: open loop, %.0f RPS target, mix=%s, %s against %s\n",
 			*rps, mix.Name, *duration, against)
-	} else {
+	default:
 		fmt.Fprintf(out, "wfload: closed loop, %d workers, mix=%s, %s against %s\n",
 			*workers, mix.Name, *duration, against)
 	}
@@ -110,6 +132,9 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		Duration: *duration,
 		Workers:  *workers,
 		RPS:      *rps,
+		Burst:    *burst,
+		Tenant:   *tenant,
+		Tenants:  tenantList,
 		Timeout:  *timeout,
 		Seed:     *seed,
 	})
@@ -118,4 +143,45 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	}
 	rep.WriteText(out)
 	return nil
+}
+
+// parseTenants parses the -tenants value: comma-separated
+// name=mix[:rps[:burst]] entries, e.g. "heavy=eval-heavy,light=eval-light:20:4".
+func parseTenants(s string) ([]loadgen.TenantOptions, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var list []loadgen.TenantOptions
+	for _, entry := range strings.Split(s, ",") {
+		entry = strings.TrimSpace(entry)
+		if entry == "" {
+			continue
+		}
+		name, spec, ok := strings.Cut(entry, "=")
+		name = strings.TrimSpace(name)
+		if !ok || name == "" || spec == "" {
+			return nil, fmt.Errorf("-tenants entries must be name=mix[:rps[:burst]], got %q", entry)
+		}
+		parts := strings.Split(spec, ":")
+		if len(parts) > 3 {
+			return nil, fmt.Errorf("-tenants %q: too many ':' fields", entry)
+		}
+		mix, err := loadgen.MixByName(strings.TrimSpace(parts[0]))
+		if err != nil {
+			return nil, fmt.Errorf("-tenants %q: %w", entry, err)
+		}
+		to := loadgen.TenantOptions{Name: name, Mix: mix}
+		if len(parts) > 1 {
+			if to.RPS, err = strconv.ParseFloat(parts[1], 64); err != nil || to.RPS < 0 {
+				return nil, fmt.Errorf("-tenants %q: bad rps %q", entry, parts[1])
+			}
+		}
+		if len(parts) > 2 {
+			if to.Burst, err = strconv.Atoi(parts[2]); err != nil || to.Burst < 0 {
+				return nil, fmt.Errorf("-tenants %q: bad burst %q", entry, parts[2])
+			}
+		}
+		list = append(list, to)
+	}
+	return list, nil
 }

@@ -102,3 +102,56 @@ func TestFlagValidation(t *testing.T) {
 		}
 	}
 }
+
+// TestSmokeMultiTenant drives two tenants through the CLI against a
+// QoS-configured in-process server and checks the per-tenant table is
+// rendered.
+func TestSmokeMultiTenant(t *testing.T) {
+	srv := httptest.NewServer(serve.New(serve.Config{
+		TenantWeights: map[string]float64{"light": 2},
+	}).Handler())
+	defer srv.Close()
+
+	var sb strings.Builder
+	err := run(context.Background(), []string{
+		"-url", srv.URL, "-duration", "400ms",
+		"-tenants", "heavy=eval-heavy:0:0,light=hit-heavy:50",
+	}, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"2 tenants", "tenant", "heavy", "light", "ttfb50", "sheds"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestParseTenants pins the -tenants grammar.
+func TestParseTenants(t *testing.T) {
+	list, err := parseTenants("heavy=eval-heavy,light=eval-light:20:4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(list) != 2 || list[0].Name != "heavy" || list[1].Name != "light" {
+		t.Fatalf("parsed %+v", list)
+	}
+	if list[0].RPS != 0 || list[0].Burst != 0 {
+		t.Errorf("bare tenant gained rate/burst: %+v", list[0])
+	}
+	if list[1].RPS != 20 || list[1].Burst != 4 || list[1].Mix == nil {
+		t.Errorf("light = %+v, want rps 20 burst 4", list[1])
+	}
+	for _, bad := range []string{
+		"noequals", "=eval-heavy", "a=", "a=nosuchmix", "a=hit-heavy:x",
+		"a=hit-heavy:5:y", "a=hit-heavy:5:2:3",
+	} {
+		if _, err := parseTenants(bad); err == nil {
+			t.Errorf("parseTenants(%q) accepted", bad)
+		}
+	}
+	if list, _ := parseTenants(""); list != nil {
+		t.Error("empty -tenants produced a tenant list")
+	}
+}

@@ -11,7 +11,15 @@
 //	wfserved -addr :9000 -workers 8
 //	wfserved -cache 1024 -queue 8 -timeout 60s
 //	wfserved -shards 64             # more cache/singleflight shards
+//	wfserved -tenant-weights heavy=1,light=4 -max-waiters 32
+//	wfserved -tenant-rate 50 -tenant-burst 100
 //	wfserved -pprof localhost:6060 # expose net/http/pprof on a side port
+//
+// Evaluation slots are granted across tenants (the X-Tenant header) by
+// weighted-fair queueing; -tenant-rate adds per-tenant token buckets that
+// shed excess load with 503 + Retry-After. Streaming sweep delivery
+// (POST /v1/sweep/stream, or Accept: application/x-ndjson on /v1/sweep)
+// needs no flags.
 //
 // The process drains cleanly on SIGINT/SIGTERM: in-flight requests finish
 // (up to -drain), new connections are refused.
@@ -29,6 +37,7 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"strconv"
 	"strings"
 	"syscall"
 	"time"
@@ -56,6 +65,10 @@ func run(ctx context.Context, args []string, logOut io.Writer, ready chan<- stri
 		cache   = fs.Int("cache", 512, "result cache capacity (responses)")
 		shards  = fs.Int("shards", 16, "cache/singleflight shard count (power of two, 1..256)")
 		queue   = fs.Int("queue", 4, "max concurrent evaluations")
+		waiters = fs.Int("max-waiters", 64, "per-tenant admission queue bound; arrivals beyond it are shed with 503 + Retry-After")
+		weights = fs.String("tenant-weights", "", "weighted-fair tenant shares as name=weight pairs, e.g. \"heavy=1,light=4\" (unlisted tenants get 1)")
+		rate    = fs.Float64("tenant-rate", 0, "per-tenant admission token rate per second; 0 disables rate shedding")
+		burst   = fs.Float64("tenant-burst", 0, "per-tenant token bucket depth (default max(1, -tenant-rate))")
 		timeout = fs.Duration("timeout", 30*time.Second, "per-request evaluation budget")
 		drain   = fs.Duration("drain", 15*time.Second, "shutdown drain budget for in-flight requests")
 		pprofAt = fs.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060); empty disables")
@@ -67,6 +80,11 @@ func run(ctx context.Context, args []string, logOut io.Writer, ready chan<- stri
 	}
 	if *shards < 1 || *shards > 256 || *shards&(*shards-1) != 0 {
 		return fmt.Errorf("-shards must be a power of two in [1, 256], got %d", *shards)
+	}
+
+	tenantWeights, err := parseWeights(*weights)
+	if err != nil {
+		return err
 	}
 
 	var peerList []string
@@ -85,13 +103,17 @@ func run(ctx context.Context, args []string, logOut io.Writer, ready chan<- stri
 
 	logger := slog.New(slog.NewJSONHandler(logOut, nil))
 	s := serve.New(serve.Config{
-		Workers:      *workers,
-		CacheEntries: *cache,
-		QueueDepth:   *queue,
-		Timeout:      *timeout,
-		Shards:       *shards,
-		Logger:       logger,
-		Peers:        peerList,
+		Workers:       *workers,
+		CacheEntries:  *cache,
+		QueueDepth:    *queue,
+		MaxWaiters:    *waiters,
+		TenantWeights: tenantWeights,
+		TenantRate:    *rate,
+		TenantBurst:   *burst,
+		Timeout:       *timeout,
+		Shards:        *shards,
+		Logger:        logger,
+		Peers:         peerList,
 	})
 	if len(peerList) > 0 {
 		logger.Info("peer cache-fill enabled", "peers", peerList)
@@ -162,4 +184,30 @@ func run(ctx context.Context, args []string, logOut io.Writer, ready chan<- stri
 	}
 	logger.Info("stopped")
 	return nil
+}
+
+// parseWeights parses "name=weight,name=weight" into the tenant-share map;
+// an empty string means no overrides.
+func parseWeights(s string) (map[string]float64, error) {
+	if s == "" {
+		return nil, nil
+	}
+	weights := map[string]float64{}
+	for _, pair := range strings.Split(s, ",") {
+		pair = strings.TrimSpace(pair)
+		if pair == "" {
+			continue
+		}
+		name, val, ok := strings.Cut(pair, "=")
+		name = strings.TrimSpace(name)
+		if !ok || name == "" {
+			return nil, fmt.Errorf("-tenant-weights entries must be name=weight, got %q", pair)
+		}
+		w, err := strconv.ParseFloat(strings.TrimSpace(val), 64)
+		if err != nil || w <= 0 {
+			return nil, fmt.Errorf("-tenant-weights %q: weight must be a positive number", pair)
+		}
+		weights[name] = w
+	}
+	return weights, nil
 }

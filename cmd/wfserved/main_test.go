@@ -234,3 +234,75 @@ func TestRunBadAddr(t *testing.T) {
 		t.Fatal("unusable address accepted")
 	}
 }
+
+// TestParseWeights pins the -tenant-weights grammar.
+func TestParseWeights(t *testing.T) {
+	w, err := parseWeights("light=2,heavy=0.5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(w) != 2 || w["light"] != 2 || w["heavy"] != 0.5 {
+		t.Fatalf("parsed %+v", w)
+	}
+	for _, bad := range []string{"noequals", "=2", "a=", "a=x", "a=0", "a=-1"} {
+		if _, err := parseWeights(bad); err == nil {
+			t.Errorf("parseWeights(%q) accepted", bad)
+		}
+	}
+	if w, _ := parseWeights(""); w != nil {
+		t.Error("empty -tenant-weights produced a map")
+	}
+}
+
+// TestRunQoSFlags boots wfserved with the admission flags set and checks
+// an over-rate tenant is shed with Retry-After while others still pass.
+func TestRunQoSFlags(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	ready := make(chan string, 1)
+	done := make(chan error, 1)
+	go func() {
+		done <- run(ctx, []string{
+			"-addr", "127.0.0.1:0", "-tenant-weights", "light=2",
+			"-tenant-rate", "0.5", "-tenant-burst", "1", "-max-waiters", "8",
+		}, io.Discard, ready)
+	}()
+	var addr string
+	select {
+	case addr = <-ready:
+	case err := <-done:
+		t.Fatalf("run exited before listening: %v", err)
+	case <-time.After(10 * time.Second):
+		t.Fatal("server never became ready")
+	}
+
+	post := func(tenant, body string) int {
+		req, _ := http.NewRequest("POST", "http://"+addr+"/v1/model",
+			strings.NewReader(body))
+		req.Header.Set("Content-Type", "application/json")
+		req.Header.Set("X-Tenant", tenant)
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode == http.StatusServiceUnavailable && resp.Header.Get("Retry-After") == "" {
+			t.Error("shed response carries no Retry-After")
+		}
+		return resp.StatusCode
+	}
+	// Distinct specs each time: cache hits bypass admission, so only cold
+	// requests draw tokens.
+	if got := post("a", `{"case":"example"}`); got != http.StatusOK {
+		t.Fatalf("first request for tenant a: %d", got)
+	}
+	if got := post("a", `{"case":"lcls-cori"}`); got != http.StatusServiceUnavailable {
+		t.Errorf("over-rate request for tenant a = %d, want 503", got)
+	}
+	if got := post("b", `{"case":"bgw-64"}`); got != http.StatusOK {
+		t.Errorf("fresh tenant b = %d, want 200 (buckets are per-tenant)", got)
+	}
+	cancel()
+	<-done
+}

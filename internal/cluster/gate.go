@@ -33,6 +33,7 @@ import (
 	"net/http"
 	"strconv"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -106,14 +107,59 @@ type backend struct {
 	requests atomic.Uint64
 }
 
+// upstreamRequest is everything the gate forwards upstream: the routed
+// method/path/body plus the headers that must survive the hop — the
+// content type, and the admission headers (tenant, deadline, accept) that
+// drive per-tenant fairness and deadline propagation on the replica. A
+// coalesced flight forwards its first rider's headers.
+type upstreamRequest struct {
+	method   string
+	path     string
+	ctype    string
+	accept   string
+	tenant   string
+	deadline string
+	body     []byte
+}
+
+// newUpstreamRequest snapshots the forwardable parts of a client request.
+func newUpstreamRequest(r *http.Request, body []byte) *upstreamRequest {
+	return &upstreamRequest{
+		method:   r.Method,
+		path:     r.URL.Path,
+		ctype:    r.Header.Get("Content-Type"),
+		accept:   r.Header.Get("Accept"),
+		tenant:   r.Header.Get(serve.TenantHeader),
+		deadline: r.Header.Get(serve.DeadlineHeader),
+		body:     body,
+	}
+}
+
+// apply stamps the snapshot onto an outbound request.
+func (u *upstreamRequest) apply(req *http.Request) {
+	if u.ctype != "" {
+		req.Header.Set("Content-Type", u.ctype)
+	}
+	if u.accept != "" {
+		req.Header.Set("Accept", u.accept)
+	}
+	if u.tenant != "" {
+		req.Header.Set(serve.TenantHeader, u.tenant)
+	}
+	if u.deadline != "" {
+		req.Header.Set(serve.DeadlineHeader, u.deadline)
+	}
+}
+
 // upstreamResult is one fetched response, shared across a flight's riders.
 type upstreamResult struct {
-	status  int
-	ctype   string
-	etag    string
-	xcache  string
-	backend string
-	body    []byte
+	status     int
+	ctype      string
+	etag       string
+	xcache     string
+	retryAfter string
+	backend    string
+	body       []byte
 }
 
 // Gate is the cluster router. Create with New, mount via Handler, start
@@ -126,10 +172,17 @@ type Gate struct {
 	client   *http.Client
 	mux      *http.ServeMux
 
-	rerouted       atomic.Uint64
-	coalesced      atomic.Uint64
-	upstreamErrors atomic.Uint64
-	notModified    atomic.Uint64
+	// streamMu guards streams, the in-flight tee table for streaming
+	// requests (see stream.go).
+	streamMu sync.Mutex
+	streams  map[serve.Key]*streamFlight
+
+	rerouted        atomic.Uint64
+	coalesced       atomic.Uint64
+	upstreamErrors  atomic.Uint64
+	notModified     atomic.Uint64
+	streamed        atomic.Uint64
+	streamCoalesced atomic.Uint64
 }
 
 // New builds a gate over the configured backends.
@@ -152,11 +205,12 @@ func New(cfg Config) (*Gate, error) {
 		urls[i] = u
 	}
 	g := &Gate{
-		cfg:    cfg,
-		ring:   NewRing(urls),
-		flight: newFlightGroup(cfg.Shards),
-		client: cfg.Client,
-		mux:    http.NewServeMux(),
+		cfg:     cfg,
+		ring:    NewRing(urls),
+		flight:  newFlightGroup(cfg.Shards),
+		client:  cfg.Client,
+		mux:     http.NewServeMux(),
+		streams: make(map[serve.Key]*streamFlight),
 	}
 	if g.client == nil {
 		g.client = &http.Client{Timeout: cfg.Timeout}
@@ -170,7 +224,17 @@ func New(cfg Config) (*Gate, error) {
 		g.proxy(w, r, keyOrRaw(serve.ModelKey))
 	})
 	g.mux.HandleFunc("POST /v1/sweep", func(w http.ResponseWriter, r *http.Request) {
+		// The same Accept negotiation the replica applies: a streaming
+		// client must tee through the stream path, or the gate would
+		// buffer the replica's progressive response back into one blob.
+		if acceptsStream(r) {
+			g.streamProxy(w, r, keyOrRaw(serve.SweepKey))
+			return
+		}
 		g.proxy(w, r, keyOrRaw(serve.SweepKey))
+	})
+	g.mux.HandleFunc("POST /v1/sweep/stream", func(w http.ResponseWriter, r *http.Request) {
+		g.streamProxy(w, r, keyOrRaw(serve.SweepKey))
 	})
 	g.mux.HandleFunc("GET /v1/figures/{name}", func(w http.ResponseWriter, r *http.Request) {
 		g.proxy(w, r, func([]byte) serve.Key { return serve.FigureKey(r.PathValue("name")) })
@@ -264,23 +328,14 @@ func (g *Gate) isUp(i int) bool { return g.backends[i].up.Load() }
 // fetch, and write the shared result — applying If-None-Match per client,
 // since coalesced riders may each hold different validators.
 func (g *Gate) proxy(w http.ResponseWriter, r *http.Request, keyFn func([]byte) serve.Key) {
-	var body []byte
-	if r.Body != nil {
-		var err error
-		body, err = io.ReadAll(io.LimitReader(r.Body, g.cfg.MaxBodyBytes+1))
-		if err != nil {
-			writeProblem(w, http.StatusBadRequest, fmt.Sprintf("read body: %v", err))
-			return
-		}
-		if int64(len(body)) > g.cfg.MaxBodyBytes {
-			writeProblem(w, http.StatusRequestEntityTooLarge,
-				fmt.Sprintf("request body exceeds %d bytes", g.cfg.MaxBodyBytes))
-			return
-		}
+	body, ok := g.readBody(w, r)
+	if !ok {
+		return
 	}
 	key := keyFn(body)
+	ureq := newUpstreamRequest(r, body)
 	res, err, shared := g.flight.do(r.Context(), key, func() (*upstreamResult, error) {
-		return g.fetch(key, r.Method, r.URL.Path, body, r.Header.Get("Content-Type"))
+		return g.fetch(key, ureq)
 	})
 	if shared {
 		g.coalesced.Add(1)
@@ -297,6 +352,25 @@ func (g *Gate) proxy(w http.ResponseWriter, r *http.Request, keyFn func([]byte) 
 	g.writeResult(w, r, res)
 }
 
+// readBody drains a capped request body, writing the problem response
+// itself on failure; the second return reports success.
+func (g *Gate) readBody(w http.ResponseWriter, r *http.Request) ([]byte, bool) {
+	if r.Body == nil {
+		return nil, true
+	}
+	body, err := io.ReadAll(io.LimitReader(r.Body, g.cfg.MaxBodyBytes+1))
+	if err != nil {
+		writeProblem(w, http.StatusBadRequest, fmt.Sprintf("read body: %v", err))
+		return nil, false
+	}
+	if int64(len(body)) > g.cfg.MaxBodyBytes {
+		writeProblem(w, http.StatusRequestEntityTooLarge,
+			fmt.Sprintf("request body exceeds %d bytes", g.cfg.MaxBodyBytes))
+		return nil, false
+	}
+	return body, true
+}
+
 // fetch routes one upstream request: the key's highest-scoring live
 // replica first, then down the rendezvous order as transport errors
 // (connection refused, resets, timeouts) knock replicas out. HTTP error
@@ -304,7 +378,7 @@ func (g *Gate) proxy(w http.ResponseWriter, r *http.Request, keyFn func([]byte) 
 // passes through verbatim. When every replica looks down the gate fails
 // open to the primary owner: if the whole cluster bounced, optimism
 // recovers faster than refusing traffic.
-func (g *Gate) fetch(key serve.Key, method, path string, body []byte, ctype string) (*upstreamResult, error) {
+func (g *Gate) fetch(key serve.Key, ureq *upstreamRequest) (*upstreamResult, error) {
 	primary := g.ring.Owner(key, nil)
 	tried := make([]bool, len(g.backends))
 	for range g.backends {
@@ -321,7 +395,7 @@ func (g *Gate) fetch(key serve.Key, method, path string, body []byte, ctype stri
 		if idx != primary {
 			ownerURL = g.backends[primary].url
 		}
-		res, err := g.roundTrip(b, method, path, body, ctype, ownerURL)
+		res, err := g.roundTrip(b, ureq, ownerURL)
 		if err != nil {
 			g.upstreamErrors.Add(1)
 			g.markDown(b)
@@ -343,20 +417,18 @@ func (g *Gate) fetch(key serve.Key, method, path string, body []byte, ctype stri
 // result is shared by every rider of the flight, so the first client
 // hanging up must not cancel it (the same contract as the replica's
 // evaluate).
-func (g *Gate) roundTrip(b *backend, method, path string, body []byte, ctype, ownerURL string) (*upstreamResult, error) {
+func (g *Gate) roundTrip(b *backend, ureq *upstreamRequest, ownerURL string) (*upstreamResult, error) {
 	ctx, cancel := context.WithTimeout(context.Background(), g.cfg.Timeout)
 	defer cancel()
 	var rd io.Reader
-	if len(body) > 0 {
-		rd = bytes.NewReader(body)
+	if len(ureq.body) > 0 {
+		rd = bytes.NewReader(ureq.body)
 	}
-	req, err := http.NewRequestWithContext(ctx, method, b.url+path, rd)
+	req, err := http.NewRequestWithContext(ctx, ureq.method, b.url+ureq.path, rd)
 	if err != nil {
 		return nil, err
 	}
-	if ctype != "" {
-		req.Header.Set("Content-Type", ctype)
-	}
+	ureq.apply(req)
 	if ownerURL != "" {
 		// Name the primary owner so the handling replica can try a peer
 		// cache-fill before evaluating locally.
@@ -372,11 +444,12 @@ func (g *Gate) roundTrip(b *backend, method, path string, body []byte, ctype, ow
 		return nil, err
 	}
 	return &upstreamResult{
-		status: resp.StatusCode,
-		ctype:  resp.Header.Get("Content-Type"),
-		etag:   resp.Header.Get("ETag"),
-		xcache: resp.Header.Get("X-Cache"),
-		body:   data,
+		status:     resp.StatusCode,
+		ctype:      resp.Header.Get("Content-Type"),
+		etag:       resp.Header.Get("ETag"),
+		xcache:     resp.Header.Get("X-Cache"),
+		retryAfter: resp.Header.Get("Retry-After"),
+		body:       data,
 	}, nil
 }
 
@@ -392,6 +465,11 @@ func (g *Gate) writeResult(w http.ResponseWriter, r *http.Request, res *upstream
 	}
 	if res.xcache != "" {
 		h.Set("X-Cache", res.xcache)
+	}
+	if res.retryAfter != "" {
+		// A shed replica's backoff hint is for the client, not the gate:
+		// pass it through so 503 + Retry-After survives the hop.
+		h.Set("Retry-After", res.retryAfter)
 	}
 	h.Set("X-Backend", res.backend)
 	if res.status == http.StatusOK && res.etag != "" {
@@ -450,15 +528,23 @@ type Snapshot struct {
 	Coalesced      uint64            `json:"coalesced"`
 	UpstreamErrors uint64            `json:"upstream_errors"`
 	NotModified    uint64            `json:"not_modified"`
+	// Streamed counts streaming responses pumped through the gate;
+	// StreamCoalesced the followers that teed an owner's stream instead of
+	// opening their own upstream fetch. Omitted when zero so the
+	// pre-streaming snapshot shape is unchanged.
+	Streamed        uint64 `json:"streamed,omitempty"`
+	StreamCoalesced uint64 `json:"stream_coalesced,omitempty"`
 }
 
 // MetricsSnapshot returns the current counters.
 func (g *Gate) MetricsSnapshot() Snapshot {
 	snap := Snapshot{
-		Rerouted:       g.rerouted.Load(),
-		Coalesced:      g.coalesced.Load(),
-		UpstreamErrors: g.upstreamErrors.Load(),
-		NotModified:    g.notModified.Load(),
+		Rerouted:        g.rerouted.Load(),
+		Coalesced:       g.coalesced.Load(),
+		UpstreamErrors:  g.upstreamErrors.Load(),
+		NotModified:     g.notModified.Load(),
+		Streamed:        g.streamed.Load(),
+		StreamCoalesced: g.streamCoalesced.Load(),
 	}
 	for _, b := range g.backends {
 		snap.Backends = append(snap.Backends, BackendSnapshot{

@@ -248,13 +248,23 @@ func MonteCarloEnsemble(ctx context.Context, n int, seed uint64, workers int, s 
 // sweep.TrialSeed regardless of chunk geometry, so the distribution is
 // bit-identical to MonteCarloEnsemble at any worker count and batch size.
 func MonteCarloEnsembleBatch(ctx context.Context, n int, seed uint64, workers, batch int, s Sampler, run func(days []units.ByteRate, out []float64) error) (*Distribution, error) {
+	return MonteCarloEnsembleBatchProgress(ctx, n, seed, workers, batch, s, run, nil)
+}
+
+// MonteCarloEnsembleBatchProgress is MonteCarloEnsembleBatch plus a
+// completion-frontier callback (sweep.MapChunksProgress semantics): progress
+// fires with strictly increasing done counts and the stable makespan prefix,
+// so a streaming caller can summarize partial distributions while the
+// ensemble is still running. The final Distribution is bit-identical to the
+// progress-free call.
+func MonteCarloEnsembleBatchProgress(ctx context.Context, n int, seed uint64, workers, batch int, s Sampler, run func(days []units.ByteRate, out []float64) error, progress func(done int, makespans []float64)) (*Distribution, error) {
 	if n <= 0 {
 		return nil, fmt.Errorf("contention: need a positive sample count, got %d", n)
 	}
 	if s == nil || run == nil {
 		return nil, fmt.Errorf("contention: nil sampler or run function")
 	}
-	samples, err := sweep.MapChunks(ctx, n, workers, batch, func(_ context.Context, lo, hi int, out []float64) error {
+	samples, err := sweep.MapChunksProgress(ctx, n, workers, batch, func(_ context.Context, lo, hi int, out []float64) error {
 		days := make([]units.ByteRate, hi-lo)
 		for i := range days {
 			rng := NewRNG(sweep.TrialSeed(seed, lo+i))
@@ -268,7 +278,7 @@ func MonteCarloEnsembleBatch(ctx context.Context, n int, seed uint64, workers, b
 			return fmt.Errorf("contention: days [%d,%d): %w", lo, hi, err)
 		}
 		return nil
-	})
+	}, progress)
 	if err != nil {
 		return nil, err
 	}

@@ -11,6 +11,7 @@ type request struct {
 	method   string
 	path     string
 	body     string // empty for GETs
+	accept   string // Accept header; non-empty selects a streaming response
 }
 
 // A shape is a weighted request template. Fixed-body shapes replay the same
@@ -23,6 +24,7 @@ type shape struct {
 	path     string
 	weight   int
 	body     func(seq uint64) string // nil for bodyless requests
+	accept   string                  // Accept header; "" sends none
 }
 
 // A Mix is a weighted blend of request shapes over the service's three
@@ -46,6 +48,7 @@ func (m *Mix) pick(rng *rand.Rand, seq uint64) request {
 			if sh.body != nil {
 				r.body = sh.body(seq)
 			}
+			r.accept = sh.accept
 			return r
 		}
 	}
@@ -67,6 +70,20 @@ const sweepSpec = `{"kind":"montecarlo","case":"lcls-cori","trials":16,"seed":%d
 const corpusSweepSpec = `{"kind":"corpus","machine":"perlmutter-numa","count":20,"seed":%d,` +
 	`"template":{"width":5,"depth":3,"cv":0.4,"payload":"512 MB"}}`
 
+// streamSweepSpec is a mid-size Monte Carlo ensemble for streaming runs —
+// enough trials that partial aggregates arrive well before the final line,
+// so time-to-first-byte and full latency separate measurably.
+const streamSweepSpec = `{"kind":"montecarlo","case":"lcls-cori","trials":512,"seed":%d,` +
+	`"sampler":{"model":"twostate","base":"1 GB/s","degraded":"0.2 GB/s","p_bad":0.4}}`
+
+// heavySweepSpec is the saturating tenant's request: a fresh kilotrials
+// ensemble on nearly every call, built to hold evaluation slots.
+const heavySweepSpec = `{"kind":"montecarlo","case":"lcls-cori","trials":2048,"seed":%d,` +
+	`"sampler":{"model":"twostate","base":"1 GB/s","degraded":"0.2 GB/s","p_bad":0.4}}`
+
+// ndjson is the Accept value that negotiates a streaming response.
+const ndjson = "application/x-ndjson"
+
 // MixByName returns a built-in scenario.
 //
 // "hit-heavy" models a dashboard fleet re-requesting a small working set:
@@ -82,43 +99,81 @@ const corpusSweepSpec = `{"kind":"corpus","machine":"perlmutter-numa","count":20
 // models plus corpus sweeps, mostly re-seeded per request so the server
 // spends its time generating and simulating fresh DAG ensembles, with a
 // fixed corpus replayed often enough to keep the hit path honest.
+//
+// "stream" models dashboards watching live ensemble progress: mid-size
+// Monte Carlo sweeps requested with Accept: application/x-ndjson, mostly
+// re-seeded so the server streams fresh evaluations; its TTFB columns show
+// time-to-first-result, far ahead of the full-sweep latency.
+//
+// "eval-heavy" and "eval-light" are the two halves of a fairness probe
+// (-tenants): the heavy mix holds evaluation slots with fresh kilotrials
+// ensembles, the light one issues small mostly-cached requests whose tail
+// latency shows whether weighted-fair admission protects it.
 func MixByName(name string) (*Mix, error) {
 	switch name {
 	case "hit-heavy":
 		return Mix{Name: name, shapes: []shape{
-			{"model", "POST", "/v1/model", 40, fixedBody(`{"case":"example"}`)},
-			{"model", "POST", "/v1/model", 15, fixedBody(`{"case":"lcls-cori"}`)},
-			{"model", "POST", "/v1/model", 15, fixedBody(`{"case":"bgw-64"}`)},
+			{"model", "POST", "/v1/model", 40, fixedBody(`{"case":"example"}`), ""},
+			{"model", "POST", "/v1/model", 15, fixedBody(`{"case":"lcls-cori"}`), ""},
+			{"model", "POST", "/v1/model", 15, fixedBody(`{"case":"bgw-64"}`), ""},
 			{"model", "POST", "/v1/model", 10, func(seq uint64) string {
 				return fmt.Sprintf(`{"case":"example","curve_samples":%d}`, 32<<(seq%3))
-			}},
-			{"sweep", "POST", "/v1/sweep", 10, fixedBody(fmt.Sprintf(sweepSpec, 7))},
-			{"figure", "GET", "/v1/figures/example.svg", 10, nil},
+			}, ""},
+			{"sweep", "POST", "/v1/sweep", 10, fixedBody(fmt.Sprintf(sweepSpec, 7)), ""},
+			{"figure", "GET", "/v1/figures/example.svg", 10, nil, ""},
 		}}.normalize(), nil
 	case "miss-heavy":
 		return Mix{Name: name, shapes: []shape{
 			{"model", "POST", "/v1/model", 45, func(seq uint64) string {
 				return fmt.Sprintf(`{"case":"example","curve_samples":%d}`, 64+seq%8192)
-			}},
+			}, ""},
 			{"sweep", "POST", "/v1/sweep", 35, func(seq uint64) string {
 				return fmt.Sprintf(sweepSpec, seq)
-			}},
-			{"model", "POST", "/v1/model", 10, fixedBody(`{"case":"example"}`)},
-			{"figure", "GET", "/v1/figures/example.svg", 10, nil},
+			}, ""},
+			{"model", "POST", "/v1/model", 10, fixedBody(`{"case":"example"}`), ""},
+			{"figure", "GET", "/v1/figures/example.svg", 10, nil, ""},
 		}}.normalize(), nil
 	case "corpus":
 		return Mix{Name: name, shapes: []shape{
 			{"sweep", "POST", "/v1/sweep", 35, func(seq uint64) string {
 				return fmt.Sprintf(corpusSweepSpec, seq)
-			}},
-			{"sweep", "POST", "/v1/sweep", 15, fixedBody(fmt.Sprintf(corpusSweepSpec, 11))},
-			{"model", "POST", "/v1/model", 20, fixedBody(`{"case":"gen-montage"}`)},
-			{"model", "POST", "/v1/model", 15, fixedBody(`{"case":"gen-epigenomics"}`)},
-			{"model", "POST", "/v1/model", 10, fixedBody(`{"case":"gen-chain"}`)},
-			{"figure", "GET", "/v1/figures/example.svg", 5, nil},
+			}, ""},
+			{"sweep", "POST", "/v1/sweep", 15, fixedBody(fmt.Sprintf(corpusSweepSpec, 11)), ""},
+			{"model", "POST", "/v1/model", 20, fixedBody(`{"case":"gen-montage"}`), ""},
+			{"model", "POST", "/v1/model", 15, fixedBody(`{"case":"gen-epigenomics"}`), ""},
+			{"model", "POST", "/v1/model", 10, fixedBody(`{"case":"gen-chain"}`), ""},
+			{"figure", "GET", "/v1/figures/example.svg", 5, nil, ""},
+		}}.normalize(), nil
+	case "stream":
+		return Mix{Name: name, shapes: []shape{
+			{"sweep", "POST", "/v1/sweep", 60, func(seq uint64) string {
+				return fmt.Sprintf(streamSweepSpec, seq)
+			}, ndjson},
+			{"sweep", "POST", "/v1/sweep", 25, fixedBody(fmt.Sprintf(streamSweepSpec, 7)), ndjson},
+			{"model", "POST", "/v1/model", 15, fixedBody(`{"case":"example"}`), ""},
+		}}.normalize(), nil
+	case "eval-heavy":
+		return Mix{Name: name, shapes: []shape{
+			{"sweep", "POST", "/v1/sweep", 90, func(seq uint64) string {
+				return fmt.Sprintf(heavySweepSpec, seq)
+			}, ""},
+			{"sweep", "POST", "/v1/sweep", 10, fixedBody(fmt.Sprintf(heavySweepSpec, 3)), ""},
+		}}.normalize(), nil
+	case "eval-light":
+		// The varying curve_samples keeps most requests cold — cache hits
+		// bypass admission entirely, so a light tenant made of hits would
+		// never exercise the scheduler it is probing — while single-model
+		// evaluations stay milliseconds each.
+		return Mix{Name: name, shapes: []shape{
+			{"model", "POST", "/v1/model", 60, func(seq uint64) string {
+				return fmt.Sprintf(`{"case":"example","curve_samples":%d}`, 64+seq%8192)
+			}, ""},
+			{"model", "POST", "/v1/model", 20, fixedBody(`{"case":"lcls-cori"}`), ""},
+			{"sweep", "POST", "/v1/sweep", 10, fixedBody(fmt.Sprintf(sweepSpec, 7)), ""},
+			{"figure", "GET", "/v1/figures/example.svg", 10, nil, ""},
 		}}.normalize(), nil
 	default:
-		return nil, fmt.Errorf("unknown mix %q (want hit-heavy, miss-heavy, or corpus)", name)
+		return nil, fmt.Errorf("unknown mix %q (want hit-heavy, miss-heavy, corpus, stream, eval-heavy, or eval-light)", name)
 	}
 }
 

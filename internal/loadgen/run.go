@@ -36,6 +36,22 @@ type Options struct {
 	// this aggregate rate regardless of how fast responses return. Zero
 	// selects closed-loop mode.
 	RPS float64
+	// Burst groups open-loop arrivals: every Burst/RPS seconds, Burst
+	// requests fire back to back — the same average rate with bursty
+	// arrivals, the shape that stresses admission control. Zero or one
+	// keeps the evenly paced schedule.
+	Burst int
+	// Tenant stamps this X-Tenant header on every request, attributing the
+	// whole run to one admission-control tenant. Empty leaves the header
+	// off (the server buckets such requests under its default tenant).
+	Tenant string
+	// Tenants switches to multi-tenant mode: each entry drives its own
+	// loop concurrently — its own mix, rate, and burst shape, its requests
+	// stamped with its name — and the report gains a per-tenant table.
+	// This is the fairness probe: a heavy tenant saturating evaluation
+	// slots next to a light one shows whether the light tenant's latency
+	// is protected. Mutually exclusive with Tenant.
+	Tenants []TenantOptions
 	// Timeout bounds each request (default 10s).
 	Timeout time.Duration
 	// Seed makes the request stream reproducible (default 1).
@@ -45,22 +61,56 @@ type Options struct {
 	Client *http.Client
 }
 
+// TenantOptions describes one tenant's share of a multi-tenant run. Zero
+// fields fall back to the top-level option of the same name.
+type TenantOptions struct {
+	// Name is the X-Tenant header value; required and unique per run.
+	Name string
+	// Mix is this tenant's request blend (default: Options.Mix).
+	Mix *Mix
+	// RPS selects open-loop mode for this tenant at this rate; zero drives
+	// it closed-loop.
+	RPS float64
+	// Burst groups this tenant's open-loop arrivals (see Options.Burst).
+	Burst int
+	// Workers is this tenant's concurrency or in-flight cap (default:
+	// Options.Workers).
+	Workers int
+}
+
 // EndpointResult is the per-endpoint (or total) outcome of a run.
 type EndpointResult struct {
 	// Requests counts completed requests; Errors the subset that failed in
-	// transport or returned a status >= 400.
+	// transport or returned a status >= 400 other than 503; Sheds the 503s
+	// — load the server explicitly refused, reported apart from errors
+	// because shedding under saturation is the designed behavior.
 	Requests uint64
 	Errors   uint64
+	Sheds    uint64
 	// RPS is the achieved rate: Requests over the run's elapsed time.
 	RPS float64
 	// P50, P95, and P99 are log-bucket latency estimates (within ~12%);
 	// Max is exact.
 	P50, P95, P99, Max time.Duration
+	// TTFB50 and TTFB99 estimate time to first body byte — for streaming
+	// responses the time-to-first-result, far ahead of the full-body
+	// latency above; for buffered responses the two nearly coincide.
+	TTFB50, TTFB99 time.Duration
+}
+
+// TenantResult is one tenant's slice of a multi-tenant run.
+type TenantResult struct {
+	Name                    string
+	Requests, Errors, Sheds uint64
+	RPS                     float64
+	P50, P99, Max           time.Duration
+	TTFB50                  time.Duration
 }
 
 // Report is the outcome of a run: per-endpoint results plus the aggregate.
 type Report struct {
-	// Mode is "closed" or "open"; Elapsed the measured wall time.
+	// Mode is "closed", "open", or "multi" (per-tenant drivers); Elapsed
+	// the measured wall time.
 	Mode    string
 	Elapsed time.Duration
 	// Endpoints maps "model"/"sweep"/"figure" to results; Total aggregates.
@@ -69,12 +119,29 @@ type Report struct {
 	// Targets holds the per-target skew results of a multi-target run, in
 	// Options.Targets order; nil for single-target runs.
 	Targets []*TargetResult
+	// Tenants holds the per-tenant results of a multi-tenant run, in
+	// Options.Tenants order; nil otherwise.
+	Tenants []*TenantResult
 }
 
-// endpointStats accumulates one endpoint's observations during the run.
+// endpointStats accumulates one endpoint's (or tenant's) observations
+// during the run.
 type endpointStats struct {
 	hist   hist
+	ttfb   hist
 	errors atomic.Uint64
+	sheds  atomic.Uint64
+}
+
+// tenantRun is one tenant's resolved driver configuration plus its stats.
+type tenantRun struct {
+	name    string
+	mix     *Mix
+	rps     float64
+	burst   int
+	workers int
+	seed    int64
+	stats   endpointStats
 }
 
 // runner is the shared state of one load run.
@@ -92,9 +159,6 @@ type runner struct {
 // Run drives the configured load until Duration elapses or ctx is
 // cancelled, then reports achieved RPS and latency percentiles.
 func Run(ctx context.Context, opts Options) (*Report, error) {
-	if opts.Mix == nil {
-		return nil, fmt.Errorf("loadgen: nil mix")
-	}
 	if opts.BaseURL == "" && len(opts.Targets) == 0 {
 		return nil, fmt.Errorf("loadgen: need a base URL or a target list")
 	}
@@ -104,6 +168,9 @@ func Run(ctx context.Context, opts Options) (*Report, error) {
 	if opts.Duration <= 0 {
 		return nil, fmt.Errorf("loadgen: duration must be positive")
 	}
+	if opts.Tenant != "" && len(opts.Tenants) > 0 {
+		return nil, fmt.Errorf("loadgen: Tenant and Tenants are mutually exclusive")
+	}
 	if opts.Workers <= 0 {
 		opts.Workers = 8
 	}
@@ -112,6 +179,10 @@ func Run(ctx context.Context, opts Options) (*Report, error) {
 	}
 	if opts.Seed == 0 {
 		opts.Seed = 1
+	}
+	runs, err := resolveTenants(opts)
+	if err != nil {
+		return nil, err
 	}
 	r := &runner{
 		opts:   opts,
@@ -134,24 +205,37 @@ func Run(ctx context.Context, opts Options) (*Report, error) {
 	if len(opts.Targets) > 0 {
 		r.ring, r.tstats = newTargetRouter(opts.Targets)
 	}
-	for _, sh := range opts.Mix.shapes {
-		if _, ok := r.stats[sh.endpoint]; !ok {
-			r.stats[sh.endpoint] = &endpointStats{}
+	for _, t := range runs {
+		for _, sh := range t.mix.shapes {
+			if _, ok := r.stats[sh.endpoint]; !ok {
+				r.stats[sh.endpoint] = &endpointStats{}
+			}
 		}
 	}
 
 	ctx, cancel := context.WithTimeout(ctx, opts.Duration)
 	defer cancel()
 	start := time.Now()
-	if opts.RPS > 0 {
-		r.openLoop(ctx)
-	} else {
-		r.closedLoop(ctx)
+	var wg sync.WaitGroup
+	for _, t := range runs {
+		wg.Add(1)
+		go func(t *tenantRun) {
+			defer wg.Done()
+			if t.rps > 0 {
+				r.openLoop(ctx, t)
+			} else {
+				r.closedLoop(ctx, t)
+			}
+		}(t)
 	}
+	wg.Wait()
 	elapsed := time.Since(start)
 
 	mode := "closed"
-	if opts.RPS > 0 {
+	switch {
+	case len(opts.Tenants) > 0:
+		mode = "multi"
+	case opts.RPS > 0:
 		mode = "open"
 	}
 	rep := &Report{Mode: mode, Elapsed: elapsed, Endpoints: map[string]*EndpointResult{}}
@@ -162,41 +246,101 @@ func Run(ctx context.Context, opts Options) (*Report, error) {
 	for i, st := range r.tstats {
 		rep.Targets = append(rep.Targets, st.result(opts.Targets[i]))
 	}
+	if len(opts.Tenants) > 0 {
+		for _, t := range runs {
+			res := t.stats.result(elapsed)
+			rep.Tenants = append(rep.Tenants, &TenantResult{
+				Name: t.name, Requests: res.Requests, Errors: res.Errors,
+				Sheds: res.Sheds, RPS: res.RPS, P50: res.P50, P99: res.P99,
+				Max: res.Max, TTFB50: res.TTFB50,
+			})
+		}
+	}
 	return rep, nil
 }
 
-// closedLoop keeps Workers goroutines saturated: each fires its next
+// resolveTenants expands the options into one driver config per tenant —
+// or a single anonymous one in single-tenant mode — applying the top-level
+// fallbacks. Each tenant's request stream gets a distinct derived seed so
+// tenants do not replay each other's cache keys.
+func resolveTenants(opts Options) ([]*tenantRun, error) {
+	if len(opts.Tenants) == 0 {
+		if opts.Mix == nil {
+			return nil, fmt.Errorf("loadgen: nil mix")
+		}
+		return []*tenantRun{{
+			name: opts.Tenant, mix: opts.Mix, rps: opts.RPS,
+			burst: opts.Burst, workers: opts.Workers, seed: opts.Seed,
+		}}, nil
+	}
+	seen := map[string]bool{}
+	runs := make([]*tenantRun, 0, len(opts.Tenants))
+	for i, to := range opts.Tenants {
+		if to.Name == "" {
+			return nil, fmt.Errorf("loadgen: tenant %d has no name", i)
+		}
+		if seen[to.Name] {
+			return nil, fmt.Errorf("loadgen: duplicate tenant %q", to.Name)
+		}
+		seen[to.Name] = true
+		t := &tenantRun{
+			name: to.Name, mix: to.Mix, rps: to.RPS, burst: to.Burst,
+			workers: to.Workers, seed: opts.Seed + int64(i)*9973,
+		}
+		if t.mix == nil {
+			t.mix = opts.Mix
+		}
+		if t.mix == nil {
+			return nil, fmt.Errorf("loadgen: tenant %q has no mix", to.Name)
+		}
+		if t.workers <= 0 {
+			t.workers = opts.Workers
+		}
+		if t.burst <= 0 {
+			t.burst = opts.Burst
+		}
+		runs = append(runs, t)
+	}
+	return runs, nil
+}
+
+// closedLoop keeps a tenant's workers saturated: each fires its next
 // request the moment the previous response lands, so the achieved RPS is
 // the server's capacity at that concurrency.
-func (r *runner) closedLoop(ctx context.Context) {
+func (r *runner) closedLoop(ctx context.Context, t *tenantRun) {
 	var wg sync.WaitGroup
-	for w := 0; w < r.opts.Workers; w++ {
+	for w := 0; w < t.workers; w++ {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
-			rng := rand.New(rand.NewSource(r.opts.Seed + int64(w)))
+			rng := rand.New(rand.NewSource(t.seed + int64(w)))
 			for ctx.Err() == nil {
-				req := r.opts.Mix.pick(rng, r.seq.Add(1)-1)
-				r.do(ctx, req, time.Now())
+				req := t.mix.pick(rng, r.seq.Add(1)-1)
+				r.do(ctx, t, req, time.Now())
 			}
 		}(w)
 	}
 	wg.Wait()
 }
 
-// openLoop fires requests on a fixed schedule — the n-th request at
-// start + n/RPS — independent of response times. Latency is measured from
-// the scheduled fire time, so a stalled server shows up as growing
-// latency (no coordinated omission). Workers bounds the in-flight
-// requests; when the server falls that far behind, the scheduler skips
-// ticks and the shortfall is visible as achieved RPS below the target.
-func (r *runner) openLoop(ctx context.Context) {
-	interval := time.Duration(float64(time.Second) / r.opts.RPS)
+// openLoop fires a tenant's requests on a fixed schedule — the n-th burst
+// of Burst requests at start + n*Burst/RPS — independent of response
+// times. Latency is measured from the scheduled fire time, so a stalled
+// server shows up as growing latency (no coordinated omission). Workers
+// bounds the in-flight requests; when the server falls that far behind,
+// the scheduler skips ticks and the shortfall is visible as achieved RPS
+// below the target.
+func (r *runner) openLoop(ctx context.Context, t *tenantRun) {
+	burst := t.burst
+	if burst < 1 {
+		burst = 1
+	}
+	interval := time.Duration(float64(burst) * float64(time.Second) / t.rps)
 	if interval <= 0 {
 		interval = time.Microsecond
 	}
-	inflight := make(chan struct{}, r.opts.Workers)
-	rng := rand.New(rand.NewSource(r.opts.Seed))
+	inflight := make(chan struct{}, t.workers)
+	rng := rand.New(rand.NewSource(t.seed))
 	var wg sync.WaitGroup
 	start := time.Now()
 	for n := 0; ; n++ {
@@ -210,29 +354,35 @@ func (r *runner) openLoop(ctx context.Context) {
 		if ctx.Err() != nil {
 			break
 		}
-		req := r.opts.Mix.pick(rng, r.seq.Add(1)-1)
-		select {
-		case inflight <- struct{}{}:
-		case <-ctx.Done():
+		for b := 0; b < burst && ctx.Err() == nil; b++ {
+			req := t.mix.pick(rng, r.seq.Add(1)-1)
+			select {
+			case inflight <- struct{}{}:
+			case <-ctx.Done():
+			}
+			if ctx.Err() != nil {
+				break
+			}
+			wg.Add(1)
+			go func(req request, due time.Time) {
+				defer wg.Done()
+				defer func() { <-inflight }()
+				r.do(ctx, t, req, due)
+			}(req, due)
 		}
 		if ctx.Err() != nil {
 			break
 		}
-		wg.Add(1)
-		go func(req request, due time.Time) {
-			defer wg.Done()
-			defer func() { <-inflight }()
-			r.do(ctx, req, due)
-		}(req, due)
 	}
 	wg.Wait()
 }
 
-// do issues one request and records its latency and disposition. In
-// multi-target mode the request first routes through the rendezvous ring
-// to the target owning its content address, and that target's skew
-// counters record the outcome alongside the endpoint histograms.
-func (r *runner) do(ctx context.Context, req request, from time.Time) {
+// do issues one request and records its latency, time to first body byte,
+// and disposition. In multi-target mode the request first routes through
+// the rendezvous ring to the target owning its content address, and that
+// target's skew counters record the outcome alongside the endpoint
+// histograms.
+func (r *runner) do(ctx context.Context, t *tenantRun, req request, from time.Time) {
 	st := r.stats[req.endpoint]
 	base := r.opts.BaseURL
 	var ts *targetStats
@@ -257,13 +407,29 @@ func (r *runner) do(ctx context.Context, req request, from time.Time) {
 	if req.body != "" {
 		hreq.Header.Set("Content-Type", "application/json")
 	}
+	if req.accept != "" {
+		hreq.Header.Set("Accept", req.accept)
+	}
+	if t.name != "" {
+		hreq.Header.Set("X-Tenant", t.name)
+	}
 	resp, err := r.client.Do(hreq)
-	failed := err != nil
+	failed, shed := err != nil, false
 	xcache := ""
+	var ttfb time.Duration
 	if err == nil {
+		// Time to first body byte, measured from the same origin as full
+		// latency: for a streaming response this is the first partial
+		// aggregate; headers alone do not count — they arrive before the
+		// server has produced any result.
+		var fb [1]byte
+		if _, ferr := io.ReadFull(resp.Body, fb[:]); ferr == nil {
+			ttfb = time.Since(from)
+		}
 		_, _ = io.Copy(io.Discard, resp.Body)
 		resp.Body.Close()
-		failed = resp.StatusCode >= 400
+		shed = resp.StatusCode == http.StatusServiceUnavailable
+		failed = resp.StatusCode >= 400 && !shed
 		xcache = resp.Header.Get("X-Cache")
 	}
 	if ctx.Err() != nil && err != nil {
@@ -274,6 +440,12 @@ func (r *runner) do(ctx context.Context, req request, from time.Time) {
 	d := time.Since(from)
 	st.hist.record(d)
 	r.total.hist.record(d)
+	t.stats.hist.record(d)
+	if ttfb > 0 {
+		st.ttfb.record(ttfb)
+		r.total.ttfb.record(ttfb)
+		t.stats.ttfb.record(ttfb)
+	}
 	if ts != nil {
 		ts.requests.Add(1)
 		switch xcache {
@@ -283,9 +455,15 @@ func (r *runner) do(ctx context.Context, req request, from time.Time) {
 			ts.peerFills.Add(1)
 		}
 	}
+	if shed {
+		st.sheds.Add(1)
+		r.total.sheds.Add(1)
+		t.stats.sheds.Add(1)
+	}
 	if failed {
 		st.errors.Add(1)
 		r.total.errors.Add(1)
+		t.stats.errors.Add(1)
 		if ts != nil {
 			ts.errors.Add(1)
 		}
@@ -298,10 +476,13 @@ func (st *endpointStats) result(elapsed time.Duration) *EndpointResult {
 	res := &EndpointResult{
 		Requests: n,
 		Errors:   st.errors.Load(),
+		Sheds:    st.sheds.Load(),
 		P50:      st.hist.quantile(0.50),
 		P95:      st.hist.quantile(0.95),
 		P99:      st.hist.quantile(0.99),
 		Max:      st.hist.maxLatency(),
+		TTFB50:   st.ttfb.quantile(0.50),
+		TTFB99:   st.ttfb.quantile(0.99),
 	}
 	if elapsed > 0 {
 		res.RPS = float64(n) / elapsed.Seconds()
@@ -312,8 +493,8 @@ func (st *endpointStats) result(elapsed time.Duration) *EndpointResult {
 // WriteText renders the report as an aligned table, totals last.
 func (r *Report) WriteText(w io.Writer) {
 	fmt.Fprintf(w, "mode=%s elapsed=%s\n", r.Mode, r.Elapsed.Round(time.Millisecond))
-	fmt.Fprintf(w, "%-10s %10s %8s %10s %10s %10s %10s %10s\n",
-		"endpoint", "requests", "errors", "rps", "p50", "p95", "p99", "max")
+	fmt.Fprintf(w, "%-10s %10s %8s %10s %10s %10s %10s %10s %10s %8s\n",
+		"endpoint", "requests", "errors", "rps", "p50", "p95", "p99", "max", "ttfb50", "sheds")
 	names := make([]string, 0, len(r.Endpoints))
 	for name := range r.Endpoints {
 		names = append(names, name)
@@ -327,12 +508,29 @@ func (r *Report) WriteText(w io.Writer) {
 		fmt.Fprintln(w)
 		writeTargetTable(w, r.Targets)
 	}
+	if len(r.Tenants) > 0 {
+		fmt.Fprintln(w)
+		writeTenantTable(w, r.Tenants)
+	}
 }
 
 func writeResultRow(w io.Writer, name string, res *EndpointResult) {
-	fmt.Fprintf(w, "%-10s %10d %8d %10.1f %10s %10s %10s %10s\n",
+	fmt.Fprintf(w, "%-10s %10d %8d %10.1f %10s %10s %10s %10s %10s %8d\n",
 		name, res.Requests, res.Errors, res.RPS,
-		fmtLatency(res.P50), fmtLatency(res.P95), fmtLatency(res.P99), fmtLatency(res.Max))
+		fmtLatency(res.P50), fmtLatency(res.P95), fmtLatency(res.P99), fmtLatency(res.Max),
+		fmtLatency(res.TTFB50), res.Sheds)
+}
+
+// writeTenantTable renders the per-tenant fairness view of a multi-tenant
+// run: each tenant's achieved rate, sheds, and tail latency side by side.
+func writeTenantTable(w io.Writer, tenants []*TenantResult) {
+	fmt.Fprintf(w, "%-10s %10s %8s %8s %10s %10s %10s %10s %10s\n",
+		"tenant", "requests", "errors", "sheds", "rps", "p50", "p99", "max", "ttfb50")
+	for _, t := range tenants {
+		fmt.Fprintf(w, "%-10s %10d %8d %8d %10.1f %10s %10s %10s %10s\n",
+			t.Name, t.Requests, t.Errors, t.Sheds, t.RPS,
+			fmtLatency(t.P50), fmtLatency(t.P99), fmtLatency(t.Max), fmtLatency(t.TTFB50))
+	}
 }
 
 // fmtLatency renders a duration with millisecond-scale precision.

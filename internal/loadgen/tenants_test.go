@@ -1,0 +1,192 @@
+package loadgen
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestMixStreamShapes checks the streaming and fairness mixes are
+// well-formed: the stream mix carries NDJSON Accept headers on its sweep
+// shapes, and the heavy/light pair differ in evaluation weight.
+func TestMixStreamShapes(t *testing.T) {
+	stream, err := MixByName("stream")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ndjsonShapes := 0
+	for _, sh := range stream.shapes {
+		if sh.weight <= 0 || sh.endpoint == "" || !strings.HasPrefix(sh.path, "/v1/") {
+			t.Errorf("stream: malformed shape %+v", sh)
+		}
+		if sh.accept == "application/x-ndjson" {
+			ndjsonShapes++
+		}
+	}
+	if ndjsonShapes < 2 {
+		t.Errorf("stream mix has %d NDJSON shapes, want >= 2 (fixed + varying sweeps)", ndjsonShapes)
+	}
+
+	for _, name := range []string{"eval-heavy", "eval-light"} {
+		m, err := MixByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, sh := range m.shapes {
+			if sh.weight <= 0 || sh.endpoint == "" {
+				t.Errorf("%s: malformed shape %+v", name, sh)
+			}
+		}
+	}
+	heavy, _ := MixByName("eval-heavy")
+	sweepWeight := func(m *Mix) int {
+		w := 0
+		for _, sh := range m.shapes {
+			if sh.endpoint == "sweep" {
+				w += sh.weight
+			}
+		}
+		return w
+	}
+	light, _ := MixByName("eval-light")
+	if sweepWeight(heavy) <= sweepWeight(light) {
+		t.Errorf("eval-heavy sweep weight %d <= eval-light's %d; the fairness probe needs contrast",
+			sweepWeight(heavy), sweepWeight(light))
+	}
+}
+
+// TestRunMultiTenant drives two tenants concurrently against an in-process
+// server and checks the per-tenant accounting: both appear in the report
+// in option order, with throughput, and with a TTFB estimate that never
+// exceeds the full-body latency.
+func TestRunMultiTenant(t *testing.T) {
+	srv := newTestServer(t)
+	heavy, _ := MixByName("hit-heavy")
+	light, _ := MixByName("hit-heavy")
+	rep, err := Run(context.Background(), Options{
+		BaseURL:  srv.URL,
+		Duration: 400 * time.Millisecond,
+		Workers:  2,
+		Client:   srv.Client(),
+		Tenants: []TenantOptions{
+			{Name: "heavy", Mix: heavy, Workers: 4},
+			{Name: "light", Mix: light, RPS: 50},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Mode != "multi" {
+		t.Errorf("mode = %q, want multi", rep.Mode)
+	}
+	if len(rep.Tenants) != 2 {
+		t.Fatalf("report has %d tenants, want 2", len(rep.Tenants))
+	}
+	if rep.Tenants[0].Name != "heavy" || rep.Tenants[1].Name != "light" {
+		t.Errorf("tenant order = %q, %q; want options order", rep.Tenants[0].Name, rep.Tenants[1].Name)
+	}
+	var sum uint64
+	for _, tn := range rep.Tenants {
+		if tn.Requests == 0 {
+			t.Errorf("tenant %s completed no requests", tn.Name)
+		}
+		if tn.Errors != 0 {
+			t.Errorf("tenant %s: %d errors on hit-heavy mix", tn.Name, tn.Errors)
+		}
+		if tn.TTFB50 <= 0 {
+			t.Errorf("tenant %s: no TTFB recorded", tn.Name)
+		}
+		// Log buckets carry ~12% resolution; TTFB cannot meaningfully
+		// exceed the full-body latency beyond that.
+		if tn.TTFB50 > tn.P50+tn.P50/4 {
+			t.Errorf("tenant %s: ttfb50 %v exceeds p50 %v", tn.Name, tn.TTFB50, tn.P50)
+		}
+		sum += tn.Requests
+	}
+	if sum != rep.Total.Requests {
+		t.Errorf("tenant requests sum to %d, total says %d", sum, rep.Total.Requests)
+	}
+}
+
+// TestRunTenantValidation pins the multi-tenant error paths.
+func TestRunTenantValidation(t *testing.T) {
+	mix, _ := MixByName("hit-heavy")
+	for _, tc := range []struct {
+		name string
+		opts Options
+	}{
+		{"unnamed tenant", Options{BaseURL: "http://x", Duration: time.Second,
+			Tenants: []TenantOptions{{Mix: mix}}}},
+		{"duplicate tenant", Options{BaseURL: "http://x", Duration: time.Second,
+			Tenants: []TenantOptions{{Name: "a", Mix: mix}, {Name: "a", Mix: mix}}}},
+		{"tenant without mix", Options{BaseURL: "http://x", Duration: time.Second,
+			Tenants: []TenantOptions{{Name: "a"}}}},
+		{"tenant and tenants", Options{BaseURL: "http://x", Duration: time.Second, Mix: mix,
+			Tenant: "solo", Tenants: []TenantOptions{{Name: "a", Mix: mix}}}},
+	} {
+		if _, err := Run(context.Background(), tc.opts); err == nil {
+			t.Errorf("%s: Run did not fail", tc.name)
+		}
+	}
+}
+
+// TestRunStreamTTFB checks the headline measurement: against the stream
+// mix, whose sweeps negotiate NDJSON delivery, the recorded TTFB is a
+// small fraction of the full-body latency on the sweep endpoint.
+func TestRunStreamTTFB(t *testing.T) {
+	srv := newTestServer(t)
+	mix, _ := MixByName("stream")
+	rep, err := Run(context.Background(), Options{
+		BaseURL:  srv.URL,
+		Mix:      mix,
+		Duration: 600 * time.Millisecond,
+		Workers:  4,
+		Client:   srv.Client(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sweep := rep.Endpoints["sweep"]
+	if sweep == nil || sweep.Requests == 0 {
+		t.Fatal("stream mix drove no sweep requests")
+	}
+	if sweep.TTFB50 <= 0 {
+		t.Fatal("no TTFB recorded for streamed sweeps")
+	}
+	if sweep.TTFB50 > sweep.P50 {
+		t.Errorf("ttfb50 %v > p50 %v for streamed sweeps; first byte should lead the body",
+			sweep.TTFB50, sweep.P50)
+	}
+}
+
+// TestWriteTextTenantTable checks the rendered report includes the new
+// ttfb and shed columns plus the per-tenant table.
+func TestWriteTextTenantTable(t *testing.T) {
+	rep := &Report{
+		Mode:    "multi",
+		Elapsed: time.Second,
+		Endpoints: map[string]*EndpointResult{
+			"sweep": {Requests: 50, RPS: 50, P50: 10 * time.Millisecond,
+				P95: 20 * time.Millisecond, P99: 30 * time.Millisecond,
+				Max: 40 * time.Millisecond, TTFB50: time.Millisecond, Sheds: 3},
+		},
+		Total: &EndpointResult{Requests: 50, RPS: 50, P50: 10 * time.Millisecond,
+			P95: 20 * time.Millisecond, P99: 30 * time.Millisecond,
+			Max: 40 * time.Millisecond, TTFB50: time.Millisecond, Sheds: 3},
+		Tenants: []*TenantResult{
+			{Name: "heavy", Requests: 30, Sheds: 3, RPS: 30, P50: 15 * time.Millisecond,
+				P99: 30 * time.Millisecond, Max: 40 * time.Millisecond, TTFB50: time.Millisecond},
+			{Name: "light", Requests: 20, RPS: 20, P50: 5 * time.Millisecond,
+				P99: 8 * time.Millisecond, Max: 9 * time.Millisecond, TTFB50: time.Millisecond},
+		},
+	}
+	var sb strings.Builder
+	rep.WriteText(&sb)
+	out := sb.String()
+	for _, want := range []string{"mode=multi", "ttfb50", "sheds", "tenant", "heavy", "light"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q:\n%s", want, out)
+		}
+	}
+}

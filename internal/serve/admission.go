@@ -1,0 +1,273 @@
+package serve
+
+import (
+	"context"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// TenantHeader names the admission principal on a request; absent means the
+// shared "default" tenant. The gate forwards it unchanged so per-tenant
+// fairness holds through the cluster.
+const TenantHeader = "X-Tenant"
+
+// DeadlineHeader carries a client-declared evaluation budget in
+// milliseconds. The effective deadline is min(server Timeout, this value);
+// it bounds both the queue wait and the evaluation, and an evaluation is
+// never started once it has passed.
+const DeadlineHeader = "X-Deadline-Ms"
+
+// admitKind classifies why acquire rejected a request; evaluate maps each
+// kind to its metric counter and problem document.
+type admitKind int
+
+const (
+	// admitTimeout: the request waited in its tenant queue until its
+	// deadline expired without receiving a slot.
+	admitTimeout admitKind = iota
+	// admitQueueFull: the tenant's waiter queue was already at MaxWaiters —
+	// shed immediately rather than growing the backlog.
+	admitQueueFull
+	// admitRateLimited: the tenant's token bucket was empty — shed
+	// immediately with the bucket's refill horizon as the retry hint.
+	admitRateLimited
+)
+
+// admitError reports a rejected admission: its kind and how long the client
+// should back off before retrying.
+type admitError struct {
+	kind       admitKind
+	retryAfter time.Duration
+}
+
+// admission is the weighted-fair evaluation scheduler that replaces the
+// single FIFO slot channel. Evaluation slots (Config.QueueDepth of them)
+// are granted across per-tenant FIFO queues by virtual-time weighted-fair
+// queueing: each grant charges the tenant 1/weight of virtual time, and
+// free slots always go to the queued tenant with the least virtual time —
+// so a tenant of weight 2 gets twice the slots of a weight-1 tenant under
+// contention, and a heavy tenant's backlog cannot starve a light one.
+//
+// Two load-shedding gates run before a request may wait: a per-tenant token
+// bucket (rate/burst; rate 0 disables) rejects sustained overload at
+// arrival, and a per-tenant waiter bound (maxWaiters) caps the backlog.
+// Both reject immediately with a Retry-After hint instead of letting the
+// request consume a doomed queue slot.
+type admission struct {
+	mu         sync.Mutex
+	slots      int // free evaluation slots
+	maxWaiters int
+	rate       float64 // tokens/sec per tenant; 0 = unlimited
+	burst      float64
+	weights    map[string]float64
+	tenants    map[string]*tenant
+	vtime      float64 // virtual time of the most recent grant
+	now        func() time.Time
+}
+
+// tenant is one admission principal: its weight, virtual-time account,
+// waiter queue, and token bucket.
+type tenant struct {
+	name   string
+	weight float64
+	vlast  float64 // virtual finish time of the tenant's latest grant
+	queue  []*waiter
+	tokens float64
+	last   time.Time
+	active int // granted slots not yet released
+}
+
+// waiter is one parked request. granted flips under the admission lock when
+// a release hands the waiter a slot; the waiter that instead observes its
+// context expire uses it to decide whether it must give the slot back.
+type waiter struct {
+	ready   chan struct{}
+	granted bool
+}
+
+// newAdmission builds the scheduler from the resolved config.
+func newAdmission(cfg Config) *admission {
+	weights := make(map[string]float64, len(cfg.TenantWeights))
+	for name, w := range cfg.TenantWeights {
+		if w > 0 {
+			weights[name] = w
+		}
+	}
+	burst := cfg.TenantBurst
+	if burst < 1 {
+		burst = 1
+		if cfg.TenantRate > burst {
+			burst = cfg.TenantRate
+		}
+	}
+	return &admission{
+		slots:      cfg.QueueDepth,
+		maxWaiters: cfg.MaxWaiters,
+		rate:       cfg.TenantRate,
+		burst:      burst,
+		weights:    weights,
+		tenants:    make(map[string]*tenant),
+		now:        time.Now,
+	}
+}
+
+// tenantFor returns (lazily creating) the named tenant's state. Callers
+// hold the lock.
+func (a *admission) tenantFor(name string) *tenant {
+	t := a.tenants[name]
+	if t == nil {
+		w := a.weights[name]
+		if w <= 0 {
+			w = 1
+		}
+		t = &tenant{name: name, weight: w, tokens: a.burst, last: a.now()}
+		a.tenants[name] = t
+	}
+	return t
+}
+
+// refill advances the tenant's token bucket to now. Callers hold the lock.
+func (a *admission) refill(t *tenant) {
+	if a.rate <= 0 {
+		return
+	}
+	now := a.now()
+	t.tokens += a.rate * now.Sub(t.last).Seconds()
+	if t.tokens > a.burst {
+		t.tokens = a.burst
+	}
+	t.last = now
+}
+
+// charge advances the tenant's virtual-time account for one grant. The max
+// with the global virtual time forgives idle periods: a tenant that sat out
+// resumes at the current virtual time rather than cashing in unbounded
+// credit. Callers hold the lock.
+func (a *admission) charge(t *tenant) {
+	if t.vlast < a.vtime {
+		t.vlast = a.vtime
+	}
+	a.vtime = t.vlast
+	t.vlast += 1 / t.weight
+	t.active++
+}
+
+// acquire requests one evaluation slot for the tenant, waiting until ctx
+// expires. On success the returned release must be called exactly once; on
+// rejection the admitError says why and how long to back off.
+func (a *admission) acquire(ctx context.Context, tenantName string) (func(), *admitError) {
+	a.mu.Lock()
+	t := a.tenantFor(tenantName)
+	if a.rate > 0 {
+		a.refill(t)
+		if t.tokens < 1 {
+			retry := time.Duration((1 - t.tokens) / a.rate * float64(time.Second))
+			a.mu.Unlock()
+			return nil, &admitError{kind: admitRateLimited, retryAfter: retry}
+		}
+		t.tokens--
+	}
+	if a.slots > 0 {
+		// Invariant: a free slot implies no waiters anywhere (release hands
+		// slots to waiters before freeing them), so taking it is fair.
+		a.slots--
+		a.charge(t)
+		a.mu.Unlock()
+		return func() { a.release(t) }, nil
+	}
+	if len(t.queue) >= a.maxWaiters {
+		a.mu.Unlock()
+		return nil, &admitError{kind: admitQueueFull}
+	}
+	w := &waiter{ready: make(chan struct{})}
+	t.queue = append(t.queue, w)
+	a.mu.Unlock()
+
+	select {
+	case <-w.ready:
+		return func() { a.release(t) }, nil
+	case <-ctx.Done():
+	}
+	a.mu.Lock()
+	if w.granted {
+		// The grant raced the deadline: the slot is ours, but the request is
+		// dead. Pass the slot on rather than leaking it.
+		a.mu.Unlock()
+		a.release(t)
+		return nil, &admitError{kind: admitTimeout}
+	}
+	for i, q := range t.queue {
+		if q == w {
+			t.queue = append(t.queue[:i], t.queue[i+1:]...)
+			break
+		}
+	}
+	a.mu.Unlock()
+	return nil, &admitError{kind: admitTimeout}
+}
+
+// release returns the tenant's slot: it goes to the queued tenant with the
+// least virtual time if anyone is waiting, otherwise back to the free pool.
+// Idle tenants with default state are dropped so the tenant map stays
+// bounded by the active principal set.
+func (a *admission) release(t *tenant) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	t.active--
+	if t.active == 0 && len(t.queue) == 0 && a.rate <= 0 {
+		delete(a.tenants, t.name)
+	}
+	next := a.minVTimeTenant()
+	if next == nil {
+		a.slots++
+		return
+	}
+	w := next.queue[0]
+	next.queue = next.queue[1:]
+	w.granted = true
+	a.charge(next)
+	close(w.ready)
+}
+
+// minVTimeTenant picks the tenant owed the next slot: the one with waiters
+// whose virtual-time account is smallest, ties broken by name for
+// determinism. Callers hold the lock.
+func (a *admission) minVTimeTenant() *tenant {
+	var best *tenant
+	for _, t := range a.tenants {
+		if len(t.queue) == 0 {
+			continue
+		}
+		if best == nil || t.vlast < best.vlast || (t.vlast == best.vlast && t.name < best.name) {
+			best = t
+		}
+	}
+	return best
+}
+
+// tenantOf extracts the admission principal from a request: the X-Tenant
+// header, defaulting to "default" so unlabelled traffic shares one fair
+// queue.
+func tenantOf(h http.Header) string {
+	if t := h.Get(TenantHeader); t != "" {
+		return t
+	}
+	return "default"
+}
+
+// requestBudget reads the client-declared deadline from DeadlineHeader;
+// zero means none. Malformed or non-positive values are ignored rather than
+// rejected — the header is advisory and the server Timeout still applies.
+func requestBudget(h http.Header) time.Duration {
+	v := h.Get(DeadlineHeader)
+	if v == "" {
+		return 0
+	}
+	ms, err := strconv.ParseInt(v, 10, 64)
+	if err != nil || ms <= 0 {
+		return 0
+	}
+	return time.Duration(ms) * time.Millisecond
+}

@@ -1,0 +1,255 @@
+package serve
+
+import (
+	"context"
+	"net/http"
+	"sync"
+	"testing"
+	"time"
+)
+
+// parkWaiters enqueues one blocked acquire per name (in order) and waits
+// until all of them are parked in their tenant queues. Each waiter, once
+// granted, reports its name on order and immediately releases — so grants
+// cascade one at a time and the order channel records the scheduler's
+// dequeue sequence.
+func parkWaiters(t *testing.T, a *admission, names []string, order chan string) *sync.WaitGroup {
+	t.Helper()
+	var wg sync.WaitGroup
+	for _, name := range names {
+		// Sequential enqueue keeps per-tenant FIFO order deterministic.
+		a.mu.Lock()
+		tn := a.tenantFor(name)
+		w := &waiter{ready: make(chan struct{})}
+		tn.queue = append(tn.queue, w)
+		a.mu.Unlock()
+		wg.Add(1)
+		go func(name string, tn *tenant, w *waiter) {
+			defer wg.Done()
+			<-w.ready
+			order <- name
+			a.release(tn)
+		}(name, tn, w)
+	}
+	return &wg
+}
+
+// TestAdmissionWeightedFairOrder pins the WFQ dequeue sequence: with
+// weights light=2, heavy=1 and both queues backlogged, grants alternate
+// H L L H L L — the light tenant receives exactly twice the slots.
+func TestAdmissionWeightedFairOrder(t *testing.T) {
+	a := newAdmission(Config{
+		QueueDepth: 1, MaxWaiters: 16,
+		TenantWeights: map[string]float64{"light": 2, "heavy": 1},
+	})
+	// Take the only slot so every later acquire parks.
+	release, aerr := a.acquire(context.Background(), "seed")
+	if aerr != nil {
+		t.Fatalf("seed acquire rejected: %+v", aerr)
+	}
+
+	order := make(chan string, 9)
+	wg := parkWaiters(t, a,
+		[]string{"heavy", "heavy", "heavy", "light", "light", "light", "light", "light", "light"},
+		order)
+	release() // starts the cascade: each grant releases into the next
+
+	wg.Wait()
+	close(order)
+	var got []string
+	for name := range order {
+		got = append(got, name)
+	}
+	want := []string{"heavy", "light", "light", "heavy", "light", "light", "heavy", "light", "light"}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("grant order = %v, want %v (weight-2 light gets 2 of every 3 slots)", got, want)
+		}
+	}
+}
+
+// TestAdmissionQueueFullShed checks the backlog bound: with the slot taken
+// and one waiter parked, the next arrival is shed immediately as queue-full
+// rather than deepening the backlog.
+func TestAdmissionQueueFullShed(t *testing.T) {
+	a := newAdmission(Config{QueueDepth: 1, MaxWaiters: 1})
+	release, aerr := a.acquire(context.Background(), "t")
+	if aerr != nil {
+		t.Fatal("first acquire rejected")
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	parked := make(chan struct{})
+	go func() {
+		close(parked)
+		if rel, aerr := a.acquire(ctx, "t"); aerr == nil {
+			rel()
+		}
+	}()
+	<-parked
+	waitForCond(t, func() bool {
+		a.mu.Lock()
+		defer a.mu.Unlock()
+		tn := a.tenants["t"]
+		return tn != nil && len(tn.queue) == 1
+	}, "waiter never parked")
+
+	start := time.Now()
+	if _, aerr := a.acquire(context.Background(), "t"); aerr == nil || aerr.kind != admitQueueFull {
+		t.Fatalf("over-backlog acquire = %+v, want admitQueueFull", aerr)
+	}
+	if time.Since(start) > time.Second {
+		t.Error("queue-full shed was not immediate")
+	}
+	cancel()
+	release()
+}
+
+// TestAdmissionRateShed drives the token bucket on a fake clock: burst
+// admits pass, the next is shed with a refill-horizon Retry-After, and
+// after enough fake time the tenant admits again.
+func TestAdmissionRateShed(t *testing.T) {
+	a := newAdmission(Config{QueueDepth: 4, MaxWaiters: 4, TenantRate: 2, TenantBurst: 2})
+	now := time.Unix(1000, 0)
+	a.now = func() time.Time { return now }
+
+	for i := 0; i < 2; i++ {
+		rel, aerr := a.acquire(context.Background(), "t")
+		if aerr != nil {
+			t.Fatalf("burst acquire %d rejected: %+v", i, aerr)
+		}
+		rel()
+	}
+	_, aerr := a.acquire(context.Background(), "t")
+	if aerr == nil || aerr.kind != admitRateLimited {
+		t.Fatalf("over-rate acquire = %+v, want admitRateLimited", aerr)
+	}
+	// Empty bucket at 2 tokens/sec: one token is 500ms away.
+	if aerr.retryAfter <= 0 || aerr.retryAfter > time.Second {
+		t.Errorf("retryAfter = %v, want ~500ms", aerr.retryAfter)
+	}
+
+	now = now.Add(time.Second) // refills 2 tokens
+	rel, aerr := a.acquire(context.Background(), "t")
+	if aerr != nil {
+		t.Fatalf("post-refill acquire rejected: %+v", aerr)
+	}
+	rel()
+}
+
+// TestAdmissionCancelNoLeak checks that a waiter abandoning the queue
+// neither leaks its queue entry nor wedges the slot.
+func TestAdmissionCancelNoLeak(t *testing.T) {
+	a := newAdmission(Config{QueueDepth: 1, MaxWaiters: 4})
+	release, _ := a.acquire(context.Background(), "t")
+
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan *admitError, 1)
+	go func() {
+		_, aerr := a.acquire(ctx, "t")
+		done <- aerr
+	}()
+	waitForCond(t, func() bool {
+		a.mu.Lock()
+		defer a.mu.Unlock()
+		tn := a.tenants["t"]
+		return tn != nil && len(tn.queue) == 1
+	}, "waiter never parked")
+	cancel()
+	if aerr := <-done; aerr == nil || aerr.kind != admitTimeout {
+		t.Fatalf("cancelled waiter = %+v, want admitTimeout", aerr)
+	}
+	a.mu.Lock()
+	if tn := a.tenants["t"]; tn != nil && len(tn.queue) != 0 {
+		t.Errorf("cancelled waiter left %d queue entries", len(tn.queue))
+	}
+	a.mu.Unlock()
+
+	release()
+	// The slot must be free again: a fresh acquire succeeds immediately.
+	rel, aerr := a.acquire(context.Background(), "t")
+	if aerr != nil {
+		t.Fatalf("post-release acquire rejected: %+v", aerr)
+	}
+	rel()
+	a.mu.Lock()
+	if len(a.tenants) != 0 {
+		t.Errorf("idle tenants not reaped: %d remain", len(a.tenants))
+	}
+	if a.slots != 1 {
+		t.Errorf("slots = %d after all releases, want 1", a.slots)
+	}
+	a.mu.Unlock()
+}
+
+// TestAdmissionGrantRaceReleasesSlot pins the grant/deadline race: a waiter
+// granted at the same instant its context expires must hand the slot back
+// rather than leak it.
+func TestAdmissionGrantRaceReleasesSlot(t *testing.T) {
+	a := newAdmission(Config{QueueDepth: 1, MaxWaiters: 4})
+	release, _ := a.acquire(context.Background(), "t")
+
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan *admitError, 1)
+	go func() {
+		_, aerr := a.acquire(ctx, "t")
+		done <- aerr
+	}()
+	waitForCond(t, func() bool {
+		a.mu.Lock()
+		defer a.mu.Unlock()
+		tn := a.tenants["t"]
+		return tn != nil && len(tn.queue) == 1
+	}, "waiter never parked")
+
+	// Grant and cancel as close together as the test can arrange; whichever
+	// way the race resolves, the slot must end up free.
+	cancel()
+	release()
+	<-done
+	waitForCond(t, func() bool {
+		a.mu.Lock()
+		defer a.mu.Unlock()
+		return a.slots == 1
+	}, "slot leaked after grant/cancel race")
+}
+
+// TestTenantOfAndRequestBudget pins the header parsers.
+func TestTenantOfAndRequestBudget(t *testing.T) {
+	h := http.Header{}
+	if got := tenantOf(h); got != "default" {
+		t.Errorf("tenantOf(empty) = %q, want default", got)
+	}
+	h.Set(TenantHeader, "alice")
+	if got := tenantOf(h); got != "alice" {
+		t.Errorf("tenantOf = %q, want alice", got)
+	}
+	for v, want := range map[string]time.Duration{
+		"":     0,
+		"abc":  0,
+		"-5":   0,
+		"0":    0,
+		"250":  250 * time.Millisecond,
+		"9000": 9 * time.Second,
+	} {
+		h.Set(DeadlineHeader, v)
+		if v == "" {
+			h.Del(DeadlineHeader)
+		}
+		if got := requestBudget(h); got != want {
+			t.Errorf("requestBudget(%q) = %v, want %v", v, got, want)
+		}
+	}
+}
+
+// waitForCond polls cond until true or a 5s deadline.
+func waitForCond(t *testing.T, cond func() bool, msg string) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatal(msg)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}

@@ -49,6 +49,17 @@ type metrics struct {
 
 	queueTimeouts atomic.Uint64
 	evalTimeouts  atomic.Uint64
+
+	// Admission-control and streaming counters (PR 10): requests shed
+	// because a tenant's waiter queue was full, shed by a tenant token
+	// bucket, grants handed back because the deadline had already passed,
+	// streaming responses served, and streams aborted by the client
+	// mid-flight.
+	queueSheds    atomic.Uint64
+	rateSheds     atomic.Uint64
+	deadlineSkips atomic.Uint64
+	streams       atomic.Uint64
+	streamAborts  atomic.Uint64
 }
 
 // endpointStats is the per-route slice of the counters: a request count,
@@ -108,6 +119,17 @@ type Snapshot struct {
 	// of a local evaluation (cluster mode; omitted when zero so the
 	// single-process snapshot shape is unchanged).
 	PeerFills uint64 `json:"peer_fills,omitempty"`
+	// Admission-control and streaming counters, all omitted when zero so
+	// earlier snapshot shapes are unchanged: QueueSheds are immediate
+	// rejections on a full tenant queue, RateSheds token-bucket rejections,
+	// DeadlineSkips slot grants returned unused because the request's
+	// deadline had passed, Streams completed streaming responses, and
+	// StreamAborts streams the client abandoned mid-flight.
+	QueueSheds    uint64 `json:"queue_sheds,omitempty"`
+	RateSheds     uint64 `json:"rate_sheds,omitempty"`
+	DeadlineSkips uint64 `json:"deadline_skips,omitempty"`
+	Streams       uint64 `json:"streams,omitempty"`
+	StreamAborts  uint64 `json:"stream_aborts,omitempty"`
 }
 
 // EndpointSnapshot summarizes one route.
@@ -198,6 +220,11 @@ func (m *metrics) snapshot(cacheEntries int) Snapshot {
 		QueueTimeouts: m.queueTimeouts.Load(),
 		EvalTimeouts:  m.evalTimeouts.Load(),
 		PeerFills:     m.peerFills.Load(),
+		QueueSheds:    m.queueSheds.Load(),
+		RateSheds:     m.rateSheds.Load(),
+		DeadlineSkips: m.deadlineSkips.Load(),
+		Streams:       m.streams.Load(),
+		StreamAborts:  m.streamAborts.Load(),
 	}
 	if total := hits + misses; total > 0 {
 		snap.Cache.HitRatio = float64(hits) / float64(total)

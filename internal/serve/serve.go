@@ -75,10 +75,32 @@ type Config struct {
 	// exactly one shard (strict global LRU).
 	Shards int
 	// QueueDepth bounds concurrent evaluations; requests beyond it wait for
-	// a slot until their timeout (default 4).
+	// a slot until their timeout (default 4). Slots are granted across
+	// per-tenant queues by weighted-fair scheduling — see MaxWaiters,
+	// TenantWeights, TenantRate, and TenantBurst.
 	QueueDepth int
+	// MaxWaiters bounds each tenant's waiter queue (default 64): arrivals
+	// beyond it are shed immediately with 503 + Retry-After instead of
+	// deepening a backlog that cannot drain in time.
+	MaxWaiters int
+	// TenantWeights sets per-tenant weighted-fair shares (X-Tenant header
+	// values; unlisted tenants get weight 1). A weight-2 tenant receives
+	// twice the evaluation slots of a weight-1 tenant under contention.
+	TenantWeights map[string]float64
+	// TenantRate, when positive, enables a token bucket per tenant: each
+	// admission costs one token, refilled at this rate per second up to
+	// TenantBurst (default max(1, TenantRate)). Empty buckets shed with
+	// 503 + a computed Retry-After. Zero disables rate shedding.
+	TenantRate  float64
+	TenantBurst float64
+	// RetryAfterHint is the Retry-After value stamped on queue-full and
+	// queue-timeout sheds, where no better estimate exists (default 1s).
+	// Rate-limit sheds compute their hint from the bucket refill horizon.
+	RetryAfterHint time.Duration
 	// Timeout is the per-request evaluation budget, covering both the queue
-	// wait and the evaluation itself (default 30s).
+	// wait and the evaluation itself (default 30s). A request may declare a
+	// shorter budget via the X-Deadline-Ms header; evaluations are never
+	// started past the effective deadline.
 	Timeout time.Duration
 	// MaxBodyBytes caps request bodies (default 1 MiB).
 	MaxBodyBytes int64
@@ -114,6 +136,12 @@ func (c Config) withDefaults() Config {
 	if c.QueueDepth <= 0 {
 		c.QueueDepth = 4
 	}
+	if c.MaxWaiters <= 0 {
+		c.MaxWaiters = 64
+	}
+	if c.RetryAfterHint <= 0 {
+		c.RetryAfterHint = time.Second
+	}
 	if c.Timeout <= 0 {
 		c.Timeout = 30 * time.Second
 	}
@@ -139,15 +167,17 @@ type Server struct {
 	cache   *shardedLRU[Response]
 	rawKeys *shardedLRU[Key]
 	flight  *flightGroup
-	queue   chan struct{}
+	adm     *admission
 	metrics *metrics
 
-	// errQueueFull and errTooLarge are precomputed error responses for the
-	// two hot rejection paths, rendered once at construction; figureNames
-	// is the figure catalog resolved once.
-	errQueueFull *httpError
-	errTooLarge  *httpError
-	figureNames  []string
+	// Precomputed error responses for the hot rejection paths, rendered
+	// once at construction; figureNames is the figure catalog resolved
+	// once.
+	errQueueFull    *httpError
+	errQueueTimeout *httpError
+	errDeadline     *httpError
+	errTooLarge     *httpError
+	figureNames     []string
 
 	// peerAllowed is the outbound cache-fill allowlist resolved from
 	// Config.Peers; peerClient the client those fills go out on.
@@ -171,8 +201,8 @@ func New(cfg Config) *Server {
 		// it runs larger than the cache it fronts.
 		rawKeys: newShardedLRU[Key](4*cfg.CacheEntries, cfg.Shards),
 		flight:  newFlightGroup(cfg.Shards),
-		queue:   make(chan struct{}, cfg.QueueDepth),
-		metrics: newMetrics("healthz", "metrics", "model", "sweep", "figures", "peer"),
+		adm:     newAdmission(cfg),
+		metrics: newMetrics("healthz", "metrics", "model", "sweep", "sweep_stream", "figures", "peer"),
 	}
 	s.figureNames = figures.Names()
 	if len(cfg.Peers) > 0 {
@@ -185,14 +215,23 @@ func New(cfg Config) *Server {
 			s.peerClient = &http.Client{Timeout: cfg.PeerTimeout}
 		}
 	}
-	s.errQueueFull = precomputedError(http.StatusServiceUnavailable,
-		fmt.Sprintf("evaluation queue full for %v", cfg.Timeout))
+	// The queue-full body names overload, not the timeout: a shed request
+	// never waited out the budget, it was rejected on arrival because the
+	// tenant's backlog was already hopeless. The timeout belongs only in
+	// the queue-timeout body, where it really is the cause.
+	s.errQueueFull = retryableError(http.StatusServiceUnavailable,
+		"evaluation queue full, request shed", cfg.RetryAfterHint)
+	s.errQueueTimeout = retryableError(http.StatusServiceUnavailable,
+		fmt.Sprintf("no evaluation slot became available within %v", cfg.Timeout), cfg.RetryAfterHint)
+	s.errDeadline = precomputedError(http.StatusGatewayTimeout,
+		"deadline expired before evaluation started")
 	s.errTooLarge = precomputedError(http.StatusRequestEntityTooLarge,
 		fmt.Sprintf("request body exceeds %d bytes", cfg.MaxBodyBytes))
 	s.mux.HandleFunc("GET /healthz", s.instrument("healthz", s.handleHealthz))
 	s.mux.HandleFunc("GET /metrics", s.instrument("metrics", s.handleMetrics))
 	s.mux.HandleFunc("POST /v1/model", s.instrument("model", s.handleModel))
 	s.mux.HandleFunc("POST /v1/sweep", s.instrument("sweep", s.handleSweep))
+	s.mux.HandleFunc("POST /v1/sweep/stream", s.instrument("sweep_stream", s.handleSweepStream))
 	s.mux.HandleFunc("GET /v1/figures/{name}", s.instrument("figures", s.handleFigure))
 	s.mux.HandleFunc("GET "+PeerFillPath+"{key}", s.instrument("peer", s.handlePeerFill))
 	return s
@@ -226,11 +265,14 @@ func (s *Server) CacheGeometry() (entries, shards int) {
 }
 
 // httpError carries a status code through the evaluation path; body, when
-// non-nil, is the prerendered problem document.
+// non-nil, is the prerendered problem document, and retryAfter, when
+// positive, becomes a Retry-After header so shed clients know when to come
+// back.
 type httpError struct {
-	status int
-	msg    string
-	body   []byte
+	status     int
+	msg        string
+	body       []byte
+	retryAfter time.Duration
 }
 
 // Error implements error.
@@ -252,6 +294,23 @@ func problemBody(status int, msg string) []byte {
 // static bytes.
 func precomputedError(status int, msg string) *httpError {
 	return &httpError{status: status, msg: msg, body: problemBody(status, msg)}
+}
+
+// retryableError is precomputedError plus a Retry-After hint.
+func retryableError(status int, msg string, retryAfter time.Duration) *httpError {
+	e := precomputedError(status, msg)
+	e.retryAfter = retryAfter
+	return e
+}
+
+// retryAfterSeconds renders a Retry-After duration as whole seconds,
+// rounded up so the client never retries early; the minimum is 1.
+func retryAfterSeconds(d time.Duration) string {
+	secs := int64((d + time.Second - 1) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	return strconv.FormatInt(secs, 10)
 }
 
 // statusClientClosedRequest is the nginx-convention status for a client
@@ -485,13 +544,19 @@ func respond(w http.ResponseWriter, r *http.Request, resp Response, disposition 
 }
 
 // fail writes an error as a JSON problem document, reusing the prerendered
-// body when the error carries one.
+// body when the error carries one and stamping Retry-After when the error
+// names a backoff.
 func fail(w http.ResponseWriter, err error) {
 	status := statusOf(err)
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(status)
+	h := w.Header()
+	h.Set("Content-Type", "application/json")
 	var he *httpError
-	if errors.As(err, &he) && he.body != nil {
+	hasHE := errors.As(err, &he)
+	if hasHE && he.retryAfter > 0 {
+		h.Set("Retry-After", retryAfterSeconds(he.retryAfter))
+	}
+	w.WriteHeader(status)
+	if hasHE && he.body != nil {
 		w.Write(he.body)
 		return
 	}
@@ -540,7 +605,7 @@ func (s *Server) serveCached(w http.ResponseWriter, r *http.Request, key Key, co
 			return resp, nil
 		}
 		s.metrics.cacheMisses.Add(1)
-		resp, err := s.evaluate(compute)
+		resp, err := s.evaluate(r, compute)
 		if err != nil {
 			return Response{}, err
 		}
@@ -558,20 +623,67 @@ func (s *Server) serveCached(w http.ResponseWriter, r *http.Request, key Key, co
 	respond(w, r, resp, disposition)
 }
 
-// evaluate runs compute under the bounded queue and per-request timeout.
-// The evaluation context is detached from any one client: N coalesced
-// requests share the work, so the first client hanging up must not cancel
-// the result the other N-1 are waiting for.
-func (s *Server) evaluate(compute func(ctx context.Context) (Response, error)) (Response, error) {
-	ctx, cancel := context.WithTimeout(context.Background(), s.cfg.Timeout)
-	defer cancel()
-	select {
-	case s.queue <- struct{}{}:
-		defer func() { <-s.queue }()
-	case <-ctx.Done():
-		s.metrics.queueTimeouts.Add(1)
-		return Response{}, s.errQueueFull
+// evalContext derives the evaluation context for the buffered path:
+// detached from any one client — N coalesced requests share the work, so
+// the first client hanging up must not cancel the result the other N-1 are
+// waiting for — but bounded by the effective deadline, the smaller of the
+// server Timeout and the request's declared X-Deadline-Ms budget.
+func (s *Server) evalContext(r *http.Request) (context.Context, context.CancelFunc) {
+	budget := s.cfg.Timeout
+	if d := requestBudget(r.Header); d > 0 && d < budget {
+		budget = d
 	}
+	return context.WithTimeout(context.Background(), budget)
+}
+
+// admit acquires an evaluation slot for the tenant under ctx, translating
+// rejections into their problem documents and metrics. On success the
+// caller owns the returned release; a grant that arrives past the deadline
+// is handed straight back — an evaluation is never started once its
+// deadline has expired.
+func (s *Server) admit(ctx context.Context, tenant string) (func(), error) {
+	release, aerr := s.adm.acquire(ctx, tenant)
+	if aerr != nil {
+		switch aerr.kind {
+		case admitQueueFull:
+			s.metrics.queueSheds.Add(1)
+			return nil, s.errQueueFull
+		case admitRateLimited:
+			s.metrics.rateSheds.Add(1)
+			retry := aerr.retryAfter
+			if retry <= 0 {
+				retry = s.cfg.RetryAfterHint
+			}
+			msg := fmt.Sprintf("tenant %q over admission rate, request shed", tenant)
+			return nil, &httpError{
+				status:     http.StatusServiceUnavailable,
+				msg:        msg,
+				body:       problemBody(http.StatusServiceUnavailable, msg),
+				retryAfter: retry,
+			}
+		default: // admitTimeout
+			s.metrics.queueTimeouts.Add(1)
+			return nil, s.errQueueTimeout
+		}
+	}
+	if ctx.Err() != nil {
+		release()
+		s.metrics.deadlineSkips.Add(1)
+		return nil, s.errDeadline
+	}
+	return release, nil
+}
+
+// evaluate runs compute under the weighted-fair admission scheduler and the
+// effective deadline (see evalContext).
+func (s *Server) evaluate(r *http.Request, compute func(ctx context.Context) (Response, error)) (Response, error) {
+	ctx, cancel := s.evalContext(r)
+	defer cancel()
+	release, err := s.admit(ctx, tenantOf(r.Header))
+	if err != nil {
+		return Response{}, err
+	}
+	defer release()
 	s.metrics.evaluations.Add(1)
 	if s.evalDelay > 0 {
 		time.Sleep(s.evalDelay)
@@ -765,8 +877,14 @@ type SweepResponse struct {
 	Tables []*report.Table `json:"tables"`
 }
 
-// handleSweep runs a wfsweep spec and returns its tables as JSON.
+// handleSweep runs a wfsweep spec and returns its tables as JSON. Requests
+// accepting NDJSON or SSE negotiate onto the streaming path instead —
+// same spec format, same cache, progressive delivery.
 func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
+	if wantsStream(r) {
+		s.handleSweepStream(w, r)
+		return
+	}
 	body, sc, err := s.readBody(r)
 	if err != nil {
 		fail(w, err)

@@ -1,0 +1,124 @@
+package study
+
+import (
+	"context"
+
+	"wroofline/internal/report"
+	"wroofline/internal/sweep"
+)
+
+// Progress is one partial-result snapshot of a running ensemble study: the
+// summary of the first Done trials (a stable, deterministic prefix — see
+// sweep.MapChunksProgress) out of Total. Because the prefix is always
+// trials [0, Done) regardless of worker count or chunk geometry, a given
+// Done value carries the same Summary on every run of the same spec.
+type Progress struct {
+	// Done counts completed prefix trials; Total is the ensemble size.
+	Done  int `json:"done"`
+	Total int `json:"total"`
+	// Summary condenses the makespans of trials [0, Done).
+	Summary sweep.Summary `json:"summary"`
+}
+
+// RunStream executes the spec like Run and additionally invokes emit with
+// partial makespan summaries as the completed-trial frontier advances.
+// Emission is throttled to at most ~64 snapshots per run, calls are serial
+// with strictly increasing Done, and Done < Total always holds — the final
+// aggregate is the returned tables, byte-identical to Run's, not a progress
+// event. Only the ensemble kinds (montecarlo, failures, corpus) stream;
+// grid and survey produce their tables with no intermediate snapshots.
+//
+// emit runs on a sweep worker goroutine while the completion frontier is
+// locked: it must be brief and must not call back into the study.
+func RunStream(ctx context.Context, spec *Spec, emit func(Progress)) ([]*report.Table, error) {
+	switch spec.Kind {
+	case "montecarlo":
+		return runMonteCarlo(ctx, spec, emit)
+	case "grid":
+		return runGrid(ctx, spec)
+	case "survey":
+		return runSurvey(ctx, spec)
+	case "failures":
+		return runFailures(ctx, spec, emit)
+	case "corpus":
+		return runCorpus(ctx, spec, emit)
+	default:
+		return nil, errUnknownKind(spec.Kind)
+	}
+}
+
+// progressThrottle picks which frontier advances become Progress events:
+// the first advance always fires (that is the time-to-first-result), then
+// one event per total/64 further trials, and the completed ensemble never
+// fires (the final tables carry it). Calls arrive serialized under the
+// sweep frontier lock, so no internal locking is needed.
+type progressThrottle struct {
+	total int
+	step  int
+	next  int
+}
+
+func newProgressThrottle(total int) *progressThrottle {
+	step := total / 64
+	if step < 1 {
+		step = 1
+	}
+	return &progressThrottle{total: total, step: step, next: 1}
+}
+
+// take reports whether a snapshot at done trials should be emitted and, if
+// so, advances the next threshold.
+func (t *progressThrottle) take(done int) bool {
+	if done < t.next || done >= t.total {
+		return false
+	}
+	t.next = done + t.step
+	return true
+}
+
+// summaryCap bounds the per-snapshot summarization cost. Summarize sorts
+// its input, so resummarizing the whole prefix at every snapshot would
+// cost O(snapshots * n log n) — for multi-million-trial ensembles that
+// dwarfs the evaluation itself. Beyond the cap the prefix is
+// stride-sampled instead; the stride is a function of done alone, so a
+// given Done still carries the same Summary at any worker count or chunk
+// geometry, and the final tables are computed from the full result set as
+// ever.
+const summaryCap = 65536
+
+// progressFn adapts a study emit callback to the sweep.MapChunksProgress
+// shape for a result type whose makespan value projects out: it throttles,
+// summarizes the stable prefix (stride-sampled past summaryCap, with
+// Summary.N reporting the full prefix size it estimates), and forwards
+// the snapshot. A nil emit yields a nil callback, turning the progress
+// path off entirely.
+func progressFn[T any](total int, emit func(Progress), value func(T) float64) func(done int, prefix []T) {
+	if emit == nil {
+		return nil
+	}
+	th := newProgressThrottle(total)
+	bufCap := total
+	if bufCap > summaryCap+1 {
+		bufCap = summaryCap + 1
+	}
+	buf := make([]float64, 0, bufCap)
+	return func(done int, prefix []T) {
+		if !th.take(done) {
+			return
+		}
+		stride := 1
+		if done > summaryCap {
+			stride = (done + summaryCap - 1) / summaryCap
+		}
+		buf = buf[:0]
+		for i := 0; i < len(prefix); i += stride {
+			buf = append(buf, value(prefix[i]))
+		}
+		s, err := sweep.Summarize(buf)
+		if err != nil {
+			return
+		}
+		s.N = done
+		emit(Progress{Done: done, Total: total, Summary: s})
+	}
+}

@@ -1,0 +1,142 @@
+package study
+
+import (
+	"context"
+	"testing"
+
+	"wroofline/internal/failure"
+	"wroofline/internal/wfgen"
+)
+
+// streamSpecs covers every streaming study kind with an ensemble large
+// enough that the throttle emits several snapshots.
+func streamSpecs() map[string]*Spec {
+	return map[string]*Spec{
+		"montecarlo": {
+			Kind: "montecarlo", Case: "lcls-cori", Trials: 192, Seed: 9,
+			Workers: 4, Batch: 16,
+			Sampler: &SamplerSpec{Model: "twostate", Base: "1 GB/s",
+				Degraded: "0.2 GB/s", PBad: 0.4},
+		},
+		"failures": {
+			Kind: "failures", Case: "lcls-cori", Trials: 96, Seed: 7,
+			Workers: 4, Batch: 8,
+			Failure: &failure.Spec{
+				TaskFailProb: 0.05,
+				RestageRate:  "1 GB/s",
+				Retry:        &failure.RetrySpec{MaxAttempts: 5, BackoffSeconds: 1, BackoffFactor: 2},
+			},
+		},
+		"corpus": {
+			Kind: "corpus", Machine: "perlmutter-numa", Count: 80, Seed: 11,
+			Workers: 4, Batch: 8,
+			Template: &wfgen.Spec{Width: 5, Depth: 3, CV: 0.4, Payload: "512 MB"},
+		},
+	}
+}
+
+// TestRunStreamDifferential is the byte-identity contract behind streaming
+// delivery: for every ensemble kind, RunStream's final tables render to
+// exactly the bytes Run produces, and the progress snapshots are strictly
+// increasing prefixes that never reach the total (the final aggregate is
+// the tables, not an event).
+func TestRunStreamDifferential(t *testing.T) {
+	for kind, spec := range streamSpecs() {
+		t.Run(kind, func(t *testing.T) {
+			want, err := Run(context.Background(), spec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var events []Progress
+			got, err := RunStream(context.Background(), spec, func(p Progress) {
+				events = append(events, p)
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if a, b := renderTables(t, got), renderTables(t, want); a != b {
+				t.Fatalf("streamed tables differ from buffered:\n%s\nvs\n%s", a, b)
+			}
+			if len(events) == 0 {
+				t.Fatal("no progress events for a multi-chunk ensemble")
+			}
+			total := spec.Trials
+			if spec.Kind == "corpus" {
+				total = spec.Count
+			}
+			for i, p := range events {
+				if p.Total != total {
+					t.Errorf("event %d: total = %d, want %d", i, p.Total, total)
+				}
+				if p.Done <= 0 || p.Done >= total {
+					t.Errorf("event %d: done = %d, want in (0, %d)", i, p.Done, total)
+				}
+				if i > 0 && p.Done <= events[i-1].Done {
+					t.Errorf("done not strictly increasing: %d then %d", events[i-1].Done, p.Done)
+				}
+				if p.Summary.N != p.Done {
+					t.Errorf("event %d: summary over %d samples, done = %d", i, p.Summary.N, p.Done)
+				}
+				if p.Summary.Min > p.Summary.P50 || p.Summary.P50 > p.Summary.P99 || p.Summary.P99 > p.Summary.Max {
+					t.Errorf("event %d: summary not ordered: %+v", i, p.Summary)
+				}
+			}
+		})
+	}
+}
+
+// TestRunStreamPrefixDeterminism pins the property that makes snapshots
+// meaningful: because the prefix is always trials [0, done) under
+// deterministic per-trial seeding, the same Done value carries the same
+// Summary at any worker count or batch geometry.
+func TestRunStreamPrefixDeterminism(t *testing.T) {
+	collect := func(workers, batch int) map[int]Progress {
+		spec := streamSpecs()["montecarlo"]
+		spec.Workers, spec.Batch = workers, batch
+		byDone := map[int]Progress{}
+		if _, err := RunStream(context.Background(), spec, func(p Progress) {
+			byDone[p.Done] = p
+		}); err != nil {
+			t.Fatal(err)
+		}
+		return byDone
+	}
+	a, b := collect(1, 16), collect(8, 16)
+	common := 0
+	for done, pa := range a {
+		pb, ok := b[done]
+		if !ok {
+			continue
+		}
+		common++
+		if pa.Summary != pb.Summary {
+			t.Errorf("done=%d: summary differs across worker counts:\n%+v\nvs\n%+v",
+				done, pa.Summary, pb.Summary)
+		}
+	}
+	if common == 0 {
+		t.Fatal("no common Done values across worker counts; cannot compare")
+	}
+}
+
+// TestRunStreamNonEnsembleKinds checks grid and survey run through
+// RunStream without emitting (they have no trial frontier) and unknown
+// kinds still fail.
+func TestRunStreamNonEnsembleKinds(t *testing.T) {
+	spec := &Spec{Kind: "grid", Case: "lcls-cori", P: 0.5,
+		WallFactors: []float64{1, 2}}
+	calls := 0
+	tables, err := RunStream(context.Background(), spec, func(Progress) { calls++ })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tables) == 0 {
+		t.Error("grid produced no tables")
+	}
+	if calls != 0 {
+		t.Errorf("grid emitted %d progress events, want 0", calls)
+	}
+	if _, err := RunStream(context.Background(), &Spec{Kind: "quantum"}, nil); err == nil {
+		t.Error("unknown kind accepted")
+	}
+}

@@ -150,22 +150,16 @@ func (s *Spec) Canonical() ([]byte, error) {
 	return json.Marshal(&c)
 }
 
-// Run executes the spec and returns the report tables in print order.
+// Run executes the spec and returns the report tables in print order. It is
+// RunStream without progress snapshots — both paths share one runner per
+// kind, which is what keeps streamed final results byte-identical to
+// buffered ones.
 func Run(ctx context.Context, spec *Spec) ([]*report.Table, error) {
-	switch spec.Kind {
-	case "montecarlo":
-		return runMonteCarlo(ctx, spec)
-	case "grid":
-		return runGrid(ctx, spec)
-	case "survey":
-		return runSurvey(ctx, spec)
-	case "failures":
-		return runFailures(ctx, spec)
-	case "corpus":
-		return runCorpus(ctx, spec)
-	default:
-		return nil, fmt.Errorf("unknown spec kind %q (want montecarlo, grid, survey, failures, or corpus)", spec.Kind)
-	}
+	return RunStream(ctx, spec, nil)
+}
+
+func errUnknownKind(kind string) error {
+	return fmt.Errorf("unknown spec kind %q (want montecarlo, grid, survey, failures, or corpus)", kind)
 }
 
 // sampler builds the contention sampler from the spec.
@@ -195,8 +189,9 @@ func (s *SamplerSpec) sampler() (contention.Sampler, error) {
 
 // runMonteCarlo fans the day trials over the pool: each trial draws a
 // per-stream rate and simulates the case study with the external path set to
-// Streams flows at that rate.
-func runMonteCarlo(ctx context.Context, spec *Spec) ([]*report.Table, error) {
+// Streams flows at that rate. A non-nil emit receives throttled partial
+// summaries as the day frontier advances (see RunStream).
+func runMonteCarlo(ctx context.Context, spec *Spec, emit func(Progress)) ([]*report.Table, error) {
 	if spec.Trials <= 0 {
 		return nil, fmt.Errorf("montecarlo spec needs positive trials, got %d", spec.Trials)
 	}
@@ -223,7 +218,7 @@ func runMonteCarlo(ctx context.Context, spec *Spec) ([]*report.Table, error) {
 	// repeated day rates (a two-state sampler yields two distinct trials per
 	// batch). Day seeding is chunk-independent, so the distribution is
 	// bit-identical to the per-trial path at any worker count or batch size.
-	d, err := contention.MonteCarloEnsembleBatch(ctx, spec.Trials, spec.Seed, spec.Workers, spec.Batch, s,
+	d, err := contention.MonteCarloEnsembleBatchProgress(ctx, spec.Trials, spec.Seed, spec.Workers, spec.Batch, s,
 		func(days []units.ByteRate, out []float64) error {
 			trials := make([]sim.Trial, len(days))
 			for i, rate := range days {
@@ -243,7 +238,8 @@ func runMonteCarlo(ctx context.Context, spec *Spec) ([]*report.Table, error) {
 				out[i] = br.Makespan
 			}
 			return nil
-		})
+		},
+		progressFn(spec.Trials, emit, func(v float64) float64 { return v }))
 	if err != nil {
 		return nil, err
 	}
@@ -282,8 +278,9 @@ type failureTrial struct {
 // runFailures simulates the case Trials times under the failure model, each
 // trial with an independent fault sequence seeded from (Seed, trial), and
 // reports the makespan/TPS degradation distribution, the retry-count
-// distribution, and the histogram of which phase the retries hammered.
-func runFailures(ctx context.Context, spec *Spec) ([]*report.Table, error) {
+// distribution, and the histogram of which phase the retries hammered. A
+// non-nil emit receives throttled partial makespan summaries.
+func runFailures(ctx context.Context, spec *Spec, emit func(Progress)) ([]*report.Table, error) {
 	if spec.Trials <= 0 {
 		return nil, fmt.Errorf("failures spec needs positive trials, got %d", spec.Trials)
 	}
@@ -312,7 +309,7 @@ func runFailures(ctx context.Context, spec *Spec) ([]*report.Table, error) {
 	// no per-trial Recorder or Result maps. Each trial still carries its own
 	// fault model seeded from (Seed, trial) — chunk geometry never touches
 	// the random streams, so outcomes match the per-trial path bit for bit.
-	trials, err := sweep.MapChunks(ctx, spec.Trials, spec.Workers, spec.Batch,
+	trials, err := sweep.MapChunksProgress(ctx, spec.Trials, spec.Workers, spec.Batch,
 		func(ctx context.Context, lo, hi int, out []failureTrial) error {
 			st := make([]sim.Trial, hi-lo)
 			for i := range st {
@@ -336,7 +333,8 @@ func runFailures(ctx context.Context, spec *Spec) ([]*report.Table, error) {
 				}
 			}
 			return nil
-		})
+		},
+		progressFn(spec.Trials, emit, func(t failureTrial) float64 { return t.makespan }))
 	if err != nil {
 		return nil, err
 	}
@@ -536,9 +534,11 @@ type corpusScenario struct {
 // runCorpus generates Count scenarios from the wfgen template, cycling
 // through the topology families and seeding scenario i from (Seed, i), then
 // analyzes (roofline bound at the wall) and simulates (makespan) each on the
-// spec machine. The fan-out runs over the sweep pool, so the tables are
-// byte-identical at any worker count.
-func runCorpus(ctx context.Context, spec *Spec) ([]*report.Table, error) {
+// spec machine. The fan-out runs over the sweep pool in chunks — scenario
+// seeding ignores the chunk geometry — so the tables are byte-identical at
+// any worker count and batch size; a non-nil emit receives throttled
+// partial makespan summaries as the scenario frontier advances.
+func runCorpus(ctx context.Context, spec *Spec, emit func(Progress)) ([]*report.Table, error) {
 	if spec.Count <= 0 {
 		return nil, fmt.Errorf("corpus spec needs positive count, got %d", spec.Count)
 	}
@@ -563,42 +563,47 @@ func runCorpus(ctx context.Context, spec *Spec) ([]*report.Table, error) {
 			return nil, err
 		}
 	}
-	scenarios, err := sweep.Map(ctx, spec.Count, spec.Workers,
-		func(ctx context.Context, i int) (corpusScenario, error) {
-			s := tmpl
-			s.Family = families[i%len(families)]
-			s.Seed = sweep.TrialSeed(spec.Seed, i)
-			wf, err := wfgen.Generate(&s)
-			if err != nil {
-				return corpusScenario{}, fmt.Errorf("scenario %d: %w", i, err)
+	scenarios, err := sweep.MapChunksProgress(ctx, spec.Count, spec.Workers, spec.Batch,
+		func(ctx context.Context, lo, hi int, out []corpusScenario) error {
+			for j := range out {
+				i := lo + j
+				s := tmpl
+				s.Family = families[i%len(families)]
+				s.Seed = sweep.TrialSeed(spec.Seed, i)
+				wf, err := wfgen.Generate(&s)
+				if err != nil {
+					return fmt.Errorf("scenario %d: %w", i, err)
+				}
+				model, err := core.Build(m, wf, core.BuildOptions{})
+				if err != nil {
+					return fmt.Errorf("scenario %d (%s): %w", i, s.Family, err)
+				}
+				bound, limit := model.BoundAtWall()
+				// Compile + RunScalar instead of sim.Run: the corpus only needs
+				// the makespan, and contention-free scenarios resolve through the
+				// plan's analytic longest-path pass without an event loop.
+				plan, err := sim.Compile(wf, nil, sim.Config{Machine: m})
+				if err != nil {
+					return fmt.Errorf("scenario %d (%s): %w", i, s.Family, err)
+				}
+				br, err := plan.RunScalar(sim.Trial{})
+				if err != nil {
+					return fmt.Errorf("scenario %d (%s): %w", i, s.Family, err)
+				}
+				out[j] = corpusScenario{
+					family: s.Family,
+					tasks:  wf.TotalTasks(),
+					// Bin the histogram on the limiting resource, not the full
+					// ceiling name: names embed per-scenario volumes, so each
+					// would be its own bin.
+					boundTPS: bound,
+					limiting: limit.Resource.String(),
+					makespan: br.Makespan,
+				}
 			}
-			model, err := core.Build(m, wf, core.BuildOptions{})
-			if err != nil {
-				return corpusScenario{}, fmt.Errorf("scenario %d (%s): %w", i, s.Family, err)
-			}
-			bound, limit := model.BoundAtWall()
-			// Compile + RunScalar instead of sim.Run: the corpus only needs
-			// the makespan, and contention-free scenarios resolve through the
-			// plan's analytic longest-path pass without an event loop.
-			plan, err := sim.Compile(wf, nil, sim.Config{Machine: m})
-			if err != nil {
-				return corpusScenario{}, fmt.Errorf("scenario %d (%s): %w", i, s.Family, err)
-			}
-			br, err := plan.RunScalar(sim.Trial{})
-			if err != nil {
-				return corpusScenario{}, fmt.Errorf("scenario %d (%s): %w", i, s.Family, err)
-			}
-			return corpusScenario{
-				family: s.Family,
-				tasks:  wf.TotalTasks(),
-				// Bin the histogram on the limiting resource, not the full
-				// ceiling name: names embed per-scenario volumes, so each
-				// would be its own bin.
-				boundTPS: bound,
-				limiting: limit.Resource.String(),
-				makespan: br.Makespan,
-			}, nil
-		})
+			return nil
+		},
+		progressFn(spec.Count, emit, func(c corpusScenario) float64 { return c.makespan }))
 	if err != nil {
 		return nil, err
 	}

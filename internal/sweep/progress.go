@@ -1,0 +1,175 @@
+package sweep
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// MapChunksProgress is MapChunks plus a completion-frontier callback:
+// whenever the contiguous prefix of completed trials advances, progress is
+// invoked with the new prefix length and the stable prefix of the result
+// slice. Calls are serialized and done is strictly increasing, finishing
+// with progress(n, out) once the last chunk lands. The prefix is safe to
+// read without synchronization — every trial below the frontier has been
+// fully written and no worker will touch it again — but it aliases the
+// final result slice, so callers must not mutate it and must copy anything
+// they keep past the callback.
+//
+// The callback runs on a worker goroutine while the frontier lock is held:
+// keep it short (snapshot a prefix, notify a channel) and never call back
+// into the sweep from inside it. A nil progress makes this exactly
+// MapChunks.
+func MapChunksProgress[T any](ctx context.Context, n, workers, chunk int, fn func(ctx context.Context, lo, hi int, out []T) error, progress func(done int, prefix []T)) ([]T, error) {
+	if n < 0 {
+		return nil, fmt.Errorf("sweep: trial count must be non-negative, got %d", n)
+	}
+	if fn == nil {
+		return nil, fmt.Errorf("sweep: nil chunk function")
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if n == 0 {
+		return []T{}, nil
+	}
+	workers = Workers(workers)
+	chunk = ChunkSize(n, workers, chunk)
+	nchunks := (n + chunk - 1) / chunk
+	if workers > nchunks {
+		workers = nchunks
+	}
+
+	runCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	out := make([]T, n)
+	var (
+		next    atomic.Int64
+		mu      sync.Mutex
+		errLo   = -1
+		errHi   = -1
+		firstEr error
+		wg      sync.WaitGroup
+		fr      *frontier
+	)
+	var emit func(done int)
+	if progress != nil {
+		fr = &frontier{done: make([]bool, nchunks), chunk: chunk, n: n}
+		emit = func(done int) { progress(done, out[:done]) }
+	}
+	next.Store(-1)
+	fail := func(lo, hi int, err error) {
+		mu.Lock()
+		if firstEr == nil || lo < errLo {
+			errLo, errHi, firstEr = lo, hi, err
+		}
+		mu.Unlock()
+		cancel()
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				c := int(next.Add(1))
+				if c >= nchunks || runCtx.Err() != nil {
+					return
+				}
+				lo := c * chunk
+				hi := lo + chunk
+				if hi > n {
+					hi = n
+				}
+				if err := fn(runCtx, lo, hi, out[lo:hi]); err != nil {
+					fail(lo, hi, err)
+					return
+				}
+				if fr != nil {
+					fr.complete(c, emit)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if firstEr != nil {
+		return nil, fmt.Errorf("sweep: trials [%d,%d): %w", errLo, errHi, firstEr)
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("sweep: cancelled: %w", err)
+	}
+	return out, nil
+}
+
+// frontier tracks which chunks have completed and where the contiguous
+// completed prefix ends. Completion order is arbitrary (workers race), but
+// the frontier only ever advances, so progress callbacks see strictly
+// increasing trial counts.
+type frontier struct {
+	mu    sync.Mutex
+	done  []bool
+	next  int // first chunk not yet complete
+	chunk int
+	n     int
+}
+
+// complete marks chunk c done and, if the prefix advanced, reports the new
+// trial frontier. The callback runs under the lock — that is what makes
+// calls serial and monotonic.
+func (f *frontier) complete(c int, progress func(done int)) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.done[c] = true
+	advanced := false
+	for f.next < len(f.done) && f.done[f.next] {
+		f.next++
+		advanced = true
+	}
+	if !advanced {
+		return
+	}
+	trials := f.next * f.chunk
+	if trials > f.n {
+		trials = f.n
+	}
+	progress(trials)
+}
+
+// Summarize condenses a completed sample slice into a Summary using the
+// same fixed-order arithmetic as Agg.Summary: mean summed in index order,
+// quantiles interpolated over a sorted copy. It exists so streaming callers
+// can summarize a stable prefix (samples[:done] from MapChunksProgress)
+// without building an Agg per snapshot.
+func Summarize(samples []float64) (Summary, error) {
+	if len(samples) == 0 {
+		return Summary{}, fmt.Errorf("sweep: summary of empty ensemble")
+	}
+	sum := 0.0
+	for _, v := range samples {
+		sum += v
+	}
+	sorted := make([]float64, len(samples))
+	copy(sorted, samples)
+	sort.Float64s(sorted)
+	// sort.Float64s treats NaN as less than everything, so any NaN in the
+	// ensemble is at the front after sorting.
+	if math.IsNaN(sorted[0]) {
+		return Summary{}, fmt.Errorf("sweep: summary of ensemble containing NaN")
+	}
+	s := Summary{
+		N:    len(samples),
+		Min:  sorted[0],
+		Max:  sorted[len(sorted)-1],
+		Mean: sum / float64(len(samples)),
+		P50:  quantile(sorted, 50),
+		P90:  quantile(sorted, 90),
+		P99:  quantile(sorted, 99),
+	}
+	if s.P50 != 0 {
+		s.TailRatio = s.P99 / s.P50
+	}
+	return s, nil
+}

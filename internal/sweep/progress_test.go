@@ -1,0 +1,152 @@
+package sweep
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"testing"
+)
+
+// fillIdentity is the chunk body used across these tests: out[j] = lo+j,
+// so any prefix is checkable by value.
+func fillIdentity(_ context.Context, lo, hi int, out []int) error {
+	for j := range out {
+		out[j] = lo + j
+	}
+	return nil
+}
+
+// TestMapChunksProgressFrontier pins the progress contract across chunk
+// geometries: done is strictly increasing, advances land on chunk
+// boundaries (or n), the prefix below the frontier is fully written, and
+// the final call reports the whole ensemble.
+func TestMapChunksProgressFrontier(t *testing.T) {
+	for _, tc := range []struct{ n, workers, chunk int }{
+		{100, 4, 7},
+		{100, 1, 100},
+		{64, 8, 1},
+		{1, 4, 32},
+	} {
+		t.Run(fmt.Sprintf("n=%d w=%d c=%d", tc.n, tc.workers, tc.chunk), func(t *testing.T) {
+			var dones []int
+			out, err := MapChunksProgress(context.Background(), tc.n, tc.workers, tc.chunk,
+				fillIdentity, func(done int, prefix []int) {
+					if len(prefix) != done {
+						t.Errorf("prefix length %d != done %d", len(prefix), done)
+					}
+					for i, v := range prefix {
+						if v != i {
+							t.Fatalf("prefix[%d] = %d below the frontier (done=%d)", i, v, done)
+						}
+					}
+					dones = append(dones, done)
+				})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(out) != tc.n {
+				t.Fatalf("result length %d, want %d", len(out), tc.n)
+			}
+			if len(dones) == 0 {
+				t.Fatal("no progress calls")
+			}
+			for i := 1; i < len(dones); i++ {
+				if dones[i] <= dones[i-1] {
+					t.Fatalf("done not strictly increasing: %v", dones)
+				}
+			}
+			for _, d := range dones {
+				if d%tc.chunk != 0 && d != tc.n {
+					t.Errorf("done=%d is neither a chunk boundary (chunk=%d) nor n=%d", d, tc.chunk, tc.n)
+				}
+			}
+			if last := dones[len(dones)-1]; last != tc.n {
+				t.Errorf("final progress done = %d, want %d", last, tc.n)
+			}
+		})
+	}
+}
+
+// TestMapChunksProgressMatchesMapChunks is the byte-identity root: the
+// progress variant returns exactly what MapChunks returns for the same
+// seeded function, at several worker counts and chunk sizes.
+func TestMapChunksProgressMatchesMapChunks(t *testing.T) {
+	fn := func(_ context.Context, lo, hi int, out []float64) error {
+		for j := range out {
+			out[j] = float64(TrialSeed(42, lo+j) % 1000)
+		}
+		return nil
+	}
+	want, err := MapChunks(context.Background(), 200, 1, 16, fn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range []struct{ workers, chunk int }{{4, 7}, {8, 33}, {2, 200}} {
+		got, err := MapChunksProgress(context.Background(), 200, tc.workers, tc.chunk, fn,
+			func(int, []float64) {})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("workers=%d chunk=%d: trial %d = %v, want %v",
+					tc.workers, tc.chunk, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestMapChunksProgressError checks a failing chunk surfaces its error and
+// the frontier never reports past the failure.
+func TestMapChunksProgressError(t *testing.T) {
+	maxDone := 0
+	_, err := MapChunksProgress(context.Background(), 100, 4, 10,
+		func(_ context.Context, lo, hi int, out []int) error {
+			if lo >= 50 {
+				return fmt.Errorf("boom at %d", lo)
+			}
+			return fillIdentity(nil, lo, hi, out)
+		},
+		func(done int, _ []int) {
+			if done > maxDone {
+				maxDone = done
+			}
+		})
+	if err == nil {
+		t.Fatal("failing chunk did not surface an error")
+	}
+	if maxDone > 50 {
+		t.Errorf("frontier advanced to %d past the failing chunk at 50", maxDone)
+	}
+}
+
+// TestSummarize pins the prefix-summary helper: quantiles from a known
+// distribution, the empty error, and NaN detection.
+func TestSummarize(t *testing.T) {
+	samples := make([]float64, 100)
+	for i := range samples {
+		samples[i] = float64(99 - i) // reversed, so sorting matters
+	}
+	s, err := Summarize(samples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.N != 100 || s.Min != 0 || s.Max != 99 {
+		t.Errorf("n/min/max = %d/%v/%v, want 100/0/99", s.N, s.Min, s.Max)
+	}
+	if s.Mean != 49.5 {
+		t.Errorf("mean = %v, want 49.5", s.Mean)
+	}
+	if s.P50 < 45 || s.P50 > 55 || s.P99 < 95 {
+		t.Errorf("quantiles off: p50=%v p99=%v", s.P50, s.P99)
+	}
+	if s.TailRatio <= 1 {
+		t.Errorf("tail ratio = %v, want > 1 for a spread distribution", s.TailRatio)
+	}
+	if _, err := Summarize(nil); err == nil {
+		t.Error("empty sample set accepted")
+	}
+	if _, err := Summarize([]float64{1, math.NaN()}); err == nil {
+		t.Error("NaN sample accepted")
+	}
+}

@@ -156,76 +156,11 @@ func ChunkSize(n, workers, requested int) int {
 // The first chunk error cancels the remaining chunks and is returned wrapped
 // with the chunk's trial range; concurrent failures resolve to the
 // lowest-indexed chunk, keeping failure reports deterministic.
+//
+// MapChunks is MapChunksProgress without a frontier callback; see that
+// variant for streaming partial results.
 func MapChunks[T any](ctx context.Context, n, workers, chunk int, fn func(ctx context.Context, lo, hi int, out []T) error) ([]T, error) {
-	if n < 0 {
-		return nil, fmt.Errorf("sweep: trial count must be non-negative, got %d", n)
-	}
-	if fn == nil {
-		return nil, fmt.Errorf("sweep: nil chunk function")
-	}
-	if ctx == nil {
-		ctx = context.Background()
-	}
-	if n == 0 {
-		return []T{}, nil
-	}
-	workers = Workers(workers)
-	chunk = ChunkSize(n, workers, chunk)
-	nchunks := (n + chunk - 1) / chunk
-	if workers > nchunks {
-		workers = nchunks
-	}
-
-	runCtx, cancel := context.WithCancel(ctx)
-	defer cancel()
-
-	out := make([]T, n)
-	var (
-		next    atomic.Int64
-		mu      sync.Mutex
-		errLo   = -1
-		errHi   = -1
-		firstEr error
-		wg      sync.WaitGroup
-	)
-	next.Store(-1)
-	fail := func(lo, hi int, err error) {
-		mu.Lock()
-		if firstEr == nil || lo < errLo {
-			errLo, errHi, firstEr = lo, hi, err
-		}
-		mu.Unlock()
-		cancel()
-	}
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for {
-				c := int(next.Add(1))
-				if c >= nchunks || runCtx.Err() != nil {
-					return
-				}
-				lo := c * chunk
-				hi := lo + chunk
-				if hi > n {
-					hi = n
-				}
-				if err := fn(runCtx, lo, hi, out[lo:hi]); err != nil {
-					fail(lo, hi, err)
-					return
-				}
-			}
-		}()
-	}
-	wg.Wait()
-	if firstEr != nil {
-		return nil, fmt.Errorf("sweep: trials [%d,%d): %w", errLo, errHi, firstEr)
-	}
-	if err := ctx.Err(); err != nil {
-		return nil, fmt.Errorf("sweep: cancelled: %w", err)
-	}
-	return out, nil
+	return MapChunksProgress(ctx, n, workers, chunk, fn, nil)
 }
 
 // GridSize returns the cell count of a cartesian product with the given

@@ -64,6 +64,22 @@ else
     fail=1
 fi
 
+# The streaming equivalence wall is the correctness proof for streamed
+# delivery: the final streamed aggregate must be byte-identical to the
+# buffered rendering (standalone and through a 1-gate/3-replica cluster),
+# disconnects must cancel upstream evaluations, and the weighted-fair
+# admission scheduler must shed with Retry-After rather than misreported
+# timeouts. Named so a failure is attributed immediately.
+echo "== streaming equivalence wall (race) =="
+if go test -race ./internal/serve -run 'TestSweepStream|TestAdmission|TestQueueFullRetryAfter|TestRateShedRetryAfter|TestDeadlineNeverStartsEval' -count=1 &&
+   go test -race ./internal/cluster -run 'TestClusterStream' -count=1 &&
+   go test -race ./internal/study -run 'TestRunStream' -count=1 &&
+   go test -race ./cmd/wfgate -run 'TestRunStreamsIncrementally' -count=1; then
+    echo "ok"
+else
+    fail=1
+fi
+
 if [ "${1:-}" = "-fuzz" ]; then
     fuzztime="${FUZZTIME:-30s}"
     echo "== fuzz ($fuzztime per target) =="
