@@ -1,0 +1,54 @@
+// Plan-cache benchmarks: the seed-vary workload that motivates the
+// second-level cache. Every iteration POSTs a corpus sweep whose only
+// varying field is the request seed — always a response-cache miss — with a
+// CV==0 template, so the generated scenarios are seed-invariant below the
+// response layer. With the plan cache on, evaluation reuses the cached
+// scenario set; with it off, every request regenerates, rebuilds, and
+// re-analyzes the corpus from scratch. The before/after pair is frozen in
+// BENCH_9.json by scripts/bench.sh:
+//
+//	go test . -run XXX -bench 'BenchmarkServe_SweepSeedVary' -benchmem
+package wroofline
+
+import (
+	"fmt"
+	"testing"
+
+	"wroofline/internal/serve"
+)
+
+// seedVarySpec mirrors loadgen's seed-vary corpus shape: CV==0, so only the
+// seed varies across requests and the plan cache can serve every scenario.
+const seedVarySpec = `{"kind":"corpus","machine":"perlmutter-numa","count":30,"seed":%d,` +
+	`"template":{"width":5,"depth":3,"payload":"512 MB"}}`
+
+// runSeedVary drives one fresh-seeded sweep per iteration through the
+// handler. Seeds start high so the timed loop never collides with the
+// priming request's response-cache entry.
+func runSeedVary(b *testing.B, cfg serve.Config) {
+	s := serve.New(cfg)
+	h := s.Handler()
+	prime(b, h, "POST", "/v1/sweep", fmt.Sprintf(seedVarySpec, 1))
+	b.ReportAllocs()
+	b.ResetTimer()
+	w := &discardResponseWriter{h: make(map[string][]string, 8)}
+	for i := 0; i < b.N; i++ {
+		br := newBenchRequest("POST", "/v1/sweep", fmt.Sprintf(seedVarySpec, 1000+i))
+		br.do(b, h, w)
+	}
+}
+
+// BenchmarkServe_SweepSeedVaryCold measures the seed-vary workload with the
+// plan cache at its default size: every request misses the response cache,
+// but after the priming request all corpus scenarios are plan-cache hits.
+func BenchmarkServe_SweepSeedVaryCold(b *testing.B) {
+	runSeedVary(b, serve.Config{})
+}
+
+// BenchmarkServe_SweepSeedVaryNoPlanCache is the baseline: identical
+// workload with the plan cache disabled, so each request pays full scenario
+// generation, model build, and analysis. The Cold/NoPlanCache ratio is the
+// cache's win, gated at >= 3x in scripts/bench.sh.
+func BenchmarkServe_SweepSeedVaryNoPlanCache(b *testing.B) {
+	runSeedVary(b, serve.Config{PlanCacheEntries: -1})
+}

@@ -8,6 +8,7 @@
 //
 //	wfgate -backends http://a:8080,http://b:8080,http://c:8080
 //	wfgate -addr :8070 -backends ... -probe-interval 250ms
+//	wfgate -pprof localhost:6061 # expose net/http/pprof on a side port
 //
 // The process drains cleanly on SIGINT/SIGTERM: in-flight requests finish
 // (up to -drain), new connections are refused.
@@ -22,6 +23,7 @@ import (
 	"log/slog"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strings"
@@ -52,6 +54,7 @@ func run(ctx context.Context, args []string, logOut io.Writer, ready chan<- stri
 		failAfter = fs.Int("fail-after", 1, "consecutive probe failures before a replica leaves rotation")
 		timeout   = fs.Duration("timeout", 30*time.Second, "per-request upstream budget")
 		drain     = fs.Duration("drain", 15*time.Second, "shutdown drain budget for in-flight requests")
+		pprofAt   = fs.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6061); empty disables")
 	)
 	fs.SetOutput(logOut)
 	if err := fs.Parse(args); err != nil {
@@ -87,6 +90,31 @@ func run(ctx context.Context, args []string, logOut io.Writer, ready chan<- stri
 		Handler:           g.Handler(),
 		ReadHeaderTimeout: 10 * time.Second,
 	}
+
+	// The profiler gets its own listener and mux, mirroring wfserved: the
+	// router proxies arbitrary paths to backends, so mounting pprof on the
+	// public mux would both expose it and shadow backend routes.
+	var pprofSrv *http.Server
+	if *pprofAt != "" {
+		pln, err := net.Listen("tcp", *pprofAt)
+		if err != nil {
+			return fmt.Errorf("pprof listen: %w", err)
+		}
+		mux := http.NewServeMux()
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		pprofSrv = &http.Server{Handler: mux, ReadHeaderTimeout: 10 * time.Second}
+		logger.Info("pprof listening", "addr", pln.Addr().String())
+		go func() {
+			if err := pprofSrv.Serve(pln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				logger.Error("pprof server", "err", err)
+			}
+		}()
+	}
+
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		return err
@@ -109,6 +137,11 @@ func run(ctx context.Context, args []string, logOut io.Writer, ready chan<- stri
 	defer cancel()
 	if err := httpSrv.Shutdown(shutdownCtx); err != nil {
 		return fmt.Errorf("drain: %w", err)
+	}
+	if pprofSrv != nil {
+		if err := pprofSrv.Shutdown(shutdownCtx); err != nil {
+			logger.Warn("pprof shutdown", "err", err)
+		}
 	}
 	if err := <-errc; !errors.Is(err, http.ErrServerClosed) {
 		return err

@@ -1,16 +1,37 @@
 package main
 
 import (
+	"bytes"
 	"context"
+	"encoding/json"
 	"io"
 	"net/http"
 	"net/http/httptest"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
 	"wroofline/internal/serve"
 )
+
+// syncBuffer lets the test read the gate's JSON log while it is writing.
+type syncBuffer struct {
+	mu sync.Mutex
+	b  bytes.Buffer
+}
+
+func (s *syncBuffer) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.Write(p)
+}
+
+func (s *syncBuffer) String() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.String()
+}
 
 // TestRunServesAndDrains boots the gate on an ephemeral port in front of a
 // real in-process replica, checks it proxies, then cancels the context and
@@ -61,6 +82,85 @@ func TestRunServesAndDrains(t *testing.T) {
 	}
 	if backendHdr != replica.URL {
 		t.Errorf("X-Backend = %q, want %q", backendHdr, replica.URL)
+	}
+
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Errorf("run returned %v after cancel, want clean shutdown", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("gate did not drain after cancel")
+	}
+}
+
+// TestRunPprofEndpoint checks -pprof exposes the profiler on its own
+// listener, and that the profiler is absent from the gate's public address
+// (which proxies unknown paths to the backends rather than serving them).
+func TestRunPprofEndpoint(t *testing.T) {
+	replica := httptest.NewServer(serve.New(serve.Config{}).Handler())
+	defer replica.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	logs := &syncBuffer{}
+	ready := make(chan string, 1)
+	done := make(chan error, 1)
+	go func() {
+		done <- run(ctx, []string{
+			"-addr", "127.0.0.1:0", "-backends", replica.URL,
+			"-pprof", "127.0.0.1:0", "-drain", "5s",
+		}, logs, ready)
+	}()
+
+	var addr string
+	select {
+	case addr = <-ready:
+	case err := <-done:
+		t.Fatalf("run exited before listening: %v", err)
+	case <-time.After(10 * time.Second):
+		t.Fatal("gate never became ready")
+	}
+
+	// The pprof listener binds (and logs) before the service listener, so
+	// its address is already in the log by the time ready fires.
+	var pprofAddr string
+	for _, line := range strings.Split(logs.String(), "\n") {
+		if line == "" {
+			continue
+		}
+		var rec struct {
+			Msg  string `json:"msg"`
+			Addr string `json:"addr"`
+		}
+		if err := json.Unmarshal([]byte(line), &rec); err == nil && rec.Msg == "pprof listening" {
+			pprofAddr = rec.Addr
+		}
+	}
+	if pprofAddr == "" {
+		t.Fatalf("no 'pprof listening' log line; log:\n%s", logs.String())
+	}
+
+	resp, err := http.Get("http://" + pprofAddr + "/debug/pprof/cmdline")
+	if err != nil {
+		t.Fatalf("pprof cmdline: %v", err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("pprof cmdline: status %d, want 200", resp.StatusCode)
+	}
+
+	// The public address must NOT serve the profiler.
+	resp, err = http.Get("http://" + addr + "/debug/pprof/")
+	if err != nil {
+		t.Fatalf("gate pprof probe: %v", err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode == http.StatusOK {
+		t.Error("profiler reachable on the public gate address")
 	}
 
 	cancel()

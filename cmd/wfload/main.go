@@ -12,7 +12,9 @@
 // fresh cache key, "corpus" blends generated gen-* case models with mostly
 // re-seeded corpus sweeps, "stream" requests sweeps with Accept:
 // application/x-ndjson so the ttfb50 column shows time-to-first-result,
-// and "eval-heavy"/"eval-light" are the two halves of a fairness probe.
+// "seed-vary" re-seeds otherwise identical studies (0% response-cache hits,
+// ~100% plan-cache hits — the second-level cache's showcase), and
+// "eval-heavy"/"eval-light" are the two halves of a fairness probe.
 //
 // Usage:
 //
@@ -66,7 +68,7 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	var (
 		url      = fs.String("url", "http://localhost:8080", "wfserved base URL (single-target mode)")
 		targets  = fs.String("targets", "", "comma-separated replica base URLs: consistent-hash each request to its owner and report per-target skew (overrides -url)")
-		mixName  = fs.String("mix", "hit-heavy", "request mix: hit-heavy, miss-heavy, or corpus")
+		mixName  = fs.String("mix", "hit-heavy", "request mix: hit-heavy, miss-heavy, corpus, stream, seed-vary, eval-heavy, or eval-light")
 		duration = fs.Duration("duration", 10*time.Second, "how long to drive load")
 		workers  = fs.Int("workers", 8, "closed-loop concurrency (open-loop: in-flight cap)")
 		rps      = fs.Float64("rps", 0, "open-loop target rate; 0 selects closed-loop mode")

@@ -10,6 +10,7 @@
 //	wfserved                       # listen on :8080
 //	wfserved -addr :9000 -workers 8
 //	wfserved -cache 1024 -queue 8 -timeout 60s
+//	wfserved -plan-cache-entries 1024 # second-level compiled-plan cache (0 disables)
 //	wfserved -shards 64             # more cache/singleflight shards
 //	wfserved -tenant-weights heavy=1,light=4 -max-waiters 32
 //	wfserved -tenant-rate 50 -tenant-burst 100
@@ -63,6 +64,7 @@ func run(ctx context.Context, args []string, logOut io.Writer, ready chan<- stri
 		addr    = fs.String("addr", ":8080", "listen address")
 		workers = fs.Int("workers", 0, "sweep worker pool per evaluation (0 = GOMAXPROCS)")
 		cache   = fs.Int("cache", 512, "result cache capacity (responses)")
+		plans   = fs.Int("plan-cache-entries", 512, "second-level plan cache capacity (compiled plans, built models, corpus scenarios); 0 or negative disables")
 		shards  = fs.Int("shards", 16, "cache/singleflight shard count (power of two, 1..256)")
 		queue   = fs.Int("queue", 4, "max concurrent evaluations")
 		waiters = fs.Int("max-waiters", 64, "per-tenant admission queue bound; arrivals beyond it are shed with 503 + Retry-After")
@@ -103,17 +105,18 @@ func run(ctx context.Context, args []string, logOut io.Writer, ready chan<- stri
 
 	logger := slog.New(slog.NewJSONHandler(logOut, nil))
 	s := serve.New(serve.Config{
-		Workers:       *workers,
-		CacheEntries:  *cache,
-		QueueDepth:    *queue,
-		MaxWaiters:    *waiters,
-		TenantWeights: tenantWeights,
-		TenantRate:    *rate,
-		TenantBurst:   *burst,
-		Timeout:       *timeout,
-		Shards:        *shards,
-		Logger:        logger,
-		Peers:         peerList,
+		Workers:          *workers,
+		CacheEntries:     *cache,
+		PlanCacheEntries: planCacheConfig(*plans),
+		QueueDepth:       *queue,
+		MaxWaiters:       *waiters,
+		TenantWeights:    tenantWeights,
+		TenantRate:       *rate,
+		TenantBurst:      *burst,
+		Timeout:          *timeout,
+		Shards:           *shards,
+		Logger:           logger,
+		Peers:            peerList,
 	})
 	if len(peerList) > 0 {
 		logger.Info("peer cache-fill enabled", "peers", peerList)
@@ -184,6 +187,15 @@ func run(ctx context.Context, args []string, logOut io.Writer, ready chan<- stri
 	}
 	logger.Info("stopped")
 	return nil
+}
+
+// planCacheConfig maps the -plan-cache-entries flag onto the Config field,
+// where zero means "default": at the flag, 0 and negative both disable.
+func planCacheConfig(n int) int {
+	if n <= 0 {
+		return -1
+	}
+	return n
 }
 
 // parseWeights parses "name=weight,name=weight" into the tenant-share map;

@@ -208,6 +208,76 @@ func TestRunShardsFlag(t *testing.T) {
 	}
 }
 
+// TestRunPlanCacheFlag boots once with the plan cache sized by flag and once
+// with it disabled, and checks /metrics reflects the difference after an
+// inline-model evaluation (the only request shape that exercises the plan
+// cache without a sweep).
+func TestRunPlanCacheFlag(t *testing.T) {
+	inline := `{"machine":"perlmutter","workflow":{"name":"w","partition":"cpu",` +
+		`"tasks":[{"id":"a","nodes":1,"work":{"flops":1e12}}]}}`
+	for _, tc := range []struct {
+		name string
+		flag string
+		want bool // plan_cache_misses present in /metrics
+	}{
+		{"sized", "64", true},
+		{"disabled", "0", false},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			ctx, cancel := context.WithCancel(context.Background())
+			defer cancel()
+			ready := make(chan string, 1)
+			done := make(chan error, 1)
+			go func() {
+				done <- run(ctx, []string{
+					"-addr", "127.0.0.1:0", "-plan-cache-entries", tc.flag, "-drain", "5s",
+				}, io.Discard, ready)
+			}()
+			var addr string
+			select {
+			case addr = <-ready:
+			case err := <-done:
+				t.Fatalf("run exited before listening: %v", err)
+			case <-time.After(10 * time.Second):
+				t.Fatal("server never became ready")
+			}
+			resp, err := http.Post("http://"+addr+"/v1/model", "application/json",
+				strings.NewReader(inline))
+			if err != nil {
+				t.Fatalf("model: %v", err)
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				t.Fatalf("model: status %d", resp.StatusCode)
+			}
+			resp, err = http.Get("http://" + addr + "/metrics")
+			if err != nil {
+				t.Fatalf("metrics: %v", err)
+			}
+			var snap struct {
+				PlanCacheMisses uint64 `json:"plan_cache_misses"`
+			}
+			if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+				t.Fatalf("decode metrics: %v", err)
+			}
+			resp.Body.Close()
+			if got := snap.PlanCacheMisses > 0; got != tc.want {
+				t.Errorf("plan_cache_misses > 0 = %v, want %v", got, tc.want)
+			}
+			cancel()
+			select {
+			case err := <-done:
+				if err != nil {
+					t.Errorf("run returned %v after cancel", err)
+				}
+			case <-time.After(10 * time.Second):
+				t.Fatal("server did not drain after cancel")
+			}
+		})
+	}
+}
+
 // TestRunBadShards rejects shard counts that are not powers of two in
 // [1, 256] before binding a listener.
 func TestRunBadShards(t *testing.T) {

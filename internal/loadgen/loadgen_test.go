@@ -96,7 +96,7 @@ func TestHistConcurrentRecord(t *testing.T) {
 // and that the miss-heavy and corpus mixes actually vary bodies with the
 // sequence.
 func TestMixScenarios(t *testing.T) {
-	for _, name := range []string{"hit-heavy", "miss-heavy", "corpus"} {
+	for _, name := range []string{"hit-heavy", "miss-heavy", "corpus", "stream", "seed-vary", "eval-heavy", "eval-light"} {
 		m, err := MixByName(name)
 		if err != nil {
 			t.Fatalf("MixByName(%q): %v", name, err)
@@ -134,6 +134,53 @@ func TestMixScenarios(t *testing.T) {
 	}
 	if varying < 1 {
 		t.Error("corpus mix has no sequence-varying shapes")
+	}
+
+	// Every seed-vary shape varies per request: the mix's contract is 0%
+	// response-cache hits, so a fixed body anywhere would dilute the probe.
+	seedVary, _ := MixByName("seed-vary")
+	for _, sh := range seedVary.shapes {
+		if sh.body == nil || sh.body(1) == sh.body(2) {
+			t.Errorf("seed-vary shape %s does not vary per request", sh.path)
+		}
+	}
+}
+
+// TestSeedVaryMixPlanCache drives the seed-vary mix against an in-process
+// server and checks the contract it advertises: response-cache hits stay at
+// zero (every seed is a fresh content address) while the plan cache serves
+// the construction work (CV==0 corpus scenarios and the fixed Monte Carlo
+// case are seed-invariant below the response layer).
+func TestSeedVaryMixPlanCache(t *testing.T) {
+	s := serve.New(serve.Config{})
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+	mix, err := MixByName("seed-vary")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(context.Background(), Options{
+		BaseURL: srv.URL, Mix: mix, Workers: 2, Duration: 600 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Total.Requests == 0 {
+		t.Fatal("seed-vary run issued no requests")
+	}
+	if res.Total.Errors != 0 {
+		t.Fatalf("seed-vary run: %d errors", res.Total.Errors)
+	}
+	snap := s.MetricsSnapshot()
+	if snap.Cache.Hits != 0 {
+		t.Errorf("seed-vary run produced %d response-cache hits, want 0", snap.Cache.Hits)
+	}
+	st, enabled := s.PlanCacheStats()
+	if !enabled {
+		t.Fatal("plan cache disabled on default config")
+	}
+	if st.Hits == 0 {
+		t.Errorf("seed-vary run produced no plan-cache hits: %+v", st)
 	}
 }
 

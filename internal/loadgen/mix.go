@@ -81,6 +81,20 @@ const streamSweepSpec = `{"kind":"montecarlo","case":"lcls-cori","trials":512,"s
 const heavySweepSpec = `{"kind":"montecarlo","case":"lcls-cori","trials":2048,"seed":%d,` +
 	`"sampler":{"model":"twostate","base":"1 GB/s","degraded":"0.2 GB/s","p_bad":0.4}}`
 
+// seedVarySweepSpec is a CV==0 corpus whose only varying field is the
+// request seed. The response cache keys on the full spec, so every request
+// is a response-cache miss; the plan cache normalizes the scenario seed away
+// when CV==0, so after the first request every evaluation is served from
+// cached scenarios. The mix isolates the second-level cache's win.
+const seedVarySweepSpec = `{"kind":"corpus","machine":"perlmutter-numa","count":30,"seed":%d,` +
+	`"template":{"width":5,"depth":3,"payload":"512 MB"}}`
+
+// seedVaryMCSpec re-seeds a fixed-case Monte Carlo ensemble: fresh response
+// key per request, but the compiled case plan comes from the plan cache on
+// every evaluation after the first.
+const seedVaryMCSpec = `{"kind":"montecarlo","case":"lcls-cori","trials":64,"seed":%d,` +
+	`"sampler":{"model":"twostate","base":"1 GB/s","degraded":"0.2 GB/s","p_bad":0.4}}`
+
 // ndjson is the Accept value that negotiates a streaming response.
 const ndjson = "application/x-ndjson"
 
@@ -104,6 +118,13 @@ const ndjson = "application/x-ndjson"
 // Monte Carlo sweeps requested with Accept: application/x-ndjson, mostly
 // re-seeded so the server streams fresh evaluations; its TTFB columns show
 // time-to-first-result, far ahead of the full-sweep latency.
+//
+// "seed-vary" models parameter-scan clients that re-seed an otherwise
+// identical study on every request: ~0% response-cache hits (each seed is a
+// fresh content address) but ~100% plan-cache hits (the CV==0 corpus
+// template and the fixed Monte Carlo case are seed-invariant at the
+// construction layer). Against -plan-cache-entries 0 the same run shows
+// what the second-level cache saves.
 //
 // "eval-heavy" and "eval-light" are the two halves of a fairness probe
 // (-tenants): the heavy mix holds evaluation slots with fresh kilotrials
@@ -152,6 +173,15 @@ func MixByName(name string) (*Mix, error) {
 			{"sweep", "POST", "/v1/sweep", 25, fixedBody(fmt.Sprintf(streamSweepSpec, 7)), ndjson},
 			{"model", "POST", "/v1/model", 15, fixedBody(`{"case":"example"}`), ""},
 		}}.normalize(), nil
+	case "seed-vary":
+		return Mix{Name: name, shapes: []shape{
+			{"sweep", "POST", "/v1/sweep", 70, func(seq uint64) string {
+				return fmt.Sprintf(seedVarySweepSpec, seq)
+			}, ""},
+			{"sweep", "POST", "/v1/sweep", 30, func(seq uint64) string {
+				return fmt.Sprintf(seedVaryMCSpec, seq)
+			}, ""},
+		}}.normalize(), nil
 	case "eval-heavy":
 		return Mix{Name: name, shapes: []shape{
 			{"sweep", "POST", "/v1/sweep", 90, func(seq uint64) string {
@@ -173,7 +203,7 @@ func MixByName(name string) (*Mix, error) {
 			{"figure", "GET", "/v1/figures/example.svg", 10, nil, ""},
 		}}.normalize(), nil
 	default:
-		return nil, fmt.Errorf("unknown mix %q (want hit-heavy, miss-heavy, corpus, stream, eval-heavy, or eval-light)", name)
+		return nil, fmt.Errorf("unknown mix %q (want hit-heavy, miss-heavy, corpus, stream, seed-vary, eval-heavy, or eval-light)", name)
 	}
 }
 

@@ -1,0 +1,346 @@
+// Package plancache is the second-level evaluation cache: a sharded,
+// size-bounded, content-addressed LRU keyed by the SHA-256 of a canonical
+// evaluation identity, holding the expensive *construction* artifacts —
+// compiled sim.Plans, built core.Models, and generated corpus scenarios —
+// that the response cache above it cannot reuse.
+//
+// The serve tier's response cache (internal/serve) only helps when the
+// request bytes recur exactly: a sweep that differs only in seed, trial
+// count, batch, or snapshot cadence misses it and pays the full
+// generate → build → compile pipeline again. But since compiled plans are
+// immutable and safe for concurrent Run calls, and model analysis is
+// read-only, the construction half of every evaluation is shareable across
+// requests whose *evaluation identity* — workflow source, machine, failure
+// configuration — matches. This package holds that identity → artifact map;
+// internal/study consults it inside the evaluation (below admission and the
+// response cache) so requests varying only per-trial knobs skip generation,
+// build, and compile entirely.
+//
+// Correctness rests on the same determinism argument as the response cache:
+// equal keys imply equal construction inputs, construction is a pure
+// function of those inputs, and the cached artifacts are immutable — so a
+// cache-hit evaluation is bit-identical to a fresh-compile one at any
+// worker x batch geometry. The differential walls in internal/study and
+// internal/serve prove it under -race.
+package plancache
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"sync"
+	"sync/atomic"
+
+	"wroofline/internal/sim"
+	"wroofline/internal/wfgen"
+)
+
+// Key is a content address: the SHA-256 of an artifact kind plus the
+// canonical evaluation identity.
+type Key = [sha256.Size]byte
+
+// Scenario is one generated corpus scenario's construction output: the
+// workflow metadata and derived figures the corpus tables consume, plus the
+// compiled plan itself. Everything in it is immutable after insertion —
+// corpus aggregation reads the scalar fields and never touches Plan again
+// (the makespan is already evaluated), but the plan rides along so future
+// trial-varying corpus kinds can rerun it without recompiling.
+type Scenario struct {
+	// Tasks is the generated workflow's task count.
+	Tasks int
+	// BoundTPS and Limiting are the roofline bound at the wall and the
+	// resource that binds it.
+	BoundTPS float64
+	Limiting string
+	// Makespan is the contention-free simulated makespan.
+	Makespan float64
+	// Plan is the compiled simulation plan (immutable, concurrent-safe).
+	Plan *sim.Plan
+}
+
+// keyPool recycles the concatenation buffer behind the key constructors so
+// steady-state key hashing does not allocate (a corpus request computes one
+// key per scenario — up to 1,000 per request).
+var keyPool = sync.Pool{New: func() any {
+	b := make([]byte, 0, 1024)
+	return &b
+}}
+
+// finish hashes the assembled identity bytes and returns the buffer to the
+// pool.
+func finish(bp *[]byte, b []byte) Key {
+	k := Key(sha256.Sum256(b))
+	*bp = b[:0]
+	keyPool.Put(bp)
+	return k
+}
+
+// CaseKey addresses the compiled plan of a built-in case study. The case
+// name alone is the evaluation identity: workloads.ByName constructs the
+// same workflow, machine, and simulation configuration (including any
+// baked-in failure model) for a given name every time, so one entry serves
+// every trials/seed/workers/batch variation over that case.
+func CaseKey(name string) Key {
+	bp := keyPool.Get().(*[]byte)
+	b := append((*bp)[:0], "case\x00"...)
+	b = append(b, name...)
+	return finish(bp, b)
+}
+
+// ScenarioKey addresses one generated corpus scenario on a machine. The
+// identity is the resolved machine name plus the canonical JSON of the
+// *normalized* generator spec, so written specs that differ only by
+// spelled-out defaults share an entry.
+//
+// When CV == 0 the seed is normalized away: the generator provably never
+// consults its random stream for constant-variation work (builder.factor
+// returns 1 without a draw), so every seed generates the same tasks, edges,
+// and volumes. The one seed-dependent output is the workflow's display
+// name ("gen-<family>-w<w>-d<d>-s<seed>"), which no corpus table reads —
+// scenario aggregation keys on family, not name. This is what lets
+// seed-rotated corpus requests (the seed-vary mix) hit ~100%.
+func ScenarioKey(spec *wfgen.Spec, machineName string) Key {
+	n := spec.Normalized()
+	if n.CV <= 0 {
+		n.Seed = 0
+	}
+	data, err := json.Marshal(&n)
+	if err != nil {
+		// A wfgen.Spec is plain scalars and strings; Marshal cannot fail.
+		panic("plancache: marshal normalized wfgen spec: " + err.Error())
+	}
+	bp := keyPool.Get().(*[]byte)
+	b := append((*bp)[:0], "scenario\x00"...)
+	b = append(b, machineName...)
+	b = append(b, 0)
+	b = append(b, data...)
+	return finish(bp, b)
+}
+
+// ModelKey addresses a built core.Model for an inline workflow: the
+// resolved machine name, the canonical external-bandwidth override (empty
+// when absent), and the compacted workflow JSON. Analysis over the model
+// (Analyze, Bound, BoundAtWall) is read-only, so one built model serves any
+// operating-point or curve-sample variation.
+func ModelKey(machineName, externalBW string, workflowJSON []byte) Key {
+	bp := keyPool.Get().(*[]byte)
+	b := append((*bp)[:0], "model\x00"...)
+	b = append(b, machineName...)
+	b = append(b, 0)
+	b = append(b, externalBW...)
+	b = append(b, 0)
+	b = append(b, workflowJSON...)
+	return finish(bp, b)
+}
+
+// Stats is a point-in-time counter snapshot.
+type Stats struct {
+	// Entries and Capacity describe occupancy.
+	Entries  int
+	Capacity int
+	// Hits, Misses, and Evictions are cumulative since construction; Flush
+	// resets none of them (a flush is an operational event, not a new cache).
+	Hits      uint64
+	Misses    uint64
+	Evictions uint64
+}
+
+// Cache is the sharded LRU. All methods are safe for concurrent use and
+// safe on a nil receiver — a nil *Cache is the disabled cache (every Get
+// misses without counting, every Put is dropped), so call sites thread one
+// pointer through unconditionally.
+type Cache struct {
+	mask   byte
+	shards []shard
+
+	hits      atomic.Uint64
+	misses    atomic.Uint64
+	evictions atomic.Uint64
+}
+
+// shard is one independently locked slice of the cache, an intrusive LRU
+// list plus its index. The trailing pad keeps neighbouring shards' mutexes
+// off the same cache line.
+type shard struct {
+	mu    sync.Mutex
+	cap   int
+	items map[Key]*entry
+	// head.next is most recently used; head.prev least. The sentinel makes
+	// every link operation branch-free.
+	head entry
+	_    [40]byte
+}
+
+// entry is one cache slot on its shard's intrusive ring.
+type entry struct {
+	key        Key
+	val        any
+	prev, next *entry
+}
+
+// shardCount normalizes a requested shard count exactly as the serve-layer
+// response cache does: clamp to [1, 256] (the selector is one key byte),
+// round up to a power of two, then halve until every shard owns at least
+// two entries so small caches keep strict global LRU order.
+func shardCount(capacity, requested int) int {
+	n := 1
+	for n < requested && n < 256 {
+		n <<= 1
+	}
+	for n > 1 && capacity/n < 2 {
+		n >>= 1
+	}
+	return n
+}
+
+// New creates a cache holding up to entries values in total (minimum 1),
+// split across shardCount(entries, shards) shards.
+func New(entries, shards int) *Cache {
+	if entries < 1 {
+		entries = 1
+	}
+	n := shardCount(entries, shards)
+	c := &Cache{mask: byte(n - 1), shards: make([]shard, n)}
+	base, rem := entries/n, entries%n
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.cap = base
+		if i < rem {
+			sh.cap++
+		}
+		sh.head.prev = &sh.head
+		sh.head.next = &sh.head
+		sh.items = make(map[Key]*entry)
+	}
+	return c
+}
+
+// shard maps a key to its home shard by the first SHA-256 byte.
+func (c *Cache) shard(k Key) *shard {
+	return &c.shards[k[0]&c.mask]
+}
+
+// unlink removes e from its ring.
+func unlink(e *entry) {
+	e.prev.next = e.next
+	e.next.prev = e.prev
+}
+
+// pushFront inserts e as most recently used.
+func (sh *shard) pushFront(e *entry) {
+	e.prev = &sh.head
+	e.next = sh.head.next
+	e.next.prev = e
+	sh.head.next = e
+}
+
+// Get returns the cached artifact and marks it most recently used. A nil
+// receiver always misses (and counts nothing).
+func (c *Cache) Get(k Key) (any, bool) {
+	if c == nil {
+		return nil, false
+	}
+	sh := c.shard(k)
+	sh.mu.Lock()
+	e, ok := sh.items[k]
+	if !ok {
+		sh.mu.Unlock()
+		c.misses.Add(1)
+		return nil, false
+	}
+	unlink(e)
+	sh.pushFront(e)
+	v := e.val
+	sh.mu.Unlock()
+	c.hits.Add(1)
+	return v, true
+}
+
+// Put stores an artifact, evicting the shard's least recently used entry
+// when the shard is full. Storing an existing key refreshes its recency and
+// keeps the incumbent value: equal keys address equal artifacts by
+// construction, so there is nothing to overwrite (and concurrent fillers
+// racing on one key converge on a single shared instance). A nil receiver
+// drops the value.
+func (c *Cache) Put(k Key, v any) {
+	if c == nil {
+		return
+	}
+	sh := c.shard(k)
+	evicted := 0
+	sh.mu.Lock()
+	if e, ok := sh.items[k]; ok {
+		unlink(e)
+		sh.pushFront(e)
+		sh.mu.Unlock()
+		return
+	}
+	e := &entry{key: k, val: v}
+	sh.items[k] = e
+	sh.pushFront(e)
+	for len(sh.items) > sh.cap {
+		last := sh.head.prev
+		unlink(last)
+		delete(sh.items, last.key)
+		evicted++
+	}
+	sh.mu.Unlock()
+	if evicted > 0 {
+		c.evictions.Add(uint64(evicted))
+	}
+}
+
+// Len reports the number of cached artifacts across all shards.
+func (c *Cache) Len() int {
+	if c == nil {
+		return 0
+	}
+	n := 0
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.Lock()
+		n += len(sh.items)
+		sh.mu.Unlock()
+	}
+	return n
+}
+
+// Capacity reports the configured total capacity across shards.
+func (c *Cache) Capacity() int {
+	if c == nil {
+		return 0
+	}
+	n := 0
+	for i := range c.shards {
+		n += c.shards[i].cap
+	}
+	return n
+}
+
+// Flush empties every shard. Counters are preserved; see Stats.
+func (c *Cache) Flush() {
+	if c == nil {
+		return
+	}
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.Lock()
+		sh.head.prev = &sh.head
+		sh.head.next = &sh.head
+		clear(sh.items)
+		sh.mu.Unlock()
+	}
+}
+
+// Stats snapshots the counters. A nil receiver reports zeros.
+func (c *Cache) Stats() Stats {
+	if c == nil {
+		return Stats{}
+	}
+	return Stats{
+		Entries:   c.Len(),
+		Capacity:  c.Capacity(),
+		Hits:      c.hits.Load(),
+		Misses:    c.misses.Load(),
+		Evictions: c.evictions.Load(),
+	}
+}

@@ -51,6 +51,7 @@ import (
 	"wroofline/internal/failure"
 	"wroofline/internal/figures"
 	"wroofline/internal/machine"
+	"wroofline/internal/plancache"
 	"wroofline/internal/plot"
 	"wroofline/internal/report"
 	"wroofline/internal/study"
@@ -68,6 +69,14 @@ type Config struct {
 	Workers int
 	// CacheEntries bounds the content-addressed LRU (default 512).
 	CacheEntries int
+	// PlanCacheEntries bounds the second-level plan cache (internal/plancache):
+	// compiled sim.Plans, built core.Models, and generated corpus scenarios,
+	// keyed by evaluation identity and shared across requests that vary only
+	// trials/seed/workers/batch/streaming. 0 selects the default (512);
+	// negative disables the plan cache entirely, restoring fresh
+	// generate/build/compile on every evaluation (the differential tests run
+	// both ways and assert byte-identical responses).
+	PlanCacheEntries int
 	// Shards sets the shard count for the response cache, the raw-request
 	// memo, and the singleflight table (default 16). Rounded up to a power
 	// of two and clamped to [1, 256]; small caches fall back to fewer
@@ -130,6 +139,9 @@ func (c Config) withDefaults() Config {
 	if c.CacheEntries <= 0 {
 		c.CacheEntries = 512
 	}
+	if c.PlanCacheEntries == 0 {
+		c.PlanCacheEntries = 512
+	}
 	if c.Shards <= 0 {
 		c.Shards = 16
 	}
@@ -166,6 +178,7 @@ type Server struct {
 	mux     *http.ServeMux
 	cache   *shardedLRU[Response]
 	rawKeys *shardedLRU[Key]
+	plans   *plancache.Cache
 	flight  *flightGroup
 	adm     *admission
 	metrics *metrics
@@ -203,6 +216,12 @@ func New(cfg Config) *Server {
 		flight:  newFlightGroup(cfg.Shards),
 		adm:     newAdmission(cfg),
 		metrics: newMetrics("healthz", "metrics", "model", "sweep", "sweep_stream", "figures", "peer"),
+	}
+	// The plan cache sits below admission and the response cache: it is only
+	// consulted inside evaluations, so hits still pay admission (they are
+	// real evaluations, just cheaper) and never bypass tenant fairness.
+	if cfg.PlanCacheEntries > 0 {
+		s.plans = plancache.New(cfg.PlanCacheEntries, cfg.Shards)
 	}
 	s.figureNames = figures.Names()
 	if len(cfg.Peers) > 0 {
@@ -246,12 +265,29 @@ func (s *Server) Evaluations() uint64 { return s.metrics.evaluations.Load() }
 
 // MetricsSnapshot returns the current counters (the /metrics payload).
 func (s *Server) MetricsSnapshot() Snapshot {
-	return s.metrics.snapshot(s.cache.len())
+	snap := s.metrics.snapshot(s.cache.len())
+	if s.plans != nil {
+		st := s.plans.Stats()
+		snap.PlanCacheEntries = st.Entries
+		snap.PlanCacheHits = st.Hits
+		snap.PlanCacheMisses = st.Misses
+		snap.PlanCacheEvictions = st.Evictions
+	}
+	return snap
+}
+
+// PlanCacheStats reports the second-level plan cache counters; enabled is
+// false (with zero stats) when the cache is disabled.
+func (s *Server) PlanCacheStats() (stats plancache.Stats, enabled bool) {
+	return s.plans.Stats(), s.plans != nil
 }
 
 // FlushCache empties the result cache and the raw-request memo, forcing the
 // next request of each shape down the cold path (benchmarks and
-// cache-bypass testing).
+// cache-bypass testing). The plan cache is deliberately left warm: it holds
+// construction artifacts, not rendered responses, and the differential
+// tests use exactly this split — flush responses, re-request, and prove the
+// plan-cache-served evaluation re-renders the same bytes.
 func (s *Server) FlushCache() {
 	s.cache.flush()
 	s.rawKeys.flush()
@@ -814,25 +850,9 @@ func (s *Server) evaluateModel(req *ModelRequest) (Response, error) {
 		}
 		model, points = cs.Model, cs.Points
 	default:
-		var wf workflow.Workflow
-		if err := json.Unmarshal(req.Workflow, &wf); err != nil {
-			return Response{}, badRequest("parse workflow: %v", err)
-		}
-		m, err := machine.ByName(req.Machine)
+		built, err := s.buildInlineModel(req)
 		if err != nil {
-			return Response{}, badRequest("%v", err)
-		}
-		opts := core.BuildOptions{}
-		if req.ExternalBW != "" {
-			bw, err := units.ParseByteRate(req.ExternalBW)
-			if err != nil {
-				return Response{}, badRequest("external_bw: %v", err)
-			}
-			opts.ExternalBW = bw
-		}
-		built, err := core.Build(m, &wf, opts)
-		if err != nil {
-			return Response{}, badRequest("%v", err)
+			return Response{}, err
 		}
 		model = built
 	}
@@ -860,6 +880,50 @@ func (s *Server) evaluateModel(req *ModelRequest) (Response, error) {
 		return Response{}, err
 	}
 	return Response{Body: append(data, '\n'), ContentType: "application/json"}, nil
+}
+
+// buildInlineModel resolves an inline-workflow model request, consulting the
+// plan cache for an already-built core.Model before parsing and building.
+// The key is (resolved machine name, canonical external override, compacted
+// workflow JSON) — everything Build reads — and model analysis is read-only,
+// so one built model serves any curve_samples, operating-point, or failure
+// variation over the same workflow. Only valid combinations ever get cached
+// (a build error is never stored), so a hit skips the workflow unmarshal
+// and the build outright and implies both would have succeeded.
+func (s *Server) buildInlineModel(req *ModelRequest) (*core.Model, error) {
+	m, err := machine.ByName(req.Machine)
+	if err != nil {
+		return nil, badRequest("%v", err)
+	}
+	opts := core.BuildOptions{}
+	extKey := ""
+	if req.ExternalBW != "" {
+		bw, err := units.ParseByteRate(req.ExternalBW)
+		if err != nil {
+			return nil, badRequest("external_bw: %v", err)
+		}
+		opts.ExternalBW = bw
+		// Key on the parsed rate, not the spelling, so "5 GB/s" and "5GB/s"
+		// share an entry.
+		extKey = strconv.FormatFloat(float64(bw), 'g', -1, 64)
+	}
+	var key plancache.Key
+	if s.plans != nil {
+		key = plancache.ModelKey(m.Name, extKey, req.Workflow)
+		if v, ok := s.plans.Get(key); ok {
+			return v.(*core.Model), nil
+		}
+	}
+	var wf workflow.Workflow
+	if err := json.Unmarshal(req.Workflow, &wf); err != nil {
+		return nil, badRequest("parse workflow: %v", err)
+	}
+	built, err := core.Build(m, &wf, opts)
+	if err != nil {
+		return nil, badRequest("%v", err)
+	}
+	s.plans.Put(key, built)
+	return built, nil
 }
 
 // modelAnalysis is the /v1/model response when the request carries a failure
@@ -911,7 +975,7 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		// The server owns the parallelism budget; results are identical at
 		// any worker count, so this never changes the bytes.
 		spec.Workers = s.cfg.Workers
-		tables, err := study.Run(ctx, spec)
+		tables, err := study.RunCached(ctx, spec, s.plans)
 		if err != nil {
 			return Response{}, err
 		}

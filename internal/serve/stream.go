@@ -115,7 +115,7 @@ func (s *Server) handleSweepStream(w http.ResponseWriter, r *http.Request) {
 	// the completion-frontier lock; the handler goroutine blocks inside
 	// RunStream until they are done, so writes to the ResponseWriter never
 	// interleave.
-	tables, err := study.RunStream(ctx, spec, func(p study.Progress) {
+	tables, err := study.RunStreamCached(ctx, spec, s.plans, func(p study.Progress) {
 		enc.progress(p)
 	})
 	if err != nil {

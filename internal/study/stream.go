@@ -3,6 +3,7 @@ package study
 import (
 	"context"
 
+	"wroofline/internal/plancache"
 	"wroofline/internal/report"
 	"wroofline/internal/sweep"
 )
@@ -31,17 +32,29 @@ type Progress struct {
 // emit runs on a sweep worker goroutine while the completion frontier is
 // locked: it must be brief and must not call back into the study.
 func RunStream(ctx context.Context, spec *Spec, emit func(Progress)) ([]*report.Table, error) {
+	return RunStreamCached(ctx, spec, nil, emit)
+}
+
+// RunStreamCached is RunStream with a second-level plan cache: the ensemble
+// kinds consult plans for their expensive construction artifacts (compiled
+// case plans, generated corpus scenarios) before generating, building, and
+// compiling afresh, and fill it on miss. Because compiled plans are
+// immutable and concurrent-safe and construction is a pure function of the
+// cache key, a hit evaluation is bit-identical to a cold one at any
+// worker x batch geometry — TestPlanCacheDifferential proves it. A nil
+// cache disables reuse entirely (the pre-cache behavior).
+func RunStreamCached(ctx context.Context, spec *Spec, plans *plancache.Cache, emit func(Progress)) ([]*report.Table, error) {
 	switch spec.Kind {
 	case "montecarlo":
-		return runMonteCarlo(ctx, spec, emit)
+		return runMonteCarlo(ctx, spec, plans, emit)
 	case "grid":
 		return runGrid(ctx, spec)
 	case "survey":
 		return runSurvey(ctx, spec)
 	case "failures":
-		return runFailures(ctx, spec, emit)
+		return runFailures(ctx, spec, plans, emit)
 	case "corpus":
-		return runCorpus(ctx, spec, emit)
+		return runCorpus(ctx, spec, plans, emit)
 	default:
 		return nil, errUnknownKind(spec.Kind)
 	}
@@ -102,6 +115,10 @@ func progressFn[T any](total int, emit func(Progress), value func(T) float64) fu
 		bufCap = summaryCap + 1
 	}
 	buf := make([]float64, 0, bufCap)
+	// One Summarizer per run: its sort scratch grows to the largest snapshot
+	// and is reused across all ~64 of them. Callbacks are serialized under
+	// the frontier lock, so the shared scratch needs no locking.
+	var z sweep.Summarizer
 	return func(done int, prefix []T) {
 		if !th.take(done) {
 			return
@@ -114,7 +131,7 @@ func progressFn[T any](total int, emit func(Progress), value func(T) float64) fu
 		for i := 0; i < len(prefix); i += stride {
 			buf = append(buf, value(prefix[i]))
 		}
-		s, err := sweep.Summarize(buf)
+		s, err := z.Summarize(buf)
 		if err != nil {
 			return
 		}

@@ -21,6 +21,7 @@ import (
 	"wroofline/internal/core"
 	"wroofline/internal/failure"
 	"wroofline/internal/machine"
+	"wroofline/internal/plancache"
 	"wroofline/internal/report"
 	"wroofline/internal/sim"
 	"wroofline/internal/sweep"
@@ -155,7 +156,37 @@ func (s *Spec) Canonical() ([]byte, error) {
 // kind, which is what keeps streamed final results byte-identical to
 // buffered ones.
 func Run(ctx context.Context, spec *Spec) ([]*report.Table, error) {
-	return RunStream(ctx, spec, nil)
+	return RunStreamCached(ctx, spec, nil, nil)
+}
+
+// RunCached is Run with a second-level plan cache (see RunStreamCached).
+func RunCached(ctx context.Context, spec *Spec, plans *plancache.Cache) ([]*report.Table, error) {
+	return RunStreamCached(ctx, spec, plans, nil)
+}
+
+// compileCase returns the case study's compiled plan, consulting the plan
+// cache when one is wired. The case name alone is the evaluation identity:
+// workloads.ByName constructs the same workflow, machine, and simulation
+// configuration (including any baked-in failure model) for a given name
+// every time, and compiled plans are immutable and safe for concurrent Run
+// calls, so one cached plan serves every trials/seed/workers/batch
+// variation over the case — spec.Failure never enters the plan (fault
+// models ride in per-trial sim.Trial values).
+func compileCase(plans *plancache.Cache, name string) (*sim.Plan, error) {
+	key := plancache.CaseKey(name)
+	if v, ok := plans.Get(key); ok {
+		return v.(*sim.Plan), nil
+	}
+	cs, err := workloads.ByName(name)
+	if err != nil {
+		return nil, err
+	}
+	plan, err := cs.Compile()
+	if err != nil {
+		return nil, err
+	}
+	plans.Put(key, plan)
+	return plan, nil
 }
 
 func errUnknownKind(kind string) error {
@@ -191,7 +222,7 @@ func (s *SamplerSpec) sampler() (contention.Sampler, error) {
 // per-stream rate and simulates the case study with the external path set to
 // Streams flows at that rate. A non-nil emit receives throttled partial
 // summaries as the day frontier advances (see RunStream).
-func runMonteCarlo(ctx context.Context, spec *Spec, emit func(Progress)) ([]*report.Table, error) {
+func runMonteCarlo(ctx context.Context, spec *Spec, plans *plancache.Cache, emit func(Progress)) ([]*report.Table, error) {
 	if spec.Trials <= 0 {
 		return nil, fmt.Errorf("montecarlo spec needs positive trials, got %d", spec.Trials)
 	}
@@ -199,13 +230,10 @@ func runMonteCarlo(ctx context.Context, spec *Spec, emit func(Progress)) ([]*rep
 	if err != nil {
 		return nil, err
 	}
-	// Compile the case once; every trial shares the immutable plan and only
-	// varies the external path. Plan.Run is safe for concurrent trials.
-	cs, err := workloads.ByName(spec.Case)
-	if err != nil {
-		return nil, err
-	}
-	plan, err := cs.Compile()
+	// Compile the case once (or fetch the shared immutable plan from the
+	// cache); every trial shares it and only varies the external path.
+	// Plan.Run is safe for concurrent trials.
+	plan, err := compileCase(plans, spec.Case)
 	if err != nil {
 		return nil, err
 	}
@@ -280,20 +308,17 @@ type failureTrial struct {
 // reports the makespan/TPS degradation distribution, the retry-count
 // distribution, and the histogram of which phase the retries hammered. A
 // non-nil emit receives throttled partial makespan summaries.
-func runFailures(ctx context.Context, spec *Spec, emit func(Progress)) ([]*report.Table, error) {
+func runFailures(ctx context.Context, spec *Spec, plans *plancache.Cache, emit func(Progress)) ([]*report.Table, error) {
 	if spec.Trials <= 0 {
 		return nil, fmt.Errorf("failures spec needs positive trials, got %d", spec.Trials)
 	}
 	if spec.Failure == nil {
 		return nil, fmt.Errorf("failures spec needs a failure block")
 	}
-	// Compile the case and validate the failure spec once up front; every
-	// trial shares the immutable plan and carries its own seeded fault model.
-	baselineCase, err := workloads.ByName(spec.Case)
-	if err != nil {
-		return nil, err
-	}
-	plan, err := baselineCase.Compile()
+	// Compile the case (or fetch the shared plan) and validate the failure
+	// spec once up front; every trial shares the immutable plan and carries
+	// its own seeded fault model.
+	plan, err := compileCase(plans, spec.Case)
 	if err != nil {
 		return nil, err
 	}
@@ -538,7 +563,13 @@ type corpusScenario struct {
 // seeding ignores the chunk geometry — so the tables are byte-identical at
 // any worker count and batch size; a non-nil emit receives throttled
 // partial makespan summaries as the scenario frontier advances.
-func runCorpus(ctx context.Context, spec *Spec, emit func(Progress)) ([]*report.Table, error) {
+//
+// With a plan cache wired, each scenario's generate → build → compile →
+// simulate pass is keyed by (machine, normalized template+family+seed) and
+// reused across requests — and, for CV==0 templates, across seeds too (see
+// plancache.ScenarioKey). The cached artifact carries exactly the fields
+// the tables read, so hit and miss scenarios aggregate identically.
+func runCorpus(ctx context.Context, spec *Spec, plans *plancache.Cache, emit func(Progress)) ([]*report.Table, error) {
 	if spec.Count <= 0 {
 		return nil, fmt.Errorf("corpus spec needs positive count, got %d", spec.Count)
 	}
@@ -570,6 +601,21 @@ func runCorpus(ctx context.Context, spec *Spec, emit func(Progress)) ([]*report.
 				s := tmpl
 				s.Family = families[i%len(families)]
 				s.Seed = sweep.TrialSeed(spec.Seed, i)
+				var key plancache.Key
+				if plans != nil {
+					key = plancache.ScenarioKey(&s, m.Name)
+					if v, ok := plans.Get(key); ok {
+						sc := v.(*plancache.Scenario)
+						out[j] = corpusScenario{
+							family:   s.Family,
+							tasks:    sc.Tasks,
+							boundTPS: sc.BoundTPS,
+							limiting: sc.Limiting,
+							makespan: sc.Makespan,
+						}
+						continue
+					}
+				}
 				wf, err := wfgen.Generate(&s)
 				if err != nil {
 					return fmt.Errorf("scenario %d: %w", i, err)
@@ -599,6 +645,15 @@ func runCorpus(ctx context.Context, spec *Spec, emit func(Progress)) ([]*report.
 					boundTPS: bound,
 					limiting: limit.Resource.String(),
 					makespan: br.Makespan,
+				}
+				if plans != nil {
+					plans.Put(key, &plancache.Scenario{
+						Tasks:    wf.TotalTasks(),
+						BoundTPS: bound,
+						Limiting: limit.Resource.String(),
+						Makespan: br.Makespan,
+						Plan:     plan,
+					})
 				}
 			}
 			return nil

@@ -20,6 +20,11 @@ type Agg struct {
 	min     float64
 	max     float64
 	hist    map[string]int
+	// scratch holds the sorted copy Summary works over. Streaming delivery
+	// summarizes the same aggregator once per progress snapshot (~64 times a
+	// request), so the buffer is grown once and reused rather than allocated
+	// per call.
+	scratch []float64
 }
 
 // NewAgg creates an aggregator for n trials.
@@ -106,7 +111,10 @@ func (a *Agg) Summary() (Summary, error) {
 	for _, v := range a.samples {
 		sum += v
 	}
-	sorted := make([]float64, len(a.samples))
+	if cap(a.scratch) < len(a.samples) {
+		a.scratch = make([]float64, len(a.samples))
+	}
+	sorted := a.scratch[:len(a.samples)]
 	copy(sorted, a.samples)
 	sort.Float64s(sorted)
 	s := Summary{

@@ -1,0 +1,123 @@
+package sweep
+
+import (
+	"math"
+	"testing"
+)
+
+// allocSamples returns a deterministic, unsorted ensemble of n makespans.
+func allocSamples(n int) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = float64((i*7919)%997) + 0.5
+	}
+	return out
+}
+
+// TestAggSummaryAllocFloor pins the reusable-scratch contract: after the
+// first Summary call grows the sort buffer, repeated calls on the same
+// aggregator allocate nothing. Streaming delivery summarizes ~64 times per
+// request, so a regression here multiplies straight into the serve path.
+func TestAggSummaryAllocFloor(t *testing.T) {
+	const n = 512
+	a, err := NewAgg(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range allocSamples(n) {
+		if err := a.Add(i, v, "ceiling"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := a.Summary(); err != nil { // grow the scratch once
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(50, func() {
+		if _, err := a.Summary(); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("Agg.Summary allocates %.1f objects/call after warmup, want 0", allocs)
+	}
+}
+
+// TestSummarizerAllocFloor is the same floor for the streaming-prefix path:
+// one Summarizer, growing prefixes, zero allocations once the scratch has
+// reached the largest prefix.
+func TestSummarizerAllocFloor(t *testing.T) {
+	samples := allocSamples(512)
+	var z Summarizer
+	if _, err := z.Summarize(samples); err != nil { // grow the scratch once
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(50, func() {
+		for _, n := range []int{64, 256, 512} { // growing prefixes, as streamed
+			if _, err := z.Summarize(samples[:n]); err != nil {
+				t.Fatal(err)
+			}
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("Summarizer.Summarize allocates %.1f objects/call after warmup, want 0", allocs)
+	}
+}
+
+// TestSummarizerMatchesSummarize proves the scratch reuse never changes the
+// numbers: package-level Summarize, a shared Summarizer, and Agg.Summary all
+// produce bit-identical summaries for the same samples — including a reused
+// Summarizer whose scratch still holds a previous, larger sort.
+func TestSummarizerMatchesSummarize(t *testing.T) {
+	samples := allocSamples(301)
+	var z Summarizer
+	if _, err := z.Summarize(allocSamples(512)); err != nil { // dirty the scratch
+		t.Fatal(err)
+	}
+	want, err := Summarize(samples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := z.Summarize(samples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Errorf("Summarizer diverged from Summarize:\n got %+v\nwant %+v", got, want)
+	}
+	a, err := NewAgg(len(samples))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range samples {
+		if err := a.Add(i, v, ""); err != nil {
+			t.Fatal(err)
+		}
+	}
+	aggSum, err := a.Summary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if aggSum != want {
+		t.Errorf("Agg.Summary diverged from Summarize:\n got %+v\nwant %+v", aggSum, want)
+	}
+	// Repeated Agg.Summary calls over the reused scratch stay identical too.
+	again, err := a.Summary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again != aggSum {
+		t.Errorf("second Agg.Summary diverged: %+v vs %+v", again, aggSum)
+	}
+}
+
+// TestSummarizerRejectsNaN keeps the NaN guard intact through the scratch
+// rewrite.
+func TestSummarizerRejectsNaN(t *testing.T) {
+	var z Summarizer
+	if _, err := z.Summarize([]float64{1, math.NaN(), 3}); err == nil {
+		t.Error("NaN ensemble accepted")
+	}
+	if _, err := z.Summarize(nil); err == nil {
+		t.Error("empty ensemble accepted")
+	}
+}

@@ -142,8 +142,25 @@ func (f *frontier) complete(c int, progress func(done int)) {
 // same fixed-order arithmetic as Agg.Summary: mean summed in index order,
 // quantiles interpolated over a sorted copy. It exists so streaming callers
 // can summarize a stable prefix (samples[:done] from MapChunksProgress)
-// without building an Agg per snapshot.
+// without building an Agg per snapshot. Loop callers should hold a
+// Summarizer instead — this form allocates a fresh sort buffer per call.
 func Summarize(samples []float64) (Summary, error) {
+	return new(Summarizer).Summarize(samples)
+}
+
+// Summarizer is Summarize with a reusable sort buffer. Progress callbacks
+// summarize a growing prefix once per frontier advance (~64 snapshots per
+// streamed request); one Summarizer grows its scratch to the final trial
+// count and every later snapshot sorts in place, allocation-free. Not safe
+// for concurrent use — MapChunksProgress serializes progress callbacks, so a
+// per-run Summarizer needs no lock.
+type Summarizer struct {
+	scratch []float64
+}
+
+// Summarize condenses samples exactly like the package-level Summarize,
+// reusing the Summarizer's scratch buffer for the sorted copy.
+func (z *Summarizer) Summarize(samples []float64) (Summary, error) {
 	if len(samples) == 0 {
 		return Summary{}, fmt.Errorf("sweep: summary of empty ensemble")
 	}
@@ -151,7 +168,10 @@ func Summarize(samples []float64) (Summary, error) {
 	for _, v := range samples {
 		sum += v
 	}
-	sorted := make([]float64, len(samples))
+	if cap(z.scratch) < len(samples) {
+		z.scratch = make([]float64, len(samples))
+	}
+	sorted := z.scratch[:len(samples)]
 	copy(sorted, samples)
 	sort.Float64s(sorted)
 	// sort.Float64s treats NaN as less than everything, so any NaN in the

@@ -97,6 +97,15 @@ func ParseSpec(data []byte) (*Spec, error) {
 	return &s, nil
 }
 
+// Normalized returns a copy of the spec with every default applied — the
+// effective spec that Validate, Shape, and Generate all operate on. It is
+// exported so content-addressed caches can key on the effective value: two
+// written specs that differ only by spelling out a default describe the
+// same scenario and should share one cache entry.
+func (s *Spec) Normalized() Spec {
+	return s.normalized()
+}
+
 // normalized returns a copy with defaults applied; Validate, Shape, and
 // Generate all see the same effective spec.
 func (s *Spec) normalized() Spec {

@@ -80,6 +80,21 @@ else
     fail=1
 fi
 
+# The plan-cache differential wall is the correctness proof for the
+# second-level evaluation cache: cached-plan and fresh-compile evaluations
+# must be byte-identical (bodies and ETags) for every ensemble kind and
+# /v1/model, at any worker x batch geometry, and the LRU must respect its
+# capacity under random geometries. Named so a failure is attributed
+# immediately.
+echo "== plan cache differential wall (race) =="
+if go test -race ./internal/plancache -count=1 &&
+   go test -race ./internal/study -run 'TestPlanCache' -count=1 &&
+   go test -race ./internal/serve -run 'TestPlanCache' -count=1; then
+    echo "ok"
+else
+    fail=1
+fi
+
 if [ "${1:-}" = "-fuzz" ]; then
     fuzztime="${FUZZTIME:-30s}"
     echo "== fuzz ($fuzztime per target) =="
